@@ -1,0 +1,101 @@
+//! Analysis runtime scaling: how the exact, bounds, holistic and fixpoint
+//! analyses scale with job count and pipeline depth (the DESIGN.md ablation
+//! on analysis cost).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rta_core::{analyze_bounds, analyze_exact_spp, holistic::analyze_holistic, AnalysisConfig};
+use rta_model::jobshop::{generate, ShopArrivals, ShopConfig};
+use rta_model::priority::{assign_priorities, PriorityPolicy};
+use rta_model::{SchedulerKind, TaskSystem};
+
+fn system(scheduler: SchedulerKind, stages: usize, n_jobs: usize) -> TaskSystem {
+    let cfg = ShopConfig {
+        stages,
+        procs_per_stage: 2,
+        n_jobs,
+        scheduler,
+        utilization: 0.6,
+        arrivals: ShopArrivals::Periodic { deadline_factor: 2.0 * stages as f64 },
+        x_min: 0.2,
+        ticks_per_unit: 500,
+    };
+    let mut sys = generate(&cfg, &mut StdRng::seed_from_u64(42)).unwrap();
+    if scheduler.uses_priorities() {
+        assign_priorities(&mut sys, PriorityPolicy::RelativeDeadlineMonotonic).unwrap();
+    }
+    sys
+}
+
+fn bench_exact_by_jobs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exact_by_jobs");
+    for &n in &[2usize, 6, 12] {
+        let sys = system(SchedulerKind::Spp, 2, n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &sys, |b, sys| {
+            b.iter(|| black_box(analyze_exact_spp(sys, &AnalysisConfig::default()).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_exact_by_stages(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exact_by_stages");
+    for &s in &[1usize, 2, 4, 8] {
+        let sys = system(SchedulerKind::Spp, s, 6);
+        g.bench_with_input(BenchmarkId::from_parameter(s), &sys, |b, sys| {
+            b.iter(|| black_box(analyze_exact_spp(sys, &AnalysisConfig::default()).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_methods_head_to_head(c: &mut Criterion) {
+    let mut g = c.benchmark_group("methods");
+    let spp = system(SchedulerKind::Spp, 2, 6);
+    let spnp = system(SchedulerKind::Spnp, 2, 6);
+    let fcfs = system(SchedulerKind::Fcfs, 2, 6);
+    g.bench_function("spp_exact", |b| {
+        b.iter(|| black_box(analyze_exact_spp(&spp, &AnalysisConfig::default()).unwrap()));
+    });
+    g.bench_function("spp_holistic", |b| {
+        b.iter(|| black_box(analyze_holistic(&spp, &AnalysisConfig::default()).unwrap()));
+    });
+    g.bench_function("spnp_bounds", |b| {
+        b.iter(|| black_box(analyze_bounds(&spnp, &AnalysisConfig::default()).unwrap()));
+    });
+    g.bench_function("fcfs_bounds", |b| {
+        b.iter(|| black_box(analyze_bounds(&fcfs, &AnalysisConfig::default()).unwrap()));
+    });
+    g.bench_function("fixpoint_loops", |b| {
+        b.iter(|| {
+            black_box(
+                rta_core::fixpoint::analyze_with_loops(&spnp, &AnalysisConfig::default(), 4)
+                    .unwrap(),
+            )
+        });
+    });
+    g.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation");
+    for &s in &[1usize, 4] {
+        let sys = system(SchedulerKind::Spp, s, 6);
+        let cfg = rta_sim::SimConfig::defaults_for(&sys);
+        g.bench_with_input(BenchmarkId::from_parameter(s), &(sys, cfg), |b, (sys, cfg)| {
+            b.iter(|| black_box(rta_sim::simulate(sys, cfg)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_exact_by_jobs, bench_exact_by_stages, bench_methods_head_to_head,
+              bench_simulation
+}
+criterion_main!(benches);

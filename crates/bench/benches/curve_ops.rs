@@ -1,0 +1,85 @@
+//! Microbenchmarks of the exact curve algebra (the analysis inner loop).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rta_curves::ops::pointwise_min;
+use rta_curves::{Curve, Time};
+
+/// A periodic arrival curve with `n` events spaced `gap` apart.
+fn arrivals(n: i64, gap: i64) -> Curve {
+    let times: Vec<Time> = (0..n).map(|i| Time(i * gap)).collect();
+    Curve::from_event_times(&times)
+}
+
+fn bench_running_min(c: &mut Criterion) {
+    let mut g = c.benchmark_group("running_min");
+    for &n in &[16i64, 128, 1024] {
+        let saw = arrivals(n, 10).scale(3).sub(&Curve::identity());
+        g.bench_with_input(BenchmarkId::from_parameter(n), &saw, |b, saw| {
+            b.iter(|| black_box(saw.running_min()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_pointwise_min(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pointwise_min");
+    for &n in &[16i64, 128, 1024] {
+        let a = arrivals(n, 10).scale(2);
+        let b2 = Curve::affine(5, 1);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(a, b2), |b, (a, b2)| {
+            b.iter(|| black_box(pointwise_min(a, b2)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_floor_div(c: &mut Criterion) {
+    let mut g = c.benchmark_group("floor_div");
+    for &n in &[16i64, 128, 1024] {
+        // A service-like curve: workload clipped by elapsed time.
+        let service = arrivals(n, 10).scale(4).min_with(&Curve::identity());
+        let horizon = Time(n * 10 + 100);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &service, |b, s| {
+            b.iter(|| black_box(s.floor_div(4, horizon).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_inverse_and_compose(c: &mut Criterion) {
+    let mut g = c.benchmark_group("inverse_compose");
+    for &n in &[16i64, 128, 1024] {
+        let step = arrivals(n, 10).scale(7);
+        g.bench_with_input(BenchmarkId::new("inverse_curve", n), &step, |b, s| {
+            b.iter(|| black_box(s.inverse_curve().unwrap()));
+        });
+        let inv = step.inverse_curve().unwrap();
+        let u = Curve::identity().min_with(&Curve::constant(n * 7));
+        g.bench_with_input(BenchmarkId::new("compose", n), &(inv, u), |b, (inv, u)| {
+            b.iter(|| black_box(rta_curves::compose::compose(inv, u).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_exact_service(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thm3_service");
+    for &n in &[16i64, 128, 1024] {
+        let hp = rta_core::spp::exact_service(&arrivals(n, 10).scale(3), &[]);
+        let work = arrivals(n, 12).scale(5);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(work, hp), |b, (w, hp)| {
+            b.iter(|| black_box(rta_core::spp::exact_service(w, &[hp])));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_running_min, bench_pointwise_min, bench_floor_div,
+              bench_inverse_and_compose, bench_exact_service
+}
+criterion_main!(benches);

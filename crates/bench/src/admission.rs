@@ -1,0 +1,192 @@
+//! Admission-probability estimation (Section 5.1).
+//!
+//! "The admission probability is defined as the probability that a randomly
+//! generated job set can meet its deadline requirements. […] In each run of
+//! the simulation, 1,000 sets of jobs are randomly generated. We apply each
+//! analysis method separately to determine how many sets of jobs can be
+//! admitted."
+//!
+//! Each job set is identified by a seed; the same seed produces the same
+//! periods, routes, weights and deadlines for every method (only the
+//! scheduler kind differs), exactly as in the paper's methodology.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rta_core::{analyze_bounds, analyze_exact_spp, holistic::analyze_holistic, AnalysisConfig};
+use rta_model::jobshop::{generate, ShopConfig};
+use rta_model::priority::{assign_priorities, PriorityPolicy};
+use rta_model::SchedulerKind;
+
+/// The four analysis methods compared in Section 5.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Exact analysis, preemptive static priorities (Section 4.1).
+    SppExact,
+    /// Approximate analysis, non-preemptive static priorities (§4.2.2).
+    SpnpApp,
+    /// Approximate analysis, FCFS (§4.2.3).
+    FcfsApp,
+    /// Holistic baseline for periodic jobs (Sun & Liu / Tindell-Clark).
+    SppSL,
+}
+
+impl Method {
+    /// The scheduler the method analyzes.
+    pub fn scheduler(self) -> SchedulerKind {
+        match self {
+            Method::SppExact | Method::SppSL => SchedulerKind::Spp,
+            Method::SpnpApp => SchedulerKind::Spnp,
+            Method::FcfsApp => SchedulerKind::Fcfs,
+        }
+    }
+
+    /// Display label matching the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            Method::SppExact => "SPP/Exact",
+            Method::SpnpApp => "SPNP/App",
+            Method::FcfsApp => "FCFS/App",
+            Method::SppSL => "SPP/S&L",
+        }
+    }
+}
+
+/// Generate job set `seed` for `base` and decide admission under `method`.
+pub fn admits(base: &ShopConfig, method: Method, seed: u64, acfg: &AnalysisConfig) -> bool {
+    let mut cfg = base.clone();
+    cfg.scheduler = method.scheduler();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sys = match generate(&cfg, &mut rng) {
+        Ok(s) => s,
+        Err(_) => return false,
+    };
+    if cfg.scheduler.uses_priorities() {
+        // The paper's relative-deadline-monotonic rule (Eq. 24).
+        if assign_priorities(&mut sys, PriorityPolicy::RelativeDeadlineMonotonic).is_err() {
+            return false;
+        }
+    }
+    match method {
+        Method::SppExact => analyze_exact_spp(&sys, acfg)
+            .map(|r| r.all_schedulable())
+            .unwrap_or(false),
+        Method::SpnpApp | Method::FcfsApp => analyze_bounds(&sys, acfg)
+            .map(|r| r.all_schedulable())
+            .unwrap_or(false),
+        Method::SppSL => analyze_holistic(&sys, acfg)
+            .map(|r| r.all_schedulable())
+            .unwrap_or(false),
+    }
+}
+
+/// Estimate the admission probability of `method` over `sets` random job
+/// sets derived from `master_seed`, fanning out over `threads` crossbeam
+/// scoped threads.
+pub fn admission_probability(
+    base: &ShopConfig,
+    method: Method,
+    sets: u32,
+    master_seed: u64,
+    threads: usize,
+    acfg: &AnalysisConfig,
+) -> f64 {
+    assert!(sets >= 1);
+    let threads = threads.max(1);
+    let counter = std::sync::atomic::AtomicU32::new(0);
+    crossbeam::scope(|scope| {
+        for t in 0..threads {
+            let counter = &counter;
+            scope.spawn(move |_| {
+                let mut local = 0u32;
+                let mut i = t as u32;
+                while i < sets {
+                    let seed = master_seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(i as u64);
+                    if admits(base, method, seed, acfg) {
+                        local += 1;
+                    }
+                    i += threads as u32;
+                }
+                counter.fetch_add(local, std::sync::atomic::Ordering::Relaxed);
+            });
+        }
+    })
+    .expect("estimation threads must not panic");
+    counter.load(std::sync::atomic::Ordering::Relaxed) as f64 / sets as f64
+}
+
+/// Default thread count: all cores (the estimator is CPU-bound).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rta_model::distributions::Dist;
+    use rta_model::jobshop::ShopArrivals;
+
+    fn base(util: f64) -> ShopConfig {
+        ShopConfig {
+            stages: 1,
+            procs_per_stage: 2,
+            n_jobs: 4,
+            scheduler: SchedulerKind::Spp,
+            utilization: util,
+            arrivals: ShopArrivals::Periodic { deadline_factor: 2.0 },
+            x_min: 0.25,
+            ticks_per_unit: 200,
+        }
+    }
+
+    #[test]
+    fn probability_is_monotone_in_load() {
+        let acfg = AnalysisConfig::default();
+        let lo = admission_probability(&base(0.2), Method::SppExact, 40, 7, 2, &acfg);
+        let hi = admission_probability(&base(0.95), Method::SppExact, 40, 7, 2, &acfg);
+        assert!(lo >= hi, "admission must not increase with load: {lo} < {hi}");
+        assert!(lo > 0.5, "light load should mostly admit: {lo}");
+    }
+
+    #[test]
+    fn exact_dominates_approximations_on_identical_draws() {
+        // Method comparison is per-seed: whenever SPNP/App admits, the
+        // (preemptive, exact) SPP/Exact analysis must admit the same draw —
+        // preemptive scheduling is inherently superior (Section 5.2) and
+        // the exact analysis is tighter.
+        let acfg = AnalysisConfig::default();
+        for seed in 0..30 {
+            let cfg = base(0.6);
+            if admits(&cfg, Method::SpnpApp, seed, &acfg) {
+                assert!(
+                    admits(&cfg, Method::SppExact, seed, &acfg),
+                    "seed {seed}: SPNP/App admitted but SPP/Exact did not"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_master_seed() {
+        let acfg = AnalysisConfig::default();
+        let a = admission_probability(&base(0.5), Method::FcfsApp, 25, 99, 3, &acfg);
+        let b = admission_probability(&base(0.5), Method::FcfsApp, 25, 99, 1, &acfg);
+        assert_eq!(a, b, "thread count must not affect the estimate");
+    }
+
+    #[test]
+    fn bursty_mode_works_for_all_but_holistic() {
+        let cfg = ShopConfig {
+            arrivals: ShopArrivals::Bursty { deadline: Dist::Exponential { mean: 8.0 } },
+            ..base(0.4)
+        };
+        let acfg = AnalysisConfig::default();
+        for m in [Method::SppExact, Method::SpnpApp, Method::FcfsApp] {
+            let p = admission_probability(&cfg, m, 20, 5, 2, &acfg);
+            assert!((0.0..=1.0).contains(&p));
+        }
+        // The holistic baseline requires periodic jobs: every set rejected.
+        assert_eq!(admission_probability(&cfg, Method::SppSL, 10, 5, 2, &acfg), 0.0);
+    }
+}

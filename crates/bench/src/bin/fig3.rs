@@ -1,0 +1,64 @@
+//! Reproduce Figure 3: admission probability vs. system utilization for
+//! periodic arrivals, comparing SPP/Exact, SPNP/App, FCFS/App and SPP/S&L
+//! over a stages × deadline panel grid.
+//!
+//! Usage: `cargo run -p rta-bench --release --bin fig3 [-- --sets N] [--threads N] [--seed S] [--json PATH]`
+
+use rta_bench::figures::{fig3_panels, run_panel, utilization_sweep};
+use rta_bench::table::{render_json, render_text};
+
+fn main() {
+    let args = Args::parse();
+    let utils = utilization_sweep();
+    let panels = fig3_panels();
+    let mut results = Vec::new();
+    eprintln!(
+        "fig3: {} panels × {} points × 4 methods × {} sets (threads={})",
+        panels.len(),
+        utils.len(),
+        args.sets,
+        args.threads
+    );
+    for (i, p) in panels.iter().enumerate() {
+        let t0 = std::time::Instant::now();
+        let r = run_panel(p, &utils, args.sets, args.seed, args.threads);
+        eprintln!("panel {}/{} done in {:.1?}", i + 1, panels.len(), t0.elapsed());
+        print!("{}", render_text(&r));
+        println!();
+        results.push(r);
+    }
+    if let Some(path) = args.json {
+        std::fs::write(&path, render_json(&results)).expect("write JSON");
+        eprintln!("wrote {path}");
+    }
+}
+
+struct Args {
+    sets: u32,
+    threads: usize,
+    seed: u64,
+    json: Option<String>,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            sets: 1000,
+            threads: rta_bench::admission::default_threads(),
+            seed: 20260706,
+            json: None,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            let mut val = || it.next().expect("flag needs a value");
+            match a.as_str() {
+                "--sets" => args.sets = val().parse().expect("--sets N"),
+                "--threads" => args.threads = val().parse().expect("--threads N"),
+                "--seed" => args.seed = val().parse().expect("--seed S"),
+                "--json" => args.json = Some(val()),
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        args
+    }
+}

@@ -1,0 +1,118 @@
+//! Validate the analyses against the discrete-event simulator on random
+//! job shops, reporting:
+//!
+//! * exact SPP agreement (must be 100% of instances),
+//! * bound-domination statistics for SPNP/FCFS (conservative variant),
+//! * the tightness ratio `bound / simulated WCRT` per method.
+//!
+//! Usage: `cargo run -p rta-bench --release --bin validate_sim [-- --sets N]`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rta_core::{analyze_bounds, analyze_exact_spp, AnalysisConfig};
+use rta_model::jobshop::{generate, ShopArrivals, ShopConfig};
+use rta_model::priority::{assign_priorities, PriorityPolicy};
+use rta_model::{JobId, SchedulerKind};
+use rta_sim::{simulate, SimConfig};
+
+fn shop(scheduler: SchedulerKind, stages: usize, utilization: f64) -> ShopConfig {
+    ShopConfig {
+        stages,
+        procs_per_stage: 2,
+        n_jobs: 5,
+        scheduler,
+        utilization,
+        arrivals: ShopArrivals::Periodic { deadline_factor: 2.0 * stages as f64 },
+        x_min: 0.2,
+        ticks_per_unit: 500,
+    }
+}
+
+fn main() {
+    let sets: u64 = std::env::args()
+        .skip(1)
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--sets")
+        .map(|w| w[1].parse().expect("--sets N"))
+        .unwrap_or(30);
+
+    println!("validate_sim: {sets} job sets per (scheduler, stages, util) cell\n");
+
+    // --- Exact SPP agreement ---
+    let mut checked = 0u64;
+    let mut mismatches = 0u64;
+    for seed in 0..sets {
+        for (stages, util) in [(1, 0.5), (2, 0.7), (3, 0.6)] {
+            let cfg = shop(SchedulerKind::Spp, stages, util);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut sys = generate(&cfg, &mut rng).unwrap();
+            assign_priorities(&mut sys, PriorityPolicy::RelativeDeadlineMonotonic).unwrap();
+            let acfg = AnalysisConfig::default();
+            let (window, horizon) = acfg.resolve(&sys);
+            let report = analyze_exact_spp(&sys, &acfg).unwrap();
+            let sim = simulate(&sys, &SimConfig { window, horizon });
+            for (k, jr) in report.jobs.iter().enumerate() {
+                for m in 1..=sim.instances(JobId(k)) {
+                    checked += 1;
+                    if jr.responses[m - 1] != sim.response(JobId(k), m) {
+                        mismatches += 1;
+                    }
+                }
+            }
+        }
+    }
+    println!("SPP/Exact vs simulation: {checked} instances checked, {mismatches} mismatches");
+    assert_eq!(mismatches, 0, "exact analysis must equal simulation");
+
+    // --- Bound domination + tightness ---
+    for scheduler in [SchedulerKind::Spp, SchedulerKind::Spnp, SchedulerKind::Fcfs] {
+        let mut total = 0u64;
+        let mut violations = 0u64;
+        let mut ratio_sum = 0f64;
+        let mut ratio_n = 0u64;
+        for seed in 0..sets {
+            for (stages, util) in [(1, 0.5), (2, 0.6), (3, 0.4)] {
+                let cfg = shop(scheduler, stages, util);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut sys = generate(&cfg, &mut rng).unwrap();
+                if scheduler.uses_priorities() {
+                    assign_priorities(&mut sys, PriorityPolicy::RelativeDeadlineMonotonic)
+                        .unwrap();
+                }
+                let acfg = AnalysisConfig::default();
+                let (window, horizon) = acfg.resolve(&sys);
+                let report = analyze_bounds(&sys, &acfg).unwrap();
+                let sim = simulate(&sys, &SimConfig { window, horizon });
+                for (k, jb) in report.jobs.iter().enumerate() {
+                    let Some(bound) = jb.e2e_bound else { continue };
+                    let job = JobId(k);
+                    let mut worst = None::<rta_curves::Time>;
+                    for m in 1..=sim.instances(job) {
+                        if let Some(resp) = sim.response(job, m) {
+                            total += 1;
+                            if resp > bound {
+                                violations += 1;
+                            }
+                            worst = Some(worst.map_or(resp, |w| w.max(resp)));
+                        }
+                    }
+                    if let Some(w) = worst {
+                        if w.ticks() > 0 {
+                            ratio_sum += bound.ticks() as f64 / w.ticks() as f64;
+                            ratio_n += 1;
+                        }
+                    }
+                }
+            }
+        }
+        println!(
+            "{:>4}/App bounds: {total} instances, {violations} violations ({:.3}%), \
+             mean tightness bound/observed-WCRT = {:.2}",
+            scheduler,
+            100.0 * violations as f64 / total.max(1) as f64,
+            ratio_sum / ratio_n.max(1) as f64,
+        );
+    }
+    println!("\nvalidation complete");
+}

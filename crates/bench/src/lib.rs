@@ -1,0 +1,29 @@
+//! # rta-bench — experiment harness for the ICPP'98 evaluation
+//!
+//! Reproduces Section 5 of the paper: admission probability of randomly
+//! generated job-shop systems under four analysis methods —
+//!
+//! * **SPP/Exact** — the exact Section 4.1 analysis,
+//! * **SPNP/App** — the Section 4.2.2 approximation,
+//! * **FCFS/App** — the Section 4.2.3 approximation,
+//! * **SPP/S&L** — the holistic baseline of Sun & Liu (periodic only),
+//!
+//! over the Figure 3 (periodic) and Figure 4 (bursty) parameter grids, plus
+//! a simulator-backed validation sweep. Binaries:
+//!
+//! * `cargo run -p rta-bench --release --bin fig3 [-- --sets N]`
+//! * `cargo run -p rta-bench --release --bin fig4 [-- --sets N]`
+//! * `cargo run -p rta-bench --release --bin validate_sim`
+//! * `cargo run -p rta-bench --release --bin ablation`
+//!
+//! Estimation is embarrassingly parallel across job sets and fans out over
+//! crossbeam scoped threads with deterministic per-set seeds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod figures;
+pub mod table;
+
+pub use admission::{admission_probability, admits, Method};

@@ -1,0 +1,106 @@
+//! Plain-text tables and a minimal JSON emitter for panel results.
+//!
+//! The paper presents Figures 3/4 as plotted curves; this harness emits the
+//! same series as aligned text tables (one row per utilization point, one
+//! column per method) and as JSON for external plotting. JSON is written by
+//! hand — the payload is trivial and the approved dependency set does not
+//! include a JSON serializer.
+
+use crate::figures::PanelResult;
+use std::fmt::Write as _;
+
+/// Render a panel as an aligned text table.
+pub fn render_text(panel: &PanelResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {} ==", panel.label);
+    let _ = write!(out, "{:>6}", "util");
+    for s in &panel.series {
+        let _ = write!(out, "{:>12}", s.method.label());
+    }
+    let _ = writeln!(out);
+    let npoints = panel.series.first().map(|s| s.points.len()).unwrap_or(0);
+    for i in 0..npoints {
+        let u = panel.series[0].points[i].0;
+        let _ = write!(out, "{u:>6.2}");
+        for s in &panel.series {
+            debug_assert_eq!(s.points[i].0, u);
+            let _ = write!(out, "{:>12.3}", s.points[i].1);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Render a list of panels as a JSON document.
+pub fn render_json(panels: &[PanelResult]) -> String {
+    let mut out = String::from("{\n  \"panels\": [\n");
+    for (pi, p) in panels.iter().enumerate() {
+        let _ = write!(out, "    {{\"label\": \"{}\", \"series\": [", json_escape(&p.label));
+        for (si, s) in p.series.iter().enumerate() {
+            let _ = write!(out, "{{\"method\": \"{}\", \"points\": [", json_escape(s.method.label()));
+            for (i, (u, prob)) in s.points.iter().enumerate() {
+                let _ = write!(out, "[{u}, {prob}]");
+                if i + 1 < s.points.len() {
+                    let _ = write!(out, ", ");
+                }
+            }
+            let _ = write!(out, "]}}");
+            if si + 1 < p.series.len() {
+                let _ = write!(out, ", ");
+            }
+        }
+        let _ = write!(out, "]}}");
+        let _ = writeln!(out, "{}", if pi + 1 < panels.len() { "," } else { "" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::Method;
+    use crate::figures::Series;
+
+    fn sample() -> PanelResult {
+        PanelResult {
+            label: "test \"panel\"".into(),
+            series: vec![
+                Series { method: Method::SppExact, points: vec![(0.1, 1.0), (0.5, 0.75)] },
+                Series { method: Method::FcfsApp, points: vec![(0.1, 0.9), (0.5, 0.5)] },
+            ],
+        }
+    }
+
+    #[test]
+    fn text_table_is_aligned() {
+        let t = render_text(&sample());
+        assert!(t.contains("SPP/Exact"));
+        assert!(t.contains("FCFS/App"));
+        assert!(t.contains("0.750"));
+        assert_eq!(t.lines().count(), 4);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let j = render_json(&[sample()]);
+        assert!(j.contains("\"panels\""));
+        assert!(j.contains("\\\"panel\\\""));
+        assert!(j.contains("[0.1, 1]") || j.contains("[0.1, 1.0]") || j.contains("[0.1, 1]"));
+        // Balanced braces/brackets.
+        let open = j.matches(['{', '[']).count();
+        let close = j.matches(['}', ']']).count();
+        assert_eq!(open, close);
+    }
+}

@@ -1,0 +1,315 @@
+//! Approximate end-to-end analysis for heterogeneous systems
+//! (Section 4.2: Theorem 4, Lemmas 1 and 2).
+//!
+//! For schedulers whose exact service functions are out of reach (SPNP,
+//! FCFS — and SPP hops inside such systems), the analysis propagates
+//! *bounds*: an upper-bounded arrival function into each hop, a service
+//! bound pair at the hop, a lower-bounded departure function out of it
+//! (Lemma 1), and the next hop's upper-bounded arrival function (Lemma 2).
+//! The per-hop worst-case delay is the horizontal deviation of Equation 12,
+//!
+//! ```text
+//! d_{k,j} = max_m ( f̲⁻¹_{k,j,dep}(m) − f̄⁻¹_{k,j,arr}(m) )
+//! ```
+//!
+//! and the end-to-end bound is their sum (Equation 11). The bound is
+//! *envelope-relative*: each hop is charged as if its arrivals were the
+//! earliest the envelope admits, which dominates every conforming trace —
+//! the classical network-calculus delay argument (Cruz).
+
+use crate::config::AnalysisConfig;
+use crate::depgraph::{evaluation_order, SubjobIndex};
+use crate::error::AnalysisError;
+use crate::fcfs::FcfsProcessor;
+use crate::report::{BoundsReport, JobBound};
+use crate::spnp::{spnp_bounds, ServiceBounds};
+use rta_curves::{Curve, Time};
+use rta_model::{JobId, SchedulerKind, SubjobRef, TaskSystem};
+
+struct NodeData {
+    arr_env: Curve,
+    bounds: ServiceBounds,
+    dep_lower: Curve,
+    arr_next: Curve,
+}
+
+/// Run the node-computation pass shared by [`analyze_bounds`] and the
+/// network-calculus composition ([`crate::nc`]): per-subjob arrival
+/// envelopes and service bounds in `SubjobIndex` order.
+fn compute_nodes(
+    sys: &TaskSystem,
+    cfg: &AnalysisConfig,
+    idx: &SubjobIndex,
+) -> Result<Vec<NodeData>, AnalysisError> {
+    let (window, horizon) = cfg.resolve(sys);
+    let order = evaluation_order(sys, idx)?;
+
+    let mut nodes: Vec<Option<NodeData>> = Vec::with_capacity(idx.len());
+    nodes.resize_with(idx.len(), || None);
+    let mut fcfs_ctx: std::collections::HashMap<usize, FcfsProcessor> =
+        std::collections::HashMap::new();
+
+    // Arrival envelope of a subjob whose predecessor (if any) has been
+    // processed.
+    let arr_env_of = |nodes: &[Option<NodeData>], r: SubjobRef| -> Curve {
+        if r.index == 0 {
+            sys.job(r.job).arrival.arrival_curve(window)
+        } else {
+            let pred = SubjobRef { job: r.job, index: r.index - 1 };
+            nodes[idx.index(pred)]
+                .as_ref()
+                .expect("dependency order")
+                .arr_next
+                .clone()
+        }
+    };
+
+    for i in order {
+        let r = idx.subjob(i);
+        let subjob = sys.subjob(r);
+        let tau = subjob.exec;
+        let arr_env = arr_env_of(&nodes, r);
+        let workload = arr_env.scale(tau.ticks());
+
+        let bounds = match sys.processor(subjob.processor).scheduler {
+            SchedulerKind::Spp | SchedulerKind::Spnp => {
+                let blocking = match sys.processor(subjob.processor).scheduler {
+                    SchedulerKind::Spnp => sys.blocking_time(r),
+                    _ => Time::ZERO,
+                };
+                let hp = sys.higher_priority_peers(r);
+                let hp_lower: Vec<&Curve> = hp
+                    .iter()
+                    .map(|h| &nodes[idx.index(*h)].as_ref().expect("order").bounds.lower)
+                    .collect();
+                let hp_upper: Vec<&Curve> = hp
+                    .iter()
+                    .map(|h| &nodes[idx.index(*h)].as_ref().expect("order").bounds.upper)
+                    .collect();
+                spnp_bounds(&workload, &hp_lower, &hp_upper, blocking, cfg.spnp_availability)
+            }
+            SchedulerKind::Fcfs => {
+                let pid = subjob.processor.0;
+                if let std::collections::hash_map::Entry::Vacant(e) = fcfs_ctx.entry(pid) {
+                    let peers = sys.subjobs_on(subjob.processor);
+                    let peer_workloads: Vec<Curve> = peers
+                        .iter()
+                        .map(|o| arr_env_of(&nodes, *o).scale(sys.subjob(*o).exec.ticks()))
+                        .collect();
+                    let refs: Vec<&Curve> = peer_workloads.iter().collect();
+                    e.insert(FcfsProcessor::new(&refs, horizon)?);
+                }
+                fcfs_ctx[&pid].service_bounds(&workload, tau)?
+            }
+        };
+
+        let dep_lower = bounds.lower.floor_div(tau.ticks(), horizon)?;
+        let arr_next = bounds.upper.floor_div(tau.ticks(), horizon)?;
+        nodes[i] = Some(NodeData { arr_env, bounds, dep_lower, arr_next });
+    }
+    Ok(nodes.into_iter().map(|n| n.expect("all computed")).collect())
+}
+
+/// Per-subjob lower service bounds in `SubjobIndex` order — consumed by
+/// the network-calculus composition in [`crate::nc`].
+pub(crate) fn lower_service_curves(
+    sys: &TaskSystem,
+    cfg: &AnalysisConfig,
+) -> Result<Vec<Curve>, AnalysisError> {
+    sys.validate(true)?;
+    let idx = SubjobIndex::new(sys);
+    let nodes = compute_nodes(sys, cfg, &idx)?;
+    Ok(nodes.into_iter().map(|n| n.bounds.lower).collect())
+}
+
+/// Run the approximate (bounds) analysis on a system whose processors may
+/// mix SPP, SPNP and FCFS scheduling.
+pub fn analyze_bounds(sys: &TaskSystem, cfg: &AnalysisConfig) -> Result<BoundsReport, AnalysisError> {
+    sys.validate(true)?;
+    let (window, horizon) = cfg.resolve(sys);
+    let idx = SubjobIndex::new(sys);
+    let nodes = compute_nodes(sys, cfg, &idx)?;
+
+    // Equations 11 and 12 per job.
+    let mut jobs = Vec::with_capacity(sys.jobs().len());
+    for (k, job) in sys.jobs().iter().enumerate() {
+        let job_id = JobId(k);
+        let n_instances = job.arrival.release_times(window).len() as i64;
+        let mut hop_delays = Vec::with_capacity(job.subjobs.len());
+        for j in 0..job.subjobs.len() {
+            let node = &nodes[idx.index(SubjobRef { job: job_id, index: j })];
+            let mut d = Some(Time::ZERO);
+            for m in 1..=n_instances {
+                let early = node.arr_env.inverse_at(m);
+                let late = node.dep_lower.inverse_at(m);
+                d = match (d, early, late) {
+                    (Some(cur), Some(a), Some(c)) => Some(cur.max(c - a)),
+                    _ => None,
+                };
+                if d.is_none() {
+                    break;
+                }
+            }
+            hop_delays.push(d);
+        }
+        let e2e_bound = hop_delays
+            .iter()
+            .try_fold(Time::ZERO, |acc, d| d.map(|d| acc + d));
+        jobs.push(JobBound { job: job_id, hop_delays, e2e_bound, deadline: job.deadline });
+    }
+
+    Ok(BoundsReport { window, horizon, jobs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::analyze_exact_spp;
+    use rta_model::priority::{assign_priorities, PriorityPolicy};
+    use rta_model::{ArrivalPattern, SystemBuilder};
+
+    fn periodic(p: i64) -> ArrivalPattern {
+        ArrivalPattern::Periodic { period: Time(p), offset: Time::ZERO }
+    }
+
+    #[test]
+    fn single_hop_spp_bound_matches_exact() {
+        // On one processor with exact (first-hop) arrivals the bounds method
+        // degenerates to the exact service functions.
+        let mut b = SystemBuilder::new();
+        let p = b.add_processor("P1", SchedulerKind::Spp);
+        b.add_job("T1", Time(5), periodic(5), vec![(p, Time(2))]);
+        b.add_job("T2", Time(10), periodic(10), vec![(p, Time(3))]);
+        let mut sys = b.build().unwrap();
+        assign_priorities(&mut sys, PriorityPolicy::DeadlineMonotonic).unwrap();
+        let exact = analyze_exact_spp(&sys, &AnalysisConfig::default()).unwrap();
+        let bound = analyze_bounds(&sys, &AnalysisConfig::default()).unwrap();
+        for k in 0..2 {
+            assert!(bound.jobs[k].e2e_bound.unwrap() >= exact.jobs[k].wcrt.unwrap());
+        }
+        assert_eq!(bound.jobs[0].e2e_bound, Some(Time(2)));
+        assert_eq!(bound.jobs[1].e2e_bound, Some(Time(5)));
+    }
+
+    #[test]
+    fn multi_hop_bound_dominates_exact() {
+        let mut b = SystemBuilder::new();
+        let p1 = b.add_processor("P1", SchedulerKind::Spp);
+        let p2 = b.add_processor("P2", SchedulerKind::Spp);
+        b.add_job("T1", Time(100), periodic(20), vec![(p1, Time(2)), (p2, Time(4))]);
+        b.add_job("T2", Time(100), periodic(25), vec![(p2, Time(3)), (p1, Time(5))]);
+        let mut sys = b.build().unwrap();
+        assign_priorities(&mut sys, PriorityPolicy::RelativeDeadlineMonotonic).unwrap();
+        let exact = analyze_exact_spp(&sys, &AnalysisConfig::default()).unwrap();
+        let bound = analyze_bounds(&sys, &AnalysisConfig::default()).unwrap();
+        for k in 0..2 {
+            let e = exact.jobs[k].wcrt.unwrap();
+            let ub = bound.jobs[k].e2e_bound.unwrap();
+            assert!(ub >= e, "job {k}: bound {ub:?} < exact {e:?}");
+        }
+    }
+
+    #[test]
+    fn spnp_blocking_inflates_bound() {
+        // T1 (high prio, τ=2) can be blocked by T2 (τ=9) under SPNP.
+        let mut b = SystemBuilder::new();
+        let p = b.add_processor("P1", SchedulerKind::Spnp);
+        b.add_job("T1", Time(20), periodic(20), vec![(p, Time(2))]);
+        b.add_job("T2", Time(40), periodic(40), vec![(p, Time(9))]);
+        let mut sys = b.build().unwrap();
+        assign_priorities(&mut sys, PriorityPolicy::DeadlineMonotonic).unwrap();
+        let bound = analyze_bounds(&sys, &AnalysisConfig::default()).unwrap();
+        // T1's hop delay includes the 9-tick blocking: ≥ 11.
+        assert!(bound.jobs[0].e2e_bound.unwrap() >= Time(11));
+    }
+
+    #[test]
+    fn fcfs_two_flows() {
+        let mut b = SystemBuilder::new();
+        let p = b.add_processor("P1", SchedulerKind::Fcfs);
+        b.add_job("T1", Time(30), periodic(20), vec![(p, Time(4))]);
+        b.add_job("T2", Time(30), periodic(20), vec![(p, Time(5))]);
+        let sys = b.build().unwrap();
+        let bound = analyze_bounds(&sys, &AnalysisConfig::default()).unwrap();
+        // Simultaneous release: either can wait for the other ⇒ both hop
+        // delays ≥ 9 (= 4 + 5), and both bounded within 30.
+        for k in 0..2 {
+            let d = bound.jobs[k].e2e_bound.unwrap();
+            assert!(d >= Time(9), "job {k}: {d:?}");
+            assert!(bound.jobs[k].schedulable());
+        }
+    }
+
+    #[test]
+    fn heterogeneous_pipeline() {
+        // SPP → SPNP → FCFS chain plus a competing local job on each hop.
+        let mut b = SystemBuilder::new();
+        let p1 = b.add_processor("P1", SchedulerKind::Spp);
+        let p2 = b.add_processor("P2", SchedulerKind::Spnp);
+        let p3 = b.add_processor("P3", SchedulerKind::Fcfs);
+        b.add_job(
+            "T1",
+            Time(200),
+            periodic(40),
+            vec![(p1, Time(4)), (p2, Time(5)), (p3, Time(6))],
+        );
+        b.add_job("T2", Time(200), periodic(50), vec![(p1, Time(3))]);
+        b.add_job("T3", Time(200), periodic(60), vec![(p2, Time(7))]);
+        b.add_job("T4", Time(200), periodic(70), vec![(p3, Time(8))]);
+        let mut sys = b.build().unwrap();
+        assign_priorities(&mut sys, PriorityPolicy::RelativeDeadlineMonotonic).unwrap();
+        let bound = analyze_bounds(&sys, &AnalysisConfig::default()).unwrap();
+        let j = &bound.jobs[0];
+        assert_eq!(j.hop_delays.len(), 3);
+        assert!(j.hop_delays.iter().all(Option::is_some));
+        // Each hop costs at least its own execution time.
+        assert!(j.hop_delays[0].unwrap() >= Time(4));
+        assert!(j.hop_delays[1].unwrap() >= Time(5));
+        assert!(j.hop_delays[2].unwrap() >= Time(6));
+        assert!(j.e2e_bound.unwrap() >= Time(15));
+    }
+
+    #[test]
+    fn overload_yields_unbounded_hop() {
+        let mut b = SystemBuilder::new();
+        let p = b.add_processor("P1", SchedulerKind::Spp);
+        b.add_job("T1", Time(10), periodic(10), vec![(p, Time(7))]);
+        b.add_job("T2", Time(10), periodic(10), vec![(p, Time(7))]);
+        let mut sys = b.build().unwrap();
+        assign_priorities(&mut sys, PriorityPolicy::DeadlineMonotonic).unwrap();
+        let bound = analyze_bounds(&sys, &AnalysisConfig::default()).unwrap();
+        assert!(!bound.all_schedulable());
+    }
+
+    #[test]
+    fn variant_choice_is_respected() {
+        let mut b = SystemBuilder::new();
+        let p = b.add_processor("P1", SchedulerKind::Spnp);
+        b.add_job("T1", Time(60), periodic(15), vec![(p, Time(3))]);
+        b.add_job("T2", Time(60), periodic(20), vec![(p, Time(4))]);
+        b.add_job("T3", Time(60), periodic(30), vec![(p, Time(5))]);
+        let mut sys = b.build().unwrap();
+        assign_priorities(&mut sys, PriorityPolicy::DeadlineMonotonic).unwrap();
+        let printed = analyze_bounds(
+            &sys,
+            &AnalysisConfig { spnp_availability: crate::SpnpAvailability::AsPrinted, ..Default::default() },
+        )
+        .unwrap();
+        let conserv = analyze_bounds(
+            &sys,
+            &AnalysisConfig {
+                spnp_availability: crate::SpnpAvailability::Conservative,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // The printed variant assumes less interference ⇒ bounds no larger.
+        for k in 0..3 {
+            let (a, b) = (
+                printed.jobs[k].e2e_bound.unwrap(),
+                conserv.jobs[k].e2e_bound.unwrap(),
+            );
+            assert!(a <= b, "job {k}: printed {a:?} > conservative {b:?}");
+        }
+    }
+}

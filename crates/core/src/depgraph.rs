@@ -1,0 +1,224 @@
+//! Subjob dependency graph and evaluation order.
+//!
+//! Computing the service function of a subjob needs:
+//!
+//! 1. its own arrival function — the departure function of its predecessor
+//!    hop (chain edge);
+//! 2. on SPP/SPNP processors: the service functions of all strictly
+//!    higher-priority subjobs on the same processor (the summations of
+//!    Theorems 3, 5 and 6);
+//! 3. on FCFS processors: the *arrival* functions of every subjob sharing
+//!    the processor (the total workload `G` of Theorem 7) — i.e. the
+//!    departures of those subjobs' predecessor hops, not the subjobs
+//!    themselves.
+//!
+//! When this relation is acyclic, one topological pass computes everything.
+//! A cycle is the paper's Section 6 "physical/logical loop"; it is reported
+//! as [`AnalysisError::CyclicDependency`] and handled by [`crate::fixpoint`].
+
+use crate::error::AnalysisError;
+use rta_model::{SchedulerKind, SubjobRef, TaskSystem};
+
+/// Dense index for subjobs within one analysis run.
+#[derive(Debug)]
+pub struct SubjobIndex {
+    refs: Vec<SubjobRef>,
+    lookup: std::collections::HashMap<SubjobRef, usize>,
+}
+
+impl SubjobIndex {
+    /// Enumerate all subjobs of a system.
+    pub fn new(sys: &TaskSystem) -> SubjobIndex {
+        let refs: Vec<SubjobRef> = sys.all_subjobs().collect();
+        let lookup = refs.iter().enumerate().map(|(i, r)| (*r, i)).collect();
+        SubjobIndex { refs, lookup }
+    }
+
+    /// Number of subjobs.
+    pub fn len(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// `true` when the system has no subjobs.
+    pub fn is_empty(&self) -> bool {
+        self.refs.is_empty()
+    }
+
+    /// Subjob at a dense index.
+    pub fn subjob(&self, i: usize) -> SubjobRef {
+        self.refs[i]
+    }
+
+    /// Dense index of a subjob.
+    pub fn index(&self, r: SubjobRef) -> usize {
+        self.lookup[&r]
+    }
+
+    /// All subjob references in enumeration order.
+    pub fn refs(&self) -> &[SubjobRef] {
+        &self.refs
+    }
+}
+
+/// Build the dependency edge list (`from → to` as dense indices).
+pub fn dependency_edges(sys: &TaskSystem, idx: &SubjobIndex) -> Vec<(usize, usize)> {
+    let mut edges = Vec::new();
+    for (i, &r) in idx.refs().iter().enumerate() {
+        // Chain edge from the predecessor hop.
+        if r.index > 0 {
+            let pred = SubjobRef { job: r.job, index: r.index - 1 };
+            edges.push((idx.index(pred), i));
+        }
+        let s = sys.subjob(r);
+        match sys.processor(s.processor).scheduler {
+            SchedulerKind::Spp | SchedulerKind::Spnp => {
+                for h in sys.higher_priority_peers(r) {
+                    edges.push((idx.index(h), i));
+                }
+            }
+            SchedulerKind::Fcfs => {
+                // Need every sharing subjob's arrival, i.e. its predecessor's
+                // departure (first hops have primary arrivals — no edge).
+                for o in sys.subjobs_on(s.processor) {
+                    if o != r && o.index > 0 {
+                        let pred = SubjobRef { job: o.job, index: o.index - 1 };
+                        let p = idx.index(pred);
+                        if p != i {
+                            edges.push((p, i));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+/// Topologically order the subjobs; errors with the residual node set on a
+/// cycle.
+pub fn evaluation_order(sys: &TaskSystem, idx: &SubjobIndex) -> Result<Vec<usize>, AnalysisError> {
+    let n = idx.len();
+    let edges = dependency_edges(sys, idx);
+    let mut indegree = vec![0usize; n];
+    let mut out: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(a, b) in &edges {
+        indegree[b] += 1;
+        out[a].push(b);
+    }
+    let mut queue: std::collections::VecDeque<usize> =
+        (0..n).filter(|i| indegree[*i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(i) = queue.pop_front() {
+        order.push(i);
+        for &j in &out[i] {
+            indegree[j] -= 1;
+            if indegree[j] == 0 {
+                queue.push_back(j);
+            }
+        }
+    }
+    if order.len() < n {
+        let cycle = (0..n)
+            .filter(|i| indegree[*i] > 0)
+            .map(|i| idx.subjob(i))
+            .collect();
+        return Err(AnalysisError::CyclicDependency { cycle });
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rta_curves::Time;
+    use rta_model::priority::{assign_priorities, PriorityPolicy};
+    use rta_model::{ArrivalPattern, JobId, SystemBuilder};
+
+    fn periodic(p: i64) -> ArrivalPattern {
+        ArrivalPattern::Periodic { period: Time(p), offset: Time::ZERO }
+    }
+
+    #[test]
+    fn chain_and_priority_edges() {
+        let mut b = SystemBuilder::new();
+        let p1 = b.add_processor("P1", SchedulerKind::Spp);
+        let p2 = b.add_processor("P2", SchedulerKind::Spp);
+        let t1 = b.add_job("T1", Time(50), periodic(50), vec![(p1, Time(5)), (p2, Time(5))]);
+        let t2 = b.add_job("T2", Time(90), periodic(90), vec![(p1, Time(9))]);
+        let mut sys = b.build().unwrap();
+        assign_priorities(&mut sys, PriorityPolicy::DeadlineMonotonic).unwrap();
+        let idx = SubjobIndex::new(&sys);
+        let order = evaluation_order(&sys, &idx).unwrap();
+        let pos = |r: SubjobRef| order.iter().position(|&i| idx.subjob(i) == r).unwrap();
+        // T1 hop 0 before hop 1 (chain) and before T2 hop 0 (priority).
+        let t1h0 = SubjobRef { job: t1, index: 0 };
+        let t1h1 = SubjobRef { job: t1, index: 1 };
+        let t2h0 = SubjobRef { job: t2, index: 0 };
+        assert!(pos(t1h0) < pos(t1h1));
+        assert!(pos(t1h0) < pos(t2h0));
+        let _ = JobId(0);
+    }
+
+    #[test]
+    fn fcfs_needs_peer_predecessors() {
+        // T1: P1 → P2 (FCFS). T2: single hop on P2. Computing T2's FCFS
+        // bound needs T1 hop 0's departure (arrival of T1 hop 1 on P2).
+        let mut b = SystemBuilder::new();
+        let p1 = b.add_processor("P1", SchedulerKind::Fcfs);
+        let p2 = b.add_processor("P2", SchedulerKind::Fcfs);
+        let t1 = b.add_job("T1", Time(50), periodic(50), vec![(p1, Time(5)), (p2, Time(5))]);
+        let t2 = b.add_job("T2", Time(90), periodic(90), vec![(p2, Time(9))]);
+        let sys = b.build().unwrap();
+        let idx = SubjobIndex::new(&sys);
+        let edges = dependency_edges(&sys, &idx);
+        let t1h0 = idx.index(SubjobRef { job: t1, index: 0 });
+        let t2h0 = idx.index(SubjobRef { job: t2, index: 0 });
+        assert!(edges.contains(&(t1h0, t2h0)));
+        assert!(evaluation_order(&sys, &idx).is_ok());
+    }
+
+    #[test]
+    fn physical_loop_is_detected() {
+        // A job visiting the same processor twice with interleaved
+        // priorities creates the Section 6 cycle: T1 hop 1 depends on T2
+        // hop 0 (higher priority on P2), which depends on T2's... build the
+        // classic two-job figure-eight.
+        let mut b = SystemBuilder::new();
+        let p1 = b.add_processor("P1", SchedulerKind::Spp);
+        let p2 = b.add_processor("P2", SchedulerKind::Spp);
+        // T1: P1 then P2; T2: P2 then P1.
+        let t1 = b.add_job("T1", Time(50), periodic(50), vec![(p1, Time(5)), (p2, Time(5))]);
+        let t2 = b.add_job("T2", Time(50), periodic(50), vec![(p2, Time(5)), (p1, Time(5))]);
+        // Priorities chosen to close the loop: on P1, T2's hop 1 outranks
+        // T1's hop 0; on P2, T1's hop 1 outranks T2's hop 0.
+        b.set_priority(SubjobRef { job: t1, index: 0 }, 2);
+        b.set_priority(SubjobRef { job: t2, index: 1 }, 1);
+        b.set_priority(SubjobRef { job: t1, index: 1 }, 1);
+        b.set_priority(SubjobRef { job: t2, index: 0 }, 2);
+        let sys = b.build().unwrap();
+        let idx = SubjobIndex::new(&sys);
+        match evaluation_order(&sys, &idx) {
+            Err(AnalysisError::CyclicDependency { cycle }) => {
+                assert!(cycle.len() >= 2, "cycle must name participants");
+            }
+            other => panic!("expected cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn independent_jobs_any_order() {
+        let mut b = SystemBuilder::new();
+        let p1 = b.add_processor("P1", SchedulerKind::Spp);
+        let p2 = b.add_processor("P2", SchedulerKind::Spp);
+        let t1 = b.add_job("T1", Time(50), periodic(50), vec![(p1, Time(5))]);
+        let t2 = b.add_job("T2", Time(50), periodic(50), vec![(p2, Time(5))]);
+        let mut sys = b.build().unwrap();
+        assign_priorities(&mut sys, PriorityPolicy::DeadlineMonotonic).unwrap();
+        let idx = SubjobIndex::new(&sys);
+        assert!(dependency_edges(&sys, &idx).is_empty());
+        assert_eq!(evaluation_order(&sys, &idx).unwrap().len(), 2);
+        let _ = (t1, t2);
+    }
+}

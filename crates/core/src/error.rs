@@ -1,0 +1,110 @@
+//! Analysis errors.
+
+use rta_curves::CurveError;
+use rta_model::{ModelError, ProcessorId, SubjobRef};
+
+/// Errors raised by the analyses in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisError {
+    /// The underlying system failed validation.
+    Model(ModelError),
+    /// A curve operation failed (malformed intermediate function).
+    Curve(CurveError),
+    /// The subjob dependency relation contains a cycle ("physical" or
+    /// "logical" loop, Section 6); the exact and plain-bounds analyses
+    /// cannot order the computation. Use [`crate::fixpoint`] instead.
+    CyclicDependency {
+        /// Subjobs participating in (or downstream of) the cycle.
+        cycle: Vec<SubjobRef>,
+    },
+    /// `analyze_exact_spp` requires every processor to use SPP scheduling.
+    NotAllSpp {
+        /// First offending processor.
+        processor: ProcessorId,
+    },
+    /// The holistic baseline requires periodic arrival patterns.
+    NotPeriodic {
+        /// First offending job.
+        job: rta_model::JobId,
+    },
+    /// Fixed-point iteration failed to converge within the iteration budget.
+    FixpointDiverged {
+        /// Iterations executed.
+        iterations: usize,
+    },
+}
+
+impl From<ModelError> for AnalysisError {
+    fn from(e: ModelError) -> Self {
+        AnalysisError::Model(e)
+    }
+}
+
+impl From<CurveError> for AnalysisError {
+    fn from(e: CurveError) -> Self {
+        AnalysisError::Curve(e)
+    }
+}
+
+impl std::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalysisError::Model(e) => write!(f, "model error: {e}"),
+            AnalysisError::Curve(e) => write!(f, "curve error: {e}"),
+            AnalysisError::CyclicDependency { cycle } => {
+                write!(f, "cyclic subjob dependency involving ")?;
+                for (i, r) in cycle.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{r}")?;
+                }
+                Ok(())
+            }
+            AnalysisError::NotAllSpp { processor } => {
+                write!(f, "exact analysis requires SPP on all processors; {processor} differs")
+            }
+            AnalysisError::NotPeriodic { job } => {
+                write!(f, "holistic baseline requires periodic arrivals; job {job} differs")
+            }
+            AnalysisError::FixpointDiverged { iterations } => {
+                write!(f, "fixed-point iteration did not converge after {iterations} rounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rta_model::JobId;
+
+    #[test]
+    fn error_messages_name_the_problem() {
+        let cyc = AnalysisError::CyclicDependency {
+            cycle: vec![
+                SubjobRef { job: JobId(0), index: 1 },
+                SubjobRef { job: JobId(2), index: 0 },
+            ],
+        };
+        let msg = cyc.to_string();
+        assert!(msg.contains("T1,2") && msg.contains("T3,1"), "{msg}");
+
+        let spp = AnalysisError::NotAllSpp { processor: ProcessorId(4) };
+        assert!(spp.to_string().contains("P5"));
+
+        let per = AnalysisError::NotPeriodic { job: JobId(1) };
+        assert!(per.to_string().contains("T2"));
+
+        let div = AnalysisError::FixpointDiverged { iterations: 17 };
+        assert!(div.to_string().contains("17"));
+
+        // From-conversions preserve the inner message.
+        let m: AnalysisError = rta_model::ModelError::NoJobs.into();
+        assert!(m.to_string().contains("no jobs"));
+        let c: AnalysisError = CurveError::Empty.into();
+        assert!(c.to_string().contains("segment"));
+    }
+}

@@ -1,0 +1,299 @@
+//! The "SPP/S&L" baseline: holistic analysis with jitter propagation for
+//! periodic jobs under direct synchronization.
+//!
+//! Section 5 of the paper compares its exact method against "the method
+//! proposed in [1, 2]" (Sun & Liu), which bounds end-to-end response times
+//! of *periodic* jobs in distributed systems with the Direct Synchronization
+//! protocol. The implementable core of that family is the holistic analysis
+//! of Tindell & Clark with release jitter (the paper's reference \[6\], whose
+//! weakness Sun & Liu corrected): each subjob is modeled as a periodic task
+//! whose release jitter is the worst-case completion time of its
+//! predecessor hop, and per-processor busy-window analysis with jitter is
+//! iterated to a global fixed point.
+//!
+//! ```text
+//! w_q  =  (q+1)·C_{k,j} + Σ_{hp (l,i)} ⌈(w_q + J_{l,i}) / ρ_l⌉ · C_{l,i}
+//! R_{k,j}  =  max_q ( J_{k,j} + w_q − q·ρ_k ),    J_{k,j+1} = R_{k,j}
+//! ```
+//!
+//! The iteration is monotone in the jitters, so it either converges or
+//! provably diverges past the cap (job unschedulable at any bound). As the
+//! paper's Figure 3 shows — and the benches reproduce — this baseline
+//! matches the exact analysis on single-stage systems and is strictly
+//! pessimistic on multi-stage ones, because jitter-based interference
+//! accounting implicitly over-estimates downstream arrivals.
+
+use crate::config::AnalysisConfig;
+use crate::error::AnalysisError;
+use crate::report::{BoundsReport, JobBound};
+use rta_curves::Time;
+use rta_model::{ArrivalPattern, JobId, SchedulerKind, SubjobRef, TaskSystem};
+
+/// Run the holistic (SPP/S&L-style) analysis. Requires SPP scheduling on
+/// every processor and periodic arrival patterns on every job.
+pub fn analyze_holistic(
+    sys: &TaskSystem,
+    cfg: &AnalysisConfig,
+) -> Result<BoundsReport, AnalysisError> {
+    sys.validate(true)?;
+    for (p, proc) in sys.processors().iter().enumerate() {
+        if proc.scheduler != SchedulerKind::Spp {
+            return Err(AnalysisError::NotAllSpp {
+                processor: rta_model::ProcessorId(p),
+            });
+        }
+    }
+    let mut periods = Vec::with_capacity(sys.jobs().len());
+    for (k, job) in sys.jobs().iter().enumerate() {
+        match job.arrival {
+            ArrivalPattern::Periodic { period, .. } => periods.push(period),
+            _ => return Err(AnalysisError::NotPeriodic { job: JobId(k) }),
+        }
+    }
+
+    let (window, horizon) = cfg.resolve(sys);
+    let cap = horizon.max(Time(1)) * 4;
+    let refs: Vec<SubjobRef> = sys.all_subjobs().collect();
+    let pos: std::collections::HashMap<SubjobRef, usize> =
+        refs.iter().enumerate().map(|(i, r)| (*r, i)).collect();
+
+    // Jitter per subjob (measured from the job's nominal release). `None`
+    // encodes "diverged": interference from a diverged subjob is capped.
+    let mut jitter: Vec<Time> = vec![Time::ZERO; refs.len()];
+    let mut diverged: Vec<bool> = vec![false; refs.len()];
+    let mut response: Vec<Time> = vec![Time::ZERO; refs.len()];
+
+    const MAX_ROUNDS: usize = 4096;
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        if rounds > MAX_ROUNDS {
+            return Err(AnalysisError::FixpointDiverged { iterations: rounds });
+        }
+        let mut changed = false;
+        for (i, &r) in refs.iter().enumerate() {
+            let s = sys.subjob(r);
+            let c = s.exec;
+            let rho = periods[r.job.0];
+            let j_in = if r.index == 0 {
+                Time::ZERO
+            } else {
+                let pred = pos[&SubjobRef { job: r.job, index: r.index - 1 }];
+                response[pred]
+            };
+            let hp: Vec<(Time, Time, Time)> = sys
+                .higher_priority_peers(r)
+                .into_iter()
+                .map(|h| {
+                    let hs = sys.subjob(h);
+                    (hs.exec, periods[h.job.0], jitter[pos[&h]])
+                })
+                .collect();
+
+            // Jitter-aware busy-window scan.
+            let mut worst = Time::ZERO;
+            let mut q: i64 = 0;
+            let mut ok = true;
+            loop {
+                let mut w = c * (q + 1);
+                loop {
+                    let mut next = c * (q + 1);
+                    for &(ce, pe, je) in &hp {
+                        let ceil = (w.ticks() + je.ticks() + pe.ticks() - 1)
+                            .div_euclid(pe.ticks());
+                        next += ce * ceil.max(0);
+                    }
+                    if next == w {
+                        break;
+                    }
+                    w = next;
+                    if w > cap {
+                        ok = false;
+                        break;
+                    }
+                }
+                if !ok {
+                    break;
+                }
+                worst = worst.max(j_in + w - rho * q);
+                if w + j_in <= rho * (q + 1) {
+                    break;
+                }
+                q += 1;
+                if rho * q > cap {
+                    ok = false;
+                    break;
+                }
+            }
+
+            let (new_resp, new_div) = if ok { (worst, false) } else { (cap, true) };
+            if new_resp != response[i] || new_div != diverged[i] {
+                changed = true;
+            }
+            response[i] = new_resp;
+            diverged[i] = new_div;
+            // A subjob's *release* jitter is what interferes with peers: the
+            // response bound of its predecessor hop (zero at the first hop).
+            if jitter[i] != j_in.min(cap) {
+                jitter[i] = j_in.min(cap);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut jobs = Vec::with_capacity(sys.jobs().len());
+    for (k, job) in sys.jobs().iter().enumerate() {
+        let job_id = JobId(k);
+        let n = job.subjobs.len();
+        let mut hop_delays = Vec::with_capacity(n);
+        let mut prev = Time::ZERO;
+        let mut unbounded = false;
+        for j in 0..n {
+            let i = pos[&SubjobRef { job: job_id, index: j }];
+            if diverged[i] {
+                unbounded = true;
+                hop_delays.push(None);
+            } else {
+                hop_delays.push(Some(response[i] - prev));
+                prev = response[i];
+            }
+        }
+        let last = pos[&SubjobRef { job: job_id, index: n - 1 }];
+        let e2e_bound = if unbounded { None } else { Some(response[last]) };
+        jobs.push(JobBound { job: job_id, hop_delays, e2e_bound, deadline: job.deadline });
+    }
+    Ok(BoundsReport { window, horizon, jobs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classic::{rta_uniprocessor, PeriodicTask};
+    use crate::exact::analyze_exact_spp;
+    use rta_model::priority::{assign_priorities, PriorityPolicy};
+    use rta_model::SystemBuilder;
+
+    fn periodic(p: i64) -> ArrivalPattern {
+        ArrivalPattern::Periodic { period: Time(p), offset: Time::ZERO }
+    }
+
+    #[test]
+    fn single_processor_matches_classic_rta() {
+        let mut b = SystemBuilder::new();
+        let p = b.add_processor("P1", SchedulerKind::Spp);
+        let t1 = b.add_job("T1", Time(100), periodic(4), vec![(p, Time(1))]);
+        let t2 = b.add_job("T2", Time(100), periodic(6), vec![(p, Time(2))]);
+        let t3 = b.add_job("T3", Time(100), periodic(13), vec![(p, Time(3))]);
+        b.set_priority(SubjobRef { job: t1, index: 0 }, 1);
+        b.set_priority(SubjobRef { job: t2, index: 0 }, 2);
+        b.set_priority(SubjobRef { job: t3, index: 0 }, 3);
+        let sys = b.build().unwrap();
+        let h = analyze_holistic(&sys, &AnalysisConfig::default()).unwrap();
+        let ts = [
+            PeriodicTask { exec: Time(1), period: Time(4) },
+            PeriodicTask { exec: Time(2), period: Time(6) },
+            PeriodicTask { exec: Time(3), period: Time(13) },
+        ];
+        for k in 0..3 {
+            assert_eq!(
+                h.jobs[k].e2e_bound,
+                rta_uniprocessor(&ts, k, Time(100_000)),
+                "job {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_stage_holistic_equals_exact() {
+        // The paper's Figure 3 (a)/(d) claim: on one stage both analyses
+        // predict the same response times.
+        let mut b = SystemBuilder::new();
+        let p = b.add_processor("P1", SchedulerKind::Spp);
+        b.add_job("T1", Time(30), periodic(10), vec![(p, Time(2))]);
+        b.add_job("T2", Time(30), periodic(15), vec![(p, Time(4))]);
+        b.add_job("T3", Time(30), periodic(30), vec![(p, Time(6))]);
+        let mut sys = b.build().unwrap();
+        assign_priorities(&mut sys, PriorityPolicy::RelativeDeadlineMonotonic).unwrap();
+        let h = analyze_holistic(&sys, &AnalysisConfig::default()).unwrap();
+        let e = analyze_exact_spp(&sys, &AnalysisConfig::default()).unwrap();
+        for k in 0..3 {
+            assert_eq!(h.jobs[k].e2e_bound.unwrap(), e.jobs[k].wcrt.unwrap(), "job {k}");
+        }
+    }
+
+    #[test]
+    fn multi_stage_holistic_dominates_exact() {
+        // The Figure 3 (c)/(f) claim: with more stages the holistic bound is
+        // no tighter than (and typically looser than) the exact analysis.
+        let mut b = SystemBuilder::new();
+        let p1 = b.add_processor("P1", SchedulerKind::Spp);
+        let p2 = b.add_processor("P2", SchedulerKind::Spp);
+        b.add_job("T1", Time(200), periodic(20), vec![(p1, Time(3)), (p2, Time(4))]);
+        b.add_job("T2", Time(200), periodic(30), vec![(p1, Time(5)), (p2, Time(6))]);
+        let mut sys = b.build().unwrap();
+        assign_priorities(&mut sys, PriorityPolicy::RelativeDeadlineMonotonic).unwrap();
+        let h = analyze_holistic(&sys, &AnalysisConfig::default()).unwrap();
+        let e = analyze_exact_spp(&sys, &AnalysisConfig::default()).unwrap();
+        for k in 0..2 {
+            let hb = h.jobs[k].e2e_bound.unwrap();
+            let eb = e.jobs[k].wcrt.unwrap();
+            assert!(hb >= eb, "job {k}: holistic {hb:?} < exact {eb:?}");
+        }
+    }
+
+    #[test]
+    fn jitter_propagates_downstream_by_hand() {
+        // T1: P1 → P2, alone except for a hp job on P2 that T1's jitter
+        // must be charged against. Hand computation:
+        //   hop 1 (P1, alone): R₁ = 4.
+        //   hop 2 (P2): release jitter J = 4, execution 5, hp task (2, 10)
+        //   on P2 with jitter 0: w = 5 + ⌈w/10⌉·2 → w = 7;
+        //   R₂ = J + w = 11 = end-to-end bound.
+        let mut b = SystemBuilder::new();
+        let p1 = b.add_processor("P1", SchedulerKind::Spp);
+        let p2 = b.add_processor("P2", SchedulerKind::Spp);
+        let t1 = b.add_job("T1", Time(50), periodic(20), vec![(p1, Time(4)), (p2, Time(5))]);
+        let t2 = b.add_job("T2", Time(10), periodic(10), vec![(p2, Time(2))]);
+        b.set_priority(SubjobRef { job: t1, index: 0 }, 1);
+        b.set_priority(SubjobRef { job: t1, index: 1 }, 2);
+        b.set_priority(SubjobRef { job: t2, index: 0 }, 1);
+        let sys = b.build().unwrap();
+        let h = analyze_holistic(&sys, &AnalysisConfig::default()).unwrap();
+        assert_eq!(h.jobs[0].e2e_bound, Some(Time(11)));
+        assert_eq!(h.jobs[0].hop_delays, vec![Some(Time(4)), Some(Time(7))]);
+        assert_eq!(h.jobs[1].e2e_bound, Some(Time(2)));
+    }
+
+    #[test]
+    fn overload_diverges_to_unschedulable() {
+        let mut b = SystemBuilder::new();
+        let p = b.add_processor("P1", SchedulerKind::Spp);
+        b.add_job("T1", Time(10), periodic(10), vec![(p, Time(6))]);
+        b.add_job("T2", Time(10), periodic(10), vec![(p, Time(6))]);
+        let mut sys = b.build().unwrap();
+        assign_priorities(&mut sys, PriorityPolicy::DeadlineMonotonic).unwrap();
+        let h = analyze_holistic(&sys, &AnalysisConfig::default()).unwrap();
+        assert!(!h.all_schedulable());
+        assert!(h.jobs[1].e2e_bound.is_none());
+    }
+
+    #[test]
+    fn rejects_aperiodic_jobs() {
+        let mut b = SystemBuilder::new();
+        let p = b.add_processor("P1", SchedulerKind::Spp);
+        b.add_job(
+            "T1",
+            Time(10),
+            ArrivalPattern::Trace(vec![Time(0)]),
+            vec![(p, Time(2))],
+        );
+        let mut sys = b.build().unwrap();
+        assign_priorities(&mut sys, PriorityPolicy::DeadlineMonotonic).unwrap();
+        assert!(matches!(
+            analyze_holistic(&sys, &AnalysisConfig::default()),
+            Err(AnalysisError::NotPeriodic { .. })
+        ));
+    }
+}

@@ -1,0 +1,220 @@
+//! Service-function bounds for non-preemptive static-priority scheduling
+//! (Equation 15, Theorems 5 and 6).
+//!
+//! Under SPNP a subjob can be *blocked* once per busy interval by an
+//! already-running lower-priority subjob; the worst case is the largest
+//! lower-priority execution time on the processor, `b_{k,j}` (Eq. 15).
+//!
+//! * **Lower bound** (Theorem 5): availability is zero for `t ≤ b`, then
+//!   `B̲(t) = t − b − Σ_hp S_h(t)`, and
+//!   `S̲(t) = min_{0 ≤ s ≤ t−b} ( B̲(t) − B̲(s) + c(s) )` for `t > b`.
+//! * **Upper bound** (Theorem 6): `B̄(t) = t − Σ_hp S̲_h(t)` (blocking can
+//!   only *delay* service, so it does not appear in the upper bound), and
+//!   `S̄(t) = min_{0 ≤ s ≤ t} ( B̄(t) − B̄(s) + c̄(s) )`.
+//!
+//! Equation 17 as printed subtracts the higher-priority subjobs' *lower*
+//! service bounds inside `B̲`; the conservative reading subtracts their
+//! *upper* bounds (more interference → less availability). Both variants
+//! are implemented ([`crate::SpnpAvailability`]); the default is the
+//! conservative one, and the simulator-backed tests in this workspace
+//! exercise both (see DESIGN.md §5).
+//!
+//! The same machinery yields sound bounds for SPP processors inside a
+//! heterogeneous bounds analysis by setting `b = 0` (preemption removes
+//! blocking; Theorems 5/6 then mirror Theorem 3 with bounded inputs).
+
+use crate::config::SpnpAvailability;
+use rta_curves::{Curve, Time};
+
+/// Lower/upper service-function bounds of one subjob.
+#[derive(Clone, Debug)]
+pub struct ServiceBounds {
+    /// Guaranteed (lower-bounded) service `S̲`.
+    pub lower: Curve,
+    /// Potential (upper-bounded) service `S̄`.
+    pub upper: Curve,
+}
+
+/// Compute Theorem 5/6 bounds for one subjob.
+///
+/// * `workload_upper` — the upper-bounded workload `c̄ = f̄_arr · τ`;
+/// * `hp_lower`/`hp_upper` — service bounds of strictly-higher-priority
+///   subjobs on the same processor, in any order;
+/// * `blocking` — `b_{k,j}` of Eq. 15 (zero for SPP processors);
+/// * `variant` — which availability recursion Theorem 5 uses.
+///
+/// Both returned curves are nondecreasing and nonnegative: the raw
+/// formulas can lose monotonicity when peer bounds overlap, and are
+/// re-monotonized soundly (`running_max` of a lower bound is still a lower
+/// bound of a nondecreasing function; likewise the upper bound can only be
+/// loosened).
+pub fn spnp_bounds(
+    workload_upper: &Curve,
+    hp_lower: &[&Curve],
+    hp_upper: &[&Curve],
+    blocking: Time,
+    variant: SpnpAvailability,
+) -> ServiceBounds {
+    debug_assert_eq!(hp_lower.len(), hp_upper.len());
+    let b = blocking;
+    let c_prev = workload_upper.shift_right(Time::ONE, 0);
+    let sum = |curves: &[&Curve]| -> Curve {
+        let mut acc = Curve::zero();
+        for c in curves {
+            acc = acc.add(c);
+        }
+        acc
+    };
+    let (hp_lo_sum, hp_up_sum) = (sum(hp_lower), sum(hp_upper));
+
+    // The busy-period candidate is
+    //     avail(s, t] + c̄(s⁻)
+    // with avail(s, t] bracketed through the hp service bounds. A single
+    // availability curve `B(t) − B(s)` (the paper's Eqs. 17/19) cannot
+    // bracket the *increment* of hp interference — the `t` and `s`
+    // positions need opposite hp bounds:
+    //     lower: (t−s) − b − [ΣS̄_h(t) − ΣS̲_h(s)]
+    //     upper: (t−s)     − [ΣS̲_h(t) − ΣS̄_h(s)]
+    // The `Conservative` variant implements exactly that; `AsPrinted` keeps
+    // the paper's single-curve form with `ΣS̲_h` at both positions.
+
+    // ---- Theorem 6: upper bound (no blocking in an upper bound). ----
+    let t_part_up = Curve::identity().sub(&hp_lo_sum);
+    let s_part_up = match variant {
+        SpnpAvailability::AsPrinted => c_prev.add(&hp_lo_sum).sub(&Curve::identity()),
+        SpnpAvailability::Conservative => c_prev.add(&hp_up_sum).sub(&Curve::identity()),
+    };
+    let upper_raw = t_part_up.add(&s_part_up.running_min()).min_with(workload_upper);
+    let upper = upper_raw
+        .min_with(&Curve::identity())
+        .clamp_min(0)
+        .running_max();
+
+    // ---- Theorem 5: lower bound. ----
+    let t_part_lo = match variant {
+        SpnpAvailability::AsPrinted => {
+            Curve::identity().add_const(-b.ticks()).sub(&hp_lo_sum)
+        }
+        SpnpAvailability::Conservative => {
+            Curve::identity().add_const(-b.ticks()).sub(&hp_up_sum)
+        }
+    };
+    // s-part availability: the paper's B̲ (masked to 0 on [0, b]) for
+    // AsPrinted; for Conservative the blocking term lives only in the
+    // t-part (it is a one-shot delay, not an increment at both ends), so
+    // the s-part is the unmasked `s − ΣS̲_h(s)`.
+    let s_avail = match variant {
+        SpnpAvailability::AsPrinted => t_part_lo.clone().mask_before(b + Time::ONE, 0),
+        SpnpAvailability::Conservative => Curve::identity().sub(&hp_lo_sum),
+    };
+    let t_part_lo = t_part_lo.mask_before(b + Time::ONE, 0);
+    // S̲(t) = T(t) + min_{0 ≤ s ≤ t−b} ( c̄(s⁻) − avail_s(s) ), the running
+    // minimum delayed by the blocking interval (Theorem 5's min range).
+    let run = c_prev.sub(&s_avail).running_min();
+    let delayed_run = run.shift_right(b, run.eval(Time::ZERO));
+    let lower_raw = t_part_lo
+        .add(&delayed_run)
+        .min_with(workload_upper)
+        .mask_before(b + Time::ONE, 0);
+    let lower = lower_raw.clamp_min(0).min_with(&Curve::identity()).running_max();
+
+    // Clipping can reorder the raw curves in degenerate spots.
+    let upper = upper.max_with(&lower);
+    ServiceBounds { lower, upper }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spp::exact_service;
+
+    fn check_sane(b: &ServiceBounds, horizon: i64) {
+        for t in 0..=horizon {
+            let t = Time(t);
+            assert!(b.lower.eval(t) <= b.upper.eval(t), "lower ≤ upper at {t}");
+            assert!(b.lower.eval(t) >= 0);
+            assert!(b.upper.eval(t) <= t.ticks().max(0) + 1_000_000_000);
+        }
+        assert!(b.lower.is_nondecreasing());
+        assert!(b.upper.is_nondecreasing());
+    }
+
+    #[test]
+    fn no_blocking_no_interference_brackets_exact() {
+        let c = Curve::from_event_times(&[Time(0), Time(10)]).scale(4);
+        let exact = exact_service(&c, &[]);
+        for variant in [SpnpAvailability::AsPrinted, SpnpAvailability::Conservative] {
+            let b = spnp_bounds(&c, &[], &[], Time::ZERO, variant);
+            check_sane(&b, 25);
+            for t in 0..=25 {
+                let t = Time(t);
+                assert!(b.lower.eval(t) <= exact.eval(t), "t={t}");
+                assert!(b.upper.eval(t) >= exact.eval(t), "t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocking_delays_the_lower_bound() {
+        let c = Curve::from_event_times(&[Time(0)]).scale(5);
+        let b = spnp_bounds(&c, &[], &[], Time(3), SpnpAvailability::Conservative);
+        check_sane(&b, 20);
+        // Nothing guaranteed during the blocking interval.
+        assert_eq!(b.lower.eval(Time(3)), 0);
+        // All 5 units guaranteed by t = 3 + 5.
+        assert_eq!(b.lower.eval(Time(8)), 5);
+        // The upper bound ignores blocking entirely.
+        assert_eq!(b.upper.eval(Time(5)), 5);
+    }
+
+    #[test]
+    fn interference_shrinks_bounds() {
+        // hp takes [0,4) guaranteed.
+        let hp_c = Curve::from_event_times(&[Time(0)]).scale(4);
+        let hp = spnp_bounds(&hp_c, &[], &[], Time::ZERO, SpnpAvailability::Conservative);
+        let c = Curve::from_event_times(&[Time(0)]).scale(5);
+        let lo = spnp_bounds(
+            &c,
+            &[&hp.lower],
+            &[&hp.upper],
+            Time::ZERO,
+            SpnpAvailability::Conservative,
+        );
+        check_sane(&lo, 20);
+        // Lower bound: hp may consume the first 4 ticks ⇒ our 5 units are
+        // only guaranteed complete by t = 9.
+        assert_eq!(lo.lower.eval(Time(4)), 0);
+        assert_eq!(lo.lower.eval(Time(9)), 5);
+        // Upper bound: hp is guaranteed the first 4 ticks (its own lower
+        // bound), so we cannot have finished before t = 9 either.
+        assert_eq!(lo.upper.eval(Time(9)), 5);
+    }
+
+    #[test]
+    fn variants_are_both_sane() {
+        let hp_c = Curve::from_event_times(&[Time(0), Time(6)]).scale(3);
+        let hp = spnp_bounds(&hp_c, &[], &[], Time(2), SpnpAvailability::Conservative);
+        let c = Curve::from_event_times(&[Time(0), Time(8)]).scale(4);
+        let printed = spnp_bounds(&c, &[&hp.lower], &[&hp.upper], Time(2), SpnpAvailability::AsPrinted);
+        let conserv = spnp_bounds(&c, &[&hp.lower], &[&hp.upper], Time(2), SpnpAvailability::Conservative);
+        check_sane(&printed, 30);
+        check_sane(&conserv, 30);
+        // The conservative variant brackets at least as widely as the
+        // paper-verbatim one: its lower bound assumes more interference and
+        // its upper bound assumes less.
+        for t in 0..=30 {
+            let t = Time(t);
+            assert!(conserv.upper.eval(t) >= printed.upper.eval(t), "upper at {t}");
+            assert!(conserv.lower.eval(t) <= printed.lower.eval(t), "lower at {t}");
+        }
+    }
+
+    #[test]
+    fn lower_bound_capped_by_workload() {
+        let c = Curve::from_event_times(&[Time(0)]).scale(2);
+        let b = spnp_bounds(&c, &[], &[], Time::ZERO, SpnpAvailability::Conservative);
+        for t in 0..=15 {
+            assert!(b.lower.eval(Time(t)) <= c.eval(Time(t)));
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Exact service functions for preemptive static-priority scheduling
+//! (Theorem 3).
+//!
+//! On an SPP processor the time available to subjob `T_{k,j}` is whatever
+//! the strictly-higher-priority subjobs leave over:
+//! `A(t) = t − Σ_hp S_h(t)` (Equation 10). The service actually received is
+//!
+//! ```text
+//! S(t) = min( c(t),  min_{0 ≤ s ≤ t} ( A(t) − A(s) + c(s⁻) ) )
+//! ```
+//!
+//! Intuition (Reich's backlog identity): pick the last instant `s` at which
+//! the subjob had no pending work; everything that arrived *strictly before*
+//! `s` had been served, and after `s` the subjob absorbs all available time.
+//! The candidate therefore pairs the availability increment `A(t) − A(s)`
+//! with the **left limit** `c(s⁻)` of the workload — an instance released
+//! exactly at the busy-period start is served after `s`, not before. (The
+//! paper's Equation 9 writes `c(s)`; with Definition 1's right-continuous
+//! arrival functions the left limit is the reading under which the theorem
+//! is physically consistent — e.g. a single 5-tick instance released at
+//! `t = 0` has received exactly 4 ticks of service by `t = 4`, which
+//! requires the `c(0⁻) = 0` candidate.) The outer `min` with `c(t)` covers
+//! the empty-backlog case. On the tick lattice `c(s⁻) = c(s − 1)` with
+//! `c(−1) = 0`.
+//!
+//! ```
+//! use rta_core::spp::exact_service;
+//! use rta_curves::{Curve, Time};
+//!
+//! // Two instances of 4 ticks each, released at 0 and 10, alone on the
+//! // processor: served back to back within their periods.
+//! let workload = Curve::from_event_times(&[Time(0), Time(10)]).scale(4);
+//! let service = exact_service(&workload, &[]);
+//! assert_eq!(service.eval(Time(4)), 4);   // first instance done
+//! assert_eq!(service.eval(Time(9)), 4);   // idle gap
+//! assert_eq!(service.eval(Time(14)), 8);  // second instance done
+//!
+//! // Departures per Theorem 2.
+//! let dep = service.floor_div(4, Time(100)).unwrap();
+//! assert_eq!(dep.event_time(2), Some(Time(14)));
+//! ```
+
+use rta_curves::{Curve, Time};
+
+/// The availability function `A(t) = t − Σ_h S_h(t)` (Equation 10).
+pub fn availability(hp_services: &[&Curve]) -> Curve {
+    let mut a = Curve::identity();
+    for s in hp_services {
+        a = a.sub(s);
+    }
+    a
+}
+
+/// Evaluate the Theorem 3 min-form for a given availability curve:
+/// `S(t) = min( c(t), B(t) + min_{0 ≤ s ≤ t} ( c(s⁻) − B(s) ) )`.
+///
+/// Shared by the exact SPP analysis (with the exact availability) and the
+/// SPNP bounds (with blocking-adjusted availabilities).
+pub fn service_from_availability(avail: &Curve, workload: &Curve) -> Curve {
+    let c_prev = workload.shift_right(Time::ONE, 0);
+    let run = c_prev.sub(avail).running_min();
+    avail.add(&run).min_with(workload)
+}
+
+/// The exact SPP service function of a subjob given the exact service
+/// functions of its higher-priority peers and its exact workload curve.
+pub fn exact_service(workload: &Curve, hp_services: &[&Curve]) -> Curve {
+    let a = availability(hp_services);
+    debug_assert!(
+        a.is_nondecreasing(),
+        "exact SPP availability must be nondecreasing (peers overlap?)"
+    );
+    let s = service_from_availability(&a, workload);
+    debug_assert!(s.is_nondecreasing(), "exact SPP service must be nondecreasing");
+    debug_assert!(
+        s.segments().first().map(|x| x.value >= 0).unwrap_or(true),
+        "service must be nonnegative"
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force corrected Theorem 3 on the lattice.
+    fn brute_service(avail: &Curve, c: &Curve, horizon: i64) -> Vec<i64> {
+        (0..=horizon)
+            .map(|t| {
+                let inner = (0..=t)
+                    .map(|s| {
+                        let c_left = if s == 0 { 0 } else { c.eval(Time(s - 1)) };
+                        avail.eval(Time(t)) - avail.eval(Time(s)) + c_left
+                    })
+                    .min()
+                    .unwrap();
+                inner.min(c.eval(Time(t)))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn highest_priority_gets_everything_it_asks() {
+        // Single subjob, arrivals at 0 and 10, τ = 4: S(t) follows t until the
+        // backlog drains, then plateaus.
+        let arr = Curve::from_event_times(&[Time(0), Time(10)]);
+        let c = arr.scale(4);
+        let s = exact_service(&c, &[]);
+        let expect = brute_service(&Curve::identity(), &c, 20);
+        for t in 0..=20 {
+            assert_eq!(s.eval(Time(t)), expect[t as usize], "t={t}");
+        }
+        // Instance 1 served during [0,4), instance 2 during [10,14).
+        assert_eq!(s.eval(Time(2)), 2);
+        assert_eq!(s.eval(Time(4)), 4);
+        assert_eq!(s.eval(Time(9)), 4);
+        assert_eq!(s.eval(Time(14)), 8);
+    }
+
+    #[test]
+    fn partial_service_mid_instance_is_exact() {
+        // The boundary case that forces the left-limit reading: one 5-tick
+        // instance at t = 0 must show exactly 4 ticks of service at t = 4.
+        let c = Curve::from_event_times(&[Time(0)]).scale(5);
+        let s = exact_service(&c, &[]);
+        for t in 0..=10 {
+            assert_eq!(s.eval(Time(t)), t.min(5), "t={t}");
+        }
+        let dep = s.floor_div(5, Time(10)).unwrap();
+        assert_eq!(dep.event_time(1), Some(Time(5)));
+    }
+
+    #[test]
+    fn low_priority_is_squeezed() {
+        // Hp subjob: arrivals every 10, τ=4 ⇒ serves [0,4), [10,14), …
+        let hp_c = Curve::from_event_times(&[Time(0), Time(10)]).scale(4);
+        let hp_s = exact_service(&hp_c, &[]);
+        // Lp subjob arrives at 0 with τ=8: gets [4,10) (6 ticks) + [14,16).
+        let lp_c = Curve::from_event_times(&[Time(0)]).scale(8);
+        let lp_s = exact_service(&lp_c, &[&hp_s]);
+        assert_eq!(lp_s.eval(Time(4)), 0);
+        assert_eq!(lp_s.eval(Time(10)), 6);
+        assert_eq!(lp_s.eval(Time(14)), 6);
+        assert_eq!(lp_s.eval(Time(16)), 8);
+        assert_eq!(lp_s.eval(Time(30)), 8); // no more demand
+        // Departure: single instance completes at 16.
+        let dep = lp_s.floor_div(8, Time(30)).unwrap();
+        assert_eq!(dep.event_time(1), Some(Time(16)));
+    }
+
+    #[test]
+    fn matches_brute_force_with_interference() {
+        let hp_c = Curve::from_event_times(&[Time(0), Time(7), Time(14)]).scale(3);
+        let hp_s = exact_service(&hp_c, &[]);
+        let avail = availability(&[&hp_s]);
+        let lp_c = Curve::from_event_times(&[Time(1), Time(8)]).scale(5);
+        let lp_s = exact_service(&lp_c, &[&hp_s]);
+        let expect = brute_service(&avail, &lp_c, 30);
+        for t in 0..=30 {
+            assert_eq!(lp_s.eval(Time(t)), expect[t as usize], "t={t}");
+        }
+    }
+
+    #[test]
+    fn service_never_exceeds_workload_or_time() {
+        let c = Curve::from_event_times(&[Time(0), Time(2), Time(4)]).scale(6);
+        let s = exact_service(&c, &[]);
+        for t in 0..=40 {
+            let t = Time(t);
+            assert!(s.eval(t) <= c.eval(t));
+            assert!(s.eval(t) <= t.ticks());
+            assert!(s.eval(t) >= 0);
+        }
+    }
+
+    #[test]
+    fn idle_availability_before_arrival() {
+        // Subjob arrives at 5: no service before, ramps after.
+        let c = Curve::from_event_times(&[Time(5)]).scale(3);
+        let s = exact_service(&c, &[]);
+        assert_eq!(s.eval(Time(5)), 0);
+        assert_eq!(s.eval(Time(6)), 1);
+        assert_eq!(s.eval(Time(8)), 3);
+        assert_eq!(s.eval(Time(100)), 3);
+    }
+
+    #[test]
+    fn two_priority_levels_partition_the_processor() {
+        // Both subjobs always-backlogged over [0, 12): hp takes everything,
+        // lp gets nothing until hp drains.
+        let hp_c = Curve::from_event_times(&[Time(0), Time(4), Time(8)]).scale(4);
+        let hp_s = exact_service(&hp_c, &[]);
+        let lp_c = Curve::from_event_times(&[Time(0)]).scale(100);
+        let lp_s = exact_service(&lp_c, &[&hp_s]);
+        // While both are backlogged the processor is never idle: the two
+        // service functions partition elapsed time.
+        for t in 0..=20 {
+            let t = Time(t);
+            assert_eq!(hp_s.eval(t) + lp_s.eval(t), t.ticks(), "t={t}");
+        }
+        // After hp drains at 12, lp absorbs everything.
+        assert_eq!(lp_s.eval(Time(20)), 8);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests of the service-function machinery on random
+//! workload curves.
+
+use proptest::prelude::*;
+use rta_core::spnp::spnp_bounds;
+use rta_core::spp::{availability, exact_service, service_from_availability};
+use rta_core::SpnpAvailability;
+use rta_curves::{Curve, Time};
+
+const HORIZON: i64 = 80;
+
+/// Random workload curve: sorted arrival times × a small execution time.
+fn arb_workload() -> impl Strategy<Value = (Curve, i64)> {
+    (prop::collection::vec(0i64..60, 0..8), 1i64..6).prop_map(|(mut ts, tau)| {
+        ts.sort();
+        let times: Vec<Time> = ts.into_iter().map(Time).collect();
+        (Curve::from_event_times(&times).scale(tau), tau)
+    })
+}
+
+proptest! {
+    /// Theorem 3 invariants: 0 ≤ S ≤ min(t, c), S nondecreasing, and the
+    /// workload is eventually fully served when the processor is otherwise
+    /// idle.
+    #[test]
+    fn exact_service_invariants((c, _tau) in arb_workload()) {
+        let s = exact_service(&c, &[]);
+        prop_assert!(s.is_nondecreasing());
+        for t in 0..=HORIZON {
+            let t = Time(t);
+            let v = s.eval(t);
+            prop_assert!(v >= 0);
+            prop_assert!(v <= t.ticks());
+            prop_assert!(v <= c.eval(t));
+        }
+        // All demand issued by HORIZON/2 is served by HORIZON (idle server,
+        // demand ≤ HORIZON/2 total by construction: ≤ 8 events × 5 ticks).
+        let demand = c.eval(Time(HORIZON / 2));
+        prop_assert!(s.eval(Time(HORIZON + 60)) >= demand);
+    }
+
+    /// Two-level exact service: the processor is conserved — the sum of
+    /// services never exceeds elapsed time, and equals the Theorem 7
+    /// utilization of the combined workload.
+    #[test]
+    fn two_level_work_conservation((c1, _t1) in arb_workload(), (c2, _t2) in arb_workload()) {
+        let hp = exact_service(&c1, &[]);
+        let lp = exact_service(&c2, &[&hp]);
+        let g = c1.add(&c2);
+        let g_prev = g.shift_right(Time(1), 0);
+        let u = Curve::identity()
+            .add(&g_prev.sub(&Curve::identity()).running_min())
+            .min_with(&Curve::identity());
+        for t in 0..=HORIZON {
+            let t = Time(t);
+            let total = hp.eval(t) + lp.eval(t);
+            prop_assert!(total <= t.ticks().max(0));
+            prop_assert_eq!(total, u.eval(t).max(0), "t={}", t);
+        }
+    }
+
+    /// The generic min-form with the trivial availability bounds of
+    /// Definition 6 brackets the exact service.
+    #[test]
+    fn trivial_availability_bounds_bracket((c, _tau) in arb_workload()) {
+        let exact = exact_service(&c, &[]);
+        // Upper availability t (idle processor) reproduces the exact
+        // service; lower availability 0 yields the zero service.
+        let with_upper = service_from_availability(&Curve::identity(), &c);
+        let with_lower = service_from_availability(&Curve::zero(), &c).clamp_min(0);
+        for t in 0..=HORIZON {
+            let t = Time(t);
+            prop_assert_eq!(with_upper.eval(t), exact.eval(t));
+            prop_assert!(with_lower.eval(t) <= exact.eval(t));
+        }
+    }
+
+    /// SPNP bounds: lower ≤ upper pointwise, both within [0, min(t, c̄)],
+    /// both nondecreasing, for both variants and random blocking.
+    #[test]
+    fn spnp_bounds_sanity(
+        (c, _tau) in arb_workload(),
+        (hp_c, _ht) in arb_workload(),
+        b in 0i64..12,
+        conservative in any::<bool>(),
+    ) {
+        let variant = if conservative {
+            SpnpAvailability::Conservative
+        } else {
+            SpnpAvailability::AsPrinted
+        };
+        let hp = spnp_bounds(&hp_c, &[], &[], Time(b), variant);
+        let me = spnp_bounds(&c, &[&hp.lower], &[&hp.upper], Time(b), variant);
+        prop_assert!(me.lower.is_nondecreasing());
+        prop_assert!(me.upper.is_nondecreasing());
+        for t in 0..=HORIZON {
+            let t = Time(t);
+            prop_assert!(me.lower.eval(t) <= me.upper.eval(t), "t={}", t);
+            prop_assert!(me.lower.eval(t) >= 0);
+            prop_assert!(me.lower.eval(t) <= c.eval(t));
+            prop_assert!(me.upper.eval(t) <= t.ticks().max(0));
+        }
+        // No blocking during the guaranteed-zero prefix.
+        if b > 0 {
+            prop_assert_eq!(me.lower.eval(Time(b)), 0);
+        }
+    }
+
+    /// With no interference and no blocking, both SPNP variants collapse to
+    /// the exact service function.
+    #[test]
+    fn spnp_degenerates_to_exact((c, _tau) in arb_workload()) {
+        let exact = exact_service(&c, &[]);
+        for variant in [SpnpAvailability::AsPrinted, SpnpAvailability::Conservative] {
+            let bounds = spnp_bounds(&c, &[], &[], Time::ZERO, variant);
+            for t in 0..=HORIZON {
+                let t = Time(t);
+                prop_assert_eq!(bounds.lower.eval(t), exact.eval(t), "lower {:?} t={}", variant, t);
+                prop_assert_eq!(bounds.upper.eval(t), exact.eval(t), "upper {:?} t={}", variant, t);
+            }
+        }
+    }
+
+    /// Availability of Equation 10 is exactly the complement of the summed
+    /// services.
+    #[test]
+    fn availability_complements_services((c1, _a) in arb_workload(), (c2, _b) in arb_workload()) {
+        let s1 = exact_service(&c1, &[]);
+        let s2 = exact_service(&c2, &[&s1]);
+        let a = availability(&[&s1, &s2]);
+        for t in 0..=HORIZON {
+            let t = Time(t);
+            prop_assert_eq!(a.eval(t), t.ticks() - s1.eval(t) - s2.eval(t));
+        }
+    }
+}

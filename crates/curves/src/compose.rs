@@ -1,0 +1,163 @@
+//! Monotone curve composition `h(t) = f(g(t))`.
+//!
+//! Needed by the FCFS analysis (Theorems 8/9): the service bound is the
+//! three-way composition `c ∘ G⁻¹ ∘ U` of the subjob's workload function,
+//! the inverse of the processor's total workload, and the processor's
+//! utilization function. Composition is exact at every integer tick: within
+//! any stretch where the inner curve's values stay inside one linear piece of
+//! the outer curve, linear∘linear is linear (slope product), and piece
+//! boundaries are located with exact integer ceiling division.
+
+use crate::util::div_ceil;
+use crate::{Curve, CurveError, Segment, Time};
+
+/// Compose `f ∘ g`: the curve `t ↦ f(g(t))`.
+///
+/// Requirements: `g` nondecreasing with `g(0) ≥ 0` (its values index into
+/// `f`'s domain). `f` may be arbitrary.
+pub fn compose(f: &Curve, g: &Curve) -> Result<Curve, CurveError> {
+    g.require_nondecreasing()?;
+    let g0 = g.segments()[0].value;
+    if g0 < 0 {
+        return Err(CurveError::NegativeAtZero { value: g0 });
+    }
+
+    let fsegs = f.segments();
+    let gsegs = g.segments();
+    let mut out: Vec<Segment> = Vec::new();
+    let mut fi = 0usize; // advances monotonically since g is nondecreasing
+
+    for (gi, gs) in gsegs.iter().enumerate() {
+        let t1 = gsegs.get(gi + 1).map(|n| n.start);
+        if gs.slope == 0 {
+            let v = gs.value;
+            while fi + 1 < fsegs.len() && fsegs[fi + 1].start.ticks() <= v {
+                fi += 1;
+            }
+            out.push(Segment::new(gs.start, fsegs[fi].eval(Time(v)), 0));
+            continue;
+        }
+        // Rising piece: walk the f segments the swept value range touches.
+        let mut cur_t = gs.start;
+        loop {
+            let cur_v = gs.eval(cur_t);
+            while fi + 1 < fsegs.len() && fsegs[fi + 1].start.ticks() <= cur_v {
+                fi += 1;
+            }
+            let fseg = &fsegs[fi];
+            let piece = Segment::new(
+                cur_t,
+                fseg.eval(Time(cur_v)),
+                fseg.slope * gs.slope,
+            );
+            // Where does g first reach the next f breakpoint?
+            let next_cross = fsegs.get(fi + 1).map(|nf| {
+                let off = div_ceil(nf.start.ticks() - gs.value, gs.slope);
+                gs.start + Time(off)
+            });
+            match next_cross {
+                Some(tc) if t1.is_none_or(|t1| tc < t1) => {
+                    out.push(piece);
+                    debug_assert!(tc > cur_t);
+                    cur_t = tc;
+                }
+                _ => {
+                    out.push(piece);
+                    break;
+                }
+            }
+        }
+    }
+    Ok(Curve::from_sorted_segments(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force reference: evaluate f(g(t)) at each lattice point.
+    fn check(f: &Curve, g: &Curve, horizon: i64) {
+        let h = compose(f, g).expect("composable");
+        for t in 0..=horizon {
+            let expect = f.eval(Time(g.eval(Time(t))));
+            assert_eq!(h.eval(Time(t)), expect, "t={t} f={f} g={g}");
+        }
+    }
+
+    #[test]
+    fn identity_laws() {
+        let f = Curve::from_segments(vec![
+            Segment::new(Time(0), 0, 0),
+            Segment::new(Time(3), 5, 1),
+            Segment::new(Time(8), 20, 0),
+        ]);
+        let id = Curve::identity();
+        assert_eq!(compose(&f, &id).unwrap(), f);
+        check(&id, &f, 15);
+    }
+
+    #[test]
+    fn step_outer_with_sloped_inner() {
+        // Outer: workload step; inner: slope-0/1 utilization-like curve.
+        let f = Curve::from_event_times(&[Time(2), Time(5), Time(9)]).scale(4);
+        let g = Curve::from_segments(vec![
+            Segment::new(Time(0), 0, 1),
+            Segment::new(Time(4), 4, 0),
+            Segment::new(Time(7), 4, 1),
+        ]);
+        check(&f, &g, 20);
+    }
+
+    #[test]
+    fn inner_with_jumps_skips_outer_breakpoints() {
+        let f = Curve::from_event_times(&[Time(1), Time(2), Time(3), Time(4)]);
+        let g = Curve::from_segments(vec![
+            Segment::new(Time(0), 0, 0),
+            Segment::new(Time(5), 10, 0), // jump over all of f's breakpoints
+        ]);
+        check(&f, &g, 10);
+    }
+
+    #[test]
+    fn steep_inner_slope() {
+        let f = Curve::from_segments(vec![
+            Segment::new(Time(0), 0, 1),
+            Segment::new(Time(6), 6, 0),
+        ]);
+        let g = Curve::affine(0, 3); // g(t) = 3t skips f values
+        check(&f, &g, 10);
+    }
+
+    #[test]
+    fn outer_with_negative_slopes_is_fine() {
+        let f = Curve::from_segments(vec![
+            Segment::new(Time(0), 10, -1),
+            Segment::new(Time(5), 0, 2),
+        ]);
+        let g = Curve::from_segments(vec![
+            Segment::new(Time(0), 0, 1),
+            Segment::new(Time(8), 8, 0),
+        ]);
+        check(&f, &g, 12);
+    }
+
+    #[test]
+    fn decreasing_inner_rejected() {
+        let f = Curve::identity();
+        let g = Curve::affine(5, -1);
+        assert!(matches!(
+            compose(&f, &g),
+            Err(CurveError::NotMonotone { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_inner_start_rejected() {
+        let f = Curve::identity();
+        let g = Curve::affine(-3, 1);
+        assert!(matches!(
+            compose(&f, &g),
+            Err(CurveError::NegativeAtZero { value: -3 })
+        ));
+    }
+}

@@ -1,0 +1,164 @@
+//! Min-plus convolution.
+//!
+//! The paper's Theorem 3 is a disguised min-plus operation: the exact SPP
+//! service function is `S = A − ((A − c) ⊘ 0)` in deconvolution form, or —
+//! as implemented in `rta-core` — an availability curve plus a running
+//! minimum. This module provides the general operator for the convex case
+//! (the classical network-calculus service-curve family) and an exhaustive
+//! lattice evaluator used as a test oracle and for small ad-hoc curves.
+
+use crate::{Curve, Segment, Time};
+
+impl Curve {
+    /// `true` iff the curve is convex on the lattice: continuous with
+    /// nondecreasing slopes.
+    pub fn is_convex(&self) -> bool {
+        self.is_continuous()
+            && self
+                .segments()
+                .windows(2)
+                .all(|w| w[0].slope <= w[1].slope)
+    }
+}
+
+/// Min-plus convolution `(f ⊗ g)(t) = min_{0 ≤ s ≤ t} ( f(s) + g(t − s) )`
+/// for **convex** nondecreasing curves.
+///
+/// For convex curves the infimal convolution is obtained by laying the linear
+/// pieces of both curves end to end in order of increasing slope, starting
+/// from `f(0) + g(0)` — an O(n + m) merge. Panics (debug) if either curve is
+/// not convex; use [`min_plus_convolve_lattice`] for arbitrary curves.
+pub fn convolve_convex(f: &Curve, g: &Curve) -> Curve {
+    debug_assert!(f.is_convex(), "convolve_convex requires convex f");
+    debug_assert!(g.is_convex(), "convolve_convex requires convex g");
+
+    // Collect finite pieces (length, slope); final pieces are infinite.
+    struct Piece {
+        len: Option<Time>,
+        slope: i64,
+    }
+    fn pieces(c: &Curve) -> Vec<Piece> {
+        let segs = c.segments();
+        segs.iter()
+            .enumerate()
+            .map(|(i, s)| Piece {
+                len: segs.get(i + 1).map(|n| n.start - s.start),
+                slope: s.slope,
+            })
+            .collect()
+    }
+    let mut all: Vec<Piece> = pieces(f).into_iter().chain(pieces(g)).collect();
+    all.sort_by_key(|p| p.slope);
+
+    let mut out = Vec::with_capacity(all.len());
+    let mut t = Time::ZERO;
+    let mut v = f.eval(Time::ZERO) + g.eval(Time::ZERO);
+    for p in all {
+        out.push(Segment::new(t, v, p.slope));
+        match p.len {
+            Some(len) => {
+                t += len;
+                v += p.slope * len.ticks();
+            }
+            None => break, // first infinite piece has the smallest remaining slope
+        }
+    }
+    Curve::from_sorted_segments(out)
+}
+
+/// Exhaustive min-plus convolution on the lattice, `O(horizon²)` — a test
+/// oracle and a fallback for small arbitrary curves. The result is frozen at
+/// its horizon value.
+pub fn min_plus_convolve_lattice(f: &Curve, g: &Curve, horizon: Time) -> Curve {
+    let h = horizon.ticks();
+    assert!(h >= 0);
+    let fv: Vec<i64> = (0..=h).map(|t| f.eval(Time(t))).collect();
+    let gv: Vec<i64> = (0..=h).map(|t| g.eval(Time(t))).collect();
+    let mut points = Vec::with_capacity(h as usize + 1);
+    for t in 0..=h {
+        let mut best = i64::MAX;
+        for s in 0..=t {
+            best = best.min(fv[s as usize] + gv[(t - s) as usize]);
+        }
+        points.push((Time(t), best));
+    }
+    Curve::step_from_points(points[0].1, &points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::RateLatency;
+
+    fn assert_agree(f: &Curve, g: &Curve, horizon: i64) {
+        let fast = convolve_convex(f, g);
+        let slow = min_plus_convolve_lattice(f, g, Time(horizon));
+        for t in 0..=horizon {
+            assert_eq!(
+                fast.eval(Time(t)),
+                slow.eval(Time(t)),
+                "t={t} f={f} g={g}"
+            );
+        }
+    }
+
+    #[test]
+    fn convexity_detection() {
+        assert!(Curve::identity().is_convex());
+        assert!(RateLatency { latency: Time(3), rate: 2 }.curve().is_convex());
+        assert!(!Curve::from_event_times(&[Time(1)]).is_convex()); // jump
+        let concave = Curve::from_segments(vec![
+            Segment::new(Time(0), 0, 2),
+            Segment::new(Time(4), 8, 1),
+        ]);
+        assert!(!concave.is_convex());
+    }
+
+    #[test]
+    fn rate_latency_convolution_is_closed_form() {
+        let a = RateLatency { latency: Time(2), rate: 3 };
+        let b = RateLatency { latency: Time(5), rate: 1 };
+        let conv = convolve_convex(&a.curve(), &b.curve());
+        assert_eq!(conv, a.then(&b).curve());
+        assert_agree(&a.curve(), &b.curve(), 25);
+    }
+
+    #[test]
+    fn convolution_with_zero_is_floor() {
+        // f ⊗ 0 = min over splits: with g ≡ 0 the result is the running min
+        // of f; for nondecreasing convex f that is f(0).
+        let f = Curve::affine(4, 2);
+        let conv = convolve_convex(&f, &Curve::zero());
+        assert_eq!(conv, Curve::constant(4));
+    }
+
+    #[test]
+    fn general_convex_pair() {
+        let f = Curve::from_segments(vec![
+            Segment::new(Time(0), 1, 0),
+            Segment::new(Time(3), 1, 1),
+            Segment::new(Time(7), 5, 4),
+        ]);
+        let g = Curve::from_segments(vec![
+            Segment::new(Time(0), 0, 2),
+            Segment::new(Time(5), 10, 3),
+        ]);
+        assert!(f.is_convex() && g.is_convex());
+        assert_agree(&f, &g, 30);
+    }
+
+    #[test]
+    fn lattice_oracle_handles_nonconvex() {
+        // Staircase ⊗ rate: classic smoothing.
+        let f = Curve::from_event_times(&[Time(0), Time(4), Time(8)]).scale(3);
+        let g = Curve::identity();
+        let conv = min_plus_convolve_lattice(&f, &g, Time(15));
+        for t in 0..=15 {
+            let mut best = i64::MAX;
+            for s in 0..=t {
+                best = best.min(f.eval(Time(s)) + (t - s));
+            }
+            assert_eq!(conv.eval(Time(t)), best, "t={t}");
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! The piecewise-linear curve type.
+
+use crate::{CurveError, Segment, Time};
+
+/// A right-continuous piecewise-linear function `f : [0, ∞) → ℤ` with integer
+/// breakpoints, values and slopes.
+///
+/// `Curve` is the common representation for every cumulative function of the
+/// ICPP'98 analysis: arrival functions (`f_arr`), departure functions
+/// (`f_dep`), workload functions (`c`), service functions (`S`), availability
+/// functions (`A`, `B`) and utilization functions (`U`). Values are plain
+/// `i64`; their meaning (instance counts, ticks of work, ticks of time) is
+/// established by the caller.
+///
+/// Invariants (enforced by all constructors):
+/// * at least one segment,
+/// * the first segment starts at [`Time::ZERO`],
+/// * segment start times are strictly increasing,
+/// * the representation is *normalized*: no segment is a straight-line
+///   continuation of its predecessor.
+///
+/// Jump discontinuities are encoded implicitly: a jump exists at a breakpoint
+/// whenever the previous piece's line, extended to the breakpoint, differs
+/// from the new segment's `value` (curves are right-continuous, so the new
+/// `value` is the value *at* the breakpoint).
+#[derive(Clone, PartialEq, Eq, Debug, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Curve {
+    segs: Vec<Segment>,
+}
+
+impl Curve {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// Build a curve from raw segments, validating and normalizing.
+    pub fn try_from_segments(segs: Vec<Segment>) -> Result<Curve, CurveError> {
+        if segs.is_empty() {
+            return Err(CurveError::Empty);
+        }
+        if segs[0].start != Time::ZERO {
+            return Err(CurveError::FirstSegmentNotAtZero);
+        }
+        for i in 1..segs.len() {
+            if segs[i].start <= segs[i - 1].start {
+                return Err(CurveError::UnsortedSegments { index: i });
+            }
+        }
+        let mut c = Curve { segs };
+        c.normalize();
+        Ok(c)
+    }
+
+    /// Build a curve from raw segments; panics on invalid input.
+    ///
+    /// Prefer [`Curve::try_from_segments`] when the input is not statically
+    /// known to be well-formed.
+    pub fn from_segments(segs: Vec<Segment>) -> Curve {
+        Curve::try_from_segments(segs).expect("invalid segment list")
+    }
+
+    /// The constant curve `f(t) = v`.
+    pub fn constant(v: i64) -> Curve {
+        Curve {
+            segs: vec![Segment::new(Time::ZERO, v, 0)],
+        }
+    }
+
+    /// The zero curve — e.g. the trivial lower bound on any service function
+    /// (Definition 6 of the paper).
+    pub fn zero() -> Curve {
+        Curve::constant(0)
+    }
+
+    /// The affine curve `f(t) = v0 + slope · t`.
+    pub fn affine(v0: i64, slope: i64) -> Curve {
+        Curve {
+            segs: vec![Segment::new(Time::ZERO, v0, slope)],
+        }
+    }
+
+    /// The identity curve `f(t) = t` — the trivial upper bound on any service
+    /// function (Definition 6: a processor can offer at most `t` time by `t`).
+    pub fn identity() -> Curve {
+        Curve::affine(0, 1)
+    }
+
+    /// A pure step function from `(time, cumulative value)` breakpoints:
+    /// `f(t)` equals the value of the latest breakpoint at or before `t`, and
+    /// `before` prior to the first breakpoint. Breakpoints must be sorted by
+    /// strictly increasing time.
+    pub fn step_from_points(before: i64, points: &[(Time, i64)]) -> Curve {
+        let mut segs = Vec::with_capacity(points.len() + 1);
+        if points.first().map(|p| p.0) != Some(Time::ZERO) {
+            segs.push(Segment::new(Time::ZERO, before, 0));
+        }
+        for &(t, v) in points {
+            segs.push(Segment::new(t, v, 0));
+        }
+        Curve::from_segments(segs)
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The segments of the curve (normalized, sorted).
+    #[inline]
+    pub fn segments(&self) -> &[Segment] {
+        &self.segs
+    }
+
+    /// Number of linear pieces.
+    #[inline]
+    pub fn num_segments(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// Slope of the final (unbounded) piece.
+    #[inline]
+    pub fn final_slope(&self) -> i64 {
+        self.segs.last().expect("curve is non-empty").slope
+    }
+
+    /// Index of the segment whose piece contains `t` (`t ≥ 0`).
+    fn seg_index(&self, t: Time) -> usize {
+        debug_assert!(t >= Time::ZERO, "curves are defined on [0, ∞)");
+        // partition_point: first segment with start > t, minus one.
+        self.segs.partition_point(|s| s.start <= t) - 1
+    }
+
+    /// Evaluate the curve at `t ≥ 0` (right-continuous value).
+    #[inline]
+    pub fn eval(&self, t: Time) -> i64 {
+        self.segs[self.seg_index(t)].eval(t)
+    }
+
+    /// Left limit `f(t⁻)` for `t > 0`: the value of the piece active just
+    /// before `t`, extended to `t`. Differs from [`Curve::eval`] exactly at
+    /// jump discontinuities.
+    pub fn eval_left(&self, t: Time) -> i64 {
+        debug_assert!(t > Time::ZERO, "left limit needs t > 0");
+        let i = self.seg_index(t);
+        if self.segs[i].start == t && i > 0 {
+            self.segs[i - 1].eval(t)
+        } else {
+            self.segs[i].eval(t)
+        }
+    }
+
+    /// Size of the jump discontinuity at `t` (`0` where continuous).
+    pub fn jump_at(&self, t: Time) -> i64 {
+        if t == Time::ZERO {
+            return 0;
+        }
+        self.eval(t) - self.eval_left(t)
+    }
+
+    /// Iterator over breakpoint times (segment starts, including `0`).
+    pub fn breakpoints(&self) -> impl Iterator<Item = Time> + '_ {
+        self.segs.iter().map(|s| s.start)
+    }
+
+    /// `true` iff the curve never decreases **on the tick lattice**:
+    /// `f(t) ≥ f(t−1)` for every integer `t ≥ 1`.
+    ///
+    /// Lattice operations (pointwise min/max, running extrema) place
+    /// breakpoints at the first integer past a fractional crossing, so the
+    /// real-line interpolation may overshoot between the last lattice point
+    /// of a piece and the next breakpoint; only lattice monotonicity is
+    /// meaningful for such curves.
+    pub fn is_nondecreasing(&self) -> bool {
+        self.first_decrease().is_none()
+    }
+
+    /// First integer `t` with `f(t) < f(t−1)`, if any.
+    pub fn first_decrease(&self) -> Option<Time> {
+        for (i, s) in self.segs.iter().enumerate() {
+            let next_start = self.segs.get(i + 1).map(|n| n.start);
+            // Decrease inside the piece: a negative slope observable at a
+            // second lattice point.
+            if s.slope < 0 {
+                let second = s.start + Time(1);
+                if next_start.is_none_or(|ns| second < ns) {
+                    return Some(second);
+                }
+            }
+            // Decrease across the breakpoint vs. the previous lattice point.
+            if i > 0 && s.start > Time::ZERO && s.value < self.eval(s.start - Time(1)) {
+                return Some(s.start);
+            }
+        }
+        None
+    }
+
+    /// Check the curve is nondecreasing, returning a descriptive error if not.
+    pub fn require_nondecreasing(&self) -> Result<(), CurveError> {
+        match self.first_decrease() {
+            None => Ok(()),
+            Some(at) => Err(CurveError::NotMonotone { at }),
+        }
+    }
+
+    /// `true` iff the curve is continuous (no jumps).
+    pub fn is_continuous(&self) -> bool {
+        self.segs
+            .windows(2)
+            .all(|w| w[1].value == w[0].eval(w[1].start))
+    }
+
+    // ------------------------------------------------------------------
+    // Simple transforms
+    // ------------------------------------------------------------------
+
+    /// Horizontal shift right by `d ≥ 0` ticks, filling `[0, d)` with `fill`:
+    /// `g(t) = f(t − d)` for `t ≥ d`, `g(t) = fill` for `t < d`.
+    pub fn shift_right(&self, d: Time, fill: i64) -> Curve {
+        assert!(d >= Time::ZERO, "shift_right requires d >= 0");
+        if d == Time::ZERO {
+            return self.clone();
+        }
+        let mut segs = Vec::with_capacity(self.segs.len() + 1);
+        segs.push(Segment::new(Time::ZERO, fill, 0));
+        for s in &self.segs {
+            segs.push(Segment::new(s.start + d, s.value, s.slope));
+        }
+        Curve::from_segments(segs)
+    }
+
+    /// Replace the prefix `[0, t0)` with the constant `fill`, keeping the
+    /// curve unchanged from `t0` on — e.g. the SPNP lower availability
+    /// (Equation 17) is zero during the maximal blocking interval.
+    pub fn mask_before(&self, t0: Time, fill: i64) -> Curve {
+        if t0 <= Time::ZERO {
+            return self.clone();
+        }
+        let mut segs = vec![Segment::new(Time::ZERO, fill, 0)];
+        let i = self.seg_index(t0);
+        segs.push(Segment::new(t0, self.eval(t0), self.segs[i].slope));
+        segs.extend(self.segs[i + 1..].iter().copied());
+        Curve::from_sorted_segments(segs)
+    }
+
+    /// Drop all breakpoints strictly after `horizon`, extending the piece
+    /// active at `horizon` to infinity. The result agrees with `self` on
+    /// `[0, horizon]`.
+    pub fn truncate_after(&self, horizon: Time) -> Curve {
+        let i = self.seg_index(horizon.max(Time::ZERO));
+        Curve {
+            segs: self.segs[..=i].to_vec(),
+        }
+    }
+
+    /// Sample the curve at every integer tick in `[from, to]` (inclusive) —
+    /// intended for tests and debugging, not hot paths.
+    pub fn sample(&self, from: Time, to: Time) -> Vec<i64> {
+        (from.ticks()..=to.ticks())
+            .map(|t| self.eval(Time(t)))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Internal
+    // ------------------------------------------------------------------
+
+    /// Merge segments that continue their predecessor's line.
+    pub(crate) fn normalize(&mut self) {
+        let mut out: Vec<Segment> = Vec::with_capacity(self.segs.len());
+        for s in self.segs.drain(..) {
+            if let Some(prev) = out.last() {
+                if prev.slope == s.slope && prev.eval(s.start) == s.value {
+                    continue;
+                }
+            }
+            out.push(s);
+        }
+        self.segs = out;
+    }
+
+    /// Internal constructor for operation results: input must be sorted with
+    /// strictly increasing starts beginning at zero; normalizes.
+    pub(crate) fn from_sorted_segments(segs: Vec<Segment>) -> Curve {
+        debug_assert!(!segs.is_empty());
+        debug_assert!(segs[0].start == Time::ZERO);
+        debug_assert!(segs.windows(2).all(|w| w[0].start < w[1].start));
+        let mut c = Curve { segs };
+        c.normalize();
+        c
+    }
+}
+
+impl std::fmt::Display for Curve {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Curve[")?;
+        for (i, s) in self.segs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "({}: {} + {}·Δt)", s.start, s.value, s.slope)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn staircase() -> Curve {
+        // 0 on [0,5), 2 on [5,10), then slope 1.
+        Curve::from_segments(vec![
+            Segment::new(Time(0), 0, 0),
+            Segment::new(Time(5), 2, 0),
+            Segment::new(Time(10), 2, 1),
+        ])
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(Curve::try_from_segments(vec![]), Err(CurveError::Empty));
+        assert_eq!(
+            Curve::try_from_segments(vec![Segment::new(Time(1), 0, 0)]),
+            Err(CurveError::FirstSegmentNotAtZero)
+        );
+        let dup = vec![Segment::new(Time(0), 0, 0), Segment::new(Time(0), 1, 0)];
+        assert_eq!(
+            Curve::try_from_segments(dup),
+            Err(CurveError::UnsortedSegments { index: 1 })
+        );
+    }
+
+    #[test]
+    fn normalization_merges_continuations() {
+        let c = Curve::from_segments(vec![
+            Segment::new(Time(0), 0, 1),
+            Segment::new(Time(5), 5, 1), // continuation of the same line
+            Segment::new(Time(8), 9, 1), // jump of +1
+        ]);
+        assert_eq!(c.num_segments(), 2);
+        assert_eq!(c.eval(Time(7)), 7);
+        assert_eq!(c.eval(Time(8)), 9);
+    }
+
+    #[test]
+    fn eval_and_left_limits() {
+        let c = staircase();
+        assert_eq!(c.eval(Time(0)), 0);
+        assert_eq!(c.eval(Time(4)), 0);
+        assert_eq!(c.eval(Time(5)), 2); // right-continuous
+        assert_eq!(c.eval_left(Time(5)), 0);
+        assert_eq!(c.jump_at(Time(5)), 2);
+        assert_eq!(c.jump_at(Time(7)), 0);
+        assert_eq!(c.eval(Time(12)), 4);
+        assert_eq!(c.eval_left(Time(12)), 4);
+    }
+
+    #[test]
+    fn monotonicity_detection() {
+        assert!(staircase().is_nondecreasing());
+        let dec = Curve::from_segments(vec![
+            Segment::new(Time(0), 10, 0),
+            Segment::new(Time(3), 4, 0), // downward jump
+        ]);
+        assert_eq!(dec.first_decrease(), Some(Time(3)));
+        let negslope = Curve::affine(0, -1);
+        // The first observable lattice decrease is at t = 1 (f(1) < f(0)).
+        assert_eq!(negslope.first_decrease(), Some(Time(1)));
+        assert!(negslope.require_nondecreasing().is_err());
+        // Overshoot-then-dip representations that are monotone on the
+        // lattice count as nondecreasing: values 0,1,2,2,… with the second
+        // piece starting below the first piece's interpolated extension.
+        let lattice_monotone = Curve::from_segments(vec![
+            Segment::new(Time(0), 0, 1),
+            Segment::new(Time(3), 2, 0),
+        ]);
+        assert!(lattice_monotone.is_nondecreasing());
+    }
+
+    #[test]
+    fn continuity_detection() {
+        assert!(!staircase().is_continuous());
+        assert!(Curve::identity().is_continuous());
+        let cont = Curve::from_segments(vec![
+            Segment::new(Time(0), 0, 1),
+            Segment::new(Time(4), 4, 0),
+        ]);
+        assert!(cont.is_continuous());
+    }
+
+    #[test]
+    fn shift_right_fills_prefix() {
+        let c = Curve::identity().shift_right(Time(3), 0);
+        assert_eq!(c.eval(Time(0)), 0);
+        assert_eq!(c.eval(Time(2)), 0);
+        assert_eq!(c.eval(Time(3)), 0);
+        assert_eq!(c.eval(Time(10)), 7);
+        // Zero shift is identity.
+        assert_eq!(Curve::identity().shift_right(Time(0), 99), Curve::identity());
+    }
+
+    #[test]
+    fn mask_before_replaces_prefix() {
+        let c = Curve::identity().mask_before(Time(5), 0);
+        assert_eq!(c.sample(Time(0), Time(7)), vec![0, 0, 0, 0, 0, 5, 6, 7]);
+        // No-op masks.
+        assert_eq!(Curve::identity().mask_before(Time(0), 9), Curve::identity());
+        // Mask inside a later segment.
+        let s = staircase().mask_before(Time(7), -1);
+        assert_eq!(s.eval(Time(6)), -1);
+        assert_eq!(s.eval(Time(7)), 2);
+        assert_eq!(s.eval(Time(12)), 4);
+    }
+
+    #[test]
+    fn truncate_after_keeps_prefix() {
+        let c = staircase().truncate_after(Time(6));
+        assert_eq!(c.eval(Time(6)), 2);
+        assert_eq!(c.eval(Time(100)), 2); // plateau extended
+        assert_eq!(c.num_segments(), 2);
+    }
+
+    #[test]
+    fn step_from_points_builds_staircase() {
+        let c = Curve::step_from_points(0, &[(Time(2), 1), (Time(4), 3)]);
+        assert_eq!(c.sample(Time(0), Time(5)), vec![0, 0, 1, 1, 3, 3]);
+        // Breakpoint at zero replaces the implicit prefix.
+        let d = Curve::step_from_points(7, &[(Time(0), 1), (Time(4), 3)]);
+        assert_eq!(d.eval(Time(0)), 1);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let s = format!("{}", Curve::affine(1, 2));
+        assert_eq!(s, "Curve[(0: 1 + 2·Δt)]");
+    }
+}

@@ -1,0 +1,310 @@
+//! Pointwise curve operations: linear combination, minimum, maximum.
+//!
+//! All operations are exact **on the integer tick lattice**. Pointwise
+//! min/max of two linear pieces may cross at a fractional instant; the
+//! breakpoint of the result is placed at the first integer tick past the
+//! crossing, which leaves the value at every integer tick exact (see the
+//! crate-level discussion of the lattice exactness model).
+
+use crate::util::div_floor;
+use crate::{Curve, Segment, Time};
+
+/// Merged, deduplicated breakpoint times of two curves.
+fn merged_starts(a: &Curve, b: &Curve) -> Vec<Time> {
+    let (sa, sb) = (a.segments(), b.segments());
+    let mut out = Vec::with_capacity(sa.len() + sb.len());
+    let (mut i, mut j) = (0, 0);
+    while i < sa.len() || j < sb.len() {
+        let t = match (sa.get(i), sb.get(j)) {
+            (Some(x), Some(y)) => x.start.min(y.start),
+            (Some(x), None) => x.start,
+            (None, Some(y)) => y.start,
+            (None, None) => unreachable!(),
+        };
+        while i < sa.len() && sa[i].start == t {
+            i += 1;
+        }
+        while j < sb.len() && sb[j].start == t {
+            j += 1;
+        }
+        out.push(t);
+    }
+    out
+}
+
+/// Walk two curves over their merged breakpoints, yielding at each interval
+/// start the active segment of each curve.
+fn zip_pieces<'a>(
+    a: &'a Curve,
+    b: &'a Curve,
+) -> impl Iterator<Item = (Time, Option<Time>, &'a Segment, &'a Segment)> {
+    let starts = merged_starts(a, b);
+    let n = starts.len();
+    let mut ia = 0usize;
+    let mut ib = 0usize;
+    (0..n).map(move |idx| {
+        let t = starts[idx];
+        let next = starts.get(idx + 1).copied();
+        while ia + 1 < a.segments().len() && a.segments()[ia + 1].start <= t {
+            ia += 1;
+        }
+        while ib + 1 < b.segments().len() && b.segments()[ib + 1].start <= t {
+            ib += 1;
+        }
+        (t, next, &a.segments()[ia], &b.segments()[ib])
+    })
+}
+
+/// The pointwise linear combination `ca·a + cb·b`.
+pub fn linear_combine(a: &Curve, ca: i64, b: &Curve, cb: i64) -> Curve {
+    let mut segs = Vec::new();
+    for (t, _next, sa, sb) in zip_pieces(a, b) {
+        segs.push(Segment::new(
+            t,
+            ca * sa.eval(t) + cb * sb.eval(t),
+            ca * sa.slope + cb * sb.slope,
+        ));
+    }
+    Curve::from_sorted_segments(segs)
+}
+
+/// Pointwise minimum, exact at every integer tick.
+pub fn pointwise_min(a: &Curve, b: &Curve) -> Curve {
+    let mut segs: Vec<Segment> = Vec::new();
+    for (t0, next, sa, sb) in zip_pieces(a, b) {
+        let (va, vb) = (sa.eval(t0), sb.eval(t0));
+        let d0 = va - vb; // a − b at interval start
+        let ds = sa.slope - sb.slope;
+        // The currently-lower piece, then a possible single switch.
+        let (first, second, lower_first) = if d0 <= 0 { (sa, sb, true) } else { (sb, sa, false) };
+        segs.push(Segment::new(t0, first.eval(t0), first.slope));
+        // Does the sign of d = a − b flip inside this interval?
+        let cross_off = if lower_first && ds > 0 {
+            // first integer offset with d0 + ds·off > 0
+            Some(div_floor(-d0, ds) + 1)
+        } else if !lower_first && ds < 0 {
+            // first integer offset with d0 + ds·off < 0  ⇔  (−ds)·off > d0
+            Some(div_floor(d0, -ds) + 1)
+        } else {
+            None
+        };
+        if let Some(off) = cross_off {
+            debug_assert!(off >= 1);
+            let tc = t0 + Time(off);
+            if next.is_none_or(|t1| tc < t1) {
+                segs.push(Segment::new(tc, second.eval(tc), second.slope));
+            }
+        }
+    }
+    Curve::from_sorted_segments(segs)
+}
+
+/// Pointwise maximum, exact at every integer tick.
+pub fn pointwise_max(a: &Curve, b: &Curve) -> Curve {
+    pointwise_min(&a.neg(), &b.neg()).neg()
+}
+
+impl Curve {
+    /// Pointwise sum `self + rhs`.
+    pub fn add(&self, rhs: &Curve) -> Curve {
+        linear_combine(self, 1, rhs, 1)
+    }
+
+    /// Pointwise difference `self − rhs`.
+    pub fn sub(&self, rhs: &Curve) -> Curve {
+        linear_combine(self, 1, rhs, -1)
+    }
+
+    /// Pointwise negation.
+    pub fn neg(&self) -> Curve {
+        let segs = self
+            .segments()
+            .iter()
+            .map(|s| Segment::new(s.start, -s.value, -s.slope))
+            .collect();
+        Curve::from_sorted_segments(segs)
+    }
+
+    /// Pointwise scaling `k·self` — e.g. the workload function
+    /// `c(t) = f_arr(t) · τ` of Definition 3.
+    pub fn scale(&self, k: i64) -> Curve {
+        let segs = self
+            .segments()
+            .iter()
+            .map(|s| Segment::new(s.start, k * s.value, k * s.slope))
+            .collect();
+        Curve::from_sorted_segments(segs)
+    }
+
+    /// Pointwise constant offset `self + v`.
+    pub fn add_const(&self, v: i64) -> Curve {
+        let segs = self
+            .segments()
+            .iter()
+            .map(|s| Segment::new(s.start, s.value + v, s.slope))
+            .collect();
+        Curve::from_sorted_segments(segs)
+    }
+
+    /// Pointwise minimum with another curve.
+    pub fn min_with(&self, rhs: &Curve) -> Curve {
+        pointwise_min(self, rhs)
+    }
+
+    /// Pointwise maximum with another curve.
+    pub fn max_with(&self, rhs: &Curve) -> Curve {
+        pointwise_max(self, rhs)
+    }
+
+    /// Clamp below: `max(self, v)` — e.g. forcing a service lower bound to be
+    /// nonnegative.
+    pub fn clamp_min(&self, v: i64) -> Curve {
+        pointwise_max(self, &Curve::constant(v))
+    }
+
+    /// Clamp above: `min(self, v)`.
+    pub fn clamp_max(&self, v: i64) -> Curve {
+        pointwise_min(self, &Curve::constant(v))
+    }
+}
+
+// Operator sugar: `&a + &b`, `&a - &b`, `-&a` delegate to the exact
+// pointwise operations above.
+impl std::ops::Add for &Curve {
+    type Output = Curve;
+    fn add(self, rhs: &Curve) -> Curve {
+        Curve::add(self, rhs)
+    }
+}
+
+impl std::ops::Sub for &Curve {
+    type Output = Curve;
+    fn sub(self, rhs: &Curve) -> Curve {
+        Curve::sub(self, rhs)
+    }
+}
+
+impl std::ops::Neg for &Curve {
+    type Output = Curve;
+    fn neg(self) -> Curve {
+        Curve::neg(self)
+    }
+}
+
+impl std::ops::Mul<i64> for &Curve {
+    type Output = Curve;
+    fn mul(self, k: i64) -> Curve {
+        self.scale(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn steps() -> Curve {
+        Curve::from_segments(vec![
+            Segment::new(Time(0), 0, 0),
+            Segment::new(Time(3), 2, 0),
+            Segment::new(Time(6), 5, 1),
+        ])
+    }
+
+    #[test]
+    fn add_and_sub_are_pointwise() {
+        let a = steps();
+        let b = Curve::identity();
+        let sum = a.add(&b);
+        let diff = a.sub(&b);
+        for t in 0..12 {
+            let t = Time(t);
+            assert_eq!(sum.eval(t), a.eval(t) + b.eval(t));
+            assert_eq!(diff.eval(t), a.eval(t) - b.eval(t));
+        }
+    }
+
+    #[test]
+    fn scale_and_const_offset() {
+        let a = steps();
+        let s = a.scale(3).add_const(7);
+        for t in 0..12 {
+            assert_eq!(s.eval(Time(t)), 3 * a.eval(Time(t)) + 7);
+        }
+    }
+
+    #[test]
+    fn neg_roundtrip() {
+        let a = steps();
+        assert_eq!(a.neg().neg(), a);
+    }
+
+    #[test]
+    fn min_of_crossing_lines() {
+        // f = t, g = 10 − t: crossing at t = 5 exactly.
+        let f = Curve::identity();
+        let g = Curve::affine(10, -1);
+        let m = pointwise_min(&f, &g);
+        for t in 0..=12 {
+            assert_eq!(m.eval(Time(t)), t.min(10 - t), "t={t}");
+        }
+    }
+
+    #[test]
+    fn min_with_fractional_crossing_is_lattice_exact() {
+        // f = 2t, g = 7 (crossing at t = 3.5).
+        let f = Curve::affine(0, 2);
+        let g = Curve::constant(7);
+        let m = pointwise_min(&f, &g);
+        for t in 0..=10 {
+            assert_eq!(m.eval(Time(t)), (2 * t).min(7), "t={t}");
+        }
+    }
+
+    #[test]
+    fn min_and_max_against_staircase() {
+        let a = steps();
+        let b = Curve::affine(1, 0);
+        let mn = a.min_with(&b);
+        let mx = a.max_with(&b);
+        for t in 0..15 {
+            let t = Time(t);
+            assert_eq!(mn.eval(t), a.eval(t).min(1), "min t={t}");
+            assert_eq!(mx.eval(t), a.eval(t).max(1), "max t={t}");
+        }
+    }
+
+    #[test]
+    fn clamp_bounds() {
+        let a = Curve::affine(-5, 1); // −5, −4, …
+        let c = a.clamp_min(0);
+        for t in 0..12 {
+            assert_eq!(c.eval(Time(t)), (t - 5).max(0));
+        }
+        let d = a.clamp_max(2);
+        for t in 0..12 {
+            assert_eq!(d.eval(Time(t)), (t - 5).min(2));
+        }
+    }
+
+    #[test]
+    fn operator_sugar_matches_methods() {
+        let a = steps();
+        let b = Curve::identity();
+        assert_eq!(&a + &b, a.add(&b));
+        assert_eq!(&a - &b, a.sub(&b));
+        assert_eq!(-&a, a.neg());
+        assert_eq!(&a * 3, a.scale(3));
+    }
+
+    #[test]
+    fn min_handles_multiple_intervals() {
+        // Staircase vs slope-1 line starting above then catching up repeatedly.
+        let a = steps();
+        let b = Curve::affine(4, 0);
+        let m = pointwise_min(&a, &b);
+        for t in 0..20 {
+            let t = Time(t);
+            assert_eq!(m.eval(t), a.eval(t).min(4));
+        }
+    }
+}

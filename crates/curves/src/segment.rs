@@ -1,0 +1,52 @@
+//! A single linear piece of a [`crate::Curve`].
+
+use crate::Time;
+
+/// One linear piece of a piecewise-linear curve.
+///
+/// A segment describes the curve on the half-open interval
+/// `[start, next_start)` (the last segment of a curve extends to `+∞`) as
+/// `f(t) = value + slope · (t − start)`.
+///
+/// `value` is the value *at* `start` (curves are right-continuous); a jump
+/// discontinuity exists at a breakpoint whenever the previous segment's line,
+/// extended to `start`, differs from `value`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Segment {
+    /// Left endpoint of the piece (inclusive).
+    pub start: Time,
+    /// Curve value at `start`.
+    pub value: i64,
+    /// Change in value per tick on this piece.
+    pub slope: i64,
+}
+
+impl Segment {
+    /// Construct a segment.
+    #[inline]
+    pub const fn new(start: Time, value: i64, slope: i64) -> Segment {
+        Segment { start, value, slope }
+    }
+
+    /// Evaluate the segment's line at `t` (no domain check — callers must
+    /// ensure `t` lies in the piece, or explicitly want the extension).
+    #[inline]
+    pub fn eval(&self, t: Time) -> i64 {
+        self.value + self.slope * (t - self.start).ticks()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluates_its_line() {
+        let s = Segment::new(Time(10), 5, 3);
+        assert_eq!(s.eval(Time(10)), 5);
+        assert_eq!(s.eval(Time(12)), 11);
+        // Extension below start is the same line.
+        assert_eq!(s.eval(Time(9)), 2);
+    }
+}

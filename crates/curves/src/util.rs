@@ -1,0 +1,34 @@
+//! Small exact-integer helpers shared across curve operations.
+
+/// Floor division for `i64` with a strictly positive divisor.
+#[inline]
+pub(crate) fn div_floor(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0, "div_floor requires positive divisor");
+    a.div_euclid(b)
+}
+
+/// Ceiling division for `i64` with a strictly positive divisor.
+#[inline]
+pub(crate) fn div_ceil(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0, "div_ceil requires positive divisor");
+    -((-a).div_euclid(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floor_and_ceil_division_with_negatives() {
+        assert_eq!(div_floor(7, 2), 3);
+        assert_eq!(div_floor(-7, 2), -4);
+        assert_eq!(div_floor(6, 3), 2);
+        assert_eq!(div_floor(-6, 3), -2);
+        assert_eq!(div_ceil(7, 2), 4);
+        assert_eq!(div_ceil(-7, 2), -3);
+        assert_eq!(div_ceil(6, 3), 2);
+        assert_eq!(div_ceil(-6, 3), -2);
+        assert_eq!(div_ceil(0, 5), 0);
+        assert_eq!(div_floor(0, 5), 0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Random distributions for workload generation.
+//!
+//! The evaluation draws uniform variates (periods, weights), exponential
+//! deadlines, and — for the Figure 4 grid, which varies deadline *variance*
+//! independently of the mean — gamma-distributed deadlines. The offline
+//! `rand` crate provides only uniform primitives, so exponential and gamma
+//! sampling (Marsaglia–Tsang, with Box–Muller normals) are implemented here.
+
+use rand::Rng;
+
+/// A parametric distribution over nonnegative reals.
+#[derive(Copy, Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Dist {
+    /// Point mass at `v`.
+    Constant(f64),
+    /// Uniform on `[lo, hi)`.
+    Uniform(f64, f64),
+    /// Exponential with the given mean (variance = mean²).
+    Exponential {
+        /// Mean of the distribution.
+        mean: f64,
+    },
+    /// Gamma parameterized by mean and variance.
+    ///
+    /// `Gamma { mean: m, variance: m² }` coincides with
+    /// `Exponential { mean: m }`; lowering the variance below `m²`
+    /// concentrates the distribution, raising it spreads it — exactly the
+    /// two axes the Figure 4 panel grid sweeps.
+    Gamma {
+        /// Mean of the distribution.
+        mean: f64,
+        /// Variance of the distribution.
+        variance: f64,
+    },
+    /// A gamma variate on top of a deterministic floor: `shift + Γ`.
+    ///
+    /// Used for the Figure 4 deadline grid: the floor keeps a minimum
+    /// feasible deadline, so sweeping the noise variance changes the tail
+    /// without collapsing the distribution onto zero — consistent with the
+    /// paper's observation that deadline variance has little effect on
+    /// admission probability.
+    ShiftedGamma {
+        /// Deterministic floor.
+        shift: f64,
+        /// Mean of the gamma noise (total mean = `shift + mean`).
+        mean: f64,
+        /// Variance of the gamma noise (= variance of the total).
+        variance: f64,
+    },
+}
+
+impl Dist {
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            Dist::Constant(v) => v,
+            Dist::Uniform(lo, hi) => {
+                assert!(hi > lo, "empty uniform support");
+                rng.gen_range(lo..hi)
+            }
+            Dist::Exponential { mean } => sample_exponential(rng, mean),
+            Dist::Gamma { mean, variance } => {
+                assert!(mean > 0.0 && variance > 0.0, "gamma needs positive parameters");
+                // mean = k·θ, variance = k·θ² ⇒ θ = var/mean, k = mean²/var.
+                let theta = variance / mean;
+                let k = mean * mean / variance;
+                sample_gamma(rng, k) * theta
+            }
+            Dist::ShiftedGamma { shift, mean, variance } => {
+                shift + Dist::Gamma { mean, variance }.sample(rng)
+            }
+        }
+    }
+
+    /// Theoretical mean.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Dist::Constant(v) => v,
+            Dist::Uniform(lo, hi) => 0.5 * (lo + hi),
+            Dist::Exponential { mean } => mean,
+            Dist::Gamma { mean, .. } => mean,
+            Dist::ShiftedGamma { shift, mean, .. } => shift + mean,
+        }
+    }
+
+    /// Theoretical variance.
+    pub fn variance(&self) -> f64 {
+        match *self {
+            Dist::Constant(_) => 0.0,
+            Dist::Uniform(lo, hi) => (hi - lo) * (hi - lo) / 12.0,
+            Dist::Exponential { mean } => mean * mean,
+            Dist::Gamma { variance, .. } => variance,
+            Dist::ShiftedGamma { variance, .. } => variance,
+        }
+    }
+}
+
+/// Exponential variate via inversion.
+fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    assert!(mean > 0.0, "exponential needs a positive mean");
+    // gen::<f64>() ∈ [0,1); guard against ln(0).
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    -mean * u.ln()
+}
+
+/// Standard normal variate via Box–Muller.
+fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Gamma(shape k, scale 1) via Marsaglia & Tsang (2000), with the standard
+/// `U^{1/k}` boost for shape < 1.
+fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, k: f64) -> f64 {
+    assert!(k > 0.0, "gamma needs a positive shape");
+    if k < 1.0 {
+        // Γ(k) = Γ(k+1) · U^{1/k}
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        return sample_gamma(rng, k + 1.0) * u.powf(1.0 / k);
+    }
+    let d = k - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = sample_standard_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v3 = v * v * v;
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        // Squeeze, then full acceptance test.
+        if u < 1.0 - 0.0331 * x * x * x * x {
+            return d * v3;
+        }
+        if u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln()) {
+            return d * v3;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn moments(d: Dist, n: usize, seed: u64) -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        (mean, var)
+    }
+
+    #[test]
+    fn constant_and_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(Dist::Constant(4.2).sample(&mut rng), 4.2);
+        for _ in 0..100 {
+            let x = Dist::Uniform(2.0, 3.0).sample(&mut rng);
+            assert!((2.0..3.0).contains(&x));
+        }
+        let (m, v) = moments(Dist::Uniform(0.0, 1.0), 40_000, 7);
+        assert!((m - 0.5).abs() < 0.01, "uniform mean {m}");
+        assert!((v - 1.0 / 12.0).abs() < 0.005, "uniform variance {v}");
+    }
+
+    #[test]
+    fn exponential_moments() {
+        let (m, v) = moments(Dist::Exponential { mean: 3.0 }, 60_000, 11);
+        assert!((m - 3.0).abs() < 0.1, "exp mean {m}");
+        assert!((v - 9.0).abs() < 0.6, "exp variance {v}");
+    }
+
+    #[test]
+    fn gamma_moments_high_shape() {
+        let d = Dist::Gamma { mean: 4.0, variance: 2.0 }; // shape 8
+        let (m, v) = moments(d, 60_000, 13);
+        assert!((m - 4.0).abs() < 0.05, "gamma mean {m}");
+        assert!((v - 2.0).abs() < 0.15, "gamma variance {v}");
+    }
+
+    #[test]
+    fn gamma_moments_low_shape() {
+        let d = Dist::Gamma { mean: 1.0, variance: 4.0 }; // shape 0.25
+        let (m, v) = moments(d, 120_000, 17);
+        assert!((m - 1.0).abs() < 0.05, "gamma mean {m}");
+        assert!((v - 4.0).abs() < 0.5, "gamma variance {v}");
+    }
+
+    #[test]
+    fn gamma_with_variance_mean_squared_matches_exponential_moments() {
+        let g = Dist::Gamma { mean: 2.0, variance: 4.0 };
+        let (m, v) = moments(g, 60_000, 19);
+        assert!((m - 2.0).abs() < 0.08, "mean {m}");
+        assert!((v - 4.0).abs() < 0.4, "variance {v}");
+    }
+
+    #[test]
+    fn shifted_gamma_moments_and_floor() {
+        let d = Dist::ShiftedGamma { shift: 4.0, mean: 4.0, variance: 8.0 };
+        assert_eq!(d.mean(), 8.0);
+        assert_eq!(d.variance(), 8.0);
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..5_000 {
+            assert!(d.sample(&mut rng) >= 4.0, "floor must hold");
+        }
+        let (m, v) = moments(d, 60_000, 37);
+        assert!((m - 8.0).abs() < 0.08, "mean {m}");
+        assert!((v - 8.0).abs() < 0.6, "variance {v}");
+    }
+
+    #[test]
+    fn samples_are_nonnegative() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for d in [
+            Dist::Exponential { mean: 0.5 },
+            Dist::Gamma { mean: 0.5, variance: 0.1 },
+            Dist::Gamma { mean: 0.2, variance: 1.0 },
+        ] {
+            for _ in 0..10_000 {
+                assert!(d.sample(&mut rng) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn theoretical_moments_exposed() {
+        assert_eq!(Dist::Uniform(0.0, 2.0).mean(), 1.0);
+        assert_eq!(Dist::Exponential { mean: 3.0 }.variance(), 9.0);
+        assert_eq!(Dist::Gamma { mean: 2.0, variance: 5.0 }.variance(), 5.0);
+        assert_eq!(Dist::Constant(1.0).variance(), 0.0);
+    }
+}

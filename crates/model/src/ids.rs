@@ -1,0 +1,59 @@
+//! Typed identifiers for processors, jobs and subjobs.
+
+use std::fmt;
+
+/// Index of a processor in a [`crate::TaskSystem`].
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ProcessorId(pub usize);
+
+/// Index of a job in a [`crate::TaskSystem`].
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct JobId(pub usize);
+
+/// A subjob `T_{k,j}`: the `index`-th hop (0-based) of job `job`.
+///
+/// The paper writes `T_{k,j}` with `j` 1-based; this library uses 0-based
+/// indices internally and 1-based names in display output.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SubjobRef {
+    /// The owning job `T_k`.
+    pub job: JobId,
+    /// 0-based position in the job's chain.
+    pub index: usize,
+}
+
+impl fmt::Display for ProcessorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0 + 1)
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0 + 1)
+    }
+}
+
+impl fmt::Display for SubjobRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{},{}", self.job.0 + 1, self.index + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_paper_notation() {
+        assert_eq!(ProcessorId(0).to_string(), "P1");
+        assert_eq!(JobId(2).to_string(), "T3");
+        assert_eq!(
+            SubjobRef { job: JobId(1), index: 0 }.to_string(),
+            "T2,1"
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! # rta-model — distributed real-time system model and workload generators
+//!
+//! This crate provides the system model of Li, Bettati & Zhao (ICPP 1998,
+//! Section 3) and the random workload generators of its evaluation
+//! (Section 5.1):
+//!
+//! * a system of `m` processors and `n` independent jobs, each job a chain
+//!   of subjobs executed on a sequence of processors ([`TaskSystem`],
+//!   [`Job`], [`Subjob`], [`Processor`]);
+//! * per-processor scheduling algorithms: preemptive static priority (SPP),
+//!   non-preemptive static priority (SPNP), and FCFS ([`SchedulerKind`]) —
+//!   heterogeneous mixes are allowed;
+//! * arrival patterns: periodic, the paper's hyperbolic bursty stream
+//!   (Equation 27), burst trains, sporadic envelopes, and explicit traces
+//!   ([`arrival::ArrivalPattern`]);
+//! * priority assignment policies, including the relative-deadline-monotonic
+//!   rule of Equation 24 ([`priority::PriorityPolicy`]);
+//! * the job-shop generator of Section 5.1 with the periodic (Eq. 25/26) and
+//!   aperiodic (Eq. 27/28) parameterizations ([`jobshop`]);
+//! * analysis-horizon selection ([`horizon`]).
+//!
+//! Continuous quantities are quantized to the integer tick lattice **once**,
+//! at construction time (release times rounded down, execution times rounded
+//! up — both conservative); everything downstream is exact integer math.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod distributions;
+pub mod horizon;
+mod ids;
+pub mod jobshop;
+pub mod priority;
+mod system;
+
+pub use arrival::ArrivalPattern;
+pub use ids::{JobId, ProcessorId, SubjobRef};
+pub use system::{Job, ModelError, Processor, SchedulerKind, Subjob, SystemBuilder, TaskSystem};

@@ -1,0 +1,212 @@
+//! Priority assignment policies.
+//!
+//! The analysis accepts arbitrary priority assignments (Section 3.2); the
+//! evaluation uses the *relative deadline monotonic* rule of Equation 24:
+//! each subjob gets the sub-deadline
+//! `D_{i,j} = τ_{i,j} / (Σ_k τ_{i,k}) · D_i`, and subjobs on a processor are
+//! prioritized by increasing sub-deadline. Classical deadline-monotonic and
+//! rate-monotonic policies are provided as alternatives.
+//!
+//! All policies produce a **strict** priority order per processor (the
+//! theorems sum over strictly-higher-priority peers), breaking ties by
+//! `(job index, hop index)`.
+
+use crate::ids::{JobId, SubjobRef};
+use crate::system::{ModelError, TaskSystem};
+use rta_curves::Time;
+
+/// A priority assignment policy.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum PriorityPolicy {
+    /// Equation 24: sub-deadline proportional to the hop's share of the
+    /// chain's total execution time; smaller sub-deadline = higher priority.
+    RelativeDeadlineMonotonic,
+    /// Smaller end-to-end deadline = higher priority (same order on every
+    /// processor a job visits).
+    DeadlineMonotonic,
+    /// Smaller nominal period = higher priority. Fails with
+    /// [`ModelError::NoNominalPeriod`] if a job's pattern has no period.
+    RateMonotonic,
+}
+
+/// Sortable key: priorities are assigned by ascending key.
+fn key(sys: &TaskSystem, policy: PriorityPolicy, r: SubjobRef) -> Result<i128, ModelError> {
+    let job = sys.job(r.job);
+    let s = sys.subjob(r);
+    Ok(match policy {
+        PriorityPolicy::RelativeDeadlineMonotonic => {
+            // D_{i,j} = τ_{i,j}·D_i / Στ. The denominator differs per job,
+            // so exact cross-multiplied comparison is unavailable pairwise;
+            // compare the scaled integer τ_{i,j}·D_i·10⁶ / Στ instead, whose
+            // resolution (one millionth of a tick) exceeds any realistic
+            // sub-deadline gap.
+            let total = job.total_exec().ticks() as i128;
+            debug_assert!(total > 0);
+            (s.exec.ticks() as i128) * (job.deadline.ticks() as i128) * 1_000_000 / total
+        }
+        PriorityPolicy::DeadlineMonotonic => job.deadline.ticks() as i128,
+        PriorityPolicy::RateMonotonic => {
+            let period: Time = job
+                .arrival
+                .nominal_period(sys.ticks_per_unit())
+                .ok_or(ModelError::NoNominalPeriod { job: r.job })?;
+            period.ticks() as i128
+        }
+    })
+}
+
+/// Assign priorities on every static-priority processor of the system
+/// according to `policy`, then validate the result.
+///
+/// FCFS processors are skipped. Existing priorities are overwritten.
+pub fn assign_priorities(sys: &mut TaskSystem, policy: PriorityPolicy) -> Result<(), ModelError> {
+    let nprocs = sys.processors().len();
+    for p in 0..nprocs {
+        let pid = crate::ids::ProcessorId(p);
+        if !sys.processor(pid).scheduler.uses_priorities() {
+            continue;
+        }
+        let mut entries: Vec<(i128, SubjobRef)> = Vec::new();
+        for r in sys.subjobs_on(pid) {
+            entries.push((key(sys, policy, r)?, r));
+        }
+        // Ascending key, deterministic tie-break.
+        entries.sort_by_key(|(k, r)| (*k, r.job.0, r.index));
+        for (rank, (_, r)) in entries.into_iter().enumerate() {
+            sys.jobs_mut()[r.job.0].subjobs[r.index].priority = Some(rank as u32 + 1);
+        }
+    }
+    sys.validate(true)
+}
+
+/// The Equation 24 sub-deadline of a subjob, in ticks (rounded down).
+pub fn sub_deadline(sys: &TaskSystem, r: SubjobRef) -> Time {
+    let job = sys.job(r.job);
+    let s = sys.subjob(r);
+    let total = job.total_exec().ticks() as i128;
+    let d = (s.exec.ticks() as i128) * (job.deadline.ticks() as i128) / total;
+    Time(d as i64)
+}
+
+/// Proportional-deadline split: each hop's sub-deadline, useful for
+/// reporting; sums to ≤ the end-to-end deadline (rounding down per hop).
+pub fn sub_deadlines(sys: &TaskSystem, job: JobId) -> Vec<Time> {
+    (0..sys.job(job).subjobs.len())
+        .map(|j| sub_deadline(sys, SubjobRef { job, index: j }))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::ArrivalPattern;
+    use crate::ids::ProcessorId;
+    use crate::system::{SchedulerKind, SystemBuilder};
+
+    fn sys_three_jobs(scheduler: SchedulerKind) -> TaskSystem {
+        let mut b = SystemBuilder::new();
+        let p1 = b.add_processor("P1", scheduler);
+        let p2 = b.add_processor("P2", scheduler);
+        // T1: deadline 100, chain exec 10+30 ⇒ sub-deadlines 25, 75.
+        b.add_job(
+            "T1",
+            Time(100),
+            ArrivalPattern::Periodic { period: Time(50), offset: Time::ZERO },
+            vec![(p1, Time(10)), (p2, Time(30))],
+        );
+        // T2: deadline 60, single hop on P1 ⇒ sub-deadline 60.
+        b.add_job(
+            "T2",
+            Time(60),
+            ArrivalPattern::Periodic { period: Time(60), offset: Time::ZERO },
+            vec![(p1, Time(20))],
+        );
+        // T3: deadline 40, single hop on P2 ⇒ sub-deadline 40.
+        b.add_job(
+            "T3",
+            Time(40),
+            ArrivalPattern::Periodic { period: Time(20), offset: Time::ZERO },
+            vec![(p2, Time(5))],
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn relative_deadline_monotonic_matches_eq24() {
+        let mut sys = sys_three_jobs(SchedulerKind::Spp);
+        assign_priorities(&mut sys, PriorityPolicy::RelativeDeadlineMonotonic).unwrap();
+        // P1: T1 hop 0 sub-deadline 25 < T2's 60 ⇒ T1 higher.
+        let t1p1 = SubjobRef { job: JobId(0), index: 0 };
+        let t2p1 = SubjobRef { job: JobId(1), index: 0 };
+        assert!(sys.subjob(t1p1).priority < sys.subjob(t2p1).priority);
+        // P2: T3 sub-deadline 40 < T1 hop 1's 75 ⇒ T3 higher.
+        let t1p2 = SubjobRef { job: JobId(0), index: 1 };
+        let t3p2 = SubjobRef { job: JobId(2), index: 0 };
+        assert!(sys.subjob(t3p2).priority < sys.subjob(t1p2).priority);
+        assert!(sys.validate(true).is_ok());
+    }
+
+    #[test]
+    fn sub_deadline_values() {
+        let sys = sys_three_jobs(SchedulerKind::Spp);
+        assert_eq!(sub_deadline(&sys, SubjobRef { job: JobId(0), index: 0 }), Time(25));
+        assert_eq!(sub_deadline(&sys, SubjobRef { job: JobId(0), index: 1 }), Time(75));
+        assert_eq!(sub_deadlines(&sys, JobId(0)), vec![Time(25), Time(75)]);
+    }
+
+    #[test]
+    fn deadline_monotonic_orders_by_end_to_end_deadline() {
+        let mut sys = sys_three_jobs(SchedulerKind::Spnp);
+        assign_priorities(&mut sys, PriorityPolicy::DeadlineMonotonic).unwrap();
+        // P1: T2 (D=60) higher than T1 (D=100).
+        assert!(
+            sys.subjob(SubjobRef { job: JobId(1), index: 0 }).priority
+                < sys.subjob(SubjobRef { job: JobId(0), index: 0 }).priority
+        );
+    }
+
+    #[test]
+    fn rate_monotonic_orders_by_period() {
+        let mut sys = sys_three_jobs(SchedulerKind::Spp);
+        assign_priorities(&mut sys, PriorityPolicy::RateMonotonic).unwrap();
+        // P2: T3 period 20 < T1 period 50.
+        assert!(
+            sys.subjob(SubjobRef { job: JobId(2), index: 0 }).priority
+                < sys.subjob(SubjobRef { job: JobId(0), index: 1 }).priority
+        );
+    }
+
+    #[test]
+    fn fcfs_processors_are_skipped() {
+        let mut sys = sys_three_jobs(SchedulerKind::Fcfs);
+        assign_priorities(&mut sys, PriorityPolicy::RelativeDeadlineMonotonic).unwrap();
+        for r in sys.subjobs_on(ProcessorId(0)) {
+            assert_eq!(sys.subjob(r).priority, None);
+        }
+    }
+
+    #[test]
+    fn priorities_are_strict_per_processor() {
+        let mut b = SystemBuilder::new();
+        let p = b.add_processor("P1", SchedulerKind::Spp);
+        // Identical jobs: tie must be broken deterministically.
+        for i in 0..4 {
+            b.add_job(
+                format!("T{i}"),
+                Time(50),
+                ArrivalPattern::Periodic { period: Time(50), offset: Time::ZERO },
+                vec![(p, Time(10))],
+            );
+        }
+        let mut sys = b.build().unwrap();
+        assign_priorities(&mut sys, PriorityPolicy::RelativeDeadlineMonotonic).unwrap();
+        let mut prios: Vec<u32> = sys
+            .subjobs_on(ProcessorId(0))
+            .into_iter()
+            .map(|r| sys.subjob(r).priority.unwrap())
+            .collect();
+        prios.sort();
+        assert_eq!(prios, vec![1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,445 @@
+//! The event-driven simulation engine.
+
+use crate::result::SimResult;
+use rta_curves::Time;
+use rta_model::{JobId, SchedulerKind, SubjobRef, TaskSystem};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Simulation parameters.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Instances released in `[0, window]` are simulated.
+    pub window: Time,
+    /// Hard stop: instances not completed by this time are reported as
+    /// incomplete (matches the analysis convention).
+    pub horizon: Time,
+}
+
+impl SimConfig {
+    /// Window/horizon matching the defaults of `rta-model::horizon` (and
+    /// hence of the analyses), so simulation and analysis cover the same
+    /// instances.
+    pub fn defaults_for(sys: &TaskSystem) -> SimConfig {
+        let window = rta_model::horizon::default_arrival_window(
+            sys,
+            rta_model::horizon::DEFAULT_WINDOW_CYCLES,
+        );
+        SimConfig { window, horizon: rta_model::horizon::analysis_horizon(sys, window) }
+    }
+}
+
+/// A live instance working through its chain.
+#[derive(Clone, Debug)]
+struct Instance {
+    job: JobId,
+    m: usize, // 1-based instance index
+    hop: usize,
+    remaining: Time,
+    hop_release: Time,
+    seq: u64, // global release sequence for deterministic tie-breaks
+}
+
+/// Per-processor run state.
+struct Proc {
+    scheduler: SchedulerKind,
+    ready: Vec<Instance>,
+    running: Option<(Instance, Time)>, // (instance, started_at)
+}
+
+impl Proc {
+    /// Pick the index of the next ready instance per policy.
+    fn pick(&self, sys: &TaskSystem) -> Option<usize> {
+        if self.ready.is_empty() {
+            return None;
+        }
+        let key = |inst: &Instance| -> (i64, i64, u64) {
+            match self.scheduler {
+                SchedulerKind::Spp | SchedulerKind::Spnp => {
+                    let r = SubjobRef { job: inst.job, index: inst.hop };
+                    let phi = sys.subjob(r).priority.expect("validated") as i64;
+                    (phi, inst.hop_release.ticks(), inst.seq)
+                }
+                SchedulerKind::Fcfs => (inst.hop_release.ticks(), inst.job.0 as i64, inst.seq),
+            }
+        };
+        (0..self.ready.len()).min_by_key(|&i| key(&self.ready[i]))
+    }
+
+    /// Would `cand` preempt the running instance under SPP?
+    fn preempts(&self, sys: &TaskSystem, running: &Instance) -> bool {
+        if self.scheduler != SchedulerKind::Spp {
+            return false;
+        }
+        let run_phi = {
+            let r = SubjobRef { job: running.job, index: running.hop };
+            sys.subjob(r).priority.expect("validated")
+        };
+        self.ready.iter().any(|c| {
+            let r = SubjobRef { job: c.job, index: c.hop };
+            sys.subjob(r).priority.expect("validated") < run_phi
+        })
+    }
+}
+
+/// Run the simulation.
+pub fn simulate(sys: &TaskSystem, cfg: &SimConfig) -> SimResult {
+    sys.validate(true).expect("system must be valid");
+    let njobs = sys.jobs().len();
+
+    // Primary releases.
+    let mut releases: Vec<Vec<Time>> = Vec::with_capacity(njobs);
+    let mut heap: BinaryHeap<Reverse<(Time, u64)>> = BinaryHeap::new();
+    let mut pending: HashMap<u64, Instance> = HashMap::new();
+    let mut seq: u64 = 0;
+    for (k, job) in sys.jobs().iter().enumerate() {
+        let times = job.arrival.release_times(cfg.window);
+        for (i, &t) in times.iter().enumerate() {
+            let inst = Instance {
+                job: JobId(k),
+                m: i + 1,
+                hop: 0,
+                remaining: job.subjobs[0].exec,
+                hop_release: t,
+                seq,
+            };
+            heap.push(Reverse((t, seq)));
+            pending.insert(seq, inst);
+            seq += 1;
+        }
+        releases.push(times);
+    }
+
+    let mut hop_completions: Vec<Vec<Vec<Option<Time>>>> = sys
+        .jobs()
+        .iter()
+        .enumerate()
+        .map(|(k, job)| vec![vec![None; job.subjobs.len()]; releases[k].len()])
+        .collect();
+    let mut service_intervals: HashMap<SubjobRef, Vec<(Time, Time)>> = HashMap::new();
+
+    let mut procs: Vec<Proc> = sys
+        .processors()
+        .iter()
+        .map(|p| Proc { scheduler: p.scheduler, ready: Vec::new(), running: None })
+        .collect();
+
+    let mut record_interval = |r: SubjobRef, from: Time, to: Time| {
+        if from < to {
+            service_intervals.entry(r).or_default().push((from, to));
+        }
+    };
+
+    loop {
+        // Next event time: earliest pending release or earliest completion.
+        let next_release = heap.peek().map(|Reverse((t, _))| *t);
+        let next_completion = procs
+            .iter()
+            .filter_map(|p| p.running.as_ref().map(|(inst, at)| *at + inst.remaining))
+            .min();
+        let t = match (next_release, next_completion) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => break,
+        };
+        if t > cfg.horizon {
+            break;
+        }
+
+        // 1. Completions at t.
+        for (pidx, p) in procs.iter_mut().enumerate() {
+            let done = matches!(&p.running, Some((inst, at)) if *at + inst.remaining == t);
+            if !done {
+                continue;
+            }
+            let (mut inst, at) = p.running.take().expect("checked");
+            let r = SubjobRef { job: inst.job, index: inst.hop };
+            debug_assert_eq!(sys.subjob(r).processor.0, pidx);
+            record_interval(r, at, t);
+            hop_completions[inst.job.0][inst.m - 1][inst.hop] = Some(t);
+            let job = sys.job(inst.job);
+            if inst.hop + 1 < job.subjobs.len() {
+                // Direct synchronization: release the next hop immediately.
+                inst.hop += 1;
+                inst.remaining = job.subjobs[inst.hop].exec;
+                inst.hop_release = t;
+                inst.seq = seq;
+                heap.push(Reverse((t, seq)));
+                pending.insert(seq, inst);
+                seq += 1;
+            }
+        }
+
+        // 2. Releases at t.
+        while matches!(heap.peek(), Some(Reverse((rt, _))) if *rt == t) {
+            let Reverse((_, s)) = heap.pop().expect("peeked");
+            let inst = pending.remove(&s).expect("pending");
+            let r = SubjobRef { job: inst.job, index: inst.hop };
+            let pidx = sys.subjob(r).processor.0;
+            procs[pidx].ready.push(inst);
+        }
+
+        // 3. Re-dispatch.
+        for p in procs.iter_mut() {
+            // Preemption (SPP only).
+            if let Some((inst, at)) = p.running.take() {
+                if p.preempts(sys, &inst) {
+                    let r = SubjobRef { job: inst.job, index: inst.hop };
+                    record_interval(r, at, t);
+                    let mut inst = inst;
+                    inst.remaining -= t - at;
+                    debug_assert!(inst.remaining > Time::ZERO);
+                    p.ready.push(inst);
+                } else {
+                    p.running = Some((inst, at));
+                }
+            }
+            if p.running.is_none() {
+                if let Some(i) = p.pick(sys) {
+                    let inst = p.ready.swap_remove(i);
+                    p.running = Some((inst, t));
+                }
+            }
+        }
+    }
+
+    SimResult { releases, hop_completions, service_intervals, horizon: cfg.horizon }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rta_model::priority::{assign_priorities, PriorityPolicy};
+    use rta_model::{ArrivalPattern, SystemBuilder};
+
+    fn periodic(p: i64) -> ArrivalPattern {
+        ArrivalPattern::Periodic { period: Time(p), offset: Time::ZERO }
+    }
+
+    fn cfg(window: i64, horizon: i64) -> SimConfig {
+        SimConfig { window: Time(window), horizon: Time(horizon) }
+    }
+
+    #[test]
+    fn single_job_runs_back_to_back() {
+        let mut b = SystemBuilder::new();
+        let p = b.add_processor("P1", SchedulerKind::Spp);
+        b.add_job("T1", Time(10), periodic(10), vec![(p, Time(4))]);
+        let mut sys = b.build().unwrap();
+        assign_priorities(&mut sys, PriorityPolicy::DeadlineMonotonic).unwrap();
+        let r = simulate(&sys, &cfg(30, 100));
+        assert_eq!(r.instances(JobId(0)), 4);
+        for m in 1..=4 {
+            assert_eq!(r.response(JobId(0), m), Some(Time(4)), "m={m}");
+        }
+    }
+
+    #[test]
+    fn spp_preemption() {
+        // T2 (low prio, τ=6) starts at 0; T1 (high prio, τ=2) arrives at 2:
+        // preempts, T2 finishes at 10.
+        let mut b = SystemBuilder::new();
+        let p = b.add_processor("P1", SchedulerKind::Spp);
+        let t1 = b.add_job(
+            "T1",
+            Time(100),
+            ArrivalPattern::Trace(vec![Time(2), Time(5)]),
+            vec![(p, Time(2))],
+        );
+        let t2 = b.add_job(
+            "T2",
+            Time(100),
+            ArrivalPattern::Trace(vec![Time(0)]),
+            vec![(p, Time(6))],
+        );
+        b.set_priority(SubjobRef { job: t1, index: 0 }, 1);
+        b.set_priority(SubjobRef { job: t2, index: 0 }, 2);
+        let sys = b.build().unwrap();
+        let r = simulate(&sys, &cfg(50, 200));
+        // T1 instances run immediately on arrival.
+        assert_eq!(r.response(JobId(0), 1), Some(Time(2)));
+        assert_eq!(r.response(JobId(0), 2), Some(Time(2)));
+        // T2: 6 exec + 4 preemption = completes at 10.
+        assert_eq!(r.completion(JobId(1), 1), Some(Time(10)));
+        // Observed service of T2 has a hole during preemptions.
+        let s = r.observed_service(SubjobRef { job: t2, index: 0 });
+        assert_eq!(s.eval(Time(2)), 2);
+        assert_eq!(s.eval(Time(4)), 2);
+        assert_eq!(s.eval(Time(5)), 3);
+        assert_eq!(s.eval(Time(7)), 3);
+        assert_eq!(s.eval(Time(10)), 6);
+    }
+
+    #[test]
+    fn spnp_does_not_preempt() {
+        let mut b = SystemBuilder::new();
+        let p = b.add_processor("P1", SchedulerKind::Spnp);
+        let t1 = b.add_job(
+            "T1",
+            Time(100),
+            ArrivalPattern::Trace(vec![Time(1)]),
+            vec![(p, Time(2))],
+        );
+        let t2 = b.add_job(
+            "T2",
+            Time(100),
+            ArrivalPattern::Trace(vec![Time(0)]),
+            vec![(p, Time(6))],
+        );
+        b.set_priority(SubjobRef { job: t1, index: 0 }, 1);
+        b.set_priority(SubjobRef { job: t2, index: 0 }, 2);
+        let sys = b.build().unwrap();
+        let r = simulate(&sys, &cfg(50, 200));
+        // T2 blocks T1 for its whole execution.
+        assert_eq!(r.completion(JobId(1), 1), Some(Time(6)));
+        assert_eq!(r.completion(JobId(0), 1), Some(Time(8)));
+    }
+
+    #[test]
+    fn fcfs_serves_in_arrival_order() {
+        let mut b = SystemBuilder::new();
+        let p = b.add_processor("P1", SchedulerKind::Fcfs);
+        b.add_job(
+            "T1",
+            Time(100),
+            ArrivalPattern::Trace(vec![Time(3)]),
+            vec![(p, Time(2))],
+        );
+        b.add_job(
+            "T2",
+            Time(100),
+            ArrivalPattern::Trace(vec![Time(0)]),
+            vec![(p, Time(6))],
+        );
+        let sys = b.build().unwrap();
+        let r = simulate(&sys, &cfg(50, 200));
+        // T2 first (arrived at 0), then T1 at 6.
+        assert_eq!(r.completion(JobId(1), 1), Some(Time(6)));
+        assert_eq!(r.completion(JobId(0), 1), Some(Time(8)));
+    }
+
+    #[test]
+    fn chain_release_cascades_same_instant() {
+        let mut b = SystemBuilder::new();
+        let p1 = b.add_processor("P1", SchedulerKind::Spp);
+        let p2 = b.add_processor("P2", SchedulerKind::Spp);
+        b.add_job("T1", Time(100), periodic(50), vec![(p1, Time(3)), (p2, Time(4))]);
+        let mut sys = b.build().unwrap();
+        assign_priorities(&mut sys, PriorityPolicy::DeadlineMonotonic).unwrap();
+        let r = simulate(&sys, &cfg(100, 400));
+        // Hop 2 starts the instant hop 1 completes.
+        assert_eq!(r.hop_completions[0][0][0], Some(Time(3)));
+        assert_eq!(r.hop_completions[0][0][1], Some(Time(7)));
+    }
+
+    #[test]
+    fn overload_leaves_instances_incomplete() {
+        let mut b = SystemBuilder::new();
+        let p = b.add_processor("P1", SchedulerKind::Spp);
+        let t1 = b.add_job("T1", Time(10), periodic(10), vec![(p, Time(8))]);
+        let t2 = b.add_job("T2", Time(10), periodic(10), vec![(p, Time(8))]);
+        b.set_priority(SubjobRef { job: t1, index: 0 }, 1);
+        b.set_priority(SubjobRef { job: t2, index: 0 }, 2);
+        let sys = b.build().unwrap();
+        let r = simulate(&sys, &cfg(100, 120));
+        assert!(r.wcrt(JobId(1)).is_none(), "T2 must starve");
+        // T1 itself stays fine.
+        assert_eq!(r.wcrt(JobId(0)), Some(Time(8)));
+    }
+
+    #[test]
+    fn backlogged_instances_of_one_subjob_are_fifo() {
+        // Period 3, exec 5: instances pile up; each must complete in
+        // release order, back to back.
+        let mut b = SystemBuilder::new();
+        let p = b.add_processor("P1", SchedulerKind::Spp);
+        let t = b.add_job("T1", Time(100), periodic(3), vec![(p, Time(5))]);
+        b.set_priority(SubjobRef { job: t, index: 0 }, 1);
+        let sys = b.build().unwrap();
+        let r = simulate(&sys, &cfg(12, 200));
+        // Releases at 0,3,6,9,12: completions at 5,10,15,20,25.
+        for m in 1..=5 {
+            assert_eq!(
+                r.completion(JobId(0), m),
+                Some(Time(5 * m as i64)),
+                "m={m}"
+            );
+        }
+    }
+
+    #[test]
+    fn fcfs_tie_break_is_deterministic_by_job_index() {
+        let mut b = SystemBuilder::new();
+        let p = b.add_processor("P1", SchedulerKind::Fcfs);
+        b.add_job("T1", Time(100), ArrivalPattern::Trace(vec![Time(0)]), vec![(p, Time(4))]);
+        b.add_job("T2", Time(100), ArrivalPattern::Trace(vec![Time(0)]), vec![(p, Time(6))]);
+        let sys = b.build().unwrap();
+        let r = simulate(&sys, &cfg(10, 100));
+        // Simultaneous arrivals: the lower job index goes first.
+        assert_eq!(r.completion(JobId(0), 1), Some(Time(4)));
+        assert_eq!(r.completion(JobId(1), 1), Some(Time(10)));
+    }
+
+    #[test]
+    fn mixed_schedulers_along_one_chain() {
+        // SPP first hop, FCFS second: the chain crosses policies intact.
+        let mut b = SystemBuilder::new();
+        let p1 = b.add_processor("P1", SchedulerKind::Spp);
+        let p2 = b.add_processor("P2", SchedulerKind::Fcfs);
+        let t1 = b.add_job("T1", Time(100), periodic(20), vec![(p1, Time(3)), (p2, Time(4))]);
+        b.add_job("T2", Time(100), periodic(20), vec![(p2, Time(6))]);
+        b.set_priority(SubjobRef { job: t1, index: 0 }, 1);
+        let sys = b.build().unwrap();
+        let r = simulate(&sys, &cfg(20, 200));
+        // T2 starts on P2 at 0; T1's hop 2 arrives at 3, waits until 6.
+        assert_eq!(r.hop_completions[0][0][0], Some(Time(3)));
+        assert_eq!(r.hop_completions[0][0][1], Some(Time(10)));
+        assert_eq!(r.completion(JobId(1), 1), Some(Time(6)));
+    }
+
+    #[test]
+    fn observed_utilization_aggregates_processor_busy_time() {
+        let mut b = SystemBuilder::new();
+        let p = b.add_processor("P1", SchedulerKind::Spp);
+        let t1 = b.add_job("T1", Time(100), ArrivalPattern::Trace(vec![Time(0)]), vec![(p, Time(3))]);
+        let t2 = b.add_job("T2", Time(100), ArrivalPattern::Trace(vec![Time(5)]), vec![(p, Time(2))]);
+        b.set_priority(SubjobRef { job: t1, index: 0 }, 1);
+        b.set_priority(SubjobRef { job: t2, index: 0 }, 2);
+        let sys = b.build().unwrap();
+        let r = simulate(&sys, &cfg(20, 100));
+        let u = r.observed_utilization(&sys, rta_model::ProcessorId(0));
+        // Busy [0,3) and [5,7).
+        assert_eq!(u.eval(Time(0)), 0);
+        assert_eq!(u.eval(Time(3)), 3);
+        assert_eq!(u.eval(Time(5)), 3);
+        assert_eq!(u.eval(Time(7)), 5);
+        assert_eq!(u.eval(Time(50)), 5);
+    }
+
+    #[test]
+    fn completion_beats_preemption_at_same_instant() {
+        // T2 completes exactly when T1 arrives: no preemption of a finished
+        // instance, T1 starts at the same instant.
+        let mut b = SystemBuilder::new();
+        let p = b.add_processor("P1", SchedulerKind::Spp);
+        let t1 = b.add_job(
+            "T1",
+            Time(100),
+            ArrivalPattern::Trace(vec![Time(4)]),
+            vec![(p, Time(2))],
+        );
+        let t2 = b.add_job(
+            "T2",
+            Time(100),
+            ArrivalPattern::Trace(vec![Time(0)]),
+            vec![(p, Time(4))],
+        );
+        b.set_priority(SubjobRef { job: t1, index: 0 }, 1);
+        b.set_priority(SubjobRef { job: t2, index: 0 }, 2);
+        let sys = b.build().unwrap();
+        let r = simulate(&sys, &cfg(50, 100));
+        assert_eq!(r.completion(JobId(1), 1), Some(Time(4)));
+        assert_eq!(r.completion(JobId(0), 1), Some(Time(6)));
+    }
+}

@@ -1,0 +1,152 @@
+//! Simulation results and observed-curve reconstruction.
+
+use rta_curves::{Curve, Segment, Time};
+use rta_model::{JobId, SubjobRef};
+use std::collections::HashMap;
+
+/// Outcome of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Release time of each analyzed instance, per job: `releases[k][m-1]`.
+    pub releases: Vec<Vec<Time>>,
+    /// Per-hop completion times: `hop_completions[k][m-1][j]`; `None` when
+    /// the hop did not complete before the simulation horizon.
+    pub hop_completions: Vec<Vec<Vec<Option<Time>>>>,
+    /// Serving intervals `(from, to)` per subjob, in time order.
+    pub service_intervals: HashMap<SubjobRef, Vec<(Time, Time)>>,
+    /// The simulation horizon that was used.
+    pub horizon: Time,
+}
+
+impl SimResult {
+    /// End-to-end completion time of instance `m` (1-based) of a job.
+    pub fn completion(&self, job: JobId, m: usize) -> Option<Time> {
+        let hops = &self.hop_completions[job.0][m - 1];
+        hops.last().copied().flatten()
+    }
+
+    /// End-to-end response time of instance `m` (1-based) of a job.
+    pub fn response(&self, job: JobId, m: usize) -> Option<Time> {
+        self.completion(job, m)
+            .map(|c| c - self.releases[job.0][m - 1])
+    }
+
+    /// Number of analyzed instances of a job.
+    pub fn instances(&self, job: JobId) -> usize {
+        self.releases[job.0].len()
+    }
+
+    /// Worst observed end-to-end response of a job; `None` if any instance
+    /// did not complete.
+    pub fn wcrt(&self, job: JobId) -> Option<Time> {
+        let mut worst = Time::ZERO;
+        for m in 1..=self.instances(job) {
+            worst = worst.max(self.response(job, m)?);
+        }
+        Some(worst)
+    }
+
+    /// Reconstruct the observed service function of a subjob from its
+    /// serving intervals: slope 1 while serving, flat elsewhere.
+    pub fn observed_service(&self, r: SubjobRef) -> Curve {
+        let mut segs: Vec<Segment> = Vec::new();
+        let mut acc: i64 = 0;
+        if let Some(intervals) = self.service_intervals.get(&r) {
+            for &(from, to) in intervals {
+                debug_assert!(from <= to);
+                if from == to {
+                    continue;
+                }
+                // Contiguous intervals and intervals starting at 0 would
+                // duplicate the previous breakpoint — replace it instead.
+                if segs.last().map(|s| s.start) == Some(from) {
+                    segs.pop();
+                } else if segs.is_empty() && from > Time::ZERO {
+                    segs.push(Segment::new(Time::ZERO, 0, 0));
+                }
+                segs.push(Segment::new(from, acc, 1));
+                acc += (to - from).ticks();
+                segs.push(Segment::new(to, acc, 0));
+            }
+        }
+        if segs.is_empty() {
+            segs.push(Segment::new(Time::ZERO, 0, 0));
+        }
+        Curve::from_segments(segs)
+    }
+
+    /// Observed utilization function of a processor (Definition 7): total
+    /// busy time over `[0, t]`, reconstructed from the serving intervals of
+    /// every subjob the system maps to it.
+    ///
+    /// For any work-conserving scheduler this must equal the Theorem 7
+    /// utilization function computed from the exact aggregate workload —
+    /// an invariant checked by the integration tests.
+    pub fn observed_utilization(&self, sys: &rta_model::TaskSystem, p: rta_model::ProcessorId) -> Curve {
+        let mut intervals: Vec<(Time, Time)> = sys
+            .subjobs_on(p)
+            .into_iter()
+            .filter_map(|r| self.service_intervals.get(&r))
+            .flatten()
+            .copied()
+            .collect();
+        intervals.sort();
+        // Serving intervals of one processor never overlap; merge adjacent.
+        let mut segs: Vec<Segment> = Vec::new();
+        let mut acc = 0i64;
+        for (from, to) in intervals {
+            if from == to {
+                continue;
+            }
+            if segs.last().map(|s| s.start) == Some(from) {
+                segs.pop();
+            } else if segs.is_empty() && from > Time::ZERO {
+                segs.push(Segment::new(Time::ZERO, 0, 0));
+            }
+            segs.push(Segment::new(from, acc, 1));
+            acc += (to - from).ticks();
+            segs.push(Segment::new(to, acc, 0));
+        }
+        if segs.is_empty() {
+            segs.push(Segment::new(Time::ZERO, 0, 0));
+        }
+        Curve::from_segments(segs)
+    }
+
+    /// Observed departure (completion-count) curve of a subjob.
+    pub fn observed_departures(&self, r: SubjobRef) -> Curve {
+        let mut times: Vec<Time> = self.hop_completions[r.job.0]
+            .iter()
+            .filter_map(|inst| inst.get(r.index).copied().flatten())
+            .collect();
+        times.sort();
+        Curve::from_event_times(&times)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observed_service_from_intervals() {
+        let mut service_intervals = HashMap::new();
+        let r = SubjobRef { job: JobId(0), index: 0 };
+        service_intervals.insert(r, vec![(Time(2), Time(5)), (Time(8), Time(9))]);
+        let res = SimResult {
+            releases: vec![vec![Time(0)]],
+            hop_completions: vec![vec![vec![Some(Time(9))]]],
+            service_intervals,
+            horizon: Time(20),
+        };
+        let s = res.observed_service(r);
+        assert_eq!(s.eval(Time(2)), 0);
+        assert_eq!(s.eval(Time(4)), 2);
+        assert_eq!(s.eval(Time(5)), 3);
+        assert_eq!(s.eval(Time(8)), 3);
+        assert_eq!(s.eval(Time(9)), 4);
+        assert_eq!(s.eval(Time(100)), 4);
+        assert_eq!(res.response(JobId(0), 1), Some(Time(9)));
+        assert_eq!(res.wcrt(JobId(0)), Some(Time(9)));
+    }
+}

@@ -1,0 +1,323 @@
+//! Simulator ↔ analysis agreement.
+//!
+//! These tests are the workspace's ground-truth check of the ICPP'98
+//! theorems as implemented:
+//!
+//! * Theorem 1/2/3 (exact SPP): simulated per-instance end-to-end response
+//!   times must **equal** the analysis on the same trace, and the observed
+//!   service functions must equal the analytic Theorem 3 curves tick by
+//!   tick.
+//! * Theorem 4/5/6 (SPNP) and 7/8/9 (FCFS): simulated responses must never
+//!   exceed the end-to-end bounds where those are sound (conservative SPNP
+//!   variant; FCFS at the first hop), and the approximation quality of the
+//!   remaining paths (paper-verbatim SPNP, multi-hop FCFS) is measured and
+//!   pinned — see DESIGN.md §5.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rta_core::{analyze_bounds, analyze_exact_spp, AnalysisConfig, SpnpAvailability};
+use rta_curves::Time;
+use rta_model::jobshop::{generate, ShopArrivals, ShopConfig};
+use rta_model::priority::{assign_priorities, PriorityPolicy};
+use rta_model::{distributions::Dist, JobId, SchedulerKind, TaskSystem};
+use rta_sim::{simulate, SimConfig};
+
+fn shop(scheduler: SchedulerKind, stages: usize, utilization: f64, bursty: bool) -> ShopConfig {
+    ShopConfig {
+        stages,
+        procs_per_stage: 2,
+        n_jobs: 5,
+        scheduler,
+        utilization,
+        arrivals: if bursty {
+            ShopArrivals::Bursty { deadline: Dist::Exponential { mean: 6.0 } }
+        } else {
+            ShopArrivals::Periodic { deadline_factor: 2.0 * stages as f64 }
+        },
+        x_min: 0.25,
+        ticks_per_unit: 100,
+    }
+}
+
+fn prepared(cfg: &ShopConfig, seed: u64) -> TaskSystem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sys = generate(cfg, &mut rng).expect("valid shop");
+    if cfg.scheduler.uses_priorities() {
+        assign_priorities(&mut sys, PriorityPolicy::RelativeDeadlineMonotonic).unwrap();
+    }
+    sys
+}
+
+fn resolved(sys: &TaskSystem) -> (AnalysisConfig, SimConfig) {
+    let acfg = AnalysisConfig::default();
+    let (window, horizon) = acfg.resolve(sys);
+    (acfg, SimConfig { window, horizon })
+}
+
+#[test]
+fn exact_spp_equals_simulation_periodic() {
+    for seed in 0..60 {
+        for (stages, util) in [(1, 0.4), (1, 0.8), (2, 0.5), (3, 0.6), (2, 0.9)] {
+            let sys = prepared(&shop(SchedulerKind::Spp, stages, util, false), seed);
+            let (acfg, scfg) = resolved(&sys);
+            let report = analyze_exact_spp(&sys, &acfg).unwrap();
+            let sim = simulate(&sys, &scfg);
+            for (k, jr) in report.jobs.iter().enumerate() {
+                let job = JobId(k);
+                assert_eq!(jr.responses.len(), sim.instances(job), "seed {seed}");
+                for m in 1..=sim.instances(job) {
+                    assert_eq!(
+                        jr.responses[m - 1],
+                        sim.response(job, m),
+                        "seed {seed} stages {stages} util {util} job {k} instance {m}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn exact_spp_equals_simulation_bursty() {
+    for seed in 100..140 {
+        for (stages, util) in [(1, 0.6), (2, 0.5), (3, 0.7)] {
+            let sys = prepared(&shop(SchedulerKind::Spp, stages, util, true), seed);
+            let (acfg, scfg) = resolved(&sys);
+            let report = analyze_exact_spp(&sys, &acfg).unwrap();
+            let sim = simulate(&sys, &scfg);
+            for (k, jr) in report.jobs.iter().enumerate() {
+                let job = JobId(k);
+                for m in 1..=sim.instances(job) {
+                    assert_eq!(
+                        jr.responses[m - 1],
+                        sim.response(job, m),
+                        "seed {seed} stages {stages} job {k} instance {m}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn exact_spp_service_curves_match_observed() {
+    for seed in 0..20 {
+        let sys = prepared(&shop(SchedulerKind::Spp, 2, 0.7, false), seed);
+        let (acfg, scfg) = resolved(&sys);
+        let report = analyze_exact_spp(&sys, &acfg).unwrap();
+        let sim = simulate(&sys, &scfg);
+        for (i, r) in sys.all_subjobs().enumerate() {
+            let analytic = &report.curves[i].service;
+            let observed = sim.observed_service(r);
+            // Compare on a coarse grid plus all analytic breakpoints.
+            let mut points: Vec<Time> = analytic
+                .breakpoints()
+                .filter(|t| *t <= scfg.horizon)
+                .collect();
+            points.extend((0..=20).map(|i| scfg.horizon * i / 20));
+            for t in points {
+                assert_eq!(
+                    analytic.eval(t),
+                    observed.eval(t),
+                    "seed {seed} subjob {r} at t={t}"
+                );
+            }
+        }
+    }
+}
+
+/// Count (violations, instances, worst excess ratio) of simulated responses
+/// above the analysis bound.
+fn violation_stats(
+    scheduler: SchedulerKind,
+    variant: SpnpAvailability,
+    seeds: std::ops::Range<u64>,
+    cases: &[(usize, f64)],
+    bursty: bool,
+) -> (usize, usize, f64) {
+    let (mut bad, mut total) = (0usize, 0usize);
+    let mut worst_ratio = 0f64;
+    for seed in seeds {
+        for &(stages, util) in cases {
+            let sys = prepared(&shop(scheduler, stages, util, bursty), seed);
+            let acfg = AnalysisConfig { spnp_availability: variant, ..Default::default() };
+            let (window, horizon) = acfg.resolve(&sys);
+            let report = analyze_bounds(&sys, &acfg).unwrap();
+            let sim = simulate(&sys, &SimConfig { window, horizon });
+            for (k, jb) in report.jobs.iter().enumerate() {
+                let Some(bound) = jb.e2e_bound else { continue };
+                let job = JobId(k);
+                for m in 1..=sim.instances(job) {
+                    if let Some(resp) = sim.response(job, m) {
+                        total += 1;
+                        if resp > bound {
+                            bad += 1;
+                            worst_ratio =
+                                worst_ratio.max(resp.ticks() as f64 / bound.ticks().max(1) as f64);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (bad, total, worst_ratio)
+}
+
+#[test]
+fn spnp_conservative_bounds_dominate_simulation() {
+    // With the conservative availability increments the SPNP bounds are
+    // sound at every stage count we exercise.
+    let (bad, total, _) = violation_stats(
+        SchedulerKind::Spnp,
+        SpnpAvailability::Conservative,
+        0..40,
+        &[(1, 0.5), (2, 0.6), (3, 0.4)],
+        false,
+    );
+    assert!(total > 3_000, "coverage: {total}");
+    assert_eq!(bad, 0, "{bad}/{total} violations");
+}
+
+#[test]
+fn spp_bounds_dominate_simulation() {
+    // The bounds path treats SPP as SPNP with zero blocking; its Theorem 4
+    // sums must still dominate the true (simulated = exact) responses.
+    let (bad, total, _) = violation_stats(
+        SchedulerKind::Spp,
+        SpnpAvailability::Conservative,
+        0..40,
+        &[(1, 0.5), (2, 0.6), (3, 0.4)],
+        false,
+    );
+    assert!(total > 3_000, "coverage: {total}");
+    assert_eq!(bad, 0, "{bad}/{total} violations");
+}
+
+#[test]
+fn fcfs_bounds_dominate_simulation_single_stage() {
+    // At the first hop arrivals are exact, so the Theorem 8 frontier
+    // argument is a true pointwise bound.
+    let (bad, total, _) = violation_stats(
+        SchedulerKind::Fcfs,
+        SpnpAvailability::Conservative,
+        0..60,
+        &[(1, 0.4), (1, 0.7), (1, 0.9)],
+        false,
+    );
+    assert!(total > 3_000, "coverage: {total}");
+    assert_eq!(bad, 0, "{bad}/{total} violations");
+}
+
+#[test]
+fn as_printed_spnp_variant_can_underestimate() {
+    // Regression-documented finding: Equations 16–19 taken verbatim (one
+    // availability curve at both ends of the busy-period candidate) are not
+    // a sound lower service bound — interference increments are
+    // under-counted. This is why `SpnpAvailability::Conservative` is the
+    // default. The paper frames SPNP/App as an approximation (Abstract:
+    // "gives a good approximation"); we quantify it.
+    let (bad, total, ratio) = violation_stats(
+        SchedulerKind::Spnp,
+        SpnpAvailability::AsPrinted,
+        0..25,
+        &[(1, 0.5), (2, 0.6)],
+        false,
+    );
+    assert!(bad > 0, "expected the verbatim variant to underestimate somewhere");
+    // …but it remains a statistically *good* approximation: violations are
+    // rare. (Their magnitude is unbounded in adversarial corners — another
+    // reason the conservative variant is the default.)
+    assert!((bad as f64) < 0.25 * total as f64, "{bad}/{total}");
+    assert!(ratio >= 1.0);
+}
+
+#[test]
+fn fcfs_multi_stage_is_a_good_approximation() {
+    // Downstream of hop 1 the FCFS analysis is envelope-relative (the
+    // paper's framing); timing anomalies can push a few instances past the
+    // bound. Quantify and pin the approximation quality.
+    let (bad, total, ratio) = violation_stats(
+        SchedulerKind::Fcfs,
+        SpnpAvailability::Conservative,
+        0..40,
+        &[(2, 0.6), (3, 0.4)],
+        false,
+    );
+    assert!(total > 2_000, "coverage: {total}");
+    assert!(
+        (bad as f64) < 0.05 * total as f64,
+        "violation rate too high: {bad}/{total}"
+    );
+    assert!(ratio < 1.8, "worst excess ratio {ratio}");
+}
+
+#[test]
+fn nc_composition_bound_dominates_simulation() {
+    // The pay-bursts-once composition (rta_core::nc) must dominate the
+    // simulated responses on uniform-τ pipelines with competing local jobs.
+    use rta_model::{ArrivalPattern, SystemBuilder};
+    for seed in 0..30u64 {
+        let mut rng = StdRng::seed_from_u64(7_000 + seed);
+        use rand::Rng;
+        let hops = rng.gen_range(1..4usize);
+        let tau = rng.gen_range(3..9i64);
+        let burst = rng.gen_range(1..5usize);
+        let gap = rng.gen_range(0..4i64);
+        let mut b = SystemBuilder::new();
+        let procs: Vec<_> = (0..hops)
+            .map(|i| b.add_processor(format!("P{}", i + 1), SchedulerKind::Spp))
+            .collect();
+        let times: Vec<Time> = (0..burst).map(|i| Time(i as i64 * (1 + gap))).collect();
+        b.add_job(
+            "flow",
+            Time(100_000),
+            ArrivalPattern::Trace(times),
+            procs.iter().map(|p| (*p, Time(tau))).collect(),
+        );
+        // A competing local job on each hop.
+        for (i, p) in procs.iter().enumerate() {
+            b.add_job(
+                format!("local{i}"),
+                Time(100_000),
+                ArrivalPattern::Periodic { period: Time(40), offset: Time::ZERO },
+                vec![(*p, Time(rng.gen_range(1..6)))],
+            );
+        }
+        let mut sys = b.build().unwrap();
+        assign_priorities(&mut sys, PriorityPolicy::DeadlineMonotonic).unwrap();
+        let cfg = AnalysisConfig { arrival_window: Some(Time(200)), ..Default::default() };
+        let Some(nc) = rta_core::nc::e2e_composition_bound(&sys, &cfg, JobId(0)).unwrap()
+        else {
+            continue;
+        };
+        let (window, horizon) = cfg.resolve(&sys);
+        let sim = simulate(&sys, &SimConfig { window, horizon });
+        for m in 1..=sim.instances(JobId(0)) {
+            if let Some(resp) = sim.response(JobId(0), m) {
+                assert!(
+                    resp <= nc,
+                    "seed {seed}: simulated {resp} > composition bound {nc}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bursty_bounds_quality() {
+    for scheduler in [SchedulerKind::Spnp, SchedulerKind::Fcfs] {
+        let (bad, total, ratio) = violation_stats(
+            scheduler,
+            SpnpAvailability::Conservative,
+            300..330,
+            &[(2, 0.5)],
+            true,
+        );
+        assert!(total > 1_000, "coverage: {total}");
+        assert!(
+            (bad as f64) <= 0.05 * total as f64,
+            "{scheduler}: violation rate {bad}/{total}"
+        );
+        assert!(ratio < 1.6, "{scheduler}: worst excess ratio {ratio}");
+    }
+}

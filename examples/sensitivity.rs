@@ -1,0 +1,74 @@
+//! Sensitivity analysis: how much execution-time headroom a distributed
+//! system has before a deadline breaks, via binary search over a uniform
+//! scaling factor (λ > 1 = headroom, λ < 1 = over-committed).
+//!
+//! Run with: `cargo run --example sensitivity`
+
+use bursty_rta::analysis::sensitivity::{critical_scaling, default_oracle, Oracle};
+use bursty_rta::analysis::AnalysisConfig;
+use bursty_rta::curves::Time;
+use bursty_rta::model::jobshop::{generate, ShopArrivals, ShopConfig};
+use bursty_rta::model::priority::{assign_priorities, PriorityPolicy};
+use bursty_rta::model::SchedulerKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("critical execution-time scaling λ of random 2-stage shops\n");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "util", "SPP(exact)", "SPNP(bnds)", "FCFS(bnds)"
+    );
+    let cfg = AnalysisConfig::default();
+    for util in [0.3, 0.5, 0.7, 0.9] {
+        let mut row = format!("{util:>6.2}");
+        for scheduler in [SchedulerKind::Spp, SchedulerKind::Spnp, SchedulerKind::Fcfs] {
+            let shop = ShopConfig {
+                stages: 2,
+                procs_per_stage: 2,
+                n_jobs: 5,
+                scheduler,
+                utilization: util,
+                arrivals: ShopArrivals::Periodic { deadline_factor: 2.0 },
+                x_min: 0.2,
+                ticks_per_unit: 500,
+            };
+            let mut sys = generate(&shop, &mut StdRng::seed_from_u64(2026)).unwrap();
+            if scheduler.uses_priorities() {
+                assign_priorities(&mut sys, PriorityPolicy::RelativeDeadlineMonotonic).unwrap();
+            }
+            let oracle = default_oracle(&sys);
+            let lam = critical_scaling(&sys, &cfg, oracle, 20)
+                .expect("analysis ok")
+                .map_or("  <1/64".to_string(), |l| format!("{l:>8.3}"));
+            row.push_str(&format!(" {lam:>12}"));
+        }
+        println!("{row}");
+    }
+
+    // λ should shrink as the base load grows, and the exact analysis should
+    // certify at least as much headroom as the bounds do on SPP systems.
+    let shop = |u: f64| ShopConfig {
+        stages: 2,
+        procs_per_stage: 2,
+        n_jobs: 5,
+        scheduler: SchedulerKind::Spp,
+        utilization: u,
+        arrivals: ShopArrivals::Periodic { deadline_factor: 2.0 },
+        x_min: 0.2,
+        ticks_per_unit: 500,
+    };
+    let mut light = generate(&shop(0.3), &mut StdRng::seed_from_u64(1)).unwrap();
+    let mut heavy = generate(&shop(0.8), &mut StdRng::seed_from_u64(1)).unwrap();
+    assign_priorities(&mut light, PriorityPolicy::RelativeDeadlineMonotonic).unwrap();
+    assign_priorities(&mut heavy, PriorityPolicy::RelativeDeadlineMonotonic).unwrap();
+    let l_light = critical_scaling(&light, &cfg, Oracle::Exact, 20).unwrap().unwrap();
+    let l_heavy = critical_scaling(&heavy, &cfg, Oracle::Exact, 20).unwrap().unwrap();
+    assert!(l_light > l_heavy, "headroom must shrink with load");
+    let b_light = critical_scaling(&light, &cfg, Oracle::Bounds, 20).unwrap().unwrap();
+    assert!(l_light >= b_light - 1e-6, "exact certifies at least the bounds' headroom");
+    println!(
+        "\nchecks: λ(U=0.3) = {l_light:.3} > λ(U=0.8) = {l_heavy:.3}; exact ≥ bounds ({b_light:.3})"
+    );
+    let _ = Time::ZERO;
+}

@@ -1,0 +1,23 @@
+//! # bursty-rta — umbrella crate
+//!
+//! Response time analysis for distributed real-time systems with bursty job
+//! arrivals, after Li, Bettati & Zhao (ICPP 1998).
+//!
+//! This crate re-exports the workspace members under one roof:
+//!
+//! * [`curves`] — exact piecewise-linear curve algebra ([`rta_curves`])
+//! * [`model`] — system model, arrival patterns, workload generators
+//!   ([`rta_model`])
+//! * [`analysis`] — the service-function schedulability analysis
+//!   ([`rta_core`])
+//! * [`sim`] — discrete-event simulator for validation ([`rta_sim`])
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour and `DESIGN.md` for
+//! the paper-to-code map.
+
+#![forbid(unsafe_code)]
+
+pub use rta_core as analysis;
+pub use rta_curves as curves;
+pub use rta_model as model;
+pub use rta_sim as sim;

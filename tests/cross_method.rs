@@ -1,0 +1,190 @@
+//! Cross-method and cross-crate invariants.
+
+use bursty_rta::analysis::classic::{rta_uniprocessor, utilization, PeriodicTask};
+use bursty_rta::analysis::{analyze_bounds, analyze_exact_spp, AnalysisConfig};
+use bursty_rta::curves::Time;
+use bursty_rta::model::jobshop::{generate, ShopArrivals, ShopConfig};
+use bursty_rta::model::priority::{assign_priorities, PriorityPolicy};
+use bursty_rta::model::{ArrivalPattern, SchedulerKind, SubjobRef, SystemBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// On a single SPP processor with synchronous periodic tasks and deadlines
+/// within periods, the paper's exact analysis must reproduce the classical
+/// Joseph & Pandya response times exactly.
+#[test]
+fn uniprocessor_exact_matches_classic_rta() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for case in 0..200 {
+        let n = rng.gen_range(2..6);
+        // Random task set with utilization safely below 1.
+        let mut tasks: Vec<PeriodicTask> = Vec::new();
+        for _ in 0..n {
+            let period = Time(rng.gen_range(20..200));
+            let exec = Time(rng.gen_range(1..=(period.ticks() / (2 * n as i64)).max(1)));
+            tasks.push(PeriodicTask { exec, period });
+        }
+        tasks.sort_by_key(|t| t.period); // rate monotonic order
+        if utilization(&tasks) >= 1.0 {
+            continue;
+        }
+
+        let mut b = SystemBuilder::new();
+        let p = b.add_processor("P1", SchedulerKind::Spp);
+        for (i, t) in tasks.iter().enumerate() {
+            let id = b.add_job(
+                format!("T{i}"),
+                t.period * 4, // generous deadline; we compare responses
+                ArrivalPattern::Periodic { period: t.period, offset: Time::ZERO },
+                vec![(p, t.exec)],
+            );
+            b.set_priority(SubjobRef { job: id, index: 0 }, i as u32 + 1);
+        }
+        let sys = b.build().unwrap();
+        let report = analyze_exact_spp(&sys, &AnalysisConfig::default()).unwrap();
+        for i in 0..tasks.len() {
+            let classic = rta_uniprocessor(&tasks, i, Time(1_000_000)).unwrap();
+            let ours = report.jobs[i].wcrt.unwrap();
+            assert_eq!(ours, classic, "case {case} task {i}: {ours:?} vs classic {classic:?}");
+        }
+    }
+}
+
+/// The Theorem 4 bounds can only over-approximate the exact analysis on the
+/// same all-SPP system: per-job, bound ≥ exact WCRT.
+#[test]
+fn bounds_dominate_exact_on_spp_shops() {
+    for seed in 0..40 {
+        let cfg = ShopConfig {
+            stages: 2,
+            procs_per_stage: 2,
+            n_jobs: 5,
+            scheduler: SchedulerKind::Spp,
+            utilization: 0.6,
+            arrivals: ShopArrivals::Periodic { deadline_factor: 4.0 },
+            x_min: 0.2,
+            ticks_per_unit: 300,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sys = generate(&cfg, &mut rng).unwrap();
+        assign_priorities(&mut sys, PriorityPolicy::RelativeDeadlineMonotonic).unwrap();
+        let acfg = AnalysisConfig::default();
+        let exact = analyze_exact_spp(&sys, &acfg).unwrap();
+        let bounds = analyze_bounds(&sys, &acfg).unwrap();
+        for k in 0..sys.jobs().len() {
+            if let (Some(e), Some(b)) = (exact.jobs[k].wcrt, bounds.jobs[k].e2e_bound) {
+                assert!(b >= e, "seed {seed} job {k}: bound {b:?} < exact {e:?}");
+            }
+        }
+    }
+}
+
+/// Admission must be monotone in the deadline: relaxing every deadline can
+/// never turn a schedulable system unschedulable.
+#[test]
+fn admission_monotone_in_deadline() {
+    for seed in 0..30 {
+        let cfg = ShopConfig {
+            stages: 2,
+            procs_per_stage: 2,
+            n_jobs: 5,
+            scheduler: SchedulerKind::Spp,
+            utilization: 0.8,
+            arrivals: ShopArrivals::Periodic { deadline_factor: 1.5 },
+            x_min: 0.2,
+            ticks_per_unit: 300,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sys = generate(&cfg, &mut rng).unwrap();
+        assign_priorities(&mut sys, PriorityPolicy::RelativeDeadlineMonotonic).unwrap();
+        let acfg = AnalysisConfig::default();
+        let tight = analyze_exact_spp(&sys, &acfg).unwrap();
+        let njobs = sys.jobs().len();
+        // Rebuild with doubled deadlines and identical structure.
+        let mut b = SystemBuilder::new();
+        let procs: Vec<_> = sys
+            .processors()
+            .iter()
+            .map(|p| b.add_processor(p.name.clone(), p.scheduler))
+            .collect();
+        for job in sys.jobs() {
+            b.add_job(
+                job.name.clone(),
+                job.deadline * 2,
+                job.arrival.clone(),
+                job.subjobs.iter().map(|s| (procs[s.processor.0], s.exec)).collect(),
+            );
+        }
+        let mut relaxed = b.build().unwrap();
+        assign_priorities(&mut relaxed, PriorityPolicy::RelativeDeadlineMonotonic).unwrap();
+        let loose = analyze_exact_spp(&relaxed, &acfg).unwrap();
+        for k in 0..njobs {
+            if tight.jobs[k].schedulable() {
+                assert!(
+                    loose.jobs[k].schedulable(),
+                    "seed {seed} job {k}: relaxing deadlines broke schedulability"
+                );
+            }
+        }
+    }
+}
+
+/// Heterogeneous systems (different schedulers per processor) analyze
+/// without error and respect per-hop structure. Crossing routes close a
+/// Section 6 "logical loop" through the FCFS stage; the one-pass bounds
+/// detect it and the fixed-point extension resolves it.
+#[test]
+fn heterogeneous_smoke() {
+    use bursty_rta::analysis::fixpoint::analyze_with_loops;
+    use bursty_rta::analysis::AnalysisError;
+
+    let build = |crossing: bool| {
+        let mut b = SystemBuilder::new();
+        let p1 = b.add_processor("P1", SchedulerKind::Spp);
+        let p2 = b.add_processor("P2", SchedulerKind::Fcfs);
+        let p3 = b.add_processor("P3", SchedulerKind::Spnp);
+        b.add_job(
+            "T1",
+            Time(5_000),
+            ArrivalPattern::Hyperbolic { x: 0.4, ticks_per_unit: 100 },
+            vec![(p1, Time(20)), (p2, Time(30)), (p3, Time(25))],
+        );
+        let t2_route = if crossing {
+            // T2 returns upstream through P1: a logical loop via FCFS P2.
+            vec![(p2, Time(40)), (p1, Time(10))]
+        } else {
+            vec![(p2, Time(40)), (p3, Time(10))]
+        };
+        b.add_job(
+            "T2",
+            Time(2_000),
+            ArrivalPattern::Periodic { period: Time(400), offset: Time::ZERO },
+            t2_route,
+        );
+        let mut sys = b.build().unwrap();
+        assign_priorities(&mut sys, PriorityPolicy::RelativeDeadlineMonotonic).unwrap();
+        sys
+    };
+
+    // Forward-only routing: one-pass bounds succeed.
+    let sys = build(false);
+    let r = analyze_bounds(&sys, &AnalysisConfig::default()).unwrap();
+    assert_eq!(r.jobs[0].hop_delays.len(), 3);
+    assert_eq!(r.jobs[1].hop_delays.len(), 2);
+    for jb in &r.jobs {
+        let sum: Option<Time> = jb
+            .hop_delays
+            .iter()
+            .try_fold(Time::ZERO, |a, d| d.map(|d| a + d));
+        assert_eq!(sum, jb.e2e_bound);
+    }
+
+    // Crossing routes: the logical loop is detected, then resolved.
+    let looped = build(true);
+    assert!(matches!(
+        analyze_bounds(&looped, &AnalysisConfig::default()),
+        Err(AnalysisError::CyclicDependency { .. })
+    ));
+    let fixed = analyze_with_loops(&looped, &AnalysisConfig::default(), 6).unwrap();
+    assert_eq!(fixed.jobs.len(), 2);
+}

@@ -1,0 +1,88 @@
+//! The Section 5.2 comparative claims, as deterministic tests:
+//!
+//! * single-stage systems: SPP/Exact and SPP/S&L reach identical
+//!   schedulability decisions ("for a single processor system, both
+//!   methods predict the same response time");
+//! * multi-stage systems: SPP/Exact admits whenever SPP/S&L does, and
+//!   strictly more often over a seed sweep ("when the number of stages is
+//!   more than one, SPP/Exact performs better").
+
+use bursty_rta::analysis::holistic::analyze_holistic;
+use bursty_rta::analysis::{analyze_exact_spp, AnalysisConfig};
+use bursty_rta::model::jobshop::{generate, ShopArrivals, ShopConfig};
+use bursty_rta::model::priority::{assign_priorities, PriorityPolicy};
+use bursty_rta::model::SchedulerKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn shop(stages: usize, utilization: f64) -> ShopConfig {
+    ShopConfig {
+        stages,
+        procs_per_stage: 2,
+        n_jobs: 6,
+        scheduler: SchedulerKind::Spp,
+        utilization,
+        arrivals: ShopArrivals::Periodic { deadline_factor: stages as f64 },
+        x_min: 0.2,
+        ticks_per_unit: 500,
+    }
+}
+
+fn decisions(stages: usize, utilization: f64, seed: u64) -> (bool, bool, Vec<i64>, Vec<i64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sys = generate(&shop(stages, utilization), &mut rng).unwrap();
+    assign_priorities(&mut sys, PriorityPolicy::RelativeDeadlineMonotonic).unwrap();
+    let cfg = AnalysisConfig::default();
+    let exact = analyze_exact_spp(&sys, &cfg).unwrap();
+    let hol = analyze_holistic(&sys, &cfg).unwrap();
+    let exact_wcrt = exact
+        .jobs
+        .iter()
+        .map(|j| j.wcrt.map_or(i64::MAX, |t| t.ticks()))
+        .collect();
+    let hol_bound = hol
+        .jobs
+        .iter()
+        .map(|j| j.e2e_bound.map_or(i64::MAX, |t| t.ticks()))
+        .collect();
+    (exact.all_schedulable(), hol.all_schedulable(), exact_wcrt, hol_bound)
+}
+
+#[test]
+fn single_stage_methods_agree() {
+    for seed in 0..50 {
+        for util in [0.3, 0.6, 0.9] {
+            let (e, h, ew, hw) = decisions(1, util, seed);
+            assert_eq!(e, h, "seed {seed} util {util}: decisions differ");
+            // Stronger: the per-job response predictions coincide.
+            assert_eq!(ew, hw, "seed {seed} util {util}: responses differ");
+        }
+    }
+}
+
+#[test]
+fn multi_stage_exact_dominates_holistic() {
+    let mut exact_admits = 0u32;
+    let mut holistic_admits = 0u32;
+    for seed in 0..60 {
+        for util in [0.5, 0.7, 0.9] {
+            for stages in [2usize, 4] {
+                let (e, h, ew, hw) = decisions(stages, util, seed);
+                // Domination per draw: holistic admit ⇒ exact admit.
+                if h {
+                    assert!(e, "seed {seed} stages {stages} util {util}: holistic admitted, exact did not");
+                }
+                // Per-job: the holistic bound is never below the exact WCRT.
+                for (x, y) in ew.iter().zip(&hw) {
+                    assert!(y >= x, "holistic bound {y} < exact WCRT {x} (seed {seed})");
+                }
+                exact_admits += e as u32;
+                holistic_admits += h as u32;
+            }
+        }
+    }
+    assert!(
+        exact_admits > holistic_admits,
+        "exact must be strictly better overall: {exact_admits} vs {holistic_admits}"
+    );
+}

@@ -1,0 +1,122 @@
+//! Property-based end-to-end tests: random small systems, structural
+//! invariants checked against the simulator and across analyses.
+
+use bursty_rta::analysis::{analyze_bounds, analyze_exact_spp, AnalysisConfig};
+use bursty_rta::curves::Time;
+use bursty_rta::model::{ArrivalPattern, JobId, SchedulerKind, SystemBuilder, TaskSystem};
+use bursty_rta::sim::{simulate, SimConfig};
+use proptest::prelude::*;
+
+/// Strategy: a random small distributed system.
+///
+/// 2–3 processors, 2–4 jobs of 1–3 hops each, arbitrary traces or periodic
+/// patterns, strict per-processor priorities assigned by enumeration order.
+fn arb_system(scheduler: SchedulerKind) -> impl Strategy<Value = TaskSystem> {
+    let job = (
+        prop::collection::vec((0usize..3, 1i64..12), 1..4), // chain (proc, exec)
+        prop_oneof![
+            (1i64..40).prop_map(|p| ArrivalPattern::Periodic {
+                period: Time(p + 10),
+                offset: Time::ZERO,
+            }),
+            prop::collection::vec(0i64..80, 1..5).prop_map(|mut ts| {
+                ts.sort();
+                ArrivalPattern::Trace(ts.into_iter().map(Time).collect())
+            }),
+        ],
+        20i64..200, // deadline
+    );
+    prop::collection::vec(job, 2..5).prop_map(move |jobs| {
+        let mut b = SystemBuilder::new();
+        let procs = [
+            b.add_processor("P1", scheduler),
+            b.add_processor("P2", scheduler),
+            b.add_processor("P3", scheduler),
+        ];
+        let mut ids = Vec::new();
+        for (k, (chain, arrival, deadline)) in jobs.into_iter().enumerate() {
+            // Avoid physical loops: route hops through distinct processors.
+            let mut chain: Vec<(usize, i64)> = chain;
+            chain.dedup_by_key(|(p, _)| *p);
+            let hops: Vec<_> = chain
+                .into_iter()
+                .map(|(p, e)| (procs[p], Time(e)))
+                .collect();
+            ids.push(b.add_job(format!("T{k}"), Time(deadline), arrival, hops));
+        }
+        let _ = ids;
+        b.build().unwrap()
+    })
+}
+
+fn with_priorities(mut sys: TaskSystem) -> Option<TaskSystem> {
+    use bursty_rta::model::priority::{assign_priorities, PriorityPolicy};
+    assign_priorities(&mut sys, PriorityPolicy::DeadlineMonotonic).ok()?;
+    Some(sys)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Exact SPP analysis equals simulation on arbitrary random systems
+    /// whose dependency graph is acyclic.
+    #[test]
+    fn exact_equals_sim(sys in arb_system(SchedulerKind::Spp)) {
+        let Some(sys) = with_priorities(sys) else { return Ok(()) };
+        let cfg = AnalysisConfig { arrival_window: Some(Time(120)), ..Default::default() };
+        let Ok(report) = analyze_exact_spp(&sys, &cfg) else {
+            return Ok(()); // cyclic topology — out of scope here
+        };
+        let (window, horizon) = cfg.resolve(&sys);
+        let sim = simulate(&sys, &SimConfig { window, horizon });
+        for (k, jr) in report.jobs.iter().enumerate() {
+            prop_assert_eq!(jr.responses.len(), sim.instances(JobId(k)));
+            for m in 1..=sim.instances(JobId(k)) {
+                prop_assert_eq!(jr.responses[m - 1], sim.response(JobId(k), m), "job {} m {}", k, m);
+            }
+        }
+    }
+
+    /// Departures never precede arrivals, and service stays within
+    /// [0, min(t, workload)] — Definition-level invariants on every curve
+    /// the exact analysis produces.
+    #[test]
+    fn curve_invariants(sys in arb_system(SchedulerKind::Spp)) {
+        let Some(sys) = with_priorities(sys) else { return Ok(()) };
+        let cfg = AnalysisConfig { arrival_window: Some(Time(120)), ..Default::default() };
+        let Ok(report) = analyze_exact_spp(&sys, &cfg) else { return Ok(()) };
+        for (i, r) in sys.all_subjobs().enumerate() {
+            let c = &report.curves[i];
+            let tau = sys.subjob(r).exec.ticks();
+            for t in (0..=report.horizon.ticks()).step_by(7) {
+                let t = Time(t);
+                prop_assert!(c.departure.eval(t) <= c.arrival.eval(t), "dep>arr at {} for {}", t, r);
+                let s = c.service.eval(t);
+                prop_assert!(s >= 0 && s <= t.ticks().max(0));
+                prop_assert!(s <= c.arrival.eval(t) * tau);
+            }
+        }
+    }
+
+    /// The bounds analysis is bounded-sane on SPNP: hop delays, when
+    /// finite, are at least the hop execution time; e2e is their sum.
+    #[test]
+    fn bounds_structure(sys in arb_system(SchedulerKind::Spnp)) {
+        let Some(sys) = with_priorities(sys) else { return Ok(()) };
+        let cfg = AnalysisConfig { arrival_window: Some(Time(120)), ..Default::default() };
+        let Ok(report) = analyze_bounds(&sys, &cfg) else { return Ok(()) };
+        for (k, jb) in report.jobs.iter().enumerate() {
+            let job = &sys.jobs()[k];
+            let has_arrivals = !job.arrival.release_times(report.window).is_empty();
+            for (j, d) in jb.hop_delays.iter().enumerate() {
+                if let Some(d) = d {
+                    if has_arrivals {
+                        prop_assert!(*d >= job.subjobs[j].exec, "hop {} delay {} < exec", j, d);
+                    }
+                }
+            }
+            let sum: Option<Time> = jb.hop_delays.iter().try_fold(Time::ZERO, |a, d| d.map(|d| a + d));
+            prop_assert_eq!(sum, jb.e2e_bound);
+        }
+    }
+}
