@@ -1,10 +1,12 @@
 //! Analysis runtime scaling: how the exact, bounds, holistic and fixpoint
 //! analyses scale with job count and pipeline depth (the DESIGN.md ablation
 //! on analysis cost).
+//!
+//! Run with `cargo bench -p rta-bench --bench analysis_scaling`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rta_bench::harness::Bench;
 use rta_core::{analyze_bounds, analyze_exact_spp, holistic::analyze_holistic, AnalysisConfig};
 use rta_model::jobshop::{generate, ShopArrivals, ShopConfig};
 use rta_model::priority::{assign_priorities, PriorityPolicy};
@@ -17,7 +19,9 @@ fn system(scheduler: SchedulerKind, stages: usize, n_jobs: usize) -> TaskSystem 
         n_jobs,
         scheduler,
         utilization: 0.6,
-        arrivals: ShopArrivals::Periodic { deadline_factor: 2.0 * stages as f64 },
+        arrivals: ShopArrivals::Periodic {
+            deadline_factor: 2.0 * stages as f64,
+        },
         x_min: 0.2,
         ticks_per_unit: 500,
     };
@@ -28,74 +32,45 @@ fn system(scheduler: SchedulerKind, stages: usize, n_jobs: usize) -> TaskSystem 
     sys
 }
 
-fn bench_exact_by_jobs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("exact_by_jobs");
-    for &n in &[2usize, 6, 12] {
+fn main() {
+    let mut b = Bench::new();
+
+    for n in [2usize, 6, 12] {
         let sys = system(SchedulerKind::Spp, 2, n);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &sys, |b, sys| {
-            b.iter(|| black_box(analyze_exact_spp(sys, &AnalysisConfig::default()).unwrap()));
+        b.run(&format!("exact_by_jobs/{n}"), || {
+            analyze_exact_spp(&sys, &AnalysisConfig::default()).unwrap()
         });
     }
-    g.finish();
-}
 
-fn bench_exact_by_stages(c: &mut Criterion) {
-    let mut g = c.benchmark_group("exact_by_stages");
-    for &s in &[1usize, 2, 4, 8] {
+    for s in [1usize, 2, 4, 8] {
         let sys = system(SchedulerKind::Spp, s, 6);
-        g.bench_with_input(BenchmarkId::from_parameter(s), &sys, |b, sys| {
-            b.iter(|| black_box(analyze_exact_spp(sys, &AnalysisConfig::default()).unwrap()));
+        b.run(&format!("exact_by_stages/{s}"), || {
+            analyze_exact_spp(&sys, &AnalysisConfig::default()).unwrap()
         });
     }
-    g.finish();
-}
 
-fn bench_methods_head_to_head(c: &mut Criterion) {
-    let mut g = c.benchmark_group("methods");
     let spp = system(SchedulerKind::Spp, 2, 6);
     let spnp = system(SchedulerKind::Spnp, 2, 6);
     let fcfs = system(SchedulerKind::Fcfs, 2, 6);
-    g.bench_function("spp_exact", |b| {
-        b.iter(|| black_box(analyze_exact_spp(&spp, &AnalysisConfig::default()).unwrap()));
+    b.run("methods/spp_exact", || {
+        analyze_exact_spp(&spp, &AnalysisConfig::default()).unwrap()
     });
-    g.bench_function("spp_holistic", |b| {
-        b.iter(|| black_box(analyze_holistic(&spp, &AnalysisConfig::default()).unwrap()));
+    b.run("methods/spp_holistic", || {
+        analyze_holistic(&spp, &AnalysisConfig::default()).unwrap()
     });
-    g.bench_function("spnp_bounds", |b| {
-        b.iter(|| black_box(analyze_bounds(&spnp, &AnalysisConfig::default()).unwrap()));
+    b.run("methods/spnp_bounds", || {
+        analyze_bounds(&spnp, &AnalysisConfig::default()).unwrap()
     });
-    g.bench_function("fcfs_bounds", |b| {
-        b.iter(|| black_box(analyze_bounds(&fcfs, &AnalysisConfig::default()).unwrap()));
+    b.run("methods/fcfs_bounds", || {
+        analyze_bounds(&fcfs, &AnalysisConfig::default()).unwrap()
     });
-    g.bench_function("fixpoint_loops", |b| {
-        b.iter(|| {
-            black_box(
-                rta_core::fixpoint::analyze_with_loops(&spnp, &AnalysisConfig::default(), 4)
-                    .unwrap(),
-            )
-        });
+    b.run("methods/fixpoint_loops", || {
+        rta_core::fixpoint::analyze_with_loops(&spnp, &AnalysisConfig::default(), 4).unwrap()
     });
-    g.finish();
-}
 
-fn bench_simulation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulation");
-    for &s in &[1usize, 4] {
+    for s in [1usize, 4] {
         let sys = system(SchedulerKind::Spp, s, 6);
         let cfg = rta_sim::SimConfig::defaults_for(&sys);
-        g.bench_with_input(BenchmarkId::from_parameter(s), &(sys, cfg), |b, (sys, cfg)| {
-            b.iter(|| black_box(rta_sim::simulate(sys, cfg)));
-        });
+        b.run(&format!("simulation/{s}"), || rta_sim::simulate(&sys, &cfg));
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_exact_by_jobs, bench_exact_by_stages, bench_methods_head_to_head,
-              bench_simulation
-}
-criterion_main!(benches);

@@ -1,8 +1,13 @@
 //! Microbenchmarks of the exact curve algebra (the analysis inner loop).
+//!
+//! Run with `cargo bench -p rta-bench --bench curve_ops`. Uses the crate's
+//! own [`rta_bench::harness::Bench`] (criterion is not in the offline
+//! dependency closure).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rta_bench::harness::Bench;
+use rta_curves::convolution::{convolve, min_plus_convolve_lattice};
 use rta_curves::ops::pointwise_min;
-use rta_curves::{Curve, Time};
+use rta_curves::{Curve, CurveCursor, Time};
 
 /// A periodic arrival curve with `n` events spaced `gap` apart.
 fn arrivals(n: i64, gap: i64) -> Curve {
@@ -10,76 +15,100 @@ fn arrivals(n: i64, gap: i64) -> Curve {
     Curve::from_event_times(&times)
 }
 
-fn bench_running_min(c: &mut Criterion) {
-    let mut g = c.benchmark_group("running_min");
-    for &n in &[16i64, 128, 1024] {
-        let saw = arrivals(n, 10).scale(3).sub(&Curve::identity());
-        g.bench_with_input(BenchmarkId::from_parameter(n), &saw, |b, saw| {
-            b.iter(|| black_box(saw.running_min()));
-        });
-    }
-    g.finish();
-}
+const SIZES: [i64; 3] = [16, 128, 1024];
 
-fn bench_pointwise_min(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pointwise_min");
-    for &n in &[16i64, 128, 1024] {
+fn main() {
+    let mut b = Bench::new();
+
+    for n in SIZES {
+        let saw = arrivals(n, 10).scale(3).sub(&Curve::identity());
+        b.run(&format!("running_min/{n}"), || saw.running_min());
+    }
+
+    for n in SIZES {
         let a = arrivals(n, 10).scale(2);
         let b2 = Curve::affine(5, 1);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &(a, b2), |b, (a, b2)| {
-            b.iter(|| black_box(pointwise_min(a, b2)));
-        });
+        b.run(&format!("pointwise_min/{n}"), || pointwise_min(&a, &b2));
     }
-    g.finish();
-}
 
-fn bench_floor_div(c: &mut Criterion) {
-    let mut g = c.benchmark_group("floor_div");
-    for &n in &[16i64, 128, 1024] {
+    for n in SIZES {
         // A service-like curve: workload clipped by elapsed time.
         let service = arrivals(n, 10).scale(4).min_with(&Curve::identity());
         let horizon = Time(n * 10 + 100);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &service, |b, s| {
-            b.iter(|| black_box(s.floor_div(4, horizon).unwrap()));
+        b.run(&format!("floor_div/{n}"), || {
+            service.floor_div(4, horizon).unwrap()
         });
     }
-    g.finish();
-}
 
-fn bench_inverse_and_compose(c: &mut Criterion) {
-    let mut g = c.benchmark_group("inverse_compose");
-    for &n in &[16i64, 128, 1024] {
+    for n in SIZES {
         let step = arrivals(n, 10).scale(7);
-        g.bench_with_input(BenchmarkId::new("inverse_curve", n), &step, |b, s| {
-            b.iter(|| black_box(s.inverse_curve().unwrap()));
+        b.run(&format!("inverse_compose/inverse_curve/{n}"), || {
+            step.inverse_curve().unwrap()
         });
         let inv = step.inverse_curve().unwrap();
         let u = Curve::identity().min_with(&Curve::constant(n * 7));
-        g.bench_with_input(BenchmarkId::new("compose", n), &(inv, u), |b, (inv, u)| {
-            b.iter(|| black_box(rta_curves::compose::compose(inv, u).unwrap()));
+        b.run(&format!("inverse_compose/compose/{n}"), || {
+            rta_curves::compose::compose(&inv, &u).unwrap()
         });
     }
-    g.finish();
-}
 
-fn bench_exact_service(c: &mut Criterion) {
-    let mut g = c.benchmark_group("thm3_service");
-    for &n in &[16i64, 128, 1024] {
+    for n in SIZES {
         let hp = rta_core::spp::exact_service(&arrivals(n, 10).scale(3), &[]);
         let work = arrivals(n, 12).scale(5);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &(work, hp), |b, (w, hp)| {
-            b.iter(|| black_box(rta_core::spp::exact_service(w, &[hp])));
+        b.run(&format!("thm3_service/{n}"), || {
+            rta_core::spp::exact_service(&work, &[&hp])
         });
     }
-    g.finish();
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_running_min, bench_pointwise_min, bench_floor_div,
-              bench_inverse_and_compose, bench_exact_service
+    // The segment-native general convolution vs the lattice-scan oracle it
+    // replaced. Staircase arrival curves are the worst (non-convex) case.
+    for n in [16i64, 64, 256] {
+        let f = arrivals(n, 10).scale(3);
+        let g = arrivals(n, 12).scale(2);
+        let horizon = Time(n * 12 + 120);
+        b.run(&format!("convolve/segment/{n}"), || {
+            convolve(&f, &g, horizon)
+        });
+        if n <= 64 {
+            b.run(&format!("convolve/lattice_oracle/{n}"), || {
+                min_plus_convolve_lattice(&f, &g, horizon)
+            });
+        }
+    }
+
+    // At realistic tick resolution the horizon is tens of thousands of
+    // ticks while breakpoints stay sparse — the segment kernel's regime.
+    {
+        let f = arrivals(32, 625).scale(3);
+        let g = arrivals(32, 750).scale(2);
+        let horizon = Time(25_000);
+        b.run("convolve/segment/sparse_h25k", || convolve(&f, &g, horizon));
+        b.run("convolve/lattice_oracle/sparse_h25k", || {
+            min_plus_convolve_lattice(&f, &g, horizon)
+        });
+    }
+
+    // Cursor sweep vs front-rescanning inverse: the Theorem-1 inner loop.
+    for n in SIZES {
+        let arr = arrivals(n, 10);
+        b.run(&format!("inverse_sweep/cursor/{n}"), || {
+            let mut cur = CurveCursor::new(&arr);
+            let mut acc = Time::ZERO;
+            for m in 1..=n {
+                if let Some(t) = cur.inverse_at(m) {
+                    acc += t;
+                }
+            }
+            acc
+        });
+        b.run(&format!("inverse_sweep/rescan/{n}"), || {
+            let mut acc = Time::ZERO;
+            for m in 1..=n {
+                if let Some(t) = arr.inverse_at(m) {
+                    acc += t;
+                }
+            }
+            acc
+        });
+    }
 }
-criterion_main!(benches);

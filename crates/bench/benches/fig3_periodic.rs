@@ -1,59 +1,42 @@
 //! Figure 3 (reduced): admission-probability estimation cost per method on
-//! the periodic job shop, one Criterion benchmark per analysis method.
+//! the periodic job shop, one benchmark per analysis method.
 //!
 //! The full 1000-set reproduction is `cargo run -p rta-bench --release
 //! --bin fig3`; this bench pins the per-method cost of a single grid point
 //! so regressions in any analysis path surface in `cargo bench`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rta_bench::admission::{admission_probability, Method};
 use rta_bench::figures::fig3_panels;
+use rta_bench::harness::Bench;
 use rta_core::AnalysisConfig;
+use std::time::Duration;
 
-fn bench_fig3_point(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig3_point");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.measurement_time(std::time::Duration::from_secs(3));
+fn main() {
+    let mut b = Bench::new().with_target(Duration::from_millis(300));
     let panels = fig3_panels();
     // Middle panel (2 stages), moderate load — the representative cell.
     let base = {
-        let mut b = panels[1].base.clone();
-        b.utilization = 0.6;
-        b
+        let mut p = panels[1].base.clone();
+        p.utilization = 0.6;
+        p
     };
     let acfg = AnalysisConfig::default();
-    for method in [Method::SppExact, Method::SpnpApp, Method::FcfsApp, Method::SppSL] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(method.label()),
-            &method,
-            |b, &m| {
-                b.iter(|| {
-                    black_box(admission_probability(&base, m, 8, 11, 1, &acfg))
-                });
-            },
-        );
+    for method in [
+        Method::SppExact,
+        Method::SpnpApp,
+        Method::FcfsApp,
+        Method::SppSL,
+    ] {
+        b.run(&format!("fig3_point/{}", method.label()), || {
+            admission_probability(&base, method, 8, 11, 1, &acfg)
+        });
     }
-    g.finish();
-}
 
-fn bench_fig3_stage_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig3_exact_by_stage_panel");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.measurement_time(std::time::Duration::from_secs(3));
-    let acfg = AnalysisConfig::default();
     for (i, panel) in fig3_panels().into_iter().enumerate().take(3) {
         let mut base = panel.base;
         base.utilization = 0.5;
-        g.bench_with_input(BenchmarkId::from_parameter(i), &base, |b, base| {
-            b.iter(|| {
-                black_box(admission_probability(base, Method::SppExact, 8, 13, 1, &acfg))
-            });
+        b.run(&format!("fig3_exact_by_stage_panel/{i}"), || {
+            admission_probability(&base, Method::SppExact, 8, 13, 1, &acfg)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_fig3_point, bench_fig3_stage_scaling);
-criterion_main!(benches);

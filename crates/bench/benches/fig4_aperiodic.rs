@@ -4,53 +4,31 @@
 //! The full reproduction is `cargo run -p rta-bench --release --bin fig4`;
 //! this bench pins the per-method cost of a representative grid point.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rta_bench::admission::{admission_probability, Method};
 use rta_bench::figures::fig4_panels;
+use rta_bench::harness::Bench;
 use rta_core::AnalysisConfig;
+use std::time::Duration;
 
-fn bench_fig4_point(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig4_point");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.measurement_time(std::time::Duration::from_secs(3));
+fn main() {
+    let mut b = Bench::new().with_target(Duration::from_millis(300));
     let base = {
-        let mut b = fig4_panels()[1].base.clone();
-        b.utilization = 0.6;
-        b
+        let mut p = fig4_panels()[1].base.clone();
+        p.utilization = 0.6;
+        p
     };
     let acfg = AnalysisConfig::default();
     for method in [Method::SppExact, Method::SpnpApp, Method::FcfsApp] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(method.label()),
-            &method,
-            |b, &m| {
-                b.iter(|| {
-                    black_box(admission_probability(&base, m, 8, 17, 1, &acfg))
-                });
-            },
-        );
+        b.run(&format!("fig4_point/{}", method.label()), || {
+            admission_probability(&base, method, 8, 17, 1, &acfg)
+        });
     }
-    g.finish();
-}
 
-fn bench_fig4_variance_panels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig4_exact_by_variance_panel");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.measurement_time(std::time::Duration::from_secs(3));
-    let acfg = AnalysisConfig::default();
     for (i, panel) in fig4_panels().into_iter().enumerate().take(3) {
         let mut base = panel.base;
         base.utilization = 0.5;
-        g.bench_with_input(BenchmarkId::from_parameter(i), &base, |b, base| {
-            b.iter(|| {
-                black_box(admission_probability(base, Method::SppExact, 8, 19, 1, &acfg))
-            });
+        b.run(&format!("fig4_exact_by_variance_panel/{i}"), || {
+            admission_probability(&base, Method::SppExact, 8, 19, 1, &acfg)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_fig4_point, bench_fig4_variance_panels);
-criterion_main!(benches);

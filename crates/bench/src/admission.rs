@@ -80,8 +80,8 @@ pub fn admits(base: &ShopConfig, method: Method, seed: u64, acfg: &AnalysisConfi
 }
 
 /// Estimate the admission probability of `method` over `sets` random job
-/// sets derived from `master_seed`, fanning out over `threads` crossbeam
-/// scoped threads.
+/// sets derived from `master_seed`, fanning out over `threads` scoped
+/// threads.
 pub fn admission_probability(
     base: &ShopConfig,
     method: Method,
@@ -93,10 +93,10 @@ pub fn admission_probability(
     assert!(sets >= 1);
     let threads = threads.max(1);
     let counter = std::sync::atomic::AtomicU32::new(0);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for t in 0..threads {
             let counter = &counter;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut local = 0u32;
                 let mut i = t as u32;
                 while i < sets {
@@ -111,14 +111,15 @@ pub fn admission_probability(
                 counter.fetch_add(local, std::sync::atomic::Ordering::Relaxed);
             });
         }
-    })
-    .expect("estimation threads must not panic");
+    });
     counter.load(std::sync::atomic::Ordering::Relaxed) as f64 / sets as f64
 }
 
 /// Default thread count: all cores (the estimator is CPU-bound).
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -134,7 +135,9 @@ mod tests {
             n_jobs: 4,
             scheduler: SchedulerKind::Spp,
             utilization: util,
-            arrivals: ShopArrivals::Periodic { deadline_factor: 2.0 },
+            arrivals: ShopArrivals::Periodic {
+                deadline_factor: 2.0,
+            },
             x_min: 0.25,
             ticks_per_unit: 200,
         }
@@ -145,7 +148,10 @@ mod tests {
         let acfg = AnalysisConfig::default();
         let lo = admission_probability(&base(0.2), Method::SppExact, 40, 7, 2, &acfg);
         let hi = admission_probability(&base(0.95), Method::SppExact, 40, 7, 2, &acfg);
-        assert!(lo >= hi, "admission must not increase with load: {lo} < {hi}");
+        assert!(
+            lo >= hi,
+            "admission must not increase with load: {lo} < {hi}"
+        );
         assert!(lo > 0.5, "light load should mostly admit: {lo}");
     }
 
@@ -178,7 +184,9 @@ mod tests {
     #[test]
     fn bursty_mode_works_for_all_but_holistic() {
         let cfg = ShopConfig {
-            arrivals: ShopArrivals::Bursty { deadline: Dist::Exponential { mean: 8.0 } },
+            arrivals: ShopArrivals::Bursty {
+                deadline: Dist::Exponential { mean: 8.0 },
+            },
             ..base(0.4)
         };
         let acfg = AnalysisConfig::default();
@@ -187,6 +195,9 @@ mod tests {
             assert!((0.0..=1.0).contains(&p));
         }
         // The holistic baseline requires periodic jobs: every set rejected.
-        assert_eq!(admission_probability(&cfg, Method::SppSL, 10, 5, 2, &acfg), 0.0);
+        assert_eq!(
+            admission_probability(&cfg, Method::SppSL, 10, 5, 2, &acfg),
+            0.0
+        );
     }
 }

@@ -25,7 +25,9 @@ fn shop(utilization: f64) -> ShopConfig {
         n_jobs: 6,
         scheduler: SchedulerKind::Spnp,
         utilization,
-        arrivals: ShopArrivals::Periodic { deadline_factor: 4.0 },
+        arrivals: ShopArrivals::Periodic {
+            deadline_factor: 4.0,
+        },
         x_min: 0.2,
         ticks_per_unit: 500,
     }
@@ -38,7 +40,10 @@ fn violation_rate(variant: SpnpAvailability, sets: u64, util: f64) -> f64 {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut sys = generate(&cfg, &mut rng).unwrap();
         assign_priorities(&mut sys, PriorityPolicy::RelativeDeadlineMonotonic).unwrap();
-        let acfg = AnalysisConfig { spnp_availability: variant, ..Default::default() };
+        let acfg = AnalysisConfig {
+            spnp_availability: variant,
+            ..Default::default()
+        };
         let (window, horizon) = acfg.resolve(&sys);
         let report = analyze_bounds(&sys, &acfg).unwrap();
         let sim = simulate(&sys, &SimConfig { window, horizon });

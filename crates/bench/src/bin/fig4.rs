@@ -22,7 +22,12 @@ fn main() {
     for (i, p) in panels.iter().enumerate() {
         let t0 = std::time::Instant::now();
         let r = run_panel(p, &utils, args.sets, args.seed, args.threads);
-        eprintln!("panel {}/{} done in {:.1?}", i + 1, panels.len(), t0.elapsed());
+        eprintln!(
+            "panel {}/{} done in {:.1?}",
+            i + 1,
+            panels.len(),
+            t0.elapsed()
+        );
         print!("{}", render_text(&r));
         println!();
         results.push(r);

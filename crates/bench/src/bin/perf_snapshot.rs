@@ -1,0 +1,122 @@
+//! Performance snapshot of the curve kernels and analysis drivers.
+//!
+//! `cargo run -p rta-bench --release --bin perf_snapshot` times the
+//! segment-native kernels (with their lattice-scan oracles for reference)
+//! and the end-to-end analyses, then writes `BENCH_curves.json` in the
+//! working directory. CI and `scripts/check.sh` use it as the regression
+//! baseline for the numbers quoted in DESIGN.md.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rta_bench::harness::Bench;
+use rta_core::{analyze_exact_spp, AnalysisConfig};
+use rta_curves::convolution::{convolve, min_plus_convolve_lattice};
+use rta_curves::{Curve, CurveCursor, Time};
+use rta_model::jobshop::{generate, ShopArrivals, ShopConfig};
+use rta_model::priority::{assign_priorities, PriorityPolicy};
+use rta_model::{SchedulerKind, TaskSystem};
+
+fn arrivals(n: i64, gap: i64) -> Curve {
+    let times: Vec<Time> = (0..n).map(|i| Time(i * gap)).collect();
+    Curve::from_event_times(&times)
+}
+
+fn shop(scheduler: SchedulerKind, stages: usize, n_jobs: usize) -> TaskSystem {
+    let cfg = ShopConfig {
+        stages,
+        procs_per_stage: 2,
+        n_jobs,
+        scheduler,
+        utilization: 0.6,
+        arrivals: ShopArrivals::Periodic {
+            deadline_factor: 2.0 * stages as f64,
+        },
+        x_min: 0.2,
+        ticks_per_unit: 500,
+    };
+    let mut sys = generate(&cfg, &mut StdRng::seed_from_u64(42)).unwrap();
+    if scheduler.uses_priorities() {
+        assign_priorities(&mut sys, PriorityPolicy::RelativeDeadlineMonotonic).unwrap();
+    }
+    sys
+}
+
+fn main() {
+    let mut b = Bench::new();
+
+    // Kernel vs oracle: the general min-plus convolution on non-convex
+    // staircase curves, against the O(horizon²) lattice scan it replaced.
+    for n in [16i64, 64] {
+        let f = arrivals(n, 10).scale(3);
+        let g = arrivals(n, 12).scale(2);
+        let horizon = Time(n * 12 + 120);
+        b.run(&format!("convolve/segment/{n}"), || {
+            convolve(&f, &g, horizon)
+        });
+        b.run(&format!("convolve/lattice_oracle/{n}"), || {
+            min_plus_convolve_lattice(&f, &g, horizon)
+        });
+    }
+
+    // At realistic tick resolution (the job-shop generator uses 500
+    // ticks/unit) the horizon is tens of thousands of ticks while the
+    // breakpoint count stays small — the regime the segment kernel is for.
+    {
+        let f = arrivals(32, 625).scale(3);
+        let g = arrivals(32, 750).scale(2);
+        let horizon = Time(25_000);
+        b.run("convolve/segment/sparse_h25k", || convolve(&f, &g, horizon));
+        b.run("convolve/lattice_oracle/sparse_h25k", || {
+            min_plus_convolve_lattice(&f, &g, horizon)
+        });
+    }
+
+    // Cursor sweep vs front-rescanning pseudo-inverse (Theorem-1 loop).
+    for n in [128i64, 1024] {
+        let arr = arrivals(n, 10);
+        b.run(&format!("inverse_sweep/cursor/{n}"), || {
+            let mut cur = CurveCursor::new(&arr);
+            let mut acc = Time::ZERO;
+            for m in 1..=n {
+                if let Some(t) = cur.inverse_at(m) {
+                    acc += t;
+                }
+            }
+            acc
+        });
+        b.run(&format!("inverse_sweep/rescan/{n}"), || {
+            let mut acc = Time::ZERO;
+            for m in 1..=n {
+                if let Some(t) = arr.inverse_at(m) {
+                    acc += t;
+                }
+            }
+            acc
+        });
+    }
+
+    // End-to-end drivers on the largest analysis_scaling configs.
+    let big = shop(SchedulerKind::Spp, 8, 6);
+    b.run("analysis/exact_spp_8stage_6job", || {
+        analyze_exact_spp(&big, &AnalysisConfig::default()).unwrap()
+    });
+    let wide = shop(SchedulerKind::Spp, 2, 12);
+    b.run("analysis/exact_spp_2stage_12job", || {
+        analyze_exact_spp(&wide, &AnalysisConfig::default()).unwrap()
+    });
+    let spnp = shop(SchedulerKind::Spnp, 2, 6);
+    b.run("analysis/fixpoint_loops_2stage_6job", || {
+        rta_core::fixpoint::analyze_with_loops(&spnp, &AnalysisConfig::default(), 4).unwrap()
+    });
+
+    let json = b.to_json(&[
+        ("suite", "BENCH_curves"),
+        ("package", "rta-bench"),
+        ("profile", "release"),
+    ]);
+    std::fs::write("BENCH_curves.json", &json).expect("write BENCH_curves.json");
+    println!(
+        "\nwrote BENCH_curves.json ({} benchmarks)",
+        b.results().len()
+    );
+}

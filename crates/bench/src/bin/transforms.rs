@@ -65,7 +65,10 @@ fn main() {
         .unwrap_or(300);
 
     let window = Time(6_000);
-    let cfg = AnalysisConfig { arrival_window: Some(window), ..Default::default() };
+    let cfg = AnalysisConfig {
+        arrival_window: Some(window),
+        ..Default::default()
+    };
     println!(
         "{:>6} {:>14} {:>18} {:>10}",
         "load", "direct admits", "transformed admits", "lost"
@@ -81,7 +84,10 @@ fn main() {
                 .map(|r| r.all_schedulable())
                 .unwrap_or(false);
             // Conservativeness: the transformation never admits more.
-            assert!(!t || d, "seed {seed}: transformation admitted, direct rejected");
+            assert!(
+                !t || d,
+                "seed {seed}: transformation admitted, direct rejected"
+            );
             direct += d as u64;
             transformed += t as u64;
         }

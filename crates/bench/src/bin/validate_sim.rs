@@ -22,7 +22,9 @@ fn shop(scheduler: SchedulerKind, stages: usize, utilization: f64) -> ShopConfig
         n_jobs: 5,
         scheduler,
         utilization,
-        arrivals: ShopArrivals::Periodic { deadline_factor: 2.0 * stages as f64 },
+        arrivals: ShopArrivals::Periodic {
+            deadline_factor: 2.0 * stages as f64,
+        },
         x_min: 0.2,
         ticks_per_unit: 500,
     }
@@ -77,8 +79,7 @@ fn main() {
                 let mut rng = StdRng::seed_from_u64(seed);
                 let mut sys = generate(&cfg, &mut rng).unwrap();
                 if scheduler.uses_priorities() {
-                    assign_priorities(&mut sys, PriorityPolicy::RelativeDeadlineMonotonic)
-                        .unwrap();
+                    assign_priorities(&mut sys, PriorityPolicy::RelativeDeadlineMonotonic).unwrap();
                 }
                 let acfg = AnalysisConfig::default();
                 let (window, horizon) = acfg.resolve(&sys);

@@ -70,7 +70,12 @@ fn shop_base(stages: usize, arrivals: ShopArrivals) -> ShopConfig {
 
 /// The six Figure 3 panels (periodic arrivals).
 pub fn fig3_panels() -> Vec<Panel> {
-    let methods = vec![Method::SppExact, Method::SpnpApp, Method::FcfsApp, Method::SppSL];
+    let methods = vec![
+        Method::SppExact,
+        Method::SpnpApp,
+        Method::FcfsApp,
+        Method::SppSL,
+    ];
     let mut panels = Vec::new();
     // Column-major labels as in the paper: (a)(b)(c) = first deadline
     // column over growing stages, (d)(e)(f) = doubled deadlines.
@@ -79,7 +84,12 @@ pub fn fig3_panels() -> Vec<Panel> {
             let factor = dbl * stages as f64;
             panels.push(Panel {
                 label: format!("fig3 stages={stages}, {col}deadline={factor}x period"),
-                base: shop_base(stages, ShopArrivals::Periodic { deadline_factor: factor }),
+                base: shop_base(
+                    stages,
+                    ShopArrivals::Periodic {
+                        deadline_factor: factor,
+                    },
+                ),
                 methods: methods.clone(),
             });
         }
@@ -100,9 +110,16 @@ pub fn fig4_panels() -> Vec<Panel> {
             let variance = var_factor * noise_mean * noise_mean;
             panels.push(Panel {
                 label: format!("fig4 {mean_label} units, {var_label} (var={variance})"),
-                base: shop_base(2, ShopArrivals::Bursty {
-                    deadline: Dist::ShiftedGamma { shift: mean / 2.0, mean: noise_mean, variance },
-                }),
+                base: shop_base(
+                    2,
+                    ShopArrivals::Bursty {
+                        deadline: Dist::ShiftedGamma {
+                            shift: mean / 2.0,
+                            mean: noise_mean,
+                            variance,
+                        },
+                    },
+                ),
                 methods: methods.clone(),
             });
         }
@@ -131,13 +148,19 @@ pub fn run_panel(
                     // Identical seeds per point across methods: the paper
                     // applies each method to the same generated sets.
                     let seed = master_seed ^ ((u * 1000.0) as u64);
-                    (u, admission_probability(&base, method, sets, seed, threads, &acfg))
+                    (
+                        u,
+                        admission_probability(&base, method, sets, seed, threads, &acfg),
+                    )
                 })
                 .collect();
             Series { method, points }
         })
         .collect();
-    PanelResult { label: panel.label.clone(), series }
+    PanelResult {
+        label: panel.label.clone(),
+        series,
+    }
 }
 
 #[cfg(test)]
@@ -149,7 +172,9 @@ mod tests {
         assert_eq!(fig3_panels().len(), 6);
         assert_eq!(fig4_panels().len(), 6);
         // Figure 4 never includes the periodic-only baseline.
-        assert!(fig4_panels().iter().all(|p| !p.methods.contains(&Method::SppSL)));
+        assert!(fig4_panels()
+            .iter()
+            .all(|p| !p.methods.contains(&Method::SppSL)));
         assert!(fig3_panels().iter().all(|p| p.methods.len() == 4));
     }
 
@@ -168,15 +193,13 @@ mod tests {
         let panel = &fig3_panels()[0];
         let r = run_panel(panel, &[0.3], 12, 42, 2);
         assert_eq!(r.series.len(), 4);
-        let p = |m: Method| {
-            r.series
-                .iter()
-                .find(|s| s.method == m)
-                .unwrap()
-                .points[0]
-                .1
-        };
-        for m in [Method::SppExact, Method::SpnpApp, Method::FcfsApp, Method::SppSL] {
+        let p = |m: Method| r.series.iter().find(|s| s.method == m).unwrap().points[0].1;
+        for m in [
+            Method::SppExact,
+            Method::SpnpApp,
+            Method::FcfsApp,
+            Method::SppSL,
+        ] {
             assert!((0.0..=1.0).contains(&p(m)));
         }
         assert!(p(Method::SppExact) >= p(Method::SpnpApp));

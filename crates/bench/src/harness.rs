@@ -1,0 +1,159 @@
+//! Minimal self-calibrating timing harness for the `harness = false`
+//! benchmarks and the `perf_snapshot` binary.
+//!
+//! Criterion is deliberately not used: the workspace must build with
+//! path-only dependencies in offline environments. The harness keeps the
+//! parts that matter for regression tracking — warm-up, auto-calibrated
+//! iteration counts, best-of-N sampling — and prints one line per
+//! benchmark plus an optional machine-readable JSON dump.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One measured benchmark.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Hierarchical name, e.g. `"pointwise_min/1024"`.
+    pub name: String,
+    /// Iterations per timed sample.
+    pub iters: u64,
+    /// Best observed nanoseconds per iteration.
+    pub ns_per_iter: f64,
+}
+
+/// Collects measurements and prints them as they complete.
+#[derive(Default)]
+pub struct Bench {
+    samples: usize,
+    target: Duration,
+    results: Vec<Measurement>,
+}
+
+impl Bench {
+    /// A harness with the default budget (3 samples of ~100 ms each).
+    pub fn new() -> Self {
+        Bench {
+            samples: 3,
+            target: Duration::from_millis(100),
+            results: Vec::new(),
+        }
+    }
+
+    /// Override the per-sample time budget.
+    pub fn with_target(mut self, target: Duration) -> Self {
+        self.target = target;
+        self
+    }
+
+    /// Time `f`, auto-calibrating the iteration count to the budget, and
+    /// record the best sample. The closure's return value is black-boxed
+    /// so the computation cannot be optimized away.
+    pub fn run<T, F: FnMut() -> T>(&mut self, name: &str, mut f: F) -> &Measurement {
+        // Warm-up + calibration: grow the batch until it fills ~1/4 budget.
+        let mut iters: u64 = 1;
+        let per_iter_est = loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= self.target / 4 || iters >= 1 << 30 {
+                break elapsed.as_nanos() as f64 / iters as f64;
+            }
+            iters *= 4;
+        };
+        let iters = ((self.target.as_nanos() as f64 / per_iter_est.max(1.0)) as u64).max(1);
+
+        let mut best = f64::INFINITY;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / iters as f64;
+            best = best.min(ns);
+        }
+        println!(
+            "{name:<40} {:>14} /iter  ({iters} iters/sample)",
+            fmt_ns(best)
+        );
+        self.results.push(Measurement {
+            name: name.to_string(),
+            iters,
+            ns_per_iter: best,
+        });
+        self.results.last().expect("just pushed")
+    }
+
+    /// All measurements recorded so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Render the measurements as a JSON object (hand-rolled: no serde in
+    /// the offline dependency closure).
+    pub fn to_json(&self, meta: &[(&str, &str)]) -> String {
+        let mut out = String::from("{\n");
+        for (k, v) in meta {
+            out.push_str(&format!("  \"{}\": \"{}\",\n", escape(k), escape(v)));
+        }
+        out.push_str("  \"benchmarks\": [\n");
+        for (i, m) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"iters\": {}, \"ns_per_iter\": {:.1}}}{}\n",
+                escape(&m.name),
+                m.iters,
+                m.ns_per_iter,
+                if i + 1 < self.results.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_serializes() {
+        let mut b = Bench::new().with_target(Duration::from_millis(2));
+        b.run("noop", || 1 + 1);
+        assert_eq!(b.results().len(), 1);
+        assert!(b.results()[0].ns_per_iter >= 0.0);
+        let json = b.to_json(&[("kind", "test")]);
+        assert!(json.contains("\"kind\": \"test\""));
+        assert!(json.contains("\"name\": \"noop\""));
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let mut b = Bench::new().with_target(Duration::from_millis(1));
+        b.run("quo\"te", || 0);
+        assert!(b.to_json(&[]).contains("quo\\\"te"));
+    }
+}

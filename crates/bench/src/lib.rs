@@ -17,13 +17,14 @@
 //! * `cargo run -p rta-bench --release --bin ablation`
 //!
 //! Estimation is embarrassingly parallel across job sets and fans out over
-//! crossbeam scoped threads with deterministic per-set seeds.
+//! `std::thread::scope` threads with deterministic per-set seeds.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod admission;
 pub mod figures;
+pub mod harness;
 pub mod table;
 
 pub use admission::{admission_probability, admits, Method};

@@ -46,9 +46,17 @@ fn json_escape(s: &str) -> String {
 pub fn render_json(panels: &[PanelResult]) -> String {
     let mut out = String::from("{\n  \"panels\": [\n");
     for (pi, p) in panels.iter().enumerate() {
-        let _ = write!(out, "    {{\"label\": \"{}\", \"series\": [", json_escape(&p.label));
+        let _ = write!(
+            out,
+            "    {{\"label\": \"{}\", \"series\": [",
+            json_escape(&p.label)
+        );
         for (si, s) in p.series.iter().enumerate() {
-            let _ = write!(out, "{{\"method\": \"{}\", \"points\": [", json_escape(s.method.label()));
+            let _ = write!(
+                out,
+                "{{\"method\": \"{}\", \"points\": [",
+                json_escape(s.method.label())
+            );
             for (i, (u, prob)) in s.points.iter().enumerate() {
                 let _ = write!(out, "[{u}, {prob}]");
                 if i + 1 < s.points.len() {
@@ -77,8 +85,14 @@ mod tests {
         PanelResult {
             label: "test \"panel\"".into(),
             series: vec![
-                Series { method: Method::SppExact, points: vec![(0.1, 1.0), (0.5, 0.75)] },
-                Series { method: Method::FcfsApp, points: vec![(0.1, 0.9), (0.5, 0.5)] },
+                Series {
+                    method: Method::SppExact,
+                    points: vec![(0.1, 1.0), (0.5, 0.75)],
+                },
+                Series {
+                    method: Method::FcfsApp,
+                    points: vec![(0.1, 0.9), (0.5, 0.5)],
+                },
             ],
         }
     }

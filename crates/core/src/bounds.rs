@@ -23,8 +23,24 @@ use crate::error::AnalysisError;
 use crate::fcfs::FcfsProcessor;
 use crate::report::{BoundsReport, JobBound};
 use crate::spnp::{spnp_bounds, ServiceBounds};
-use rta_curves::{Curve, Time};
+use rta_curves::{Curve, CurveCursor, Time};
 use rta_model::{JobId, SchedulerKind, SubjobRef, TaskSystem};
+
+/// The per-hop worst-case delay of Equation 12: the maximal horizontal
+/// deviation `max_m ( f̲⁻¹_dep(m) − f̄⁻¹_arr(m) )` over the first
+/// `n_instances` instances, or `None` if any instance is unresolved within
+/// the horizon. The sweep is cursor-based: amortized O(1) per instance.
+pub(crate) fn hop_delay(arr_env: &Curve, dep_lower: &Curve, n_instances: i64) -> Option<Time> {
+    let mut arr_cur = CurveCursor::new(arr_env);
+    let mut dep_cur = CurveCursor::new(dep_lower);
+    let mut d = Time::ZERO;
+    for m in 1..=n_instances {
+        let early = arr_cur.inverse_at(m)?;
+        let late = dep_cur.inverse_at(m)?;
+        d = d.max(late - early);
+    }
+    Some(d)
+}
 
 struct NodeData {
     arr_env: Curve,
@@ -55,7 +71,10 @@ fn compute_nodes(
         if r.index == 0 {
             sys.job(r.job).arrival.arrival_curve(window)
         } else {
-            let pred = SubjobRef { job: r.job, index: r.index - 1 };
+            let pred = SubjobRef {
+                job: r.job,
+                index: r.index - 1,
+            };
             nodes[idx.index(pred)]
                 .as_ref()
                 .expect("dependency order")
@@ -86,7 +105,13 @@ fn compute_nodes(
                     .iter()
                     .map(|h| &nodes[idx.index(*h)].as_ref().expect("order").bounds.upper)
                     .collect();
-                spnp_bounds(&workload, &hp_lower, &hp_upper, blocking, cfg.spnp_availability)
+                spnp_bounds(
+                    &workload,
+                    &hp_lower,
+                    &hp_upper,
+                    blocking,
+                    cfg.spnp_availability,
+                )
             }
             SchedulerKind::Fcfs => {
                 let pid = subjob.processor.0;
@@ -105,9 +130,17 @@ fn compute_nodes(
 
         let dep_lower = bounds.lower.floor_div(tau.ticks(), horizon)?;
         let arr_next = bounds.upper.floor_div(tau.ticks(), horizon)?;
-        nodes[i] = Some(NodeData { arr_env, bounds, dep_lower, arr_next });
+        nodes[i] = Some(NodeData {
+            arr_env,
+            bounds,
+            dep_lower,
+            arr_next,
+        });
     }
-    Ok(nodes.into_iter().map(|n| n.expect("all computed")).collect())
+    Ok(nodes
+        .into_iter()
+        .map(|n| n.expect("all computed"))
+        .collect())
 }
 
 /// Per-subjob lower service bounds in `SubjobIndex` order — consumed by
@@ -124,7 +157,10 @@ pub(crate) fn lower_service_curves(
 
 /// Run the approximate (bounds) analysis on a system whose processors may
 /// mix SPP, SPNP and FCFS scheduling.
-pub fn analyze_bounds(sys: &TaskSystem, cfg: &AnalysisConfig) -> Result<BoundsReport, AnalysisError> {
+pub fn analyze_bounds(
+    sys: &TaskSystem,
+    cfg: &AnalysisConfig,
+) -> Result<BoundsReport, AnalysisError> {
     sys.validate(true)?;
     let (window, horizon) = cfg.resolve(sys);
     let idx = SubjobIndex::new(sys);
@@ -137,28 +173,28 @@ pub fn analyze_bounds(sys: &TaskSystem, cfg: &AnalysisConfig) -> Result<BoundsRe
         let n_instances = job.arrival.release_times(window).len() as i64;
         let mut hop_delays = Vec::with_capacity(job.subjobs.len());
         for j in 0..job.subjobs.len() {
-            let node = &nodes[idx.index(SubjobRef { job: job_id, index: j })];
-            let mut d = Some(Time::ZERO);
-            for m in 1..=n_instances {
-                let early = node.arr_env.inverse_at(m);
-                let late = node.dep_lower.inverse_at(m);
-                d = match (d, early, late) {
-                    (Some(cur), Some(a), Some(c)) => Some(cur.max(c - a)),
-                    _ => None,
-                };
-                if d.is_none() {
-                    break;
-                }
-            }
-            hop_delays.push(d);
+            let node = &nodes[idx.index(SubjobRef {
+                job: job_id,
+                index: j,
+            })];
+            hop_delays.push(hop_delay(&node.arr_env, &node.dep_lower, n_instances));
         }
         let e2e_bound = hop_delays
             .iter()
             .try_fold(Time::ZERO, |acc, d| d.map(|d| acc + d));
-        jobs.push(JobBound { job: job_id, hop_delays, e2e_bound, deadline: job.deadline });
+        jobs.push(JobBound {
+            job: job_id,
+            hop_delays,
+            e2e_bound,
+            deadline: job.deadline,
+        });
     }
 
-    Ok(BoundsReport { window, horizon, jobs })
+    Ok(BoundsReport {
+        window,
+        horizon,
+        jobs,
+    })
 }
 
 #[cfg(test)]
@@ -169,7 +205,10 @@ mod tests {
     use rta_model::{ArrivalPattern, SystemBuilder};
 
     fn periodic(p: i64) -> ArrivalPattern {
-        ArrivalPattern::Periodic { period: Time(p), offset: Time::ZERO }
+        ArrivalPattern::Periodic {
+            period: Time(p),
+            offset: Time::ZERO,
+        }
     }
 
     #[test]
@@ -196,8 +235,18 @@ mod tests {
         let mut b = SystemBuilder::new();
         let p1 = b.add_processor("P1", SchedulerKind::Spp);
         let p2 = b.add_processor("P2", SchedulerKind::Spp);
-        b.add_job("T1", Time(100), periodic(20), vec![(p1, Time(2)), (p2, Time(4))]);
-        b.add_job("T2", Time(100), periodic(25), vec![(p2, Time(3)), (p1, Time(5))]);
+        b.add_job(
+            "T1",
+            Time(100),
+            periodic(20),
+            vec![(p1, Time(2)), (p2, Time(4))],
+        );
+        b.add_job(
+            "T2",
+            Time(100),
+            periodic(25),
+            vec![(p2, Time(3)), (p1, Time(5))],
+        );
         let mut sys = b.build().unwrap();
         assign_priorities(&mut sys, PriorityPolicy::RelativeDeadlineMonotonic).unwrap();
         let exact = analyze_exact_spp(&sys, &AnalysisConfig::default()).unwrap();
@@ -292,7 +341,10 @@ mod tests {
         assign_priorities(&mut sys, PriorityPolicy::DeadlineMonotonic).unwrap();
         let printed = analyze_bounds(
             &sys,
-            &AnalysisConfig { spnp_availability: crate::SpnpAvailability::AsPrinted, ..Default::default() },
+            &AnalysisConfig {
+                spnp_availability: crate::SpnpAvailability::AsPrinted,
+                ..Default::default()
+            },
         )
         .unwrap();
         let conserv = analyze_bounds(

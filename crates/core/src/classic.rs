@@ -82,7 +82,10 @@ mod tests {
     use super::*;
 
     fn t(c: i64, p: i64) -> PeriodicTask {
-        PeriodicTask { exec: Time(c), period: Time(p) }
+        PeriodicTask {
+            exec: Time(c),
+            period: Time(p),
+        }
     }
 
     #[test]

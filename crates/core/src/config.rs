@@ -73,7 +73,10 @@ mod tests {
         b.add_job(
             "T1",
             Time(10),
-            ArrivalPattern::Periodic { period: Time(20), offset: Time::ZERO },
+            ArrivalPattern::Periodic {
+                period: Time(20),
+                offset: Time::ZERO,
+            },
             vec![(p, Time(2))],
         );
         let sys = b.build().unwrap();

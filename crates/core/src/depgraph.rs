@@ -66,7 +66,10 @@ pub fn dependency_edges(sys: &TaskSystem, idx: &SubjobIndex) -> Vec<(usize, usiz
     for (i, &r) in idx.refs().iter().enumerate() {
         // Chain edge from the predecessor hop.
         if r.index > 0 {
-            let pred = SubjobRef { job: r.job, index: r.index - 1 };
+            let pred = SubjobRef {
+                job: r.job,
+                index: r.index - 1,
+            };
             edges.push((idx.index(pred), i));
         }
         let s = sys.subjob(r);
@@ -81,7 +84,10 @@ pub fn dependency_edges(sys: &TaskSystem, idx: &SubjobIndex) -> Vec<(usize, usiz
                 // departure (first hops have primary arrivals — no edge).
                 for o in sys.subjobs_on(s.processor) {
                     if o != r && o.index > 0 {
-                        let pred = SubjobRef { job: o.job, index: o.index - 1 };
+                        let pred = SubjobRef {
+                            job: o.job,
+                            index: o.index - 1,
+                        };
                         let p = idx.index(pred);
                         if p != i {
                             edges.push((p, i));
@@ -137,7 +143,10 @@ mod tests {
     use rta_model::{ArrivalPattern, JobId, SystemBuilder};
 
     fn periodic(p: i64) -> ArrivalPattern {
-        ArrivalPattern::Periodic { period: Time(p), offset: Time::ZERO }
+        ArrivalPattern::Periodic {
+            period: Time(p),
+            offset: Time::ZERO,
+        }
     }
 
     #[test]
@@ -145,7 +154,12 @@ mod tests {
         let mut b = SystemBuilder::new();
         let p1 = b.add_processor("P1", SchedulerKind::Spp);
         let p2 = b.add_processor("P2", SchedulerKind::Spp);
-        let t1 = b.add_job("T1", Time(50), periodic(50), vec![(p1, Time(5)), (p2, Time(5))]);
+        let t1 = b.add_job(
+            "T1",
+            Time(50),
+            periodic(50),
+            vec![(p1, Time(5)), (p2, Time(5))],
+        );
         let t2 = b.add_job("T2", Time(90), periodic(90), vec![(p1, Time(9))]);
         let mut sys = b.build().unwrap();
         assign_priorities(&mut sys, PriorityPolicy::DeadlineMonotonic).unwrap();
@@ -168,7 +182,12 @@ mod tests {
         let mut b = SystemBuilder::new();
         let p1 = b.add_processor("P1", SchedulerKind::Fcfs);
         let p2 = b.add_processor("P2", SchedulerKind::Fcfs);
-        let t1 = b.add_job("T1", Time(50), periodic(50), vec![(p1, Time(5)), (p2, Time(5))]);
+        let t1 = b.add_job(
+            "T1",
+            Time(50),
+            periodic(50),
+            vec![(p1, Time(5)), (p2, Time(5))],
+        );
         let t2 = b.add_job("T2", Time(90), periodic(90), vec![(p2, Time(9))]);
         let sys = b.build().unwrap();
         let idx = SubjobIndex::new(&sys);
@@ -189,8 +208,18 @@ mod tests {
         let p1 = b.add_processor("P1", SchedulerKind::Spp);
         let p2 = b.add_processor("P2", SchedulerKind::Spp);
         // T1: P1 then P2; T2: P2 then P1.
-        let t1 = b.add_job("T1", Time(50), periodic(50), vec![(p1, Time(5)), (p2, Time(5))]);
-        let t2 = b.add_job("T2", Time(50), periodic(50), vec![(p2, Time(5)), (p1, Time(5))]);
+        let t1 = b.add_job(
+            "T1",
+            Time(50),
+            periodic(50),
+            vec![(p1, Time(5)), (p2, Time(5))],
+        );
+        let t2 = b.add_job(
+            "T2",
+            Time(50),
+            periodic(50),
+            vec![(p2, Time(5)), (p1, Time(5))],
+        );
         // Priorities chosen to close the loop: on P1, T2's hop 1 outranks
         // T1's hop 0; on P2, T1's hop 1 outranks T2's hop 0.
         b.set_priority(SubjobRef { job: t1, index: 0 }, 2);

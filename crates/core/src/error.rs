@@ -62,13 +62,22 @@ impl std::fmt::Display for AnalysisError {
                 Ok(())
             }
             AnalysisError::NotAllSpp { processor } => {
-                write!(f, "exact analysis requires SPP on all processors; {processor} differs")
+                write!(
+                    f,
+                    "exact analysis requires SPP on all processors; {processor} differs"
+                )
             }
             AnalysisError::NotPeriodic { job } => {
-                write!(f, "holistic baseline requires periodic arrivals; job {job} differs")
+                write!(
+                    f,
+                    "holistic baseline requires periodic arrivals; job {job} differs"
+                )
             }
             AnalysisError::FixpointDiverged { iterations } => {
-                write!(f, "fixed-point iteration did not converge after {iterations} rounds")
+                write!(
+                    f,
+                    "fixed-point iteration did not converge after {iterations} rounds"
+                )
             }
         }
     }
@@ -85,14 +94,22 @@ mod tests {
     fn error_messages_name_the_problem() {
         let cyc = AnalysisError::CyclicDependency {
             cycle: vec![
-                SubjobRef { job: JobId(0), index: 1 },
-                SubjobRef { job: JobId(2), index: 0 },
+                SubjobRef {
+                    job: JobId(0),
+                    index: 1,
+                },
+                SubjobRef {
+                    job: JobId(2),
+                    index: 0,
+                },
             ],
         };
         let msg = cyc.to_string();
         assert!(msg.contains("T1,2") && msg.contains("T3,1"), "{msg}");
 
-        let spp = AnalysisError::NotAllSpp { processor: ProcessorId(4) };
+        let spp = AnalysisError::NotAllSpp {
+            processor: ProcessorId(4),
+        };
         assert!(spp.to_string().contains("P5"));
 
         let per = AnalysisError::NotPeriodic { job: JobId(1) };

@@ -16,7 +16,7 @@ use crate::depgraph::{evaluation_order, SubjobIndex};
 use crate::error::AnalysisError;
 use crate::report::{ExactReport, JobReport, SubjobCurves};
 use crate::spp::exact_service;
-use rta_curves::{Curve, Time};
+use rta_curves::{Curve, CurveCursor, Time};
 use rta_model::{JobId, SchedulerKind, TaskSystem};
 
 /// Run the exact SPP analysis.
@@ -47,7 +47,10 @@ pub fn analyze_exact_spp(
         let arrival: Curve = if r.index == 0 {
             sys.job(r.job).arrival.arrival_curve(window)
         } else {
-            let pred = rta_model::SubjobRef { job: r.job, index: r.index - 1 };
+            let pred = rta_model::SubjobRef {
+                job: r.job,
+                index: r.index - 1,
+            };
             curves[idx.index(pred)]
                 .as_ref()
                 .expect("topological order")
@@ -66,15 +69,25 @@ pub fn analyze_exact_spp(
             .collect();
         let service = exact_service(&workload, &hp_services);
         let departure = service.floor_div(subjob.exec.ticks(), horizon)?;
-        curves[i] = Some(SubjobCurves { arrival, service, departure });
+        curves[i] = Some(SubjobCurves {
+            arrival,
+            service,
+            departure,
+        });
     }
-    let curves: Vec<SubjobCurves> = curves.into_iter().map(|c| c.expect("all computed")).collect();
+    let curves: Vec<SubjobCurves> = curves
+        .into_iter()
+        .map(|c| c.expect("all computed"))
+        .collect();
 
     // Theorem 1 per job.
     let mut jobs = Vec::with_capacity(sys.jobs().len());
     for (k, job) in sys.jobs().iter().enumerate() {
         let job_id = JobId(k);
-        let first = idx.index(rta_model::SubjobRef { job: job_id, index: 0 });
+        let first = idx.index(rta_model::SubjobRef {
+            job: job_id,
+            index: 0,
+        });
         let last = idx.index(rta_model::SubjobRef {
             job: job_id,
             index: job.subjobs.len() - 1,
@@ -82,12 +95,12 @@ pub fn analyze_exact_spp(
         let n_instances = curves[first].arrival.total_events();
         let mut responses = Vec::with_capacity(n_instances as usize);
         let mut wcrt = Some(Time::ZERO);
+        // Resumable cursors make the instance sweep amortized O(1) per m.
+        let mut arr_cur = CurveCursor::new(&curves[first].arrival);
+        let mut dep_cur = CurveCursor::new(&curves[last].departure);
         for m in 1..=n_instances {
-            let release = curves[first]
-                .arrival
-                .event_time(m)
-                .expect("instance within window");
-            let resp = curves[last].departure.event_time(m).map(|c| c - release);
+            let release = arr_cur.inverse_at(m).expect("instance within window");
+            let resp = dep_cur.inverse_at(m).map(|c| c - release);
             wcrt = match (wcrt, resp) {
                 (Some(w), Some(r)) => Some(w.max(r)),
                 _ => None,
@@ -97,10 +110,20 @@ pub fn analyze_exact_spp(
         if n_instances == 0 {
             wcrt = Some(Time::ZERO);
         }
-        jobs.push(JobReport { job: job_id, responses, wcrt, deadline: job.deadline });
+        jobs.push(JobReport {
+            job: job_id,
+            responses,
+            wcrt,
+            deadline: job.deadline,
+        });
     }
 
-    Ok(ExactReport { window, horizon, jobs, curves })
+    Ok(ExactReport {
+        window,
+        horizon,
+        jobs,
+        curves,
+    })
 }
 
 #[cfg(test)]
@@ -111,7 +134,10 @@ mod tests {
     use rta_model::{ArrivalPattern, SubjobRef, SystemBuilder};
 
     fn periodic(p: i64) -> ArrivalPattern {
-        ArrivalPattern::Periodic { period: Time(p), offset: Time::ZERO }
+        ArrivalPattern::Periodic {
+            period: Time(p),
+            offset: Time::ZERO,
+        }
     }
 
     #[test]
@@ -244,7 +270,12 @@ mod tests {
         let mut b = SystemBuilder::new();
         let p1 = b.add_processor("P1", SchedulerKind::Spp);
         let p2 = b.add_processor("P2", SchedulerKind::Spp);
-        b.add_job("T1", Time(100), periodic(50), vec![(p1, Time(4)), (p2, Time(6))]);
+        b.add_job(
+            "T1",
+            Time(100),
+            periodic(50),
+            vec![(p1, Time(4)), (p2, Time(6))],
+        );
         let mut sys = b.build().unwrap();
         assign_priorities(&mut sys, PriorityPolicy::RelativeDeadlineMonotonic).unwrap();
         let r = analyze_exact_spp(&sys, &AnalysisConfig::default()).unwrap();
@@ -263,7 +294,12 @@ mod tests {
         let mut b = SystemBuilder::new();
         let p1 = b.add_processor("P1", SchedulerKind::Spp);
         let p2 = b.add_processor("P2", SchedulerKind::Spp);
-        let t1 = b.add_job("T1", Time(50), periodic(20), vec![(p1, Time(2)), (p2, Time(4))]);
+        let t1 = b.add_job(
+            "T1",
+            Time(50),
+            periodic(20),
+            vec![(p1, Time(2)), (p2, Time(4))],
+        );
         let t2 = b.add_job("T2", Time(20), periodic(20), vec![(p2, Time(3))]);
         b.set_priority(SubjobRef { job: t1, index: 0 }, 1);
         b.set_priority(SubjobRef { job: t1, index: 1 }, 2);

@@ -64,46 +64,97 @@ pub fn analyze_with_loops(
         })
         .collect();
 
-    for _round in 0..max_rounds {
-        let mut next = Vec::with_capacity(idx.len());
-        let mut fcfs_ctx: std::collections::HashMap<usize, FcfsProcessor> =
-            std::collections::HashMap::new();
-        for (i, &r) in idx.refs().iter().enumerate() {
-            let s = sys.subjob(r);
-            let tau = s.exec;
-            let nb = match sys.processor(s.processor).scheduler {
-                SchedulerKind::Spp | SchedulerKind::Spnp => {
-                    let blocking = match sys.processor(s.processor).scheduler {
-                        SchedulerKind::Spnp => sys.blocking_time(r),
-                        _ => Time::ZERO,
-                    };
-                    let hp = sys.higher_priority_peers(r);
-                    let hp_lower: Vec<&Curve> =
-                        hp.iter().map(|h| &bounds[idx.index(*h)].lower).collect();
-                    let hp_upper: Vec<&Curve> =
-                        hp.iter().map(|h| &bounds[idx.index(*h)].upper).collect();
-                    spnp_bounds(&workload[i], &hp_lower, &hp_upper, blocking, cfg.spnp_availability)
-                }
-                SchedulerKind::Fcfs => {
-                    let pid = s.processor.0;
-                    if let std::collections::hash_map::Entry::Vacant(e) = fcfs_ctx.entry(pid) {
-                        let peers = sys.subjobs_on(s.processor);
-                        let peer_workloads: Vec<&Curve> =
-                            peers.iter().map(|o| &workload[idx.index(*o)]).collect();
-                        e.insert(FcfsProcessor::new(&peer_workloads, horizon)?);
-                    }
-                    fcfs_ctx[&pid].service_bounds(&workload[i], tau)?
-                }
-            };
-            next.push(nb);
+    // FCFS processor contexts depend only on the (round-invariant) peer
+    // workloads: build each processor's context once, before the rounds.
+    let mut fcfs_ctx: std::collections::HashMap<usize, FcfsProcessor> =
+        std::collections::HashMap::new();
+    for &r in idx.refs() {
+        let s = sys.subjob(r);
+        if sys.processor(s.processor).scheduler == SchedulerKind::Fcfs {
+            if let std::collections::hash_map::Entry::Vacant(e) = fcfs_ctx.entry(s.processor.0) {
+                let peers = sys.subjobs_on(s.processor);
+                let peer_workloads: Vec<&Curve> =
+                    peers.iter().map(|o| &workload[idx.index(*o)]).collect();
+                e.insert(FcfsProcessor::new(&peer_workloads, horizon)?);
+            }
         }
-        let converged = next
-            .iter()
-            .zip(&bounds)
-            .all(|(a, b)| a.lower == b.lower && a.upper == b.upper);
-        bounds = next;
-        if converged {
+    }
+
+    // Higher-priority peer slots per subjob — these are the only cross-subjob
+    // inputs of a round, so they drive the staleness tracking below.
+    let hp_slots: Vec<Vec<usize>> = idx
+        .refs()
+        .iter()
+        .map(|&r| {
+            // FCFS subjobs have no priorities (and no cross-round inputs).
+            match sys.processor(sys.subjob(r).processor).scheduler {
+                SchedulerKind::Fcfs => Vec::new(),
+                SchedulerKind::Spp | SchedulerKind::Spnp => sys
+                    .higher_priority_peers(r)
+                    .into_iter()
+                    .map(|h| idx.index(h))
+                    .collect(),
+            }
+        })
+        .collect();
+
+    // Subjob `i`'s round-r bounds are a pure function of the round-(r−1)
+    // bounds of its higher-priority peers (and round-invariant workloads),
+    // so each round fans out over scoped threads, and a subjob whose inputs
+    // did not change in the previous round keeps its memoized bounds. FCFS
+    // bounds have no cross-subjob inputs at all: they are computed once in
+    // round 0 and never again.
+    let mut stale: Vec<bool> = vec![true; idx.len()];
+    for _round in 0..max_rounds {
+        let results: Vec<Option<Result<ServiceBounds, AnalysisError>>> =
+            crate::par::par_map(idx.len(), |i| {
+                if !stale[i] {
+                    return None;
+                }
+                let r = idx.refs()[i];
+                let s = sys.subjob(r);
+                let tau = s.exec;
+                let nb = match sys.processor(s.processor).scheduler {
+                    SchedulerKind::Spp | SchedulerKind::Spnp => {
+                        let blocking = match sys.processor(s.processor).scheduler {
+                            SchedulerKind::Spnp => sys.blocking_time(r),
+                            _ => Time::ZERO,
+                        };
+                        let hp_lower: Vec<&Curve> =
+                            hp_slots[i].iter().map(|&h| &bounds[h].lower).collect();
+                        let hp_upper: Vec<&Curve> =
+                            hp_slots[i].iter().map(|&h| &bounds[h].upper).collect();
+                        Ok(spnp_bounds(
+                            &workload[i],
+                            &hp_lower,
+                            &hp_upper,
+                            blocking,
+                            cfg.spnp_availability,
+                        ))
+                    }
+                    SchedulerKind::Fcfs => fcfs_ctx[&s.processor.0]
+                        .service_bounds(&workload[i], tau)
+                        .map_err(AnalysisError::from),
+                };
+                Some(nb)
+            });
+        let mut changed_now = vec![false; idx.len()];
+        let mut any_changed = false;
+        for (i, res) in results.into_iter().enumerate() {
+            if let Some(nb) = res {
+                let nb = nb?;
+                if nb.lower != bounds[i].lower || nb.upper != bounds[i].upper {
+                    changed_now[i] = true;
+                    any_changed = true;
+                    bounds[i] = nb;
+                }
+            }
+        }
+        if !any_changed {
             break;
+        }
+        for i in 0..idx.len() {
+            stale[i] = hp_slots[i].iter().any(|&h| changed_now[h]);
         }
     }
 
@@ -114,28 +165,34 @@ pub fn analyze_with_loops(
         let n_instances = job.arrival.release_times(window).len() as i64;
         let mut hop_delays = Vec::with_capacity(job.subjobs.len());
         for j in 0..job.subjobs.len() {
-            let i = idx.index(SubjobRef { job: job_id, index: j });
-            let dep_lower = bounds[i].lower.floor_div(job.subjobs[j].exec.ticks(), horizon)?;
-            let mut d = Some(Time::ZERO);
-            for m in 1..=n_instances {
-                let early = arr_env[i].inverse_at(m);
-                let late = dep_lower.inverse_at(m);
-                d = match (d, early, late) {
-                    (Some(cur), Some(a), Some(c)) => Some(cur.max(c - a)),
-                    _ => None,
-                };
-                if d.is_none() {
-                    break;
-                }
-            }
-            hop_delays.push(d);
+            let i = idx.index(SubjobRef {
+                job: job_id,
+                index: j,
+            });
+            let dep_lower = bounds[i]
+                .lower
+                .floor_div(job.subjobs[j].exec.ticks(), horizon)?;
+            hop_delays.push(crate::bounds::hop_delay(
+                &arr_env[i],
+                &dep_lower,
+                n_instances,
+            ));
         }
         let e2e_bound = hop_delays
             .iter()
             .try_fold(Time::ZERO, |acc, d| d.map(|d| acc + d));
-        jobs.push(JobBound { job: job_id, hop_delays, e2e_bound, deadline: job.deadline });
+        jobs.push(JobBound {
+            job: job_id,
+            hop_delays,
+            e2e_bound,
+            deadline: job.deadline,
+        });
     }
-    Ok(BoundsReport { window, horizon, jobs })
+    Ok(BoundsReport {
+        window,
+        horizon,
+        jobs,
+    })
 }
 
 #[cfg(test)]
@@ -146,7 +203,10 @@ mod tests {
     use rta_model::{ArrivalPattern, SystemBuilder};
 
     fn periodic(p: i64) -> ArrivalPattern {
-        ArrivalPattern::Periodic { period: Time(p), offset: Time::ZERO }
+        ArrivalPattern::Periodic {
+            period: Time(p),
+            offset: Time::ZERO,
+        }
     }
 
     /// The figure-eight system whose dependency graph is cyclic.
@@ -154,8 +214,18 @@ mod tests {
         let mut b = SystemBuilder::new();
         let p1 = b.add_processor("P1", SchedulerKind::Spp);
         let p2 = b.add_processor("P2", SchedulerKind::Spp);
-        let t1 = b.add_job("T1", Time(200), periodic(40), vec![(p1, Time(4)), (p2, Time(4))]);
-        let t2 = b.add_job("T2", Time(200), periodic(40), vec![(p2, Time(4)), (p1, Time(4))]);
+        let t1 = b.add_job(
+            "T1",
+            Time(200),
+            periodic(40),
+            vec![(p1, Time(4)), (p2, Time(4))],
+        );
+        let t2 = b.add_job(
+            "T2",
+            Time(200),
+            periodic(40),
+            vec![(p2, Time(4)), (p1, Time(4))],
+        );
         b.set_priority(SubjobRef { job: t1, index: 0 }, 2);
         b.set_priority(SubjobRef { job: t2, index: 1 }, 1);
         b.set_priority(SubjobRef { job: t1, index: 1 }, 1);
@@ -201,7 +271,12 @@ mod tests {
         let mut b = SystemBuilder::new();
         let p1 = b.add_processor("P1", SchedulerKind::Spp);
         let p2 = b.add_processor("P2", SchedulerKind::Spnp);
-        b.add_job("T1", Time(100), periodic(25), vec![(p1, Time(3)), (p2, Time(4))]);
+        b.add_job(
+            "T1",
+            Time(100),
+            periodic(25),
+            vec![(p1, Time(3)), (p2, Time(4))],
+        );
         b.add_job("T2", Time(100), periodic(30), vec![(p2, Time(5))]);
         let mut sys = b.build().unwrap();
         assign_priorities(&mut sys, PriorityPolicy::RelativeDeadlineMonotonic).unwrap();
@@ -224,8 +299,18 @@ mod tests {
         let mut b = SystemBuilder::new();
         let p1 = b.add_processor("P1", SchedulerKind::Spp);
         let p2 = b.add_processor("P2", SchedulerKind::Spp);
-        let t1 = b.add_job("T1", Time(20), periodic(10), vec![(p1, Time(6)), (p2, Time(6))]);
-        let t2 = b.add_job("T2", Time(20), periodic(10), vec![(p2, Time(6)), (p1, Time(6))]);
+        let t1 = b.add_job(
+            "T1",
+            Time(20),
+            periodic(10),
+            vec![(p1, Time(6)), (p2, Time(6))],
+        );
+        let t2 = b.add_job(
+            "T2",
+            Time(20),
+            periodic(10),
+            vec![(p2, Time(6)), (p1, Time(6))],
+        );
         b.set_priority(SubjobRef { job: t1, index: 0 }, 2);
         b.set_priority(SubjobRef { job: t2, index: 1 }, 1);
         b.set_priority(SubjobRef { job: t1, index: 1 }, 1);

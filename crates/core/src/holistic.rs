@@ -57,11 +57,37 @@ pub fn analyze_holistic(
     let pos: std::collections::HashMap<SubjobRef, usize> =
         refs.iter().enumerate().map(|(i, r)| (*r, i)).collect();
 
-    // Jitter per subjob (measured from the job's nominal release). `None`
-    // encodes "diverged": interference from a diverged subjob is capped.
+    // Jitter per subjob (measured from the job's nominal release).
+    // `diverged` marks subjobs past the cap: their interference is capped.
     let mut jitter: Vec<Time> = vec![Time::ZERO; refs.len()];
     let mut diverged: Vec<bool> = vec![false; refs.len()];
     let mut response: Vec<Time> = vec![Time::ZERO; refs.len()];
+
+    // Resolve each subjob's interference inputs once: its predecessor slot
+    // and, per higher-priority peer, (execution, period, jitter slot).
+    let preds: Vec<Option<usize>> = refs
+        .iter()
+        .map(|&r| {
+            (r.index > 0).then(|| {
+                pos[&SubjobRef {
+                    job: r.job,
+                    index: r.index - 1,
+                }]
+            })
+        })
+        .collect();
+    let hp_inputs: Vec<Vec<(Time, Time, usize)>> = refs
+        .iter()
+        .map(|&r| {
+            sys.higher_priority_peers(r)
+                .into_iter()
+                .map(|h| {
+                    let hs = sys.subjob(h);
+                    (hs.exec, periods[h.job.0], pos[&h])
+                })
+                .collect()
+        })
+        .collect();
 
     const MAX_ROUNDS: usize = 4096;
     let mut rounds = 0;
@@ -70,25 +96,16 @@ pub fn analyze_holistic(
         if rounds > MAX_ROUNDS {
             return Err(AnalysisError::FixpointDiverged { iterations: rounds });
         }
-        let mut changed = false;
-        for (i, &r) in refs.iter().enumerate() {
-            let s = sys.subjob(r);
-            let c = s.exec;
+        // Jacobi round: every subjob's busy-window scan reads only the
+        // previous round's responses and jitters, so the scans are
+        // independent and fan out over scoped threads. The iteration is
+        // monotone from zero, so Jacobi and Gauss-Seidel sweeps converge to
+        // the same least fixed point.
+        let results: Vec<(Time, bool, Time)> = crate::par::par_map(refs.len(), |i| {
+            let r = refs[i];
+            let c = sys.subjob(r).exec;
             let rho = periods[r.job.0];
-            let j_in = if r.index == 0 {
-                Time::ZERO
-            } else {
-                let pred = pos[&SubjobRef { job: r.job, index: r.index - 1 }];
-                response[pred]
-            };
-            let hp: Vec<(Time, Time, Time)> = sys
-                .higher_priority_peers(r)
-                .into_iter()
-                .map(|h| {
-                    let hs = sys.subjob(h);
-                    (hs.exec, periods[h.job.0], jitter[pos[&h]])
-                })
-                .collect();
+            let j_in = preds[i].map_or(Time::ZERO, |p| response[p]);
 
             // Jitter-aware busy-window scan.
             let mut worst = Time::ZERO;
@@ -98,9 +115,9 @@ pub fn analyze_holistic(
                 let mut w = c * (q + 1);
                 loop {
                     let mut next = c * (q + 1);
-                    for &(ce, pe, je) in &hp {
-                        let ceil = (w.ticks() + je.ticks() + pe.ticks() - 1)
-                            .div_euclid(pe.ticks());
+                    for &(ce, pe, je) in &hp_inputs[i] {
+                        let je = jitter[je];
+                        let ceil = (w.ticks() + je.ticks() + pe.ticks() - 1).div_euclid(pe.ticks());
                         next += ce * ceil.max(0);
                     }
                     if next == w {
@@ -127,17 +144,18 @@ pub fn analyze_holistic(
             }
 
             let (new_resp, new_div) = if ok { (worst, false) } else { (cap, true) };
-            if new_resp != response[i] || new_div != diverged[i] {
+            // A subjob's *release* jitter is what interferes with peers: the
+            // response bound of its predecessor hop (zero at the first hop).
+            (new_resp, new_div, j_in.min(cap))
+        });
+        let mut changed = false;
+        for (i, (new_resp, new_div, new_jit)) in results.into_iter().enumerate() {
+            if new_resp != response[i] || new_div != diverged[i] || new_jit != jitter[i] {
                 changed = true;
             }
             response[i] = new_resp;
             diverged[i] = new_div;
-            // A subjob's *release* jitter is what interferes with peers: the
-            // response bound of its predecessor hop (zero at the first hop).
-            if jitter[i] != j_in.min(cap) {
-                jitter[i] = j_in.min(cap);
-                changed = true;
-            }
+            jitter[i] = new_jit;
         }
         if !changed {
             break;
@@ -151,7 +169,10 @@ pub fn analyze_holistic(
         let mut prev = Time::ZERO;
         let mut unbounded = false;
         for j in 0..n {
-            let i = pos[&SubjobRef { job: job_id, index: j }];
+            let i = pos[&SubjobRef {
+                job: job_id,
+                index: j,
+            }];
             if diverged[i] {
                 unbounded = true;
                 hop_delays.push(None);
@@ -160,11 +181,27 @@ pub fn analyze_holistic(
                 prev = response[i];
             }
         }
-        let last = pos[&SubjobRef { job: job_id, index: n - 1 }];
-        let e2e_bound = if unbounded { None } else { Some(response[last]) };
-        jobs.push(JobBound { job: job_id, hop_delays, e2e_bound, deadline: job.deadline });
+        let last = pos[&SubjobRef {
+            job: job_id,
+            index: n - 1,
+        }];
+        let e2e_bound = if unbounded {
+            None
+        } else {
+            Some(response[last])
+        };
+        jobs.push(JobBound {
+            job: job_id,
+            hop_delays,
+            e2e_bound,
+            deadline: job.deadline,
+        });
     }
-    Ok(BoundsReport { window, horizon, jobs })
+    Ok(BoundsReport {
+        window,
+        horizon,
+        jobs,
+    })
 }
 
 #[cfg(test)]
@@ -176,7 +213,10 @@ mod tests {
     use rta_model::SystemBuilder;
 
     fn periodic(p: i64) -> ArrivalPattern {
-        ArrivalPattern::Periodic { period: Time(p), offset: Time::ZERO }
+        ArrivalPattern::Periodic {
+            period: Time(p),
+            offset: Time::ZERO,
+        }
     }
 
     #[test]
@@ -192,9 +232,18 @@ mod tests {
         let sys = b.build().unwrap();
         let h = analyze_holistic(&sys, &AnalysisConfig::default()).unwrap();
         let ts = [
-            PeriodicTask { exec: Time(1), period: Time(4) },
-            PeriodicTask { exec: Time(2), period: Time(6) },
-            PeriodicTask { exec: Time(3), period: Time(13) },
+            PeriodicTask {
+                exec: Time(1),
+                period: Time(4),
+            },
+            PeriodicTask {
+                exec: Time(2),
+                period: Time(6),
+            },
+            PeriodicTask {
+                exec: Time(3),
+                period: Time(13),
+            },
         ];
         for k in 0..3 {
             assert_eq!(
@@ -219,7 +268,11 @@ mod tests {
         let h = analyze_holistic(&sys, &AnalysisConfig::default()).unwrap();
         let e = analyze_exact_spp(&sys, &AnalysisConfig::default()).unwrap();
         for k in 0..3 {
-            assert_eq!(h.jobs[k].e2e_bound.unwrap(), e.jobs[k].wcrt.unwrap(), "job {k}");
+            assert_eq!(
+                h.jobs[k].e2e_bound.unwrap(),
+                e.jobs[k].wcrt.unwrap(),
+                "job {k}"
+            );
         }
     }
 
@@ -230,8 +283,18 @@ mod tests {
         let mut b = SystemBuilder::new();
         let p1 = b.add_processor("P1", SchedulerKind::Spp);
         let p2 = b.add_processor("P2", SchedulerKind::Spp);
-        b.add_job("T1", Time(200), periodic(20), vec![(p1, Time(3)), (p2, Time(4))]);
-        b.add_job("T2", Time(200), periodic(30), vec![(p1, Time(5)), (p2, Time(6))]);
+        b.add_job(
+            "T1",
+            Time(200),
+            periodic(20),
+            vec![(p1, Time(3)), (p2, Time(4))],
+        );
+        b.add_job(
+            "T2",
+            Time(200),
+            periodic(30),
+            vec![(p1, Time(5)), (p2, Time(6))],
+        );
         let mut sys = b.build().unwrap();
         assign_priorities(&mut sys, PriorityPolicy::RelativeDeadlineMonotonic).unwrap();
         let h = analyze_holistic(&sys, &AnalysisConfig::default()).unwrap();
@@ -254,7 +317,12 @@ mod tests {
         let mut b = SystemBuilder::new();
         let p1 = b.add_processor("P1", SchedulerKind::Spp);
         let p2 = b.add_processor("P2", SchedulerKind::Spp);
-        let t1 = b.add_job("T1", Time(50), periodic(20), vec![(p1, Time(4)), (p2, Time(5))]);
+        let t1 = b.add_job(
+            "T1",
+            Time(50),
+            periodic(20),
+            vec![(p1, Time(4)), (p2, Time(5))],
+        );
         let t2 = b.add_job("T2", Time(10), periodic(10), vec![(p2, Time(2))]);
         b.set_priority(SubjobRef { job: t1, index: 0 }, 1);
         b.set_priority(SubjobRef { job: t1, index: 1 }, 2);

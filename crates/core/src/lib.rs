@@ -66,6 +66,7 @@ pub mod fcfs;
 pub mod fixpoint;
 pub mod holistic;
 pub mod nc;
+mod par;
 mod report;
 pub mod sensitivity;
 pub mod server;

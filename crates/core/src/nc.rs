@@ -38,10 +38,7 @@ pub fn fit_rate_latency(service: &Curve, rate: i64, horizon: Time) -> RateLatenc
     let mut latency = Time::ZERO;
     // Candidates: breakpoints and the horizon (the expression t − S/R is
     // piecewise linear in t, so its max sits on a piece boundary).
-    let mut candidates: Vec<Time> = service
-        .breakpoints()
-        .filter(|t| *t <= horizon)
-        .collect();
+    let mut candidates: Vec<Time> = service.breakpoints().filter(|t| *t <= horizon).collect();
     candidates.push(horizon);
     // Piece-end candidates too: maxima of t − S(t)/R occur where S is flat.
     let ends: Vec<Time> = service
@@ -121,10 +118,11 @@ pub fn e2e_composition_bound(
             Some(prev) => prev.then(&fit),
         });
     }
-    let Some(beta) = composed else { return Ok(None) };
-    let beta_inv = |work: i64| -> Time {
-        beta.latency + Time((work + beta.rate - 1).div_euclid(beta.rate))
+    let Some(beta) = composed else {
+        return Ok(None);
     };
+    let beta_inv =
+        |work: i64| -> Time { beta.latency + Time((work + beta.rate - 1).div_euclid(beta.rate)) };
 
     // Departures obey D ≥ A ⊗ β; the m-th instance has left once the
     // convolution clears m·τ, i.e. once *every* candidate
@@ -176,10 +174,15 @@ mod tests {
         // response (simulated/exact): pipeline fills, last instance sees
         // 3·10 pipeline latency + 3·10 queueing = 60-ish.
         let sys = pipeline(3, 10, 4);
-        let cfg = AnalysisConfig { arrival_window: Some(Time(100)), ..Default::default() };
+        let cfg = AnalysisConfig {
+            arrival_window: Some(Time(100)),
+            ..Default::default()
+        };
         let exact = crate::exact::analyze_exact_spp(&sys, &cfg).unwrap();
         let truth = exact.jobs[0].wcrt.unwrap();
-        let nc = e2e_composition_bound(&sys, &cfg, JobId(0)).unwrap().unwrap();
+        let nc = e2e_composition_bound(&sys, &cfg, JobId(0))
+            .unwrap()
+            .unwrap();
         assert!(nc >= truth, "nc bound {nc} < truth {truth}");
         // The additive Theorem 4 bound pays the burst at every hop; the
         // composed bound pays it once and must not be *much* worse.
@@ -200,7 +203,10 @@ mod tests {
         b.add_job(
             "T1",
             Time(100),
-            ArrivalPattern::Periodic { period: Time(50), offset: Time::ZERO },
+            ArrivalPattern::Periodic {
+                period: Time(50),
+                offset: Time::ZERO,
+            },
             vec![(p1, Time(5)), (p2, Time(7))],
         );
         let mut sys = b.build().unwrap();
@@ -212,10 +218,15 @@ mod tests {
     #[test]
     fn single_hop_composition_close_to_hop_bound() {
         let sys = pipeline(1, 8, 3);
-        let cfg = AnalysisConfig { arrival_window: Some(Time(100)), ..Default::default() };
+        let cfg = AnalysisConfig {
+            arrival_window: Some(Time(100)),
+            ..Default::default()
+        };
         let exact = crate::exact::analyze_exact_spp(&sys, &cfg).unwrap();
         let truth = exact.jobs[0].wcrt.unwrap(); // 3 instances back to back: 24 − 2
-        let nc = e2e_composition_bound(&sys, &cfg, JobId(0)).unwrap().unwrap();
+        let nc = e2e_composition_bound(&sys, &cfg, JobId(0))
+            .unwrap()
+            .unwrap();
         assert!(nc >= truth);
         assert!(nc <= truth + Time(10), "slack too large: {nc} vs {truth}");
     }
@@ -228,7 +239,13 @@ mod tests {
             Segment::new(Time(5), 0, 1),
         ]);
         let fit = fit_rate_latency(&s, 1, Time(50));
-        assert_eq!(fit, RateLatency { latency: Time(5), rate: 1 });
+        assert_eq!(
+            fit,
+            RateLatency {
+                latency: Time(5),
+                rate: 1
+            }
+        );
         let f = fit.curve();
         for t in 0..=50 {
             assert!(f.eval(Time(t)) <= s.eval(Time(t)), "t={t}");
@@ -256,6 +273,12 @@ mod tests {
     fn fit_with_rate_two() {
         let s = Curve::affine(0, 2);
         let fit = fit_rate_latency(&s, 2, Time(30));
-        assert_eq!(fit, RateLatency { latency: Time::ZERO, rate: 2 });
+        assert_eq!(
+            fit,
+            RateLatency {
+                latency: Time::ZERO,
+                rate: 2
+            }
+        );
     }
 }

@@ -1,0 +1,62 @@
+//! Scoped-thread fan-out for the analysis drivers.
+//!
+//! The per-round work of the fixpoint analyses is embarrassingly parallel:
+//! every subjob's service bounds for round `r` depend only on round `r − 1`
+//! values. [`par_map`] fans an indexed computation out over
+//! [`std::thread::scope`] workers in contiguous chunks and returns the
+//! results in index order. Falls back to a plain sequential map when the
+//! problem or the machine is too small for threads to pay off.
+
+/// Evaluate `f(0), f(1), …, f(n-1)` (possibly in parallel) and return the
+/// results in index order. `f` must be safe to call concurrently from
+/// multiple threads.
+pub(crate) fn par_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    // Spawning costs ~tens of µs per thread; a tiny batch is cheaper inline.
+    if threads <= 1 || n < 4 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (slots, base) in out.chunks_mut(chunk).zip((0..n).step_by(chunk)) {
+            let f = &f;
+            scope.spawn(move || {
+                for (k, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(f(base + k));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|x| x.expect("worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order() {
+        for n in [0, 1, 3, 4, 7, 64, 1000] {
+            let v = par_map(n, |i| i * i);
+            assert_eq!(v, (0..n).map(|i| i * i).collect::<Vec<_>>(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn closures_can_borrow_shared_state() {
+        let data: Vec<i64> = (0..100).collect();
+        let v = par_map(data.len(), |i| data[i] + 1);
+        assert_eq!(v[99], 100);
+    }
+}

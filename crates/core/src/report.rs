@@ -140,7 +140,8 @@ impl std::fmt::Display for ExactReport {
                 "  {}: {} instances, WCRT {} / deadline {} -> {}",
                 j.job,
                 j.responses.len(),
-                j.wcrt.map_or("unresolved".into(), |t| t.ticks().to_string()),
+                j.wcrt
+                    .map_or("unresolved".into(), |t| t.ticks().to_string()),
                 j.deadline,
                 if j.schedulable() { "ok" } else { "MISS" }
             )?;
@@ -234,7 +235,10 @@ mod tests {
             deadline: Time(7),
         };
         assert!(b.schedulable());
-        let unbounded = JobBound { e2e_bound: None, ..b };
+        let unbounded = JobBound {
+            e2e_bound: None,
+            ..b
+        };
         assert!(!unbounded.schedulable());
     }
 }

@@ -21,7 +21,11 @@ pub enum Oracle {
 }
 
 /// Decide schedulability of one scaled copy.
-fn schedulable(sys: &TaskSystem, cfg: &AnalysisConfig, oracle: Oracle) -> Result<bool, AnalysisError> {
+fn schedulable(
+    sys: &TaskSystem,
+    cfg: &AnalysisConfig,
+    oracle: Oracle,
+) -> Result<bool, AnalysisError> {
     match oracle {
         Oracle::Exact => Ok(crate::exact::analyze_exact_spp(sys, cfg)?.all_schedulable()),
         Oracle::Bounds => Ok(crate::bounds::analyze_bounds(sys, cfg)?.all_schedulable()),
@@ -85,7 +89,10 @@ mod tests {
         b.add_job(
             "T1",
             Time(100),
-            ArrivalPattern::Periodic { period: Time(100), offset: Time::ZERO },
+            ArrivalPattern::Periodic {
+                period: Time(100),
+                offset: Time::ZERO,
+            },
             vec![(p, Time(util_percent))],
         );
         let mut s = b.build().unwrap();

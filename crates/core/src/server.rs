@@ -99,21 +99,13 @@ impl PeriodicServer {
     /// arrival function `arrival`, served FIFO from this reservation:
     /// the horizontal deviation between arrivals and the supply's
     /// departures. `None` if some instance is not served within `horizon`.
-    pub fn response_bound(
-        &self,
-        arrival: &Curve,
-        tau: Time,
-        horizon: Time,
-    ) -> Option<Time> {
+    pub fn response_bound(&self, arrival: &Curve, tau: Time, horizon: Time) -> Option<Time> {
         let workload = arrival.scale(tau.ticks());
         // Supply is capacity, service is capped by demand: the served work
         // is the Theorem-3 min-form with the supply as availability.
-        let service = crate::spp::service_from_availability(
-            &self.supply_curve(horizon),
-            &workload,
-        )
-        .clamp_min(0)
-        .running_max();
+        let service = crate::spp::service_from_availability(&self.supply_curve(horizon), &workload)
+            .clamp_min(0)
+            .running_max();
         let dep = service.floor_div(tau.ticks(), horizon).ok()?;
         let n = arrival.total_events();
         let mut worst = Time::ZERO;

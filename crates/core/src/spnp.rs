@@ -84,7 +84,9 @@ pub fn spnp_bounds(
         SpnpAvailability::AsPrinted => c_prev.add(&hp_lo_sum).sub(&Curve::identity()),
         SpnpAvailability::Conservative => c_prev.add(&hp_up_sum).sub(&Curve::identity()),
     };
-    let upper_raw = t_part_up.add(&s_part_up.running_min()).min_with(workload_upper);
+    let upper_raw = t_part_up
+        .add(&s_part_up.running_min())
+        .min_with(workload_upper);
     let upper = upper_raw
         .min_with(&Curve::identity())
         .clamp_min(0)
@@ -92,12 +94,8 @@ pub fn spnp_bounds(
 
     // ---- Theorem 5: lower bound. ----
     let t_part_lo = match variant {
-        SpnpAvailability::AsPrinted => {
-            Curve::identity().add_const(-b.ticks()).sub(&hp_lo_sum)
-        }
-        SpnpAvailability::Conservative => {
-            Curve::identity().add_const(-b.ticks()).sub(&hp_up_sum)
-        }
+        SpnpAvailability::AsPrinted => Curve::identity().add_const(-b.ticks()).sub(&hp_lo_sum),
+        SpnpAvailability::Conservative => Curve::identity().add_const(-b.ticks()).sub(&hp_up_sum),
     };
     // s-part availability: the paper's B̲ (masked to 0 on [0, b]) for
     // AsPrinted; for Conservative the blocking term lives only in the
@@ -116,7 +114,10 @@ pub fn spnp_bounds(
         .add(&delayed_run)
         .min_with(workload_upper)
         .mask_before(b + Time::ONE, 0);
-    let lower = lower_raw.clamp_min(0).min_with(&Curve::identity()).running_max();
+    let lower = lower_raw
+        .clamp_min(0)
+        .min_with(&Curve::identity())
+        .running_max();
 
     // Clipping can reorder the raw curves in degenerate spots.
     let upper = upper.max_with(&lower);
@@ -195,8 +196,20 @@ mod tests {
         let hp_c = Curve::from_event_times(&[Time(0), Time(6)]).scale(3);
         let hp = spnp_bounds(&hp_c, &[], &[], Time(2), SpnpAvailability::Conservative);
         let c = Curve::from_event_times(&[Time(0), Time(8)]).scale(4);
-        let printed = spnp_bounds(&c, &[&hp.lower], &[&hp.upper], Time(2), SpnpAvailability::AsPrinted);
-        let conserv = spnp_bounds(&c, &[&hp.lower], &[&hp.upper], Time(2), SpnpAvailability::Conservative);
+        let printed = spnp_bounds(
+            &c,
+            &[&hp.lower],
+            &[&hp.upper],
+            Time(2),
+            SpnpAvailability::AsPrinted,
+        );
+        let conserv = spnp_bounds(
+            &c,
+            &[&hp.lower],
+            &[&hp.upper],
+            Time(2),
+            SpnpAvailability::Conservative,
+        );
         check_sane(&printed, 30);
         check_sane(&conserv, 30);
         // The conservative variant brackets at least as widely as the
@@ -204,8 +217,14 @@ mod tests {
         // its upper bound assumes less.
         for t in 0..=30 {
             let t = Time(t);
-            assert!(conserv.upper.eval(t) >= printed.upper.eval(t), "upper at {t}");
-            assert!(conserv.lower.eval(t) <= printed.lower.eval(t), "lower at {t}");
+            assert!(
+                conserv.upper.eval(t) >= printed.upper.eval(t),
+                "upper at {t}"
+            );
+            assert!(
+                conserv.lower.eval(t) <= printed.lower.eval(t),
+                "lower at {t}"
+            );
         }
     }
 

@@ -71,7 +71,10 @@ pub fn exact_service(workload: &Curve, hp_services: &[&Curve]) -> Curve {
         "exact SPP availability must be nondecreasing (peers overlap?)"
     );
     let s = service_from_availability(&a, workload);
-    debug_assert!(s.is_nondecreasing(), "exact SPP service must be nondecreasing");
+    debug_assert!(
+        s.is_nondecreasing(),
+        "exact SPP service must be nondecreasing"
+    );
     debug_assert!(
         s.segments().first().map(|x| x.value >= 0).unwrap_or(true),
         "service must be nonnegative"
@@ -143,7 +146,7 @@ mod tests {
         assert_eq!(lp_s.eval(Time(14)), 6);
         assert_eq!(lp_s.eval(Time(16)), 8);
         assert_eq!(lp_s.eval(Time(30)), 8); // no more demand
-        // Departure: single instance completes at 16.
+                                            // Departure: single instance completes at 16.
         let dep = lp_s.floor_div(8, Time(30)).unwrap();
         assert_eq!(dep.event_time(1), Some(Time(16)));
     }

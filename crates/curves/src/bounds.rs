@@ -40,7 +40,6 @@ pub fn vertical_deviation(upper: &Curve, lower: &Curve, horizon: Time) -> i64 {
 /// A token-bucket (leaky-bucket) arrival envelope `α(t) = σ + ρ·t`:
 /// at most `σ` units of burst plus a sustained rate of `ρ` units per tick.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TokenBucket {
     /// Burst allowance (work units).
     pub sigma: i64,
@@ -65,7 +64,6 @@ impl TokenBucket {
 /// A rate-latency service lower bound `β(t) = max(0, R·(t − T))`: nothing for
 /// `T` ticks, then service at rate `R`.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RateLatency {
     /// Initial service latency in ticks.
     pub latency: Time,
@@ -154,10 +152,22 @@ mod tests {
 
     #[test]
     fn rate_latency_algebra() {
-        let a = RateLatency { latency: Time(3), rate: 2 };
-        let b = RateLatency { latency: Time(5), rate: 1 };
+        let a = RateLatency {
+            latency: Time(3),
+            rate: 2,
+        };
+        let b = RateLatency {
+            latency: Time(5),
+            rate: 1,
+        };
         let ab = a.then(&b);
-        assert_eq!(ab, RateLatency { latency: Time(8), rate: 1 });
+        assert_eq!(
+            ab,
+            RateLatency {
+                latency: Time(8),
+                rate: 1
+            }
+        );
         let c = a.curve();
         assert_eq!(c.eval(Time(3)), 0);
         assert_eq!(c.eval(Time(7)), 8);
@@ -165,7 +175,10 @@ mod tests {
 
     #[test]
     fn delay_and_backlog_bounds() {
-        let srv = RateLatency { latency: Time(4), rate: 2 };
+        let srv = RateLatency {
+            latency: Time(4),
+            rate: 2,
+        };
         let flow = TokenBucket { sigma: 5, rho: 1 };
         assert_eq!(srv.delay_bound(&flow), Some(Time(4 + 3))); // ceil(5/2)=3
         assert_eq!(srv.backlog_bound(&flow), Some(5 + 4));
@@ -176,7 +189,10 @@ mod tests {
 
     #[test]
     fn zero_latency_rate_latency_is_affine() {
-        let srv = RateLatency { latency: Time::ZERO, rate: 3 };
+        let srv = RateLatency {
+            latency: Time::ZERO,
+            rate: 3,
+        };
         assert_eq!(srv.curve(), Curve::affine(0, 3));
     }
 }

@@ -45,11 +45,7 @@ pub fn compose(f: &Curve, g: &Curve) -> Result<Curve, CurveError> {
                 fi += 1;
             }
             let fseg = &fsegs[fi];
-            let piece = Segment::new(
-                cur_t,
-                fseg.eval(Time(cur_v)),
-                fseg.slope * gs.slope,
-            );
+            let piece = Segment::new(cur_t, fseg.eval(Time(cur_v)), fseg.slope * gs.slope);
             // Where does g first reach the next f breakpoint?
             let next_cross = fsegs.get(fi + 1).map(|nf| {
                 let off = div_ceil(nf.start.ticks() - gs.value, gs.slope);

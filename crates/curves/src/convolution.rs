@@ -3,21 +3,42 @@
 //! The paper's Theorem 3 is a disguised min-plus operation: the exact SPP
 //! service function is `S = A − ((A − c) ⊘ 0)` in deconvolution form, or —
 //! as implemented in `rta-core` — an availability curve plus a running
-//! minimum. This module provides the general operator for the convex case
-//! (the classical network-calculus service-curve family) and an exhaustive
-//! lattice evaluator used as a test oracle and for small ad-hoc curves.
+//! minimum. This module provides the segment-native operator for arbitrary
+//! curves ([`convolve`]) via convex decomposition, the O(n + m) slope-merge
+//! for the convex case ([`convolve_convex`]), and an exhaustive lattice
+//! evaluator ([`min_plus_convolve_lattice`]) kept **only as a test oracle**
+//! — it is O(horizon²) and must not appear on analysis paths.
+//!
+//! ## Convex decomposition
+//!
+//! Any piecewise-linear curve splits into maximal *convex runs*: break the
+//! segment list wherever the curve jumps or its slope decreases. Each run
+//! is convex on its half-open time domain, the domains partition `[0, ∞)`,
+//! and with the convention `f_i = +∞` outside its domain, `f = min_i f_i`.
+//! Min-plus convolution distributes over `min`, so
+//!
+//! ```text
+//! f ⊗ g = min_{i,j} ( f_i ⊗ g_j )
+//! ```
+//!
+//! where each `f_i ⊗ g_j` is a convex partial curve computed by the
+//! classical slope merge (domain start/lengths add). The cost is
+//! O(R_f · R_g · segments) for R convex runs — for the convex curves that
+//! dominate the analysis R = 1 and the general path collapses to the
+//! slope merge.
 
 use crate::{Curve, Segment, Time};
+
+/// Sentinel standing in for `+∞` while folding partial curves into a total
+/// minimum. Any real curve value within the analysis horizon is far below
+/// this, so the sentinel loses every pointwise min on `[0, horizon]`.
+const INFTY: i64 = i64::MAX / 8;
 
 impl Curve {
     /// `true` iff the curve is convex on the lattice: continuous with
     /// nondecreasing slopes.
     pub fn is_convex(&self) -> bool {
-        self.is_continuous()
-            && self
-                .segments()
-                .windows(2)
-                .all(|w| w[0].slope <= w[1].slope)
+        self.is_continuous() && self.segments().windows(2).all(|w| w[0].slope <= w[1].slope)
     }
 }
 
@@ -66,9 +87,170 @@ pub fn convolve_convex(f: &Curve, g: &Curve) -> Curve {
     Curve::from_sorted_segments(out)
 }
 
-/// Exhaustive min-plus convolution on the lattice, `O(horizon²)` — a test
-/// oracle and a fallback for small arbitrary curves. The result is frozen at
-/// its horizon value.
+/// A maximal convex run of a curve: segments covering the half-open time
+/// domain `[segs[0].start, end)`, continuous with nondecreasing slopes.
+struct ConvexRun<'a> {
+    segs: &'a [Segment],
+    /// Exclusive domain end; `None` for the final, unbounded run.
+    end: Option<Time>,
+}
+
+/// Split a curve into its maximal convex runs. The runs' domains partition
+/// `[0, ∞)` and the curve equals each run on its domain.
+fn convex_runs(c: &Curve) -> Vec<ConvexRun<'_>> {
+    let segs = c.segments();
+    let mut runs = Vec::new();
+    let mut begin = 0;
+    for i in 1..segs.len() {
+        let discontinuous = segs[i - 1].eval(segs[i].start) != segs[i].value;
+        if discontinuous || segs[i].slope < segs[i - 1].slope {
+            runs.push(ConvexRun {
+                segs: &segs[begin..i],
+                end: Some(segs[i].start),
+            });
+            begin = i;
+        }
+    }
+    runs.push(ConvexRun {
+        segs: &segs[begin..],
+        end: None,
+    });
+    runs
+}
+
+/// A convex partial curve: `segs` cover `[segs[0].start, end)`.
+struct Partial {
+    segs: Vec<Segment>,
+    end: Option<Time>,
+}
+
+/// Min-plus convolution of two convex runs by the slope merge. Domain
+/// starts add; piece lengths add; pieces are laid out in slope order from
+/// `f(a_f) + g(a_g)`.
+fn convolve_runs(f: &ConvexRun<'_>, g: &ConvexRun<'_>) -> Partial {
+    // (length, slope) pieces; `None` length marks the single unbounded tail.
+    let mut pieces: Vec<(Option<Time>, i64)> = Vec::with_capacity(f.segs.len() + g.segs.len());
+    let mut unbounded = false;
+    for run in [f, g] {
+        for (i, s) in run.segs.iter().enumerate() {
+            match run.segs.get(i + 1) {
+                Some(n) => pieces.push((Some(n.start - s.start), s.slope)),
+                None => match run.end {
+                    // Last lattice point of the domain is `end − 1`.
+                    Some(e) => pieces.push((Some(e - Time(1) - s.start), s.slope)),
+                    None => {
+                        pieces.push((None, s.slope));
+                        unbounded = true;
+                    }
+                },
+            }
+        }
+    }
+    pieces.sort_by_key(|&(_, slope)| slope);
+
+    let mut t = f.segs[0].start + g.segs[0].start;
+    let mut v = f.segs[0].value + g.segs[0].value;
+    let mut out = Vec::with_capacity(pieces.len());
+    for (len, slope) in pieces {
+        match len {
+            Some(len) if len == Time::ZERO => continue,
+            Some(len) => {
+                out.push(Segment::new(t, v, slope));
+                t += len;
+                v += slope * len.ticks();
+            }
+            None => {
+                out.push(Segment::new(t, v, slope));
+                break; // smallest-slope unbounded piece dominates the tail
+            }
+        }
+    }
+    if out.is_empty() {
+        // Both domains are single lattice points: a point mass.
+        out.push(Segment::new(t, v, 0));
+    }
+    // Closed result domain ends at the sum of the last lattice points.
+    let end = if unbounded { None } else { Some(t + Time(1)) };
+    Partial { segs: out, end }
+}
+
+/// Extend a partial curve to a total one using the [`INFTY`] sentinel
+/// outside its domain, clipped against `horizon`.
+fn partial_to_total(p: Partial, horizon: Time) -> Option<Curve> {
+    let start = p.segs[0].start;
+    if start > horizon {
+        return None;
+    }
+    let mut segs = Vec::with_capacity(p.segs.len() + 2);
+    if start > Time::ZERO {
+        segs.push(Segment::new(Time::ZERO, INFTY, 0));
+    }
+    segs.extend(p.segs);
+    if let Some(e) = p.end {
+        if e <= horizon {
+            segs.push(Segment::new(e, INFTY, 0));
+        }
+    }
+    Some(Curve::from_sorted_segments(segs))
+}
+
+/// Segment-native min-plus convolution
+/// `(f ⊗ g)(t) = min_{0 ≤ s ≤ t} ( f(s) + g(t − s) )` for **arbitrary**
+/// piecewise-linear curves, exact at every integer tick in `[0, horizon]`
+/// (frozen beyond, like the lattice oracle it replaces).
+///
+/// Convex inputs take the O(n + m) slope-merge fast path; general inputs go
+/// through the convex decomposition described in the module docs. Cost is
+/// O(R_f · R_g · (n + m)) for R convex runs — independent of the horizon,
+/// unlike the O(horizon²) [`min_plus_convolve_lattice`] oracle.
+pub fn convolve(f: &Curve, g: &Curve, horizon: Time) -> Curve {
+    assert!(horizon >= Time::ZERO);
+    if f.is_convex() && g.is_convex() {
+        return convolve_convex(f, g);
+    }
+    let runs_f = convex_runs(f);
+    let runs_g = convex_runs(g);
+    let mut layer: Vec<Curve> = Vec::with_capacity(runs_f.len() * runs_g.len());
+    for rf in &runs_f {
+        if rf.segs[0].start > horizon {
+            break; // later runs start even further out
+        }
+        for rg in &runs_g {
+            // The pair's domain starts at the sum of the run starts.
+            if rf.segs[0].start + rg.segs[0].start > horizon {
+                break;
+            }
+            if let Some(total) = partial_to_total(convolve_runs(rf, rg), horizon) {
+                layer.push(total);
+            }
+        }
+    }
+    // Tree-fold the pairwise results: a sequential fold would re-walk the
+    // O(horizon)-sized accumulator once per pair (O(pairs · |acc|)); merging
+    // neighbours pairwise keeps every operand near its final size and costs
+    // O(total segments · log pairs). Truncating at every merge keeps all
+    // breakpoints within the horizon, so sentinel-sized values only ever
+    // appear on constant pieces (no overflow in later crossings).
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        let mut it = layer.into_iter();
+        while let Some(a) = it.next() {
+            next.push(match it.next() {
+                Some(b) => a.min_with(&b).truncate_after(horizon),
+                None => a,
+            });
+        }
+        layer = next;
+    }
+    layer
+        .pop()
+        .expect("runs cover t = 0")
+        .truncate_after(horizon)
+}
+
+/// Exhaustive min-plus convolution on the lattice, `O(horizon²)` — kept as
+/// the **test oracle** for [`convolve`] and [`convolve_convex`]; not used on
+/// any analysis path. The result is frozen at its horizon value.
 pub fn min_plus_convolve_lattice(f: &Curve, g: &Curve, horizon: Time) -> Curve {
     let h = horizon.ticks();
     assert!(h >= 0);
@@ -94,18 +276,19 @@ mod tests {
         let fast = convolve_convex(f, g);
         let slow = min_plus_convolve_lattice(f, g, Time(horizon));
         for t in 0..=horizon {
-            assert_eq!(
-                fast.eval(Time(t)),
-                slow.eval(Time(t)),
-                "t={t} f={f} g={g}"
-            );
+            assert_eq!(fast.eval(Time(t)), slow.eval(Time(t)), "t={t} f={f} g={g}");
         }
     }
 
     #[test]
     fn convexity_detection() {
         assert!(Curve::identity().is_convex());
-        assert!(RateLatency { latency: Time(3), rate: 2 }.curve().is_convex());
+        assert!(RateLatency {
+            latency: Time(3),
+            rate: 2
+        }
+        .curve()
+        .is_convex());
         assert!(!Curve::from_event_times(&[Time(1)]).is_convex()); // jump
         let concave = Curve::from_segments(vec![
             Segment::new(Time(0), 0, 2),
@@ -116,8 +299,14 @@ mod tests {
 
     #[test]
     fn rate_latency_convolution_is_closed_form() {
-        let a = RateLatency { latency: Time(2), rate: 3 };
-        let b = RateLatency { latency: Time(5), rate: 1 };
+        let a = RateLatency {
+            latency: Time(2),
+            rate: 3,
+        };
+        let b = RateLatency {
+            latency: Time(5),
+            rate: 1,
+        };
         let conv = convolve_convex(&a.curve(), &b.curve());
         assert_eq!(conv, a.then(&b).curve());
         assert_agree(&a.curve(), &b.curve(), 25);
@@ -145,6 +334,85 @@ mod tests {
         ]);
         assert!(f.is_convex() && g.is_convex());
         assert_agree(&f, &g, 30);
+    }
+
+    fn assert_convolve_matches_oracle(f: &Curve, g: &Curve, horizon: i64) {
+        let fast = convolve(f, g, Time(horizon));
+        let slow = min_plus_convolve_lattice(f, g, Time(horizon));
+        for t in 0..=horizon {
+            assert_eq!(fast.eval(Time(t)), slow.eval(Time(t)), "t={t} f={f} g={g}");
+        }
+    }
+
+    #[test]
+    fn general_convolve_on_staircases() {
+        // Staircase ⊗ rate — non-convex left operand.
+        let f = Curve::from_event_times(&[Time(0), Time(4), Time(8)]).scale(3);
+        assert_convolve_matches_oracle(&f, &Curve::identity(), 20);
+        // Staircase ⊗ staircase.
+        let g = Curve::from_event_times(&[Time(1), Time(5)]).scale(2);
+        assert_convolve_matches_oracle(&f, &g, 20);
+        // Against a rate-latency service curve.
+        let rl = RateLatency {
+            latency: Time(3),
+            rate: 2,
+        }
+        .curve();
+        assert_convolve_matches_oracle(&f, &rl, 25);
+    }
+
+    #[test]
+    fn general_convolve_on_concave_and_mixed() {
+        // Concave: slopes decrease (two runs).
+        let concave = Curve::from_segments(vec![
+            Segment::new(Time(0), 0, 3),
+            Segment::new(Time(4), 12, 1),
+        ]);
+        assert_convolve_matches_oracle(&concave, &Curve::identity(), 20);
+        assert_convolve_matches_oracle(&concave, &concave, 20);
+        // Plateau-then-burst against concave.
+        let bursty = Curve::from_segments(vec![
+            Segment::new(Time(0), 2, 0),
+            Segment::new(Time(6), 9, 2),
+        ]);
+        assert_convolve_matches_oracle(&bursty, &concave, 24);
+    }
+
+    #[test]
+    fn general_convolve_convex_fast_path() {
+        // Convex inputs must round-trip through convolve_convex unchanged.
+        let a = RateLatency {
+            latency: Time(2),
+            rate: 3,
+        }
+        .curve();
+        let b = RateLatency {
+            latency: Time(5),
+            rate: 1,
+        }
+        .curve();
+        assert_eq!(convolve(&a, &b, Time(40)), convolve_convex(&a, &b));
+    }
+
+    #[test]
+    fn general_convolve_with_zero_horizon() {
+        // Only the s = 0 split exists: (f ⊗ id)(0) = f(0) + id(0).
+        let f = Curve::from_event_times(&[Time(0), Time(2)]).scale(4);
+        let c = convolve(&f, &Curve::identity(), Time::ZERO);
+        assert_eq!(c.eval(Time::ZERO), f.eval(Time::ZERO));
+    }
+
+    #[test]
+    fn convex_run_decomposition_counts() {
+        assert_eq!(convex_runs(&Curve::identity()).len(), 1);
+        let stair = Curve::from_event_times(&[Time(1), Time(5), Time(9)]);
+        // Each jump opens a new run: initial plateau + 3 steps.
+        assert_eq!(convex_runs(&stair).len(), 4);
+        let concave = Curve::from_segments(vec![
+            Segment::new(Time(0), 0, 3),
+            Segment::new(Time(4), 12, 1),
+        ]);
+        assert_eq!(convex_runs(&concave).len(), 2);
     }
 
     #[test]

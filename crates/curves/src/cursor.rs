@@ -1,0 +1,189 @@
+//! Resumable monotone sweeps over a curve.
+//!
+//! The Theorem 1 loop evaluates `f⁻¹(m)` for `m = 1, 2, …, n`, and the
+//! hop-delay loops of the bounds analyses do the same against arrival
+//! envelopes and departure lower bounds. [`Curve::inverse_at`] rescans the
+//! segment list from the front on every query, making such a sweep
+//! O(instances · segments). A [`CurveCursor`] remembers the segment that
+//! answered the previous query; because both the query sequence and the
+//! curve are nondecreasing, the answer can only move forward, and a full
+//! sweep is O(instances + segments) — amortized O(1) per query.
+//!
+//! ```
+//! use rta_curves::{Curve, CurveCursor, Time};
+//!
+//! let arr = Curve::from_event_times(&[Time(0), Time(10), Time(10), Time(25)]);
+//! let mut cur = CurveCursor::new(&arr);
+//! assert_eq!(cur.inverse_at(1), Some(Time(0)));
+//! assert_eq!(cur.inverse_at(2), Some(Time(10)));
+//! assert_eq!(cur.inverse_at(4), Some(Time(25)));
+//! assert_eq!(cur.inverse_at(5), None);
+//! ```
+
+use crate::util::div_ceil;
+use crate::{Curve, Segment, Time};
+
+/// A forward-only cursor over a **nondecreasing** curve, answering
+/// [`CurveCursor::eval`] and [`CurveCursor::inverse_at`] for monotone
+/// query sequences in amortized O(1).
+///
+/// Queries must be nondecreasing across calls (each method independently);
+/// this is debug-asserted. Results agree exactly with [`Curve::eval`] and
+/// [`Curve::inverse_at`] on nondecreasing curves.
+#[derive(Clone, Debug)]
+pub struct CurveCursor<'a> {
+    segs: &'a [Segment],
+    /// Next segment index to inspect for `inverse_at` (all earlier pieces
+    /// are known not to reach the previous `y`).
+    inv_idx: usize,
+    /// Active segment index for `eval`.
+    eval_idx: usize,
+    #[cfg(debug_assertions)]
+    last_t: Option<Time>,
+    #[cfg(debug_assertions)]
+    last_y: Option<i64>,
+}
+
+impl<'a> CurveCursor<'a> {
+    /// Start a sweep over `curve`.
+    pub fn new(curve: &'a Curve) -> CurveCursor<'a> {
+        debug_assert!(
+            curve.is_nondecreasing(),
+            "CurveCursor requires a nondecreasing curve"
+        );
+        CurveCursor {
+            segs: curve.segments(),
+            inv_idx: 0,
+            eval_idx: 0,
+            #[cfg(debug_assertions)]
+            last_t: None,
+            #[cfg(debug_assertions)]
+            last_y: None,
+        }
+    }
+
+    /// `curve.eval(t)` for a nondecreasing sequence of `t`.
+    pub fn eval(&mut self, t: Time) -> i64 {
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(t >= Time::ZERO);
+            debug_assert!(
+                self.last_t.is_none_or(|p| t >= p),
+                "cursor eval queries must be nondecreasing"
+            );
+            self.last_t = Some(t);
+        }
+        while self.eval_idx + 1 < self.segs.len() && self.segs[self.eval_idx + 1].start <= t {
+            self.eval_idx += 1;
+        }
+        self.segs[self.eval_idx].eval(t)
+    }
+
+    /// `curve.inverse_at(y)` — smallest integer `t ≥ 0` with `f(t) ≥ y` —
+    /// for a nondecreasing sequence of `y`.
+    pub fn inverse_at(&mut self, y: i64) -> Option<Time> {
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(
+                self.last_y.is_none_or(|p| y >= p),
+                "cursor inverse queries must be nondecreasing"
+            );
+            self.last_y = Some(y);
+        }
+        while self.inv_idx < self.segs.len() {
+            let s = self.segs[self.inv_idx];
+            if s.value >= y {
+                return Some(s.start);
+            }
+            if s.slope > 0 {
+                let off = div_ceil(y - s.value, s.slope);
+                debug_assert!(off >= 1);
+                let t = s.start + Time(off);
+                match self.segs.get(self.inv_idx + 1) {
+                    Some(next) if t >= next.start => {} // reached after piece ends
+                    _ => return Some(t),
+                }
+            }
+            // This piece never reaches `y` (nor any larger value): skip it
+            // for the rest of the sweep.
+            self.inv_idx += 1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixed() -> Curve {
+        Curve::from_segments(vec![
+            Segment::new(Time(0), 0, 1),
+            Segment::new(Time(3), 3, 0),
+            Segment::new(Time(8), 5, 2),
+            Segment::new(Time(12), 13, 0),
+        ])
+    }
+
+    #[test]
+    fn eval_sweep_matches_direct_eval() {
+        let c = mixed();
+        let mut cur = CurveCursor::new(&c);
+        for t in 0..=20 {
+            assert_eq!(cur.eval(Time(t)), c.eval(Time(t)), "t={t}");
+        }
+    }
+
+    #[test]
+    fn eval_allows_repeated_times() {
+        let c = mixed();
+        let mut cur = CurveCursor::new(&c);
+        assert_eq!(cur.eval(Time(5)), c.eval(Time(5)));
+        assert_eq!(cur.eval(Time(5)), c.eval(Time(5)));
+    }
+
+    #[test]
+    fn inverse_sweep_matches_scanning_inverse() {
+        let c = mixed();
+        let mut cur = CurveCursor::new(&c);
+        for y in 0..=16 {
+            assert_eq!(cur.inverse_at(y), c.inverse_at(y), "y={y}");
+        }
+    }
+
+    #[test]
+    fn inverse_sweep_over_counting_curve() {
+        let arr = Curve::from_event_times(&[Time(0), Time(4), Time(4), Time(9)]);
+        let mut cur = CurveCursor::new(&arr);
+        for m in 1..=5 {
+            assert_eq!(cur.inverse_at(m), arr.event_time(m), "m={m}");
+        }
+    }
+
+    #[test]
+    fn inverse_none_is_sticky() {
+        let c = Curve::constant(3);
+        let mut cur = CurveCursor::new(&c);
+        assert_eq!(cur.inverse_at(3), Some(Time::ZERO));
+        assert_eq!(cur.inverse_at(4), None);
+        assert_eq!(cur.inverse_at(9), None);
+    }
+
+    #[test]
+    fn repeated_queries_are_allowed() {
+        let c = mixed();
+        let mut cur = CurveCursor::new(&c);
+        assert_eq!(cur.inverse_at(5), c.inverse_at(5));
+        assert_eq!(cur.inverse_at(5), c.inverse_at(5));
+    }
+
+    #[test]
+    fn interleaved_eval_and_inverse_are_independent() {
+        let c = mixed();
+        let mut cur = CurveCursor::new(&c);
+        assert_eq!(cur.inverse_at(10), c.inverse_at(10));
+        // A *smaller* eval time is fine: the two sweeps are independent.
+        assert_eq!(cur.eval(Time(1)), c.eval(Time(1)));
+        assert_eq!(cur.inverse_at(13), c.inverse_at(13));
+    }
+}

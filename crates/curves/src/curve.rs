@@ -24,7 +24,6 @@ use crate::{CurveError, Segment, Time};
 /// from the new segment's `value` (curves are right-continuous, so the new
 /// `value` is the value *at* the breakpoint).
 #[derive(Clone, PartialEq, Eq, Debug, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Curve {
     segs: Vec<Segment>,
 }
@@ -396,7 +395,10 @@ mod tests {
         assert_eq!(c.eval(Time(3)), 0);
         assert_eq!(c.eval(Time(10)), 7);
         // Zero shift is identity.
-        assert_eq!(Curve::identity().shift_right(Time(0), 99), Curve::identity());
+        assert_eq!(
+            Curve::identity().shift_right(Time(0), 99),
+            Curve::identity()
+        );
     }
 
     #[test]

@@ -33,7 +33,10 @@ pub fn arrival_envelope(times: &[Time]) -> Curve {
     if n == 0 {
         return Curve::zero();
     }
-    debug_assert!(times.windows(2).all(|w| w[0] <= w[1]), "trace must be sorted");
+    debug_assert!(
+        times.windows(2).all(|w| w[0] <= w[1]),
+        "trace must be sorted"
+    );
     // w_min(c) = smallest window containing c+1 consecutive events; it is
     // nondecreasing in c, and α(Δ) = max { c+1 : w_min(c) ≤ Δ } is the
     // staircase through the points (w_min(c), c+1), keeping the largest
@@ -126,8 +129,7 @@ mod tests {
         for (delta, _) in a.jumps() {
             let c = a.eval(delta);
             let exists = (0..times.len()).any(|i| {
-                (i + c as usize - 1) < times.len()
-                    && times[i + c as usize - 1] - times[i] <= delta
+                (i + c as usize - 1) < times.len() && times[i + c as usize - 1] - times[i] <= delta
             });
             assert!(exists, "no witness window for ({delta}, {c})");
         }

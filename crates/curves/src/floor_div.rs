@@ -73,7 +73,9 @@ mod tests {
     use crate::Segment;
 
     fn check(s: &Curve, tau: i64, horizon: i64) {
-        let d = s.floor_div(tau, Time(horizon)).expect("valid service curve");
+        let d = s
+            .floor_div(tau, Time(horizon))
+            .expect("valid service curve");
         for t in 0..=horizon {
             assert_eq!(
                 d.eval(Time(t)),

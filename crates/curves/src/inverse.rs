@@ -137,11 +137,7 @@ impl Curve {
                     for d in 1..=end_tick - 1 {
                         let top = s.value + k * d;
                         if top > covered {
-                            out.push(Segment::new(
-                                Time(covered + 1),
-                                s.start.ticks() + d,
-                                0,
-                            ));
+                            out.push(Segment::new(Time(covered + 1), s.start.ticks() + d, 0));
                             covered = top;
                         }
                     }

@@ -11,6 +11,7 @@
 //! * pointwise linear combination, minimum and maximum ([`ops`]),
 //! * prefix ("running") minima and maxima ([`running`]),
 //! * the pseudo-inverse `g⁻¹(y) = min { s : g(s) ≥ y }` ([`inverse`]),
+//! * resumable monotone eval/inverse sweeps ([`cursor`]),
 //! * monotone composition `f ∘ g` ([`compose`]),
 //! * departure extraction `⌊S(t)/τ⌋` ([`floor_div`]),
 //! * event-counting helpers for arrival functions ([`counting`]),
@@ -56,6 +57,7 @@ pub mod bounds;
 pub mod compose;
 pub mod convolution;
 pub mod counting;
+pub mod cursor;
 mod curve;
 pub mod envelope;
 pub mod floor_div;
@@ -66,6 +68,7 @@ mod segment;
 mod time;
 mod util;
 
+pub use cursor::CurveCursor;
 pub use curve::Curve;
 pub use segment::Segment;
 pub use time::{Time, DEFAULT_TICKS_PER_UNIT};

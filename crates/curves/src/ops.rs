@@ -9,55 +9,41 @@
 use crate::util::div_floor;
 use crate::{Curve, Segment, Time};
 
-/// Merged, deduplicated breakpoint times of two curves.
-fn merged_starts(a: &Curve, b: &Curve) -> Vec<Time> {
-    let (sa, sb) = (a.segments(), b.segments());
-    let mut out = Vec::with_capacity(sa.len() + sb.len());
-    let (mut i, mut j) = (0, 0);
-    while i < sa.len() || j < sb.len() {
-        let t = match (sa.get(i), sb.get(j)) {
-            (Some(x), Some(y)) => x.start.min(y.start),
-            (Some(x), None) => x.start,
-            (None, Some(y)) => y.start,
-            (None, None) => unreachable!(),
-        };
-        while i < sa.len() && sa[i].start == t {
-            i += 1;
-        }
-        while j < sb.len() && sb[j].start == t {
-            j += 1;
-        }
-        out.push(t);
-    }
-    out
-}
-
-/// Walk two curves over their merged breakpoints, yielding at each interval
-/// start the active segment of each curve.
+/// Walk two curves over their merged breakpoints in one streaming O(n + m)
+/// pass, yielding at each interval start the active segment of each curve.
+/// No intermediate breakpoint list is materialized; each binary operation
+/// allocates only its output.
 fn zip_pieces<'a>(
     a: &'a Curve,
     b: &'a Curve,
 ) -> impl Iterator<Item = (Time, Option<Time>, &'a Segment, &'a Segment)> {
-    let starts = merged_starts(a, b);
-    let n = starts.len();
+    let sa = a.segments();
+    let sb = b.segments();
     let mut ia = 0usize;
     let mut ib = 0usize;
-    (0..n).map(move |idx| {
-        let t = starts[idx];
-        let next = starts.get(idx + 1).copied();
-        while ia + 1 < a.segments().len() && a.segments()[ia + 1].start <= t {
+    let mut cur = Some(Time::ZERO);
+    std::iter::from_fn(move || {
+        let t = cur?;
+        while ia + 1 < sa.len() && sa[ia + 1].start <= t {
             ia += 1;
         }
-        while ib + 1 < b.segments().len() && b.segments()[ib + 1].start <= t {
+        while ib + 1 < sb.len() && sb[ib + 1].start <= t {
             ib += 1;
         }
-        (t, next, &a.segments()[ia], &b.segments()[ib])
+        let next = match (sa.get(ia + 1), sb.get(ib + 1)) {
+            (Some(x), Some(y)) => Some(x.start.min(y.start)),
+            (Some(x), None) => Some(x.start),
+            (None, Some(y)) => Some(y.start),
+            (None, None) => None,
+        };
+        cur = next;
+        Some((t, next, &sa[ia], &sb[ib]))
     })
 }
 
 /// The pointwise linear combination `ca·a + cb·b`.
 pub fn linear_combine(a: &Curve, ca: i64, b: &Curve, cb: i64) -> Curve {
-    let mut segs = Vec::new();
+    let mut segs = Vec::with_capacity(a.num_segments() + b.num_segments());
     for (t, _next, sa, sb) in zip_pieces(a, b) {
         segs.push(Segment::new(
             t,
@@ -70,13 +56,17 @@ pub fn linear_combine(a: &Curve, ca: i64, b: &Curve, cb: i64) -> Curve {
 
 /// Pointwise minimum, exact at every integer tick.
 pub fn pointwise_min(a: &Curve, b: &Curve) -> Curve {
-    let mut segs: Vec<Segment> = Vec::new();
+    let mut segs: Vec<Segment> = Vec::with_capacity(2 * (a.num_segments() + b.num_segments()));
     for (t0, next, sa, sb) in zip_pieces(a, b) {
         let (va, vb) = (sa.eval(t0), sb.eval(t0));
         let d0 = va - vb; // a − b at interval start
         let ds = sa.slope - sb.slope;
         // The currently-lower piece, then a possible single switch.
-        let (first, second, lower_first) = if d0 <= 0 { (sa, sb, true) } else { (sb, sa, false) };
+        let (first, second, lower_first) = if d0 <= 0 {
+            (sa, sb, true)
+        } else {
+            (sb, sa, false)
+        };
         segs.push(Segment::new(t0, first.eval(t0), first.slope));
         // Does the sign of d = a − b flip inside this interval?
         let cross_off = if lower_first && ds > 0 {

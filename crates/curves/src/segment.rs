@@ -12,7 +12,6 @@ use crate::Time;
 /// discontinuity exists at a breakpoint whenever the previous segment's line,
 /// extended to `start`, differs from `value`.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Segment {
     /// Left endpoint of the piece (inclusive).
     pub start: Time,
@@ -26,7 +25,11 @@ impl Segment {
     /// Construct a segment.
     #[inline]
     pub const fn new(start: Time, value: i64, slope: i64) -> Segment {
-        Segment { start, value, slope }
+        Segment {
+            start,
+            value,
+            slope,
+        }
     }
 
     /// Evaluate the segment's line at `t` (no domain check — callers must

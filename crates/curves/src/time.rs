@@ -21,7 +21,6 @@ pub const DEFAULT_TICKS_PER_UNIT: i64 = 1_000_000;
 /// paper's usage where `t`, response times, and execution times all live on
 /// the same axis.
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[repr(transparent)]
 pub struct Time(pub i64);
 
@@ -205,7 +204,10 @@ mod tests {
     fn quantization_directions() {
         // ceil for demand, floor for releases.
         assert_eq!(Time::from_units_ceil(1.0000001, 1_000_000), Time(1_000_001));
-        assert_eq!(Time::from_units_floor(1.9999999, 1_000_000), Time(1_999_999));
+        assert_eq!(
+            Time::from_units_floor(1.9999999, 1_000_000),
+            Time(1_999_999)
+        );
         assert_eq!(Time::from_units(0.5, 10), Time(5));
     }
 

@@ -10,7 +10,6 @@ use rta_curves::{Curve, Time};
 
 /// Release-time pattern of a job's first subjob.
 #[derive(Clone, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ArrivalPattern {
     /// Strictly periodic releases `t_m = offset + (m−1)·period` — the
     /// classical model (Figure 1 top; Equation 25 with `offset = 0`).
@@ -135,7 +134,11 @@ impl ArrivalPattern {
                 offset: Time::ZERO,
             }
             .release_times(window),
-            ArrivalPattern::PeriodicJitter { period, jitter, offset } => {
+            ArrivalPattern::PeriodicJitter {
+                period,
+                jitter,
+                offset,
+            } => {
                 assert!(*period >= Time::ONE, "period must be at least one tick");
                 assert!(*jitter >= Time::ZERO, "jitter must be nonnegative");
                 let mut out = Vec::new();
@@ -151,7 +154,10 @@ impl ArrivalPattern {
                 out
             }
             ArrivalPattern::Trace(times) => {
-                debug_assert!(times.windows(2).all(|w| w[0] <= w[1]), "trace must be sorted");
+                debug_assert!(
+                    times.windows(2).all(|w| w[0] <= w[1]),
+                    "trace must be sorted"
+                );
                 times.iter().copied().filter(|t| *t <= window).collect()
             }
         }
@@ -223,7 +229,10 @@ mod tests {
     fn hyperbolic_starts_at_zero_and_settles_to_period() {
         let x = 0.5;
         let tpu = 1000;
-        let p = ArrivalPattern::Hyperbolic { x, ticks_per_unit: tpu };
+        let p = ArrivalPattern::Hyperbolic {
+            x,
+            ticks_per_unit: tpu,
+        };
         let ts = p.release_times(Time(20_000));
         // Eq. 27 with m = 1: t = (1/x)·√(x²) − 1 = 0.
         assert_eq!(ts[0], Time::ZERO);
@@ -250,9 +259,15 @@ mod tests {
         // of the same rate (√(x²+i²) ≤ i + x), so its arrival curve
         // dominates pointwise — the burst front-loads work.
         let tpu = 1000;
-        let p = ArrivalPattern::Hyperbolic { x: 0.9, ticks_per_unit: tpu };
+        let p = ArrivalPattern::Hyperbolic {
+            x: 0.9,
+            ticks_per_unit: tpu,
+        };
         let period = Time::from_units(1.0 / 0.9, tpu);
-        let per = ArrivalPattern::Periodic { period, offset: Time::ZERO };
+        let per = ArrivalPattern::Periodic {
+            period,
+            offset: Time::ZERO,
+        };
         let w = Time(12_000);
         let (cb, cp) = (p.arrival_curve(w), per.arrival_curve(w));
         let mut strictly = false;
@@ -293,10 +308,7 @@ mod tests {
     #[test]
     fn sporadic_envelope_is_dense_periodic() {
         let s = ArrivalPattern::SporadicEnvelope { min_gap: Time(7) };
-        assert_eq!(
-            s.release_times(Time(20)),
-            vec![Time(0), Time(7), Time(14)]
-        );
+        assert_eq!(s.release_times(Time(20)), vec![Time(0), Time(7), Time(14)]);
     }
 
     #[test]
@@ -362,12 +374,19 @@ mod tests {
     #[test]
     fn nominal_periods() {
         assert_eq!(
-            ArrivalPattern::Periodic { period: Time(10), offset: Time::ZERO }
-                .nominal_period(1),
+            ArrivalPattern::Periodic {
+                period: Time(10),
+                offset: Time::ZERO
+            }
+            .nominal_period(1),
             Some(Time(10))
         );
         assert_eq!(
-            ArrivalPattern::Hyperbolic { x: 0.5, ticks_per_unit: 1000 }.nominal_period(1),
+            ArrivalPattern::Hyperbolic {
+                x: 0.5,
+                ticks_per_unit: 1000
+            }
+            .nominal_period(1),
             Some(Time(2000))
         );
         assert_eq!(ArrivalPattern::Trace(vec![]).nominal_period(1), None);

@@ -10,7 +10,6 @@ use rand::Rng;
 
 /// A parametric distribution over nonnegative reals.
 #[derive(Copy, Clone, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Dist {
     /// Point mass at `v`.
     Constant(f64),
@@ -61,15 +60,20 @@ impl Dist {
             }
             Dist::Exponential { mean } => sample_exponential(rng, mean),
             Dist::Gamma { mean, variance } => {
-                assert!(mean > 0.0 && variance > 0.0, "gamma needs positive parameters");
+                assert!(
+                    mean > 0.0 && variance > 0.0,
+                    "gamma needs positive parameters"
+                );
                 // mean = k·θ, variance = k·θ² ⇒ θ = var/mean, k = mean²/var.
                 let theta = variance / mean;
                 let k = mean * mean / variance;
                 sample_gamma(rng, k) * theta
             }
-            Dist::ShiftedGamma { shift, mean, variance } => {
-                shift + Dist::Gamma { mean, variance }.sample(rng)
-            }
+            Dist::ShiftedGamma {
+                shift,
+                mean,
+                variance,
+            } => shift + Dist::Gamma { mean, variance }.sample(rng),
         }
     }
 
@@ -176,7 +180,10 @@ mod tests {
 
     #[test]
     fn gamma_moments_high_shape() {
-        let d = Dist::Gamma { mean: 4.0, variance: 2.0 }; // shape 8
+        let d = Dist::Gamma {
+            mean: 4.0,
+            variance: 2.0,
+        }; // shape 8
         let (m, v) = moments(d, 60_000, 13);
         assert!((m - 4.0).abs() < 0.05, "gamma mean {m}");
         assert!((v - 2.0).abs() < 0.15, "gamma variance {v}");
@@ -184,7 +191,10 @@ mod tests {
 
     #[test]
     fn gamma_moments_low_shape() {
-        let d = Dist::Gamma { mean: 1.0, variance: 4.0 }; // shape 0.25
+        let d = Dist::Gamma {
+            mean: 1.0,
+            variance: 4.0,
+        }; // shape 0.25
         let (m, v) = moments(d, 120_000, 17);
         assert!((m - 1.0).abs() < 0.05, "gamma mean {m}");
         assert!((v - 4.0).abs() < 0.5, "gamma variance {v}");
@@ -192,7 +202,10 @@ mod tests {
 
     #[test]
     fn gamma_with_variance_mean_squared_matches_exponential_moments() {
-        let g = Dist::Gamma { mean: 2.0, variance: 4.0 };
+        let g = Dist::Gamma {
+            mean: 2.0,
+            variance: 4.0,
+        };
         let (m, v) = moments(g, 60_000, 19);
         assert!((m - 2.0).abs() < 0.08, "mean {m}");
         assert!((v - 4.0).abs() < 0.4, "variance {v}");
@@ -200,7 +213,11 @@ mod tests {
 
     #[test]
     fn shifted_gamma_moments_and_floor() {
-        let d = Dist::ShiftedGamma { shift: 4.0, mean: 4.0, variance: 8.0 };
+        let d = Dist::ShiftedGamma {
+            shift: 4.0,
+            mean: 4.0,
+            variance: 8.0,
+        };
         assert_eq!(d.mean(), 8.0);
         assert_eq!(d.variance(), 8.0);
         let mut rng = StdRng::seed_from_u64(31);
@@ -217,8 +234,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(23);
         for d in [
             Dist::Exponential { mean: 0.5 },
-            Dist::Gamma { mean: 0.5, variance: 0.1 },
-            Dist::Gamma { mean: 0.2, variance: 1.0 },
+            Dist::Gamma {
+                mean: 0.5,
+                variance: 0.1,
+            },
+            Dist::Gamma {
+                mean: 0.2,
+                variance: 1.0,
+            },
         ] {
             for _ in 0..10_000 {
                 assert!(d.sample(&mut rng) >= 0.0);
@@ -230,7 +253,14 @@ mod tests {
     fn theoretical_moments_exposed() {
         assert_eq!(Dist::Uniform(0.0, 2.0).mean(), 1.0);
         assert_eq!(Dist::Exponential { mean: 3.0 }.variance(), 9.0);
-        assert_eq!(Dist::Gamma { mean: 2.0, variance: 5.0 }.variance(), 5.0);
+        assert_eq!(
+            Dist::Gamma {
+                mean: 2.0,
+                variance: 5.0
+            }
+            .variance(),
+            5.0
+        );
         assert_eq!(Dist::Constant(1.0).variance(), 0.0);
     }
 }

@@ -35,7 +35,12 @@ pub fn default_arrival_window(sys: &TaskSystem, cycles: i64) -> Time {
         .iter()
         .filter_map(|j| j.arrival.nominal_period(tpu))
         .max();
-    let max_deadline = sys.jobs().iter().map(|j| j.deadline).max().unwrap_or(Time::ONE);
+    let max_deadline = sys
+        .jobs()
+        .iter()
+        .map(|j| j.deadline)
+        .max()
+        .unwrap_or(Time::ONE);
     match max_period {
         Some(p) => p * cycles,
         None => max_deadline * cycles,
@@ -47,7 +52,12 @@ pub fn default_arrival_window(sys: &TaskSystem, cycles: i64) -> Time {
 /// generous drain pad — completions relevant to the admission decision all
 /// occur before `window + max deadline`).
 pub fn analysis_horizon(sys: &TaskSystem, window: Time) -> Time {
-    let max_deadline = sys.jobs().iter().map(|j| j.deadline).max().unwrap_or(Time::ZERO);
+    let max_deadline = sys
+        .jobs()
+        .iter()
+        .map(|j| j.deadline)
+        .max()
+        .unwrap_or(Time::ZERO);
     let total_exec: Time = sys.jobs().iter().map(|j| j.total_exec()).sum();
     window + max_deadline + total_exec
 }
@@ -64,13 +74,19 @@ mod tests {
         b.add_job(
             "T1",
             Time(80),
-            ArrivalPattern::Periodic { period: Time(30), offset: Time::ZERO },
+            ArrivalPattern::Periodic {
+                period: Time(30),
+                offset: Time::ZERO,
+            },
             vec![(p, Time(5))],
         );
         b.add_job(
             "T2",
             Time(40),
-            ArrivalPattern::Periodic { period: Time(50), offset: Time::ZERO },
+            ArrivalPattern::Periodic {
+                period: Time(50),
+                offset: Time::ZERO,
+            },
             vec![(p, Time(10))],
         );
         b.build().unwrap()

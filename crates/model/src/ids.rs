@@ -4,12 +4,10 @@ use std::fmt;
 
 /// Index of a processor in a [`crate::TaskSystem`].
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ProcessorId(pub usize);
 
 /// Index of a job in a [`crate::TaskSystem`].
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct JobId(pub usize);
 
 /// A subjob `T_{k,j}`: the `index`-th hop (0-based) of job `job`.
@@ -17,7 +15,6 @@ pub struct JobId(pub usize);
 /// The paper writes `T_{k,j}` with `j` 1-based; this library uses 0-based
 /// indices internally and 1-based names in display output.
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SubjobRef {
     /// The owning job `T_k`.
     pub job: JobId,
@@ -52,7 +49,11 @@ mod tests {
         assert_eq!(ProcessorId(0).to_string(), "P1");
         assert_eq!(JobId(2).to_string(), "T3");
         assert_eq!(
-            SubjobRef { job: JobId(1), index: 0 }.to_string(),
+            SubjobRef {
+                job: JobId(1),
+                index: 0
+            }
+            .to_string(),
             "T2,1"
         );
     }

@@ -36,7 +36,6 @@ use rta_curves::Time;
 
 /// Deadline/arrival parameterization of a shop run.
 #[derive(Clone, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ShopArrivals {
     /// Eq. 25 periodic releases; `D_k = deadline_factor · period_k`.
     Periodic {
@@ -52,7 +51,6 @@ pub enum ShopArrivals {
 
 /// Configuration of one random job-shop system.
 #[derive(Clone, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ShopConfig {
     /// Number of stages each job traverses.
     pub stages: usize,
@@ -82,7 +80,9 @@ impl ShopConfig {
             n_jobs: 6,
             scheduler: SchedulerKind::Spp,
             utilization: 0.5,
-            arrivals: ShopArrivals::Periodic { deadline_factor: 4.0 },
+            arrivals: ShopArrivals::Periodic {
+                deadline_factor: 4.0,
+            },
             x_min: 0.1,
             ticks_per_unit: 10_000,
         }
@@ -102,10 +102,7 @@ pub fn generate<R: Rng + ?Sized>(cfg: &ShopConfig, rng: &mut R) -> Result<TaskSy
     let mut procs = Vec::with_capacity(cfg.stages * cfg.procs_per_stage);
     for s in 0..cfg.stages {
         for p in 0..cfg.procs_per_stage {
-            procs.push(b.add_processor(
-                format!("S{}P{}", s + 1, p + 1),
-                cfg.scheduler,
-            ));
+            procs.push(b.add_processor(format!("S{}P{}", s + 1, p + 1), cfg.scheduler));
         }
     }
 
@@ -121,8 +118,14 @@ pub fn generate<R: Rng + ?Sized>(cfg: &ShopConfig, rng: &mut R) -> Result<TaskSy
             let assignment = (0..cfg.stages)
                 .map(|s| procs[s * cfg.procs_per_stage + rng.gen_range(0..cfg.procs_per_stage)])
                 .collect();
-            let weights = (0..cfg.stages).map(|_| rng.gen::<f64>().max(1e-9)).collect();
-            Draft { x, assignment, weights }
+            let weights = (0..cfg.stages)
+                .map(|_| rng.gen::<f64>().max(1e-9))
+                .collect();
+            Draft {
+                x,
+                assignment,
+                weights,
+            }
         })
         .collect();
 
@@ -143,8 +146,7 @@ pub fn generate<R: Rng + ?Sized>(cfg: &ShopConfig, rng: &mut R) -> Result<TaskSy
             .iter()
             .enumerate()
             .map(|(j, p)| {
-                let tau_units =
-                    (d.weights[j] * period_units) / denom[p.0] * cfg.utilization;
+                let tau_units = (d.weights[j] * period_units) / denom[p.0] * cfg.utilization;
                 // Ceil: never underestimate demand; at least one tick.
                 let tau = Time::from_units_ceil(tau_units, tpu).max(Time::ONE);
                 (*p, tau)
@@ -154,17 +156,22 @@ pub fn generate<R: Rng + ?Sized>(cfg: &ShopConfig, rng: &mut R) -> Result<TaskSy
         let (arrival, deadline) = match &cfg.arrivals {
             ShopArrivals::Periodic { deadline_factor } => {
                 let period = Time::from_units(period_units, tpu).max(Time::ONE);
-                let deadline =
-                    Time::from_units(deadline_factor * period_units, tpu).max(Time::ONE);
+                let deadline = Time::from_units(deadline_factor * period_units, tpu).max(Time::ONE);
                 (
-                    ArrivalPattern::Periodic { period, offset: Time::ZERO },
+                    ArrivalPattern::Periodic {
+                        period,
+                        offset: Time::ZERO,
+                    },
                     deadline,
                 )
             }
             ShopArrivals::Bursty { deadline } => {
                 let d_units = deadline.sample(rng);
                 (
-                    ArrivalPattern::Hyperbolic { x: d.x, ticks_per_unit: tpu },
+                    ArrivalPattern::Hyperbolic {
+                        x: d.x,
+                        ticks_per_unit: tpu,
+                    },
                     Time::from_units(d_units, tpu).max(Time::ONE),
                 )
             }
@@ -197,13 +204,19 @@ pub fn figure2_system(
     b.add_job(
         "T1",
         t1_deadline,
-        ArrivalPattern::Periodic { period: t1_period, offset: Time::ZERO },
+        ArrivalPattern::Periodic {
+            period: t1_period,
+            offset: Time::ZERO,
+        },
         route1.iter().zip(t1_execs).map(|(p, e)| (*p, e)).collect(),
     );
     b.add_job(
         "T2",
         t2_deadline,
-        ArrivalPattern::Periodic { period: t2_period, offset: Time::ZERO },
+        ArrivalPattern::Periodic {
+            period: t2_period,
+            offset: Time::ZERO,
+        },
         route2.iter().zip(t2_execs).map(|(p, e)| (*p, e)).collect(),
     );
     b.build()

@@ -17,7 +17,6 @@ use rta_curves::Time;
 
 /// A priority assignment policy.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum PriorityPolicy {
     /// Equation 24: sub-deadline proportional to the hop's share of the
     /// chain's total execution time; smaller sub-deadline = higher priority.
@@ -112,21 +111,30 @@ mod tests {
         b.add_job(
             "T1",
             Time(100),
-            ArrivalPattern::Periodic { period: Time(50), offset: Time::ZERO },
+            ArrivalPattern::Periodic {
+                period: Time(50),
+                offset: Time::ZERO,
+            },
             vec![(p1, Time(10)), (p2, Time(30))],
         );
         // T2: deadline 60, single hop on P1 ⇒ sub-deadline 60.
         b.add_job(
             "T2",
             Time(60),
-            ArrivalPattern::Periodic { period: Time(60), offset: Time::ZERO },
+            ArrivalPattern::Periodic {
+                period: Time(60),
+                offset: Time::ZERO,
+            },
             vec![(p1, Time(20))],
         );
         // T3: deadline 40, single hop on P2 ⇒ sub-deadline 40.
         b.add_job(
             "T3",
             Time(40),
-            ArrivalPattern::Periodic { period: Time(20), offset: Time::ZERO },
+            ArrivalPattern::Periodic {
+                period: Time(20),
+                offset: Time::ZERO,
+            },
             vec![(p2, Time(5))],
         );
         b.build().unwrap()
@@ -137,12 +145,24 @@ mod tests {
         let mut sys = sys_three_jobs(SchedulerKind::Spp);
         assign_priorities(&mut sys, PriorityPolicy::RelativeDeadlineMonotonic).unwrap();
         // P1: T1 hop 0 sub-deadline 25 < T2's 60 ⇒ T1 higher.
-        let t1p1 = SubjobRef { job: JobId(0), index: 0 };
-        let t2p1 = SubjobRef { job: JobId(1), index: 0 };
+        let t1p1 = SubjobRef {
+            job: JobId(0),
+            index: 0,
+        };
+        let t2p1 = SubjobRef {
+            job: JobId(1),
+            index: 0,
+        };
         assert!(sys.subjob(t1p1).priority < sys.subjob(t2p1).priority);
         // P2: T3 sub-deadline 40 < T1 hop 1's 75 ⇒ T3 higher.
-        let t1p2 = SubjobRef { job: JobId(0), index: 1 };
-        let t3p2 = SubjobRef { job: JobId(2), index: 0 };
+        let t1p2 = SubjobRef {
+            job: JobId(0),
+            index: 1,
+        };
+        let t3p2 = SubjobRef {
+            job: JobId(2),
+            index: 0,
+        };
         assert!(sys.subjob(t3p2).priority < sys.subjob(t1p2).priority);
         assert!(sys.validate(true).is_ok());
     }
@@ -150,8 +170,26 @@ mod tests {
     #[test]
     fn sub_deadline_values() {
         let sys = sys_three_jobs(SchedulerKind::Spp);
-        assert_eq!(sub_deadline(&sys, SubjobRef { job: JobId(0), index: 0 }), Time(25));
-        assert_eq!(sub_deadline(&sys, SubjobRef { job: JobId(0), index: 1 }), Time(75));
+        assert_eq!(
+            sub_deadline(
+                &sys,
+                SubjobRef {
+                    job: JobId(0),
+                    index: 0
+                }
+            ),
+            Time(25)
+        );
+        assert_eq!(
+            sub_deadline(
+                &sys,
+                SubjobRef {
+                    job: JobId(0),
+                    index: 1
+                }
+            ),
+            Time(75)
+        );
         assert_eq!(sub_deadlines(&sys, JobId(0)), vec![Time(25), Time(75)]);
     }
 
@@ -161,8 +199,17 @@ mod tests {
         assign_priorities(&mut sys, PriorityPolicy::DeadlineMonotonic).unwrap();
         // P1: T2 (D=60) higher than T1 (D=100).
         assert!(
-            sys.subjob(SubjobRef { job: JobId(1), index: 0 }).priority
-                < sys.subjob(SubjobRef { job: JobId(0), index: 0 }).priority
+            sys.subjob(SubjobRef {
+                job: JobId(1),
+                index: 0
+            })
+            .priority
+                < sys
+                    .subjob(SubjobRef {
+                        job: JobId(0),
+                        index: 0
+                    })
+                    .priority
         );
     }
 
@@ -172,8 +219,17 @@ mod tests {
         assign_priorities(&mut sys, PriorityPolicy::RateMonotonic).unwrap();
         // P2: T3 period 20 < T1 period 50.
         assert!(
-            sys.subjob(SubjobRef { job: JobId(2), index: 0 }).priority
-                < sys.subjob(SubjobRef { job: JobId(0), index: 1 }).priority
+            sys.subjob(SubjobRef {
+                job: JobId(2),
+                index: 0
+            })
+            .priority
+                < sys
+                    .subjob(SubjobRef {
+                        job: JobId(0),
+                        index: 1
+                    })
+                    .priority
         );
     }
 
@@ -195,7 +251,10 @@ mod tests {
             b.add_job(
                 format!("T{i}"),
                 Time(50),
-                ArrivalPattern::Periodic { period: Time(50), offset: Time::ZERO },
+                ArrivalPattern::Periodic {
+                    period: Time(50),
+                    offset: Time::ZERO,
+                },
                 vec![(p, Time(10))],
             );
         }

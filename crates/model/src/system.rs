@@ -6,7 +6,6 @@ use rta_curves::Time;
 
 /// Scheduling algorithm run by a processor (Section 3.2).
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SchedulerKind {
     /// Static-priority preemptive.
     Spp,
@@ -35,7 +34,6 @@ impl std::fmt::Display for SchedulerKind {
 
 /// A processor `P_i`.
 #[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Processor {
     /// Human-readable name.
     pub name: String,
@@ -45,7 +43,6 @@ pub struct Processor {
 
 /// A subjob `T_{k,j}`: one hop of a job's chain.
 #[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Subjob {
     /// The processor `P(k,j)` this hop executes on.
     pub processor: ProcessorId,
@@ -60,7 +57,6 @@ pub struct Subjob {
 /// A job `T_k`: a chain of subjobs with an end-to-end deadline and an
 /// arrival pattern for its first subjob.
 #[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Job {
     /// Human-readable name.
     pub name: String,
@@ -139,14 +135,23 @@ impl std::fmt::Display for ModelError {
                 write!(f, "job {job} has a non-positive deadline")
             }
             ModelError::NoJobs => write!(f, "system contains no jobs"),
-            ModelError::DuplicatePriority { processor, priority } => {
+            ModelError::DuplicatePriority {
+                processor,
+                priority,
+            } => {
                 write!(f, "duplicate priority {priority} on processor {processor}")
             }
             ModelError::MissingPriority { subjob } => {
-                write!(f, "subjob {subjob} on a static-priority processor has no priority")
+                write!(
+                    f,
+                    "subjob {subjob} on a static-priority processor has no priority"
+                )
             }
             ModelError::NoNominalPeriod { job } => {
-                write!(f, "job {job} has no nominal period for rate-monotonic assignment")
+                write!(
+                    f,
+                    "job {job} has no nominal period for rate-monotonic assignment"
+                )
             }
         }
     }
@@ -156,7 +161,6 @@ impl std::error::Error for ModelError {}
 
 /// A validated distributed real-time system (Section 3).
 #[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TaskSystem {
     processors: Vec<Processor>,
     jobs: Vec<Job>,
@@ -202,7 +206,10 @@ impl TaskSystem {
     /// Iterator over all subjob references.
     pub fn all_subjobs(&self) -> impl Iterator<Item = SubjobRef> + '_ {
         self.jobs.iter().enumerate().flat_map(|(k, job)| {
-            (0..job.subjobs.len()).map(move |j| SubjobRef { job: JobId(k), index: j })
+            (0..job.subjobs.len()).map(move |j| SubjobRef {
+                job: JobId(k),
+                index: j,
+            })
         })
     }
 
@@ -280,7 +287,10 @@ impl TaskSystem {
                 return Err(ModelError::NonPositiveDeadline { job: job_id });
             }
             for (j, s) in job.subjobs.iter().enumerate() {
-                let r = SubjobRef { job: job_id, index: j };
+                let r = SubjobRef {
+                    job: job_id,
+                    index: j,
+                };
                 if s.processor.0 >= self.processors.len() {
                     return Err(ModelError::UnknownProcessor { subjob: r });
                 }
@@ -340,8 +350,15 @@ impl SystemBuilder {
     }
 
     /// Add a processor; returns its id.
-    pub fn add_processor(&mut self, name: impl Into<String>, scheduler: SchedulerKind) -> ProcessorId {
-        self.processors.push(Processor { name: name.into(), scheduler });
+    pub fn add_processor(
+        &mut self,
+        name: impl Into<String>,
+        scheduler: SchedulerKind,
+    ) -> ProcessorId {
+        self.processors.push(Processor {
+            name: name.into(),
+            scheduler,
+        });
         ProcessorId(self.processors.len() - 1)
     }
 
@@ -356,9 +373,18 @@ impl SystemBuilder {
     ) -> JobId {
         let subjobs = chain
             .into_iter()
-            .map(|(processor, exec)| Subjob { processor, exec, priority: None })
+            .map(|(processor, exec)| Subjob {
+                processor,
+                exec,
+                priority: None,
+            })
             .collect();
-        self.jobs.push(Job { name: name.into(), deadline, arrival, subjobs });
+        self.jobs.push(Job {
+            name: name.into(),
+            deadline,
+            arrival,
+            subjobs,
+        });
         JobId(self.jobs.len() - 1)
     }
 
@@ -391,13 +417,19 @@ mod tests {
         let t1 = b.add_job(
             "T1",
             Time(100),
-            ArrivalPattern::Periodic { period: Time(50), offset: Time::ZERO },
+            ArrivalPattern::Periodic {
+                period: Time(50),
+                offset: Time::ZERO,
+            },
             vec![(p1, Time(10)), (p2, Time(5))],
         );
         let t2 = b.add_job(
             "T2",
             Time(200),
-            ArrivalPattern::Periodic { period: Time(100), offset: Time::ZERO },
+            ArrivalPattern::Periodic {
+                period: Time(100),
+                offset: Time::ZERO,
+            },
             vec![(p1, Time(20))],
         );
         b.set_priority(SubjobRef { job: t1, index: 0 }, 1);
@@ -420,8 +452,14 @@ mod tests {
     #[test]
     fn higher_priority_peers_and_blocking() {
         let sys = two_proc_system();
-        let t1p1 = SubjobRef { job: JobId(0), index: 0 };
-        let t2p1 = SubjobRef { job: JobId(1), index: 0 };
+        let t1p1 = SubjobRef {
+            job: JobId(0),
+            index: 0,
+        };
+        let t2p1 = SubjobRef {
+            job: JobId(1),
+            index: 0,
+        };
         assert!(sys.higher_priority_peers(t1p1).is_empty());
         assert_eq!(sys.higher_priority_peers(t2p1), vec![t1p1]);
         // T1's subjob on P1 can be blocked by T2's (lower-priority, exec 20).
@@ -447,7 +485,10 @@ mod tests {
         b.add_job(
             "T1",
             Time(10),
-            ArrivalPattern::Periodic { period: Time(5), offset: Time::ZERO },
+            ArrivalPattern::Periodic {
+                period: Time(5),
+                offset: Time::ZERO,
+            },
             vec![(p, Time(0))],
         );
         assert!(matches!(
@@ -460,7 +501,10 @@ mod tests {
         b.add_job(
             "T1",
             Time::ZERO,
-            ArrivalPattern::Periodic { period: Time(5), offset: Time::ZERO },
+            ArrivalPattern::Periodic {
+                period: Time(5),
+                offset: Time::ZERO,
+            },
             vec![(p, Time(1))],
         );
         assert!(matches!(
@@ -476,13 +520,19 @@ mod tests {
         let t1 = b.add_job(
             "T1",
             Time(10),
-            ArrivalPattern::Periodic { period: Time(5), offset: Time::ZERO },
+            ArrivalPattern::Periodic {
+                period: Time(5),
+                offset: Time::ZERO,
+            },
             vec![(p, Time(1))],
         );
         let t2 = b.add_job(
             "T2",
             Time(10),
-            ArrivalPattern::Periodic { period: Time(5), offset: Time::ZERO },
+            ArrivalPattern::Periodic {
+                period: Time(5),
+                offset: Time::ZERO,
+            },
             vec![(p, Time(1))],
         );
         b.set_priority(SubjobRef { job: t1, index: 0 }, 3);
@@ -498,7 +548,10 @@ mod tests {
         b.add_job(
             "T1",
             Time(10),
-            ArrivalPattern::Periodic { period: Time(5), offset: Time::ZERO },
+            ArrivalPattern::Periodic {
+                period: Time(5),
+                offset: Time::ZERO,
+            },
             vec![(p, Time(1))],
         );
         assert!(b.build().unwrap().validate(true).is_ok());
@@ -511,13 +564,19 @@ mod tests {
         let t1 = b.add_job(
             "T1",
             Time(10),
-            ArrivalPattern::Periodic { period: Time(5), offset: Time::ZERO },
+            ArrivalPattern::Periodic {
+                period: Time(5),
+                offset: Time::ZERO,
+            },
             vec![(p, Time(1))],
         );
         let t2 = b.add_job(
             "T2",
             Time(10),
-            ArrivalPattern::Periodic { period: Time(5), offset: Time::ZERO },
+            ArrivalPattern::Periodic {
+                period: Time(5),
+                offset: Time::ZERO,
+            },
             vec![(p, Time(1))],
         );
         b.set_priority(SubjobRef { job: t1, index: 0 }, 1);

@@ -1,0 +1,402 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The build environment has no access to a crates registry, so the
+//! workspace vendors the slice of `proptest` its test suites use: the
+//! [`proptest!`] macro, [`strategy::Strategy`] with `prop_map`/`boxed`,
+//! range and tuple strategies, [`collection::vec`], [`prop_oneof!`],
+//! [`arbitrary::any`], and the `prop_assert*` macros.
+//!
+//! Semantics: each test runs `ProptestConfig::cases` random cases from a
+//! deterministic per-test seed. A failing case reports its index and seed
+//! (re-runnable by construction) but is not shrunk — failures print the
+//! assertion message rather than a minimized counterexample.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The generator handed to strategies.
+    pub type TestRng = StdRng;
+
+    /// Subset of proptest's run configuration.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases to execute per test.
+        pub cases: u32,
+        /// Base seed; case `i` derives its own generator from it.
+        pub seed: u64,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 96,
+                seed: 0x5EED_CAFE,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..Default::default()
+            }
+        }
+    }
+
+    /// Why a single case failed.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An explicit `prop_assert*` failure.
+        Fail(String),
+        /// The case asked to be discarded (unused here, kept for parity).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Construct a failure.
+        pub fn fail<S: Into<String>>(msg: S) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    /// Result type of a single generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Drives the case loop for one `proptest!` test function.
+    pub struct TestRunner {
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        /// Create a runner for `config`.
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner { config }
+        }
+
+        /// Run `f` once per case with a per-case deterministic generator.
+        /// Panics (failing the enclosing `#[test]`) on the first failure.
+        pub fn run_cases<F>(&mut self, test_name: &str, mut f: F)
+        where
+            F: FnMut(&mut TestRng) -> TestCaseResult,
+        {
+            for case in 0..self.config.cases {
+                let seed = self
+                    .config
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(case as u64);
+                let mut rng = TestRng::seed_from_u64(seed);
+                match f(&mut rng) {
+                    Ok(()) => {}
+                    Err(TestCaseError::Reject(_)) => {}
+                    Err(TestCaseError::Fail(msg)) => panic!(
+                        "proptest {test_name}: case {case}/{} (seed {seed:#x}) failed:\n{msg}",
+                        self.config.cases
+                    ),
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+
+    /// A generator of random values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Generate one value.
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Object-safe view of [`Strategy`] used by [`BoxedStrategy`].
+    trait DynStrategy<T> {
+        fn gen_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn gen_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.gen_value(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            self.0.gen_dyn(rng)
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn gen_value(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among boxed alternatives ([`crate::prop_oneof!`]).
+    pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+    impl<T> Union<T> {
+        /// Build from the macro's arm list.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union(arms)
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            use rand::Rng;
+            let i = rng.gen_range(0..self.0.len());
+            self.0[i].gen_value(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategy!(i64, usize, u64, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($n:tt $S:ident),+))*) => {$(
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.gen_value(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (0 A)
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a length drawn from `sizes`.
+    pub struct VecStrategy<S> {
+        element: S,
+        sizes: Range<usize>,
+    }
+
+    /// `vec(element, 0..6)`: vectors of 0–5 generated elements.
+    pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+        assert!(sizes.start < sizes.end, "empty size range");
+        VecStrategy { element, sizes }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            use rand::Rng;
+            let len = rng.gen_range(self.sizes.clone());
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Types with a canonical strategy (subset of proptest's `Arbitrary`).
+    pub trait Arbitrary {
+        /// The canonical strategy type.
+        type Strategy: Strategy<Value = Self>;
+        /// Construct the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Canonical strategy for `bool`: a fair coin.
+    #[derive(Clone, Copy, Debug)]
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn gen_value(&self, rng: &mut TestRng) -> bool {
+            use rand::Rng;
+            rng.gen::<bool>()
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyBool;
+        fn arbitrary() -> AnyBool {
+            AnyBool
+        }
+    }
+
+    /// The canonical strategy for `T` (`any::<bool>()` etc.).
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+/// Everything the test files import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace mirror of proptest's `prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Assert a condition inside a `proptest!` body (early-returns a failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)*), a, b
+            )));
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a != b,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            a
+        );
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn` becomes a `#[test]` running
+/// `ProptestConfig::cases` random cases of its body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr)
+        $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner = $crate::test_runner::TestRunner::new(config);
+                let strategies = ($($strat,)+);
+                runner.run_cases(stringify!($name), |rng| {
+                    // Draw all arguments in one tuple so each binds to its
+                    // own strategy (tuples of strategies are strategies).
+                    let ($($pat,)+) =
+                        $crate::strategy::Strategy::gen_value(&strategies, rng);
+                    { $body }
+                    #[allow(unreachable_code)]
+                    Ok(())
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}

@@ -25,7 +25,10 @@ impl SimConfig {
             sys,
             rta_model::horizon::DEFAULT_WINDOW_CYCLES,
         );
-        SimConfig { window, horizon: rta_model::horizon::analysis_horizon(sys, window) }
+        SimConfig {
+            window,
+            horizon: rta_model::horizon::analysis_horizon(sys, window),
+        }
     }
 }
 
@@ -56,7 +59,10 @@ impl Proc {
         let key = |inst: &Instance| -> (i64, i64, u64) {
             match self.scheduler {
                 SchedulerKind::Spp | SchedulerKind::Spnp => {
-                    let r = SubjobRef { job: inst.job, index: inst.hop };
+                    let r = SubjobRef {
+                        job: inst.job,
+                        index: inst.hop,
+                    };
                     let phi = sys.subjob(r).priority.expect("validated") as i64;
                     (phi, inst.hop_release.ticks(), inst.seq)
                 }
@@ -72,11 +78,17 @@ impl Proc {
             return false;
         }
         let run_phi = {
-            let r = SubjobRef { job: running.job, index: running.hop };
+            let r = SubjobRef {
+                job: running.job,
+                index: running.hop,
+            };
             sys.subjob(r).priority.expect("validated")
         };
         self.ready.iter().any(|c| {
-            let r = SubjobRef { job: c.job, index: c.hop };
+            let r = SubjobRef {
+                job: c.job,
+                index: c.hop,
+            };
             sys.subjob(r).priority.expect("validated") < run_phi
         })
     }
@@ -121,7 +133,11 @@ pub fn simulate(sys: &TaskSystem, cfg: &SimConfig) -> SimResult {
     let mut procs: Vec<Proc> = sys
         .processors()
         .iter()
-        .map(|p| Proc { scheduler: p.scheduler, ready: Vec::new(), running: None })
+        .map(|p| Proc {
+            scheduler: p.scheduler,
+            ready: Vec::new(),
+            running: None,
+        })
         .collect();
 
     let mut record_interval = |r: SubjobRef, from: Time, to: Time| {
@@ -154,7 +170,10 @@ pub fn simulate(sys: &TaskSystem, cfg: &SimConfig) -> SimResult {
                 continue;
             }
             let (mut inst, at) = p.running.take().expect("checked");
-            let r = SubjobRef { job: inst.job, index: inst.hop };
+            let r = SubjobRef {
+                job: inst.job,
+                index: inst.hop,
+            };
             debug_assert_eq!(sys.subjob(r).processor.0, pidx);
             record_interval(r, at, t);
             hop_completions[inst.job.0][inst.m - 1][inst.hop] = Some(t);
@@ -175,7 +194,10 @@ pub fn simulate(sys: &TaskSystem, cfg: &SimConfig) -> SimResult {
         while matches!(heap.peek(), Some(Reverse((rt, _))) if *rt == t) {
             let Reverse((_, s)) = heap.pop().expect("peeked");
             let inst = pending.remove(&s).expect("pending");
-            let r = SubjobRef { job: inst.job, index: inst.hop };
+            let r = SubjobRef {
+                job: inst.job,
+                index: inst.hop,
+            };
             let pidx = sys.subjob(r).processor.0;
             procs[pidx].ready.push(inst);
         }
@@ -185,7 +207,10 @@ pub fn simulate(sys: &TaskSystem, cfg: &SimConfig) -> SimResult {
             // Preemption (SPP only).
             if let Some((inst, at)) = p.running.take() {
                 if p.preempts(sys, &inst) {
-                    let r = SubjobRef { job: inst.job, index: inst.hop };
+                    let r = SubjobRef {
+                        job: inst.job,
+                        index: inst.hop,
+                    };
                     record_interval(r, at, t);
                     let mut inst = inst;
                     inst.remaining -= t - at;
@@ -204,7 +229,12 @@ pub fn simulate(sys: &TaskSystem, cfg: &SimConfig) -> SimResult {
         }
     }
 
-    SimResult { releases, hop_completions, service_intervals, horizon: cfg.horizon }
+    SimResult {
+        releases,
+        hop_completions,
+        service_intervals,
+        horizon: cfg.horizon,
+    }
 }
 
 #[cfg(test)]
@@ -214,11 +244,17 @@ mod tests {
     use rta_model::{ArrivalPattern, SystemBuilder};
 
     fn periodic(p: i64) -> ArrivalPattern {
-        ArrivalPattern::Periodic { period: Time(p), offset: Time::ZERO }
+        ArrivalPattern::Periodic {
+            period: Time(p),
+            offset: Time::ZERO,
+        }
     }
 
     fn cfg(window: i64, horizon: i64) -> SimConfig {
-        SimConfig { window: Time(window), horizon: Time(horizon) }
+        SimConfig {
+            window: Time(window),
+            horizon: Time(horizon),
+        }
     }
 
     #[test]
@@ -324,7 +360,12 @@ mod tests {
         let mut b = SystemBuilder::new();
         let p1 = b.add_processor("P1", SchedulerKind::Spp);
         let p2 = b.add_processor("P2", SchedulerKind::Spp);
-        b.add_job("T1", Time(100), periodic(50), vec![(p1, Time(3)), (p2, Time(4))]);
+        b.add_job(
+            "T1",
+            Time(100),
+            periodic(50),
+            vec![(p1, Time(3)), (p2, Time(4))],
+        );
         let mut sys = b.build().unwrap();
         assign_priorities(&mut sys, PriorityPolicy::DeadlineMonotonic).unwrap();
         let r = simulate(&sys, &cfg(100, 400));
@@ -360,11 +401,7 @@ mod tests {
         let r = simulate(&sys, &cfg(12, 200));
         // Releases at 0,3,6,9,12: completions at 5,10,15,20,25.
         for m in 1..=5 {
-            assert_eq!(
-                r.completion(JobId(0), m),
-                Some(Time(5 * m as i64)),
-                "m={m}"
-            );
+            assert_eq!(r.completion(JobId(0), m), Some(Time(5 * m as i64)), "m={m}");
         }
     }
 
@@ -372,8 +409,18 @@ mod tests {
     fn fcfs_tie_break_is_deterministic_by_job_index() {
         let mut b = SystemBuilder::new();
         let p = b.add_processor("P1", SchedulerKind::Fcfs);
-        b.add_job("T1", Time(100), ArrivalPattern::Trace(vec![Time(0)]), vec![(p, Time(4))]);
-        b.add_job("T2", Time(100), ArrivalPattern::Trace(vec![Time(0)]), vec![(p, Time(6))]);
+        b.add_job(
+            "T1",
+            Time(100),
+            ArrivalPattern::Trace(vec![Time(0)]),
+            vec![(p, Time(4))],
+        );
+        b.add_job(
+            "T2",
+            Time(100),
+            ArrivalPattern::Trace(vec![Time(0)]),
+            vec![(p, Time(6))],
+        );
         let sys = b.build().unwrap();
         let r = simulate(&sys, &cfg(10, 100));
         // Simultaneous arrivals: the lower job index goes first.
@@ -387,7 +434,12 @@ mod tests {
         let mut b = SystemBuilder::new();
         let p1 = b.add_processor("P1", SchedulerKind::Spp);
         let p2 = b.add_processor("P2", SchedulerKind::Fcfs);
-        let t1 = b.add_job("T1", Time(100), periodic(20), vec![(p1, Time(3)), (p2, Time(4))]);
+        let t1 = b.add_job(
+            "T1",
+            Time(100),
+            periodic(20),
+            vec![(p1, Time(3)), (p2, Time(4))],
+        );
         b.add_job("T2", Time(100), periodic(20), vec![(p2, Time(6))]);
         b.set_priority(SubjobRef { job: t1, index: 0 }, 1);
         let sys = b.build().unwrap();
@@ -402,8 +454,18 @@ mod tests {
     fn observed_utilization_aggregates_processor_busy_time() {
         let mut b = SystemBuilder::new();
         let p = b.add_processor("P1", SchedulerKind::Spp);
-        let t1 = b.add_job("T1", Time(100), ArrivalPattern::Trace(vec![Time(0)]), vec![(p, Time(3))]);
-        let t2 = b.add_job("T2", Time(100), ArrivalPattern::Trace(vec![Time(5)]), vec![(p, Time(2))]);
+        let t1 = b.add_job(
+            "T1",
+            Time(100),
+            ArrivalPattern::Trace(vec![Time(0)]),
+            vec![(p, Time(3))],
+        );
+        let t2 = b.add_job(
+            "T2",
+            Time(100),
+            ArrivalPattern::Trace(vec![Time(5)]),
+            vec![(p, Time(2))],
+        );
         b.set_priority(SubjobRef { job: t1, index: 0 }, 1);
         b.set_priority(SubjobRef { job: t2, index: 0 }, 2);
         let sys = b.build().unwrap();

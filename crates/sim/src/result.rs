@@ -82,7 +82,11 @@ impl SimResult {
     /// For any work-conserving scheduler this must equal the Theorem 7
     /// utilization function computed from the exact aggregate workload —
     /// an invariant checked by the integration tests.
-    pub fn observed_utilization(&self, sys: &rta_model::TaskSystem, p: rta_model::ProcessorId) -> Curve {
+    pub fn observed_utilization(
+        &self,
+        sys: &rta_model::TaskSystem,
+        p: rta_model::ProcessorId,
+    ) -> Curve {
         let mut intervals: Vec<(Time, Time)> = sys
             .subjobs_on(p)
             .into_iter()
@@ -131,7 +135,10 @@ mod tests {
     #[test]
     fn observed_service_from_intervals() {
         let mut service_intervals = HashMap::new();
-        let r = SubjobRef { job: JobId(0), index: 0 };
+        let r = SubjobRef {
+            job: JobId(0),
+            index: 0,
+        };
         service_intervals.insert(r, vec![(Time(2), Time(5)), (Time(8), Time(9))]);
         let res = SimResult {
             releases: vec![vec![Time(0)]],

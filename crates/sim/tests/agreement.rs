@@ -30,9 +30,13 @@ fn shop(scheduler: SchedulerKind, stages: usize, utilization: f64, bursty: bool)
         scheduler,
         utilization,
         arrivals: if bursty {
-            ShopArrivals::Bursty { deadline: Dist::Exponential { mean: 6.0 } }
+            ShopArrivals::Bursty {
+                deadline: Dist::Exponential { mean: 6.0 },
+            }
         } else {
-            ShopArrivals::Periodic { deadline_factor: 2.0 * stages as f64 }
+            ShopArrivals::Periodic {
+                deadline_factor: 2.0 * stages as f64,
+            }
         },
         x_min: 0.25,
         ticks_per_unit: 100,
@@ -140,7 +144,10 @@ fn violation_stats(
     for seed in seeds {
         for &(stages, util) in cases {
             let sys = prepared(&shop(scheduler, stages, util, bursty), seed);
-            let acfg = AnalysisConfig { spnp_availability: variant, ..Default::default() };
+            let acfg = AnalysisConfig {
+                spnp_availability: variant,
+                ..Default::default()
+            };
             let (window, horizon) = acfg.resolve(&sys);
             let report = analyze_bounds(&sys, &acfg).unwrap();
             let sim = simulate(&sys, &SimConfig { window, horizon });
@@ -223,7 +230,10 @@ fn as_printed_spnp_variant_can_underestimate() {
         &[(1, 0.5), (2, 0.6)],
         false,
     );
-    assert!(bad > 0, "expected the verbatim variant to underestimate somewhere");
+    assert!(
+        bad > 0,
+        "expected the verbatim variant to underestimate somewhere"
+    );
     // …but it remains a statistically *good* approximation: violations are
     // rare. (Their magnitude is unbounded in adversarial corners — another
     // reason the conservative variant is the default.)
@@ -279,15 +289,20 @@ fn nc_composition_bound_dominates_simulation() {
             b.add_job(
                 format!("local{i}"),
                 Time(100_000),
-                ArrivalPattern::Periodic { period: Time(40), offset: Time::ZERO },
+                ArrivalPattern::Periodic {
+                    period: Time(40),
+                    offset: Time::ZERO,
+                },
                 vec![(*p, Time(rng.gen_range(1..6)))],
             );
         }
         let mut sys = b.build().unwrap();
         assign_priorities(&mut sys, PriorityPolicy::DeadlineMonotonic).unwrap();
-        let cfg = AnalysisConfig { arrival_window: Some(Time(200)), ..Default::default() };
-        let Some(nc) = rta_core::nc::e2e_composition_bound(&sys, &cfg, JobId(0)).unwrap()
-        else {
+        let cfg = AnalysisConfig {
+            arrival_window: Some(Time(200)),
+            ..Default::default()
+        };
+        let Some(nc) = rta_core::nc::e2e_composition_bound(&sys, &cfg, JobId(0)).unwrap() else {
             continue;
         };
         let (window, horizon) = cfg.resolve(&sys);

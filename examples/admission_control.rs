@@ -43,7 +43,10 @@ fn main() {
         Candidate {
             name: "video-frames",
             deadline: Time(3_000),
-            arrival: ArrivalPattern::Periodic { period: Time(2_000), offset: Time::ZERO },
+            arrival: ArrivalPattern::Periodic {
+                period: Time(2_000),
+                offset: Time::ZERO,
+            },
             chain: vec![(ProcessorId(0), Time(500)), (ProcessorId(1), Time(600))],
         },
         Candidate {
@@ -60,13 +63,19 @@ fn main() {
         Candidate {
             name: "alarm-stream",
             deadline: Time(4_000),
-            arrival: ArrivalPattern::Hyperbolic { x: 0.6, ticks_per_unit: tpu },
+            arrival: ArrivalPattern::Hyperbolic {
+                x: 0.6,
+                ticks_per_unit: tpu,
+            },
             chain: vec![(ProcessorId(1), Time(300)), (ProcessorId(2), Time(400))],
         },
         Candidate {
             name: "bulk-transfer",
             deadline: Time(2_500),
-            arrival: ArrivalPattern::Periodic { period: Time(1_500), offset: Time::ZERO },
+            arrival: ArrivalPattern::Periodic {
+                period: Time(1_500),
+                offset: Time::ZERO,
+            },
             chain: vec![(ProcessorId(0), Time(900)), (ProcessorId(1), Time(900))],
         },
     ];
@@ -97,9 +106,16 @@ fn main() {
                 .map(|j| sys.job(j.job).name.as_str())
                 .map(|n| if n == cand.name { "itself" } else { n })
                 .collect();
-            println!("  REJECT {:<14} (would break: {})", cand.name, victims.join(", "));
+            println!(
+                "  REJECT {:<14} (would break: {})",
+                cand.name,
+                victims.join(", ")
+            );
         }
     }
-    println!("\nadmitted set: {:?}", accepted.iter().map(|c| c.name).collect::<Vec<_>>());
+    println!(
+        "\nadmitted set: {:?}",
+        accepted.iter().map(|c| c.name).collect::<Vec<_>>()
+    );
     assert!(!accepted.is_empty());
 }

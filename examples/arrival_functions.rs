@@ -10,7 +10,10 @@ use bursty_rta::model::ArrivalPattern;
 fn plot(label: &str, pattern: &ArrivalPattern, window: Time, cols: usize) {
     let curve = pattern.arrival_curve(window);
     let max = curve.count_at(window).max(1);
-    println!("{label}  ({} arrivals in [0, {window}])", curve.count_at(window));
+    println!(
+        "{label}  ({} arrivals in [0, {window}])",
+        curve.count_at(window)
+    );
     for row in (1..=max).rev() {
         let mut line = format!("{row:>3} |");
         for c in 0..cols {
@@ -20,7 +23,11 @@ fn plot(label: &str, pattern: &ArrivalPattern, window: Time, cols: usize) {
         println!("{line}");
     }
     println!("    +{}", "-".repeat(cols));
-    println!("     0{:>width$}\n", format!("t={window}"), width = cols - 1);
+    println!(
+        "     0{:>width$}\n",
+        format!("t={window}"),
+        width = cols - 1
+    );
 }
 
 fn main() {
@@ -28,12 +35,18 @@ fn main() {
     let window = Time(12_000); // 12 model-time units
 
     // Periodic: one instance every 2 units (Eq. 25 with x = 0.5).
-    let periodic = ArrivalPattern::Periodic { period: Time(2_000), offset: Time::ZERO };
+    let periodic = ArrivalPattern::Periodic {
+        period: Time(2_000),
+        offset: Time::ZERO,
+    };
     plot("periodic, period = 2 units", &periodic, window, 60);
 
     // Bursty: Eq. 27 with the same long-run rate (x = 0.5) — the early
     // instances bunch up, then the stream settles to the same period.
-    let bursty = ArrivalPattern::Hyperbolic { x: 0.5, ticks_per_unit: tpu };
+    let bursty = ArrivalPattern::Hyperbolic {
+        x: 0.5,
+        ticks_per_unit: tpu,
+    };
     plot("bursty (Eq. 27), x = 0.5", &bursty, window, 60);
 
     // A burst train, the classic bursty-sporadic shape.

@@ -19,13 +19,19 @@ fn main() {
     b.add_job(
         "T1",
         Time(10),
-        ArrivalPattern::Periodic { period: Time(10), offset: Time::ZERO },
+        ArrivalPattern::Periodic {
+            period: Time(10),
+            offset: Time::ZERO,
+        },
         vec![(p, Time(3))],
     );
     b.add_job(
         "T2",
         Time(20),
-        ArrivalPattern::Periodic { period: Time(20), offset: Time::ZERO },
+        ArrivalPattern::Periodic {
+            period: Time(20),
+            offset: Time::ZERO,
+        },
         vec![(p, Time(7))],
     );
     let mut sys = b.build().unwrap();
@@ -36,15 +42,27 @@ fn main() {
     let sim = simulate(&sys, &SimConfig { window, horizon });
 
     // Analytic Theorem 5/6 bounds for T1 with its Eq. 15 blocking term.
-    let t1 = SubjobRef { job: JobId(0), index: 0 };
+    let t1 = SubjobRef {
+        job: JobId(0),
+        index: 0,
+    };
     let arr = sys.job(JobId(0)).arrival.arrival_curve(window);
     let workload = arr.scale(3);
     let blocking = sys.blocking_time(t1);
     println!("T1 blocking term b (Eq. 15) = {blocking} ticks\n");
-    let bounds = spnp_bounds(&workload, &[], &[], blocking, SpnpAvailability::Conservative);
+    let bounds = spnp_bounds(
+        &workload,
+        &[],
+        &[],
+        blocking,
+        SpnpAvailability::Conservative,
+    );
 
     let observed = sim.observed_service(t1);
-    println!("{:>5} {:>8} {:>10} {:>8}", "t", "lower", "observed", "upper");
+    println!(
+        "{:>5} {:>8} {:>10} {:>8}",
+        "t", "lower", "observed", "upper"
+    );
     for t in (0..=60).step_by(5) {
         let t = Time(t);
         let (lo, ob, up) = (bounds.lower.eval(t), observed.eval(t), bounds.upper.eval(t));

@@ -14,7 +14,10 @@ use bursty_rta::model::priority::{assign_priorities, PriorityPolicy};
 use bursty_rta::model::{ArrivalPattern, SchedulerKind, SubjobRef, SystemBuilder};
 
 fn periodic(p: i64) -> ArrivalPattern {
-    ArrivalPattern::Periodic { period: Time(p), offset: Time::ZERO }
+    ArrivalPattern::Periodic {
+        period: Time(p),
+        offset: Time::ZERO,
+    }
 }
 
 fn main() {
@@ -35,7 +38,12 @@ fn main() {
         periodic(300),
         vec![(ingest, Time(40)), (compute, Time(70)), (egress, Time(60))],
     );
-    b.add_job("local-compute", Time(800), periodic(400), vec![(compute, Time(90))]);
+    b.add_job(
+        "local-compute",
+        Time(800),
+        periodic(400),
+        vec![(compute, Time(90))],
+    );
     let mut sys = b.build().unwrap();
     assign_priorities(&mut sys, PriorityPolicy::RelativeDeadlineMonotonic).unwrap();
 
@@ -63,8 +71,18 @@ fn main() {
     let mut b = SystemBuilder::new();
     let p1 = b.add_processor("P1", SchedulerKind::Spp);
     let p2 = b.add_processor("P2", SchedulerKind::Spp);
-    let t1 = b.add_job("loop-1", Time(500), periodic(250), vec![(p1, Time(20)), (p2, Time(20))]);
-    let t2 = b.add_job("loop-2", Time(500), periodic(250), vec![(p2, Time(20)), (p1, Time(20))]);
+    let t1 = b.add_job(
+        "loop-1",
+        Time(500),
+        periodic(250),
+        vec![(p1, Time(20)), (p2, Time(20))],
+    );
+    let t2 = b.add_job(
+        "loop-2",
+        Time(500),
+        periodic(250),
+        vec![(p2, Time(20)), (p1, Time(20))],
+    );
     // Interleaved priorities close the dependency cycle of Section 6.
     b.set_priority(SubjobRef { job: t1, index: 0 }, 2);
     b.set_priority(SubjobRef { job: t2, index: 1 }, 1);
@@ -75,7 +93,10 @@ fn main() {
     println!("\ncyclic topology — one-pass analysis vs fixed-point extension\n");
     match analyze_bounds(&looped, &AnalysisConfig::default()) {
         Err(AnalysisError::CyclicDependency { cycle }) => {
-            println!("  one-pass bounds: refused, dependency cycle through {} subjobs", cycle.len());
+            println!(
+                "  one-pass bounds: refused, dependency cycle through {} subjobs",
+                cycle.len()
+            );
         }
         other => panic!("expected a cycle, got {other:?}"),
     }

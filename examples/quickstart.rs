@@ -42,7 +42,11 @@ fn main() {
             job.name,
             jr.wcrt.map(|t| t.ticks()),
             job.deadline,
-            if jr.schedulable() { "schedulable" } else { "DEADLINE MISS" }
+            if jr.schedulable() {
+                "schedulable"
+            } else {
+                "DEADLINE MISS"
+            }
         );
     }
     assert!(report.all_schedulable());

@@ -29,7 +29,9 @@ fn main() {
                 n_jobs: 5,
                 scheduler,
                 utilization: util,
-                arrivals: ShopArrivals::Periodic { deadline_factor: 2.0 },
+                arrivals: ShopArrivals::Periodic {
+                    deadline_factor: 2.0,
+                },
                 x_min: 0.2,
                 ticks_per_unit: 500,
             };
@@ -54,7 +56,9 @@ fn main() {
         n_jobs: 5,
         scheduler: SchedulerKind::Spp,
         utilization: u,
-        arrivals: ShopArrivals::Periodic { deadline_factor: 2.0 },
+        arrivals: ShopArrivals::Periodic {
+            deadline_factor: 2.0,
+        },
         x_min: 0.2,
         ticks_per_unit: 500,
     };
@@ -62,11 +66,20 @@ fn main() {
     let mut heavy = generate(&shop(0.8), &mut StdRng::seed_from_u64(1)).unwrap();
     assign_priorities(&mut light, PriorityPolicy::RelativeDeadlineMonotonic).unwrap();
     assign_priorities(&mut heavy, PriorityPolicy::RelativeDeadlineMonotonic).unwrap();
-    let l_light = critical_scaling(&light, &cfg, Oracle::Exact, 20).unwrap().unwrap();
-    let l_heavy = critical_scaling(&heavy, &cfg, Oracle::Exact, 20).unwrap().unwrap();
+    let l_light = critical_scaling(&light, &cfg, Oracle::Exact, 20)
+        .unwrap()
+        .unwrap();
+    let l_heavy = critical_scaling(&heavy, &cfg, Oracle::Exact, 20)
+        .unwrap()
+        .unwrap();
     assert!(l_light > l_heavy, "headroom must shrink with load");
-    let b_light = critical_scaling(&light, &cfg, Oracle::Bounds, 20).unwrap().unwrap();
-    assert!(l_light >= b_light - 1e-6, "exact certifies at least the bounds' headroom");
+    let b_light = critical_scaling(&light, &cfg, Oracle::Bounds, 20)
+        .unwrap()
+        .unwrap();
+    assert!(
+        l_light >= b_light - 1e-6,
+        "exact certifies at least the bounds' headroom"
+    );
     println!(
         "\nchecks: λ(U=0.3) = {l_light:.3} > λ(U=0.8) = {l_heavy:.3}; exact ≥ bounds ({b_light:.3})"
     );

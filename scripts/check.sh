@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full local gate: format, lints, tier-1 tests, and a performance snapshot.
+#
+#   scripts/check.sh           # everything
+#   SKIP_BENCH=1 scripts/check.sh   # skip the perf snapshot (CI smoke)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (workspace, all targets, -D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "==> workspace tests"
+cargo test --workspace -q
+
+if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
+    echo "==> perf snapshot (writes BENCH_curves.json)"
+    cargo run -p rta-bench --release --bin perf_snapshot
+fi
+
+echo "OK"

@@ -76,7 +76,9 @@ fn parse_system(input: &str) -> Result<TaskSystem, String> {
         let ctx = |msg: String| format!("line {}: {msg}", lineno + 1);
         match it.next().unwrap() {
             "processor" => {
-                let name = it.next().ok_or_else(|| ctx("missing processor name".into()))?;
+                let name = it
+                    .next()
+                    .ok_or_else(|| ctx("missing processor name".into()))?;
                 let kind = match it.next() {
                     Some("spp") => SchedulerKind::Spp,
                     Some("spnp") => SchedulerKind::Spnp,
@@ -122,7 +124,10 @@ fn parse_system(input: &str) -> Result<TaskSystem, String> {
                     Some("trace") => {
                         let mut ts = Vec::new();
                         for tok in it.by_ref() {
-                            ts.push(Time(tok.parse::<i64>().map_err(|e| ctx(format!("bad trace time: {e}")))?));
+                            ts.push(Time(
+                                tok.parse::<i64>()
+                                    .map_err(|e| ctx(format!("bad trace time: {e}")))?,
+                            ));
                         }
                         ts.sort();
                         ArrivalPattern::Trace(ts)
@@ -135,7 +140,9 @@ fn parse_system(input: &str) -> Result<TaskSystem, String> {
                 let Some(job) = pending.as_mut() else {
                     return Err(ctx("'hop' before any 'job'".into()));
                 };
-                let pname = it.next().ok_or_else(|| ctx("missing hop processor".into()))?;
+                let pname = it
+                    .next()
+                    .ok_or_else(|| ctx("missing hop processor".into()))?;
                 let p = lookup(&procs, pname).map_err(&ctx)?;
                 let exec = Time(int(it.next(), "hop exec").map_err(&ctx)?);
                 job.3.push((p, exec));
@@ -263,10 +270,8 @@ mod tests {
 
     #[test]
     fn trace_jobs_sorted_and_analyzable() {
-        let sys = parse_system(
-            "processor P1 spp\njob T1 deadline 50 trace 9 1 4\nhop P1 5\n",
-        )
-        .unwrap();
+        let sys =
+            parse_system("processor P1 spp\njob T1 deadline 50 trace 9 1 4\nhop P1 5\n").unwrap();
         match &sys.jobs()[0].arrival {
             ArrivalPattern::Trace(ts) => {
                 assert_eq!(ts, &vec![Time(1), Time(4), Time(9)]);

@@ -35,7 +35,10 @@ fn uniprocessor_exact_matches_classic_rta() {
             let id = b.add_job(
                 format!("T{i}"),
                 t.period * 4, // generous deadline; we compare responses
-                ArrivalPattern::Periodic { period: t.period, offset: Time::ZERO },
+                ArrivalPattern::Periodic {
+                    period: t.period,
+                    offset: Time::ZERO,
+                },
                 vec![(p, t.exec)],
             );
             b.set_priority(SubjobRef { job: id, index: 0 }, i as u32 + 1);
@@ -45,7 +48,10 @@ fn uniprocessor_exact_matches_classic_rta() {
         for i in 0..tasks.len() {
             let classic = rta_uniprocessor(&tasks, i, Time(1_000_000)).unwrap();
             let ours = report.jobs[i].wcrt.unwrap();
-            assert_eq!(ours, classic, "case {case} task {i}: {ours:?} vs classic {classic:?}");
+            assert_eq!(
+                ours, classic,
+                "case {case} task {i}: {ours:?} vs classic {classic:?}"
+            );
         }
     }
 }
@@ -61,7 +67,9 @@ fn bounds_dominate_exact_on_spp_shops() {
             n_jobs: 5,
             scheduler: SchedulerKind::Spp,
             utilization: 0.6,
-            arrivals: ShopArrivals::Periodic { deadline_factor: 4.0 },
+            arrivals: ShopArrivals::Periodic {
+                deadline_factor: 4.0,
+            },
             x_min: 0.2,
             ticks_per_unit: 300,
         };
@@ -90,7 +98,9 @@ fn admission_monotone_in_deadline() {
             n_jobs: 5,
             scheduler: SchedulerKind::Spp,
             utilization: 0.8,
-            arrivals: ShopArrivals::Periodic { deadline_factor: 1.5 },
+            arrivals: ShopArrivals::Periodic {
+                deadline_factor: 1.5,
+            },
             x_min: 0.2,
             ticks_per_unit: 300,
         };
@@ -112,7 +122,10 @@ fn admission_monotone_in_deadline() {
                 job.name.clone(),
                 job.deadline * 2,
                 job.arrival.clone(),
-                job.subjobs.iter().map(|s| (procs[s.processor.0], s.exec)).collect(),
+                job.subjobs
+                    .iter()
+                    .map(|s| (procs[s.processor.0], s.exec))
+                    .collect(),
             );
         }
         let mut relaxed = b.build().unwrap();
@@ -146,7 +159,10 @@ fn heterogeneous_smoke() {
         b.add_job(
             "T1",
             Time(5_000),
-            ArrivalPattern::Hyperbolic { x: 0.4, ticks_per_unit: 100 },
+            ArrivalPattern::Hyperbolic {
+                x: 0.4,
+                ticks_per_unit: 100,
+            },
             vec![(p1, Time(20)), (p2, Time(30)), (p3, Time(25))],
         );
         let t2_route = if crossing {
@@ -158,7 +174,10 @@ fn heterogeneous_smoke() {
         b.add_job(
             "T2",
             Time(2_000),
-            ArrivalPattern::Periodic { period: Time(400), offset: Time::ZERO },
+            ArrivalPattern::Periodic {
+                period: Time(400),
+                offset: Time::ZERO,
+            },
             t2_route,
         );
         let mut sys = b.build().unwrap();

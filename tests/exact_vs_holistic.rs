@@ -22,7 +22,9 @@ fn shop(stages: usize, utilization: f64) -> ShopConfig {
         n_jobs: 6,
         scheduler: SchedulerKind::Spp,
         utilization,
-        arrivals: ShopArrivals::Periodic { deadline_factor: stages as f64 },
+        arrivals: ShopArrivals::Periodic {
+            deadline_factor: stages as f64,
+        },
         x_min: 0.2,
         ticks_per_unit: 500,
     }
@@ -45,7 +47,12 @@ fn decisions(stages: usize, utilization: f64, seed: u64) -> (bool, bool, Vec<i64
         .iter()
         .map(|j| j.e2e_bound.map_or(i64::MAX, |t| t.ticks()))
         .collect();
-    (exact.all_schedulable(), hol.all_schedulable(), exact_wcrt, hol_bound)
+    (
+        exact.all_schedulable(),
+        hol.all_schedulable(),
+        exact_wcrt,
+        hol_bound,
+    )
 }
 
 #[test]
@@ -70,7 +77,10 @@ fn multi_stage_exact_dominates_holistic() {
                 let (e, h, ew, hw) = decisions(stages, util, seed);
                 // Domination per draw: holistic admit ⇒ exact admit.
                 if h {
-                    assert!(e, "seed {seed} stages {stages} util {util}: holistic admitted, exact did not");
+                    assert!(
+                        e,
+                        "seed {seed} stages {stages} util {util}: holistic admitted, exact did not"
+                    );
                 }
                 // Per-job: the holistic bound is never below the exact WCRT.
                 for (x, y) in ew.iter().zip(&hw) {

@@ -3,9 +3,7 @@
 //! by silently admitting.
 
 use bursty_rta::analysis::fixpoint::analyze_with_loops;
-use bursty_rta::analysis::{
-    analyze_bounds, analyze_exact_spp, AnalysisConfig, AnalysisError,
-};
+use bursty_rta::analysis::{analyze_bounds, analyze_exact_spp, AnalysisConfig, AnalysisError};
 use bursty_rta::curves::Time;
 use bursty_rta::model::priority::{assign_priorities, PriorityPolicy};
 use bursty_rta::model::{
@@ -13,15 +11,28 @@ use bursty_rta::model::{
 };
 
 fn periodic(p: i64) -> ArrivalPattern {
-    ArrivalPattern::Periodic { period: Time(p), offset: Time::ZERO }
+    ArrivalPattern::Periodic {
+        period: Time(p),
+        offset: Time::ZERO,
+    }
 }
 
 fn cyclic_system() -> TaskSystem {
     let mut b = SystemBuilder::new();
     let p1 = b.add_processor("P1", SchedulerKind::Spp);
     let p2 = b.add_processor("P2", SchedulerKind::Spp);
-    let t1 = b.add_job("T1", Time(100), periodic(50), vec![(p1, Time(5)), (p2, Time(5))]);
-    let t2 = b.add_job("T2", Time(100), periodic(50), vec![(p2, Time(5)), (p1, Time(5))]);
+    let t1 = b.add_job(
+        "T1",
+        Time(100),
+        periodic(50),
+        vec![(p1, Time(5)), (p2, Time(5))],
+    );
+    let t2 = b.add_job(
+        "T2",
+        Time(100),
+        periodic(50),
+        vec![(p2, Time(5)), (p1, Time(5))],
+    );
     b.set_priority(SubjobRef { job: t1, index: 0 }, 2);
     b.set_priority(SubjobRef { job: t2, index: 1 }, 1);
     b.set_priority(SubjobRef { job: t1, index: 1 }, 1);
@@ -94,7 +105,10 @@ fn fixpoint_budget_is_respected_and_sound() {
 
 #[test]
 fn empty_and_invalid_builders() {
-    assert!(matches!(SystemBuilder::new().build(), Err(ModelError::NoJobs)));
+    assert!(matches!(
+        SystemBuilder::new().build(),
+        Err(ModelError::NoJobs)
+    ));
 
     let mut b = SystemBuilder::new();
     let _ = b.add_processor("P1", SchedulerKind::Spp);

@@ -38,15 +38,16 @@ fn observed_utilization_matches_theorem7_for_all_schedulers() {
                     n_jobs: 5,
                     scheduler,
                     utilization: util,
-                    arrivals: ShopArrivals::Periodic { deadline_factor: 3.0 },
+                    arrivals: ShopArrivals::Periodic {
+                        deadline_factor: 3.0,
+                    },
                     x_min: 0.25,
                     ticks_per_unit: 100,
                 };
                 let mut rng = StdRng::seed_from_u64(seed);
                 let mut sys = generate(&cfg, &mut rng).unwrap();
                 if scheduler.uses_priorities() {
-                    assign_priorities(&mut sys, PriorityPolicy::RelativeDeadlineMonotonic)
-                        .unwrap();
+                    assign_priorities(&mut sys, PriorityPolicy::RelativeDeadlineMonotonic).unwrap();
                 }
                 let scfg = SimConfig::defaults_for(&sys);
                 let sim = simulate(&sys, &scfg);

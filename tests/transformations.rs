@@ -20,7 +20,10 @@ fn system(bursty: ArrivalPattern, deadline: Time, exec: Time) -> TaskSystem {
     b.add_job(
         "steady",
         Time(400),
-        ArrivalPattern::Periodic { period: Time(100), offset: Time::ZERO },
+        ArrivalPattern::Periodic {
+            period: Time(100),
+            offset: Time::ZERO,
+        },
         vec![(p, Time(30))],
     );
     let mut sys = b.build().unwrap();
@@ -31,7 +34,10 @@ fn system(bursty: ArrivalPattern, deadline: Time, exec: Time) -> TaskSystem {
 #[test]
 fn sporadic_transformation_is_conservative_per_draw() {
     let window = Time(1_000);
-    let cfg = AnalysisConfig { arrival_window: Some(window), ..Default::default() };
+    let cfg = AnalysisConfig {
+        arrival_window: Some(window),
+        ..Default::default()
+    };
     let mut rng = StdRng::seed_from_u64(99);
     let mut direct_admits = 0u32;
     let mut transformed_admits = 0u32;
@@ -62,7 +68,10 @@ fn sporadic_transformation_is_conservative_per_draw() {
         // Conservative: the transformation never admits what the direct
         // analysis rejects.
         if transformed {
-            assert!(direct, "transformation admitted a set the direct analysis rejects");
+            assert!(
+                direct,
+                "transformation admitted a set the direct analysis rejects"
+            );
         }
         direct_admits += direct as u32;
         transformed_admits += transformed as u32;
@@ -134,7 +143,10 @@ fn server_transformation_tradeoff() {
 #[test]
 fn transformed_wcrt_dominates_direct_wcrt() {
     let window = Time(1_000);
-    let cfg = AnalysisConfig { arrival_window: Some(window), ..Default::default() };
+    let cfg = AnalysisConfig {
+        arrival_window: Some(window),
+        ..Default::default()
+    };
     let train = ArrivalPattern::BurstTrain {
         burst_len: 3,
         intra_gap: Time(10),
