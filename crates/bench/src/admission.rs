@@ -80,9 +80,41 @@ pub fn admits(base: &ShopConfig, method: Method, seed: u64, acfg: &AnalysisConfi
 }
 
 /// Estimate the admission probability of `method` over `sets` random job
-/// sets derived from `master_seed`, fanning out over `threads` scoped
-/// threads.
+/// sets derived from `master_seed`.
+///
+/// Fans out over the persistent worker pool ([`rta_core::par::pool_map`]);
+/// the `threads` argument is kept for API compatibility and as the thread
+/// count of the strided fallback, but the estimate itself is a pure
+/// function of `(base, method, sets, master_seed, acfg)` — each seed
+/// depends only on its index, never on which worker ran it.
 pub fn admission_probability(
+    base: &ShopConfig,
+    method: Method,
+    sets: u32,
+    master_seed: u64,
+    threads: usize,
+    acfg: &AnalysisConfig,
+) -> f64 {
+    assert!(sets >= 1);
+    let _ = threads;
+    let base = base.clone();
+    let acfg = acfg.clone();
+    let admitted = rta_core::par::pool_map(sets as usize, move |i| {
+        let seed = master_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(i as u64);
+        admits(&base, method, seed, &acfg)
+    })
+    .into_iter()
+    .filter(|&a| a)
+    .count();
+    admitted as f64 / sets as f64
+}
+
+/// The pre-pool estimator: strided scoped threads spawned per call. Kept as
+/// the cold baseline for the incremental-engine benchmarks; produces the
+/// same estimate as [`admission_probability`].
+pub fn admission_probability_strided(
     base: &ShopConfig,
     method: Method,
     sets: u32,
@@ -179,6 +211,14 @@ mod tests {
         let a = admission_probability(&base(0.5), Method::FcfsApp, 25, 99, 3, &acfg);
         let b = admission_probability(&base(0.5), Method::FcfsApp, 25, 99, 1, &acfg);
         assert_eq!(a, b, "thread count must not affect the estimate");
+    }
+
+    #[test]
+    fn pooled_and_strided_estimators_agree() {
+        let acfg = AnalysisConfig::default();
+        let pooled = admission_probability(&base(0.6), Method::SppExact, 30, 42, 2, &acfg);
+        let strided = admission_probability_strided(&base(0.6), Method::SppExact, 30, 42, 2, &acfg);
+        assert_eq!(pooled, strided);
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Bench-regression gate for `scripts/check.sh`.
+//!
+//! ```text
+//! bench_gate <baseline.json> <current.json> [max_regression_pct]
+//! ```
+//!
+//! Compares two harness JSON dumps (see [`rta_bench::harness::Bench`]) and
+//! exits non-zero if any benchmark present in both regressed by more than
+//! `max_regression_pct` percent (default 25). Benchmarks only present on
+//! one side are reported but never fail the gate, so adding or renaming
+//! benchmarks does not require a baseline dance.
+
+use std::process::ExitCode;
+
+/// Extract `(name, ns_per_iter)` pairs from a harness JSON dump. The
+/// harness writes one benchmark object per line, so a line-oriented scan is
+/// exact for its own output (no serde in the offline dependency closure).
+fn parse(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(name) = field_str(line, "\"name\": \"") else {
+            continue;
+        };
+        let Some(ns) = field_str(line, "\"ns_per_iter\": ") else {
+            continue;
+        };
+        let ns: f64 = ns
+            .trim_end_matches(['}', ',', ' '])
+            .parse()
+            .unwrap_or(f64::NAN);
+        if ns.is_finite() {
+            out.push((name.to_string(), ns));
+        }
+    }
+    out
+}
+
+/// The text after `key` up to the next `"` (for strings) or the rest of
+/// the line (for numbers; caller trims trailing punctuation).
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    Some(match rest.find('"') {
+        Some(end) if key.ends_with('"') => &rest[..end],
+        _ => rest,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 {
+        eprintln!("usage: bench_gate <baseline.json> <current.json> [max_regression_pct]");
+        return ExitCode::from(2);
+    }
+    let max_pct: f64 = match args.get(3) {
+        None => 25.0,
+        Some(s) => match s.parse() {
+            Ok(p) => p,
+            Err(_) => {
+                eprintln!("bench_gate: max_regression_pct must be a number, got {s:?}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(text) => Some(parse(&text)),
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(baseline), Some(current)) = (read(&args[1]), read(&args[2])) else {
+        return ExitCode::from(2);
+    };
+
+    let mut failures = 0u32;
+    let mut compared = 0u32;
+    for (name, base_ns) in &baseline {
+        let Some((_, cur_ns)) = current.iter().find(|(n, _)| n == name) else {
+            println!("  (gone)    {name}");
+            continue;
+        };
+        compared += 1;
+        let pct = 100.0 * (cur_ns - base_ns) / base_ns;
+        if pct > max_pct {
+            println!("  REGRESSED {name}: {base_ns:.0} ns -> {cur_ns:.0} ns ({pct:+.1}%)");
+            failures += 1;
+        } else {
+            println!("  ok        {name}: {base_ns:.0} ns -> {cur_ns:.0} ns ({pct:+.1}%)");
+        }
+    }
+    for (name, _) in &current {
+        if !baseline.iter().any(|(n, _)| n == name) {
+            println!("  (new)     {name}");
+        }
+    }
+    if failures > 0 {
+        eprintln!("bench_gate: {failures}/{compared} benchmarks regressed more than {max_pct}%");
+        return ExitCode::FAILURE;
+    }
+    println!("bench_gate: {compared} benchmarks within {max_pct}% of baseline");
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse;
+
+    #[test]
+    fn parses_harness_lines() {
+        let json = "{\n  \"suite\": \"x\",\n  \"benchmarks\": [\n    {\"name\": \"a/b\", \"iters\": 3, \"ns_per_iter\": 125.5},\n    {\"name\": \"c\", \"iters\": 1, \"ns_per_iter\": 7.0}\n  ]\n}\n";
+        let parsed = parse(json);
+        assert_eq!(
+            parsed,
+            vec![("a/b".to_string(), 125.5), ("c".to_string(), 7.0)]
+        );
+    }
+}

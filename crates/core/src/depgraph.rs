@@ -102,6 +102,117 @@ pub fn dependency_edges(sys: &TaskSystem, idx: &SubjobIndex) -> Vec<(usize, usiz
     edges
 }
 
+/// Dependency edges with forward **and** reverse adjacency, the substrate of
+/// incremental invalidation: forward edges give "who must be recomputed
+/// after me", reverse edges give "whose outputs I read".
+#[derive(Debug)]
+pub struct DepGraph {
+    out: Vec<Vec<usize>>,
+    input: Vec<Vec<usize>>,
+}
+
+impl DepGraph {
+    /// Build both adjacency directions from [`dependency_edges`].
+    pub fn new(sys: &TaskSystem, idx: &SubjobIndex) -> DepGraph {
+        let n = idx.len();
+        let mut out: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut input: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (a, b) in dependency_edges(sys, idx) {
+            out[a].push(b);
+            input[b].push(a);
+        }
+        DepGraph { out, input }
+    }
+
+    /// Number of subjobs (nodes).
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// `true` when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
+    /// Subjobs whose curves must be recomputed when `i` changes.
+    pub fn dependents(&self, i: usize) -> &[usize] {
+        &self.out[i]
+    }
+
+    /// Subjobs whose curves `i` reads.
+    pub fn inputs(&self, i: usize) -> &[usize] {
+        &self.input[i]
+    }
+}
+
+/// The downstream closure of a set of directly-invalidated subjobs.
+///
+/// After a delta (execution-time change, priority move, job added/removed),
+/// the subjobs whose inputs changed are marked with [`DirtyCone::mark`];
+/// [`DirtyCone::propagate`] closes the set over the forward edges of a
+/// [`DepGraph`]. Everything outside the cone may reuse its previous curves
+/// verbatim — its inputs are bit-identical to the previous run.
+#[derive(Debug, Clone)]
+pub struct DirtyCone {
+    dirty: Vec<bool>,
+}
+
+impl DirtyCone {
+    /// An all-clean cone over `n` subjobs.
+    pub fn clean(n: usize) -> DirtyCone {
+        DirtyCone {
+            dirty: vec![false; n],
+        }
+    }
+
+    /// An all-dirty cone over `n` subjobs (full recompute).
+    pub fn all(n: usize) -> DirtyCone {
+        DirtyCone {
+            dirty: vec![true; n],
+        }
+    }
+
+    /// Mark one subjob as directly invalidated.
+    pub fn mark(&mut self, i: usize) {
+        self.dirty[i] = true;
+    }
+
+    /// Close the dirty set over the forward dependency edges (BFS).
+    pub fn propagate(&mut self, graph: &DepGraph) {
+        assert_eq!(graph.len(), self.dirty.len());
+        let mut frontier: std::collections::VecDeque<usize> =
+            (0..self.dirty.len()).filter(|&i| self.dirty[i]).collect();
+        while let Some(i) = frontier.pop_front() {
+            for &j in graph.dependents(i) {
+                if !self.dirty[j] {
+                    self.dirty[j] = true;
+                    frontier.push_back(j);
+                }
+            }
+        }
+    }
+
+    /// Whether subjob `i` must be recomputed.
+    pub fn is_dirty(&self, i: usize) -> bool {
+        self.dirty[i]
+    }
+
+    /// Number of subjobs in the cone.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.iter().filter(|&&d| d).count()
+    }
+
+    /// Total number of subjobs tracked.
+    pub fn len(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// `true` when the cone tracks no subjobs.
+    pub fn is_empty(&self) -> bool {
+        self.dirty.is_empty()
+    }
+}
+
 /// Topologically order the subjobs; errors with the residual node set on a
 /// cycle.
 pub fn evaluation_order(sys: &TaskSystem, idx: &SubjobIndex) -> Result<Vec<usize>, AnalysisError> {
@@ -234,6 +345,43 @@ mod tests {
             }
             other => panic!("expected cycle, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn dirty_cone_closes_downstream_only() {
+        let mut b = SystemBuilder::new();
+        let p1 = b.add_processor("P1", SchedulerKind::Spp);
+        let p2 = b.add_processor("P2", SchedulerKind::Spp);
+        let t1 = b.add_job(
+            "T1",
+            Time(50),
+            periodic(50),
+            vec![(p1, Time(5)), (p2, Time(5))],
+        );
+        let t2 = b.add_job("T2", Time(90), periodic(90), vec![(p1, Time(9))]);
+        let mut sys = b.build().unwrap();
+        assign_priorities(&mut sys, PriorityPolicy::DeadlineMonotonic).unwrap();
+        let idx = SubjobIndex::new(&sys);
+        let graph = DepGraph::new(&sys, &idx);
+        let t1h0 = idx.index(SubjobRef { job: t1, index: 0 });
+        let t1h1 = idx.index(SubjobRef { job: t1, index: 1 });
+        let t2h0 = idx.index(SubjobRef { job: t2, index: 0 });
+        // Reverse edges mirror the forward ones.
+        assert!(graph.dependents(t1h0).contains(&t1h1));
+        assert!(graph.inputs(t2h0).contains(&t1h0));
+        // Dirtying the root pulls in the chain successor and the
+        // lower-priority peer; dirtying a leaf pulls in nothing else.
+        let mut cone = DirtyCone::clean(idx.len());
+        cone.mark(t1h0);
+        cone.propagate(&graph);
+        assert!(cone.is_dirty(t1h0) && cone.is_dirty(t1h1) && cone.is_dirty(t2h0));
+        assert_eq!(cone.dirty_count(), 3);
+        let mut leaf = DirtyCone::clean(idx.len());
+        leaf.mark(t1h1);
+        leaf.propagate(&graph);
+        assert_eq!(leaf.dirty_count(), 1);
+        assert!(!leaf.is_dirty(t2h0));
+        assert_eq!(DirtyCone::all(idx.len()).dirty_count(), idx.len());
     }
 
     #[test]

@@ -19,16 +19,9 @@ use crate::spp::exact_service;
 use rta_curves::{Curve, CurveCursor, Time};
 use rta_model::{JobId, SchedulerKind, TaskSystem};
 
-/// Run the exact SPP analysis.
-///
-/// Requires every processor to use [`SchedulerKind::Spp`] and the subjob
-/// dependency relation to be acyclic (no Section 6 loops — see
-/// [`crate::fixpoint`] for those).
-pub fn analyze_exact_spp(
-    sys: &TaskSystem,
-    cfg: &AnalysisConfig,
-) -> Result<ExactReport, AnalysisError> {
-    sys.validate(true)?;
+/// Check the all-SPP precondition shared by the exact analysis and
+/// [`crate::AnalysisSession`].
+pub(crate) fn require_all_spp(sys: &TaskSystem) -> Result<(), AnalysisError> {
     for (p, proc) in sys.processors().iter().enumerate() {
         if proc.scheduler != SchedulerKind::Spp {
             return Err(AnalysisError::NotAllSpp {
@@ -36,51 +29,100 @@ pub fn analyze_exact_spp(
             });
         }
     }
-    let (window, horizon) = cfg.resolve(sys);
-    let idx = SubjobIndex::new(sys);
-    let order = evaluation_order(sys, &idx)?;
+    Ok(())
+}
 
-    let mut curves: Vec<Option<SubjobCurves>> = vec![None; idx.len()];
-    for i in order {
-        let r = idx.subjob(i);
-        let subjob = sys.subjob(r);
-        let arrival: Curve = if r.index == 0 {
-            sys.job(r.job).arrival.arrival_curve(window)
-        } else {
-            let pred = rta_model::SubjobRef {
-                job: r.job,
-                index: r.index - 1,
-            };
-            curves[idx.index(pred)]
-                .as_ref()
-                .expect("topological order")
-                .departure
-                .clone()
+/// Compute the arrival/service/departure curves of one subjob from the
+/// curves of its dependencies (predecessor hop and higher-priority peers),
+/// which must already be present in `curves`. `hop0_arrival` optionally
+/// supplies a precomputed pattern curve for first hops (the session's
+/// interned pattern cache); it must equal what
+/// `arrival.arrival_curve(window)` would build.
+pub(crate) fn subjob_node_curves(
+    sys: &TaskSystem,
+    idx: &SubjobIndex,
+    i: usize,
+    window: Time,
+    horizon: Time,
+    curves: &[Option<SubjobCurves>],
+    hop0_arrival: Option<Curve>,
+) -> Result<SubjobCurves, AnalysisError> {
+    let r = idx.subjob(i);
+    let subjob = sys.subjob(r);
+    let arrival: Curve = if r.index == 0 {
+        hop0_arrival.unwrap_or_else(|| sys.job(r.job).arrival.arrival_curve(window))
+    } else {
+        let pred = rta_model::SubjobRef {
+            job: r.job,
+            index: r.index - 1,
         };
-        let workload = arrival.scale(subjob.exec.ticks());
-        let hp: Vec<usize> = sys
-            .higher_priority_peers(r)
-            .into_iter()
-            .map(|h| idx.index(h))
-            .collect();
-        let hp_services: Vec<&Curve> = hp
-            .iter()
-            .map(|&h| &curves[h].as_ref().expect("topological order").service)
-            .collect();
-        let service = exact_service(&workload, &hp_services);
-        let departure = service.floor_div(subjob.exec.ticks(), horizon)?;
-        curves[i] = Some(SubjobCurves {
-            arrival,
-            service,
-            departure,
-        });
-    }
-    let curves: Vec<SubjobCurves> = curves
+        curves[idx.index(pred)]
+            .as_ref()
+            .expect("dependency order")
+            .departure
+            .clone()
+    };
+    let workload = arrival.scale(subjob.exec.ticks());
+    let hp: Vec<usize> = sys
+        .higher_priority_peers(r)
         .into_iter()
-        .map(|c| c.expect("all computed"))
+        .map(|h| idx.index(h))
         .collect();
+    let hp_services: Vec<&Curve> = hp
+        .iter()
+        .map(|&h| &curves[h].as_ref().expect("dependency order").service)
+        .collect();
+    let service = exact_service(&workload, &hp_services);
+    let departure = service.floor_div(subjob.exec.ticks(), horizon)?;
+    Ok(SubjobCurves {
+        arrival,
+        service,
+        departure,
+    })
+}
 
-    // Theorem 1 per job.
+/// Theorem-1 report for one job, read off the first hop's arrival and the
+/// last hop's departure curves.
+pub(crate) fn job_report(
+    job_id: JobId,
+    deadline: Time,
+    first_arrival: &Curve,
+    last_departure: &Curve,
+) -> JobReport {
+    let n_instances = first_arrival.total_events();
+    let mut responses = Vec::with_capacity(n_instances as usize);
+    let mut wcrt = Some(Time::ZERO);
+    // Resumable cursors make the instance sweep amortized O(1) per m.
+    let mut arr_cur = CurveCursor::new(first_arrival);
+    let mut dep_cur = CurveCursor::new(last_departure);
+    for m in 1..=n_instances {
+        let release = arr_cur.inverse_at(m).expect("instance within window");
+        let resp = dep_cur.inverse_at(m).map(|c| c - release);
+        wcrt = match (wcrt, resp) {
+            (Some(w), Some(r)) => Some(w.max(r)),
+            _ => None,
+        };
+        responses.push(resp);
+    }
+    if n_instances == 0 {
+        wcrt = Some(Time::ZERO);
+    }
+    JobReport {
+        job: job_id,
+        responses,
+        wcrt,
+        deadline,
+    }
+}
+
+/// Assemble the per-job Theorem-1 reports from a complete dense curve set.
+pub(crate) fn assemble_exact_report(
+    sys: &TaskSystem,
+    idx: &SubjobIndex,
+    curves: Vec<SubjobCurves>,
+    window: Time,
+    horizon: Time,
+) -> ExactReport {
     let mut jobs = Vec::with_capacity(sys.jobs().len());
     for (k, job) in sys.jobs().iter().enumerate() {
         let job_id = JobId(k);
@@ -92,38 +134,47 @@ pub fn analyze_exact_spp(
             job: job_id,
             index: job.subjobs.len() - 1,
         });
-        let n_instances = curves[first].arrival.total_events();
-        let mut responses = Vec::with_capacity(n_instances as usize);
-        let mut wcrt = Some(Time::ZERO);
-        // Resumable cursors make the instance sweep amortized O(1) per m.
-        let mut arr_cur = CurveCursor::new(&curves[first].arrival);
-        let mut dep_cur = CurveCursor::new(&curves[last].departure);
-        for m in 1..=n_instances {
-            let release = arr_cur.inverse_at(m).expect("instance within window");
-            let resp = dep_cur.inverse_at(m).map(|c| c - release);
-            wcrt = match (wcrt, resp) {
-                (Some(w), Some(r)) => Some(w.max(r)),
-                _ => None,
-            };
-            responses.push(resp);
-        }
-        if n_instances == 0 {
-            wcrt = Some(Time::ZERO);
-        }
-        jobs.push(JobReport {
-            job: job_id,
-            responses,
-            wcrt,
-            deadline: job.deadline,
-        });
+        jobs.push(job_report(
+            job_id,
+            job.deadline,
+            &curves[first].arrival,
+            &curves[last].departure,
+        ));
     }
-
-    Ok(ExactReport {
+    ExactReport {
         window,
         horizon,
         jobs,
         curves,
-    })
+    }
+}
+
+/// Run the exact SPP analysis.
+///
+/// Requires every processor to use [`SchedulerKind::Spp`] and the subjob
+/// dependency relation to be acyclic (no Section 6 loops — see
+/// [`crate::fixpoint`] for those).
+pub fn analyze_exact_spp(
+    sys: &TaskSystem,
+    cfg: &AnalysisConfig,
+) -> Result<ExactReport, AnalysisError> {
+    sys.validate(true)?;
+    require_all_spp(sys)?;
+    let (window, horizon) = cfg.resolve(sys);
+    let idx = SubjobIndex::new(sys);
+    let order = evaluation_order(sys, &idx)?;
+
+    let mut curves: Vec<Option<SubjobCurves>> = vec![None; idx.len()];
+    for i in order {
+        curves[i] = Some(subjob_node_curves(
+            sys, &idx, i, window, horizon, &curves, None,
+        )?);
+    }
+    let curves: Vec<SubjobCurves> = curves
+        .into_iter()
+        .map(|c| c.expect("all computed"))
+        .collect();
+    Ok(assemble_exact_report(sys, &idx, curves, window, horizon))
 }
 
 #[cfg(test)]

@@ -22,8 +22,27 @@
 //! The result is looser than [`crate::analyze_bounds`] on acyclic systems
 //! (which chains the tighter Lemma-2 envelopes hop by hop) but is defined
 //! for arbitrary topologies.
+//!
+//! ## Warm starts
+//!
+//! The only cross-subjob inputs of a round are the service bounds of
+//! strictly higher-priority peers on the same processor. Priorities are a
+//! strict order per processor, so that input relation is a DAG even when the
+//! full subjob dependency graph (with chain edges) is cyclic — the arrival
+//! envelopes above are computed once, outside the iteration. A DAG of pure
+//! per-node functions has exactly one fixed point, reached from *any*
+//! starting vector within `depth + 1` rounds. [`analyze_with_loops_seeded`]
+//! exploits this: seeding the iteration with the converged bounds of a
+//! nearby system (e.g. the previous bisection step of
+//! [`crate::sensitivity::critical_scaling`]) starts next to the new fixed
+//! point and typically converges in one verification round, while producing
+//! bit-identical reports to a cold start whenever the round budget lets the
+//! cold run converge. The cold entry point [`analyze_with_loops`] is kept
+//! unchanged as the correctness oracle.
 
-use crate::config::AnalysisConfig;
+use std::sync::Arc;
+
+use crate::config::{AnalysisConfig, SpnpAvailability};
 use crate::depgraph::SubjobIndex;
 use crate::error::AnalysisError;
 use crate::fcfs::FcfsProcessor;
@@ -32,6 +51,47 @@ use crate::spnp::{spnp_bounds, ServiceBounds};
 use rta_curves::{Curve, Time};
 use rta_model::{JobId, SchedulerKind, SubjobRef, TaskSystem};
 
+/// Converged interior state of a loop-tolerant run, reusable as the seed of
+/// the next run on a system with the same topology and analysis frame.
+#[derive(Clone, Debug)]
+pub struct LoopSeed {
+    pub(crate) window: Time,
+    pub(crate) horizon: Time,
+    pub(crate) bounds: Vec<ServiceBounds>,
+}
+
+impl LoopSeed {
+    /// `true` when this seed can start an analysis at frame
+    /// `(window, horizon)` over `n` subjobs.
+    pub fn matches(&self, window: Time, horizon: Time, n: usize) -> bool {
+        self.window == window && self.horizon == horizon && self.bounds.len() == n
+    }
+}
+
+/// How one subjob's bounds are recomputed each round.
+enum NodeKind {
+    /// SPP/SPNP: Theorem 5/6 with the given blocking term (zero for SPP).
+    Prio { blocking: Time },
+    /// FCFS: Theorem 8/9 against the processor context at `proc_slot`.
+    Fcfs { proc_slot: usize, tau: Time },
+}
+
+/// Round-invariant inputs of one subjob.
+struct RoundNode {
+    workload: Curve,
+    /// Dense indices of strictly-higher-priority peers (empty for FCFS).
+    hp: Vec<usize>,
+    kind: NodeKind,
+}
+
+/// Everything a Jacobi round reads besides the previous round's bounds.
+/// Owned (no borrows) so round closures can run on the persistent pool.
+struct RoundCtx {
+    nodes: Vec<RoundNode>,
+    fcfs: Vec<FcfsProcessor>,
+    avail: SpnpAvailability,
+}
+
 /// Run the loop-tolerant fixed-point analysis for at most `max_rounds`
 /// refinement rounds (each round is a full sweep over all subjobs).
 pub fn analyze_with_loops(
@@ -39,6 +99,22 @@ pub fn analyze_with_loops(
     cfg: &AnalysisConfig,
     max_rounds: usize,
 ) -> Result<BoundsReport, AnalysisError> {
+    analyze_with_loops_seeded(sys, cfg, max_rounds, None).map(|(report, _)| report)
+}
+
+/// [`analyze_with_loops`] with an optional warm-start seed; also returns the
+/// converged bounds as the seed for the next run.
+///
+/// A seed is used only when [`LoopSeed::matches`] the resolved frame and
+/// subjob count; otherwise the run silently falls back to the cold round-0
+/// bounds. See the module docs for why seeding cannot change the converged
+/// result.
+pub fn analyze_with_loops_seeded(
+    sys: &TaskSystem,
+    cfg: &AnalysisConfig,
+    max_rounds: usize,
+    seed: Option<&LoopSeed>,
+) -> Result<(BoundsReport, LoopSeed), AnalysisError> {
     sys.validate(true)?;
     assert!(max_rounds >= 1);
     let (window, horizon) = cfg.resolve(sys);
@@ -56,105 +132,137 @@ pub fn analyze_with_loops(
         arr_env.push(env);
     }
 
-    // Round 0: information-free bounds.
-    let mut bounds: Vec<ServiceBounds> = (0..idx.len())
-        .map(|i| ServiceBounds {
-            lower: Curve::zero(),
-            upper: Curve::identity().min_with(&workload[i]).clamp_min(0),
-        })
-        .collect();
-
     // FCFS processor contexts depend only on the (round-invariant) peer
     // workloads: build each processor's context once, before the rounds.
-    let mut fcfs_ctx: std::collections::HashMap<usize, FcfsProcessor> =
-        std::collections::HashMap::new();
+    let mut fcfs: Vec<FcfsProcessor> = Vec::new();
+    let mut fcfs_slot: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
     for &r in idx.refs() {
         let s = sys.subjob(r);
         if sys.processor(s.processor).scheduler == SchedulerKind::Fcfs {
-            if let std::collections::hash_map::Entry::Vacant(e) = fcfs_ctx.entry(s.processor.0) {
+            if let std::collections::hash_map::Entry::Vacant(e) = fcfs_slot.entry(s.processor.0) {
                 let peers = sys.subjobs_on(s.processor);
                 let peer_workloads: Vec<&Curve> =
                     peers.iter().map(|o| &workload[idx.index(*o)]).collect();
-                e.insert(FcfsProcessor::new(&peer_workloads, horizon)?);
+                e.insert(fcfs.len());
+                fcfs.push(FcfsProcessor::new(&peer_workloads, horizon)?);
             }
         }
     }
 
-    // Higher-priority peer slots per subjob — these are the only cross-subjob
-    // inputs of a round, so they drive the staleness tracking below.
-    let hp_slots: Vec<Vec<usize>> = idx
+    // Per-subjob round inputs, detached from `sys` so the round closure is
+    // `'static` for the worker pool. Higher-priority peer slots are the only
+    // cross-subjob inputs of a round, so they drive the staleness tracking.
+    let nodes: Vec<RoundNode> = idx
         .refs()
         .iter()
-        .map(|&r| {
-            // FCFS subjobs have no priorities (and no cross-round inputs).
-            match sys.processor(sys.subjob(r).processor).scheduler {
-                SchedulerKind::Fcfs => Vec::new(),
-                SchedulerKind::Spp | SchedulerKind::Spnp => sys
-                    .higher_priority_peers(r)
-                    .into_iter()
-                    .map(|h| idx.index(h))
-                    .collect(),
+        .zip(workload.iter())
+        .map(|(&r, w)| {
+            let s = sys.subjob(r);
+            match sys.processor(s.processor).scheduler {
+                SchedulerKind::Fcfs => RoundNode {
+                    workload: w.clone(),
+                    hp: Vec::new(),
+                    kind: NodeKind::Fcfs {
+                        proc_slot: fcfs_slot[&s.processor.0],
+                        tau: s.exec,
+                    },
+                },
+                SchedulerKind::Spp | SchedulerKind::Spnp => RoundNode {
+                    workload: w.clone(),
+                    hp: sys
+                        .higher_priority_peers(r)
+                        .into_iter()
+                        .map(|h| idx.index(h))
+                        .collect(),
+                    kind: NodeKind::Prio {
+                        blocking: match sys.processor(s.processor).scheduler {
+                            SchedulerKind::Spnp => sys.blocking_time(r),
+                            _ => Time::ZERO,
+                        },
+                    },
+                },
             }
         })
         .collect();
+    let ctx = Arc::new(RoundCtx {
+        nodes,
+        fcfs,
+        avail: cfg.spnp_availability,
+    });
+
+    // Round 0: the seed when it fits the frame, information-free otherwise.
+    let mut bounds: Vec<ServiceBounds> = match seed {
+        Some(s) if s.matches(window, horizon, idx.len()) => s.bounds.clone(),
+        _ => (0..idx.len())
+            .map(|i| ServiceBounds {
+                lower: Curve::zero(),
+                upper: Curve::identity()
+                    .min_with(&ctx.nodes[i].workload)
+                    .clamp_min(0),
+            })
+            .collect(),
+    };
 
     // Subjob `i`'s round-r bounds are a pure function of the round-(r−1)
     // bounds of its higher-priority peers (and round-invariant workloads),
-    // so each round fans out over scoped threads, and a subjob whose inputs
-    // did not change in the previous round keeps its memoized bounds. FCFS
-    // bounds have no cross-subjob inputs at all: they are computed once in
-    // round 0 and never again.
+    // so each round fans out over the persistent pool, and a subjob whose
+    // inputs did not change in the previous round keeps its memoized bounds.
+    // FCFS bounds have no cross-subjob inputs at all: they are computed once
+    // in the first round and never again.
     let mut stale: Vec<bool> = vec![true; idx.len()];
     for _round in 0..max_rounds {
-        let results: Vec<Option<Result<ServiceBounds, AnalysisError>>> =
-            crate::par::par_map(idx.len(), |i| {
+        let prev = Arc::new(std::mem::take(&mut bounds));
+        let results: Vec<Option<Result<ServiceBounds, AnalysisError>>> = {
+            let ctx = Arc::clone(&ctx);
+            let prev = Arc::clone(&prev);
+            let stale = Arc::new(stale.clone());
+            crate::par::pool_map(prev.len(), move |i| {
                 if !stale[i] {
                     return None;
                 }
-                let r = idx.refs()[i];
-                let s = sys.subjob(r);
-                let tau = s.exec;
-                let nb = match sys.processor(s.processor).scheduler {
-                    SchedulerKind::Spp | SchedulerKind::Spnp => {
-                        let blocking = match sys.processor(s.processor).scheduler {
-                            SchedulerKind::Spnp => sys.blocking_time(r),
-                            _ => Time::ZERO,
-                        };
+                let node = &ctx.nodes[i];
+                let nb = match node.kind {
+                    NodeKind::Prio { blocking } => {
                         let hp_lower: Vec<&Curve> =
-                            hp_slots[i].iter().map(|&h| &bounds[h].lower).collect();
+                            node.hp.iter().map(|&h| &prev[h].lower).collect();
                         let hp_upper: Vec<&Curve> =
-                            hp_slots[i].iter().map(|&h| &bounds[h].upper).collect();
+                            node.hp.iter().map(|&h| &prev[h].upper).collect();
                         Ok(spnp_bounds(
-                            &workload[i],
+                            &node.workload,
                             &hp_lower,
                             &hp_upper,
                             blocking,
-                            cfg.spnp_availability,
+                            ctx.avail,
                         ))
                     }
-                    SchedulerKind::Fcfs => fcfs_ctx[&s.processor.0]
-                        .service_bounds(&workload[i], tau)
+                    NodeKind::Fcfs { proc_slot, tau } => ctx.fcfs[proc_slot]
+                        .service_bounds(&node.workload, tau)
                         .map_err(AnalysisError::from),
                 };
                 Some(nb)
-            });
-        let mut changed_now = vec![false; idx.len()];
+            })
+        };
+        let mut changed_now = vec![false; prev.len()];
         let mut any_changed = false;
+        bounds = Vec::with_capacity(prev.len());
         for (i, res) in results.into_iter().enumerate() {
-            if let Some(nb) = res {
-                let nb = nb?;
-                if nb.lower != bounds[i].lower || nb.upper != bounds[i].upper {
-                    changed_now[i] = true;
-                    any_changed = true;
-                    bounds[i] = nb;
+            match res {
+                Some(nb) => {
+                    let nb = nb?;
+                    if nb.lower != prev[i].lower || nb.upper != prev[i].upper {
+                        changed_now[i] = true;
+                        any_changed = true;
+                    }
+                    bounds.push(nb);
                 }
+                None => bounds.push(prev[i].clone()),
             }
         }
         if !any_changed {
             break;
         }
-        for i in 0..idx.len() {
-            stale[i] = hp_slots[i].iter().any(|&h| changed_now[h]);
+        for (i, s) in stale.iter_mut().enumerate() {
+            *s = ctx.nodes[i].hp.iter().any(|&h| changed_now[h]);
         }
     }
 
@@ -188,11 +296,17 @@ pub fn analyze_with_loops(
             deadline: job.deadline,
         });
     }
-    Ok(BoundsReport {
+    let report = BoundsReport {
         window,
         horizon,
         jobs,
-    })
+    };
+    let next_seed = LoopSeed {
+        window,
+        horizon,
+        bounds,
+    };
+    Ok((report, next_seed))
 }
 
 #[cfg(test)]
@@ -318,5 +432,35 @@ mod tests {
         let sys = b.build().unwrap();
         let r = analyze_with_loops(&sys, &AnalysisConfig::default(), 8).unwrap();
         assert!(!r.all_schedulable());
+    }
+
+    #[test]
+    fn warm_start_from_own_solution_is_identical_and_converges_in_one_round() {
+        let sys = looped_system();
+        let cfg = AnalysisConfig::default();
+        let (cold, seed) = analyze_with_loops_seeded(&sys, &cfg, 16, None).unwrap();
+        // Re-analyzing the same system from its converged seed must converge
+        // immediately (a 1-round budget suffices) to the same report.
+        let (warm, seed2) = analyze_with_loops_seeded(&sys, &cfg, 1, Some(&seed)).unwrap();
+        assert_eq!(format!("{cold}"), format!("{warm}"));
+        for (a, b) in seed.bounds.iter().zip(seed2.bounds.iter()) {
+            assert_eq!(a.lower, b.lower);
+            assert_eq!(a.upper, b.upper);
+        }
+    }
+
+    #[test]
+    fn mismatched_seed_falls_back_to_cold() {
+        let sys = looped_system();
+        let cfg = AnalysisConfig::default();
+        let (_, seed) = analyze_with_loops_seeded(&sys, &cfg, 16, None).unwrap();
+        // A frame the seed does not match: different arrival window.
+        let other = AnalysisConfig {
+            arrival_window: Some(Time(777)),
+            ..AnalysisConfig::default()
+        };
+        let cold = analyze_with_loops(&sys, &other, 16).unwrap();
+        let (warm, _) = analyze_with_loops_seeded(&sys, &other, 16, Some(&seed)).unwrap();
+        assert_eq!(format!("{cold}"), format!("{warm}"));
     }
 }

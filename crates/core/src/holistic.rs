@@ -23,11 +23,49 @@
 //! pessimistic on multi-stage ones, because jitter-based interference
 //! accounting implicitly over-estimates downstream arrivals.
 
+use std::sync::Arc;
+
 use crate::config::AnalysisConfig;
 use crate::error::AnalysisError;
 use crate::report::{BoundsReport, JobBound};
 use rta_curves::Time;
 use rta_model::{ArrivalPattern, JobId, SchedulerKind, SubjobRef, TaskSystem};
+
+/// Converged jitter/response state of a holistic run, reusable to warm-start
+/// the next run.
+///
+/// Seeding is *sound only from below*: the jitter iteration is monotone and
+/// converges to its least fixed point from any state below that fixed point,
+/// so a seed taken from a system with pointwise smaller-or-equal execution
+/// times (e.g. the previous, smaller λ of a scaling sweep) reproduces the
+/// cold-start result exactly in fewer rounds. Callers are responsible for
+/// that precondition; [`crate::AnalysisSession`] enforces it.
+#[derive(Clone, Debug)]
+pub struct HolisticSeed {
+    pub(crate) window: Time,
+    pub(crate) horizon: Time,
+    pub(crate) jitter: Vec<Time>,
+    pub(crate) response: Vec<Time>,
+    pub(crate) diverged: Vec<bool>,
+}
+
+impl HolisticSeed {
+    /// `true` when this seed can start an analysis at frame
+    /// `(window, horizon)` over `n` subjobs.
+    pub fn matches(&self, window: Time, horizon: Time, n: usize) -> bool {
+        self.window == window && self.horizon == horizon && self.jitter.len() == n
+    }
+}
+
+/// Round-invariant inputs of the holistic iteration, detached from the
+/// system so round closures can run on the persistent pool.
+struct HolisticCtx {
+    exec: Vec<Time>,
+    period: Vec<Time>,
+    preds: Vec<Option<usize>>,
+    hp_inputs: Vec<Vec<(Time, Time, usize)>>,
+    cap: Time,
+}
 
 /// Run the holistic (SPP/S&L-style) analysis. Requires SPP scheduling on
 /// every processor and periodic arrival patterns on every job.
@@ -35,6 +73,17 @@ pub fn analyze_holistic(
     sys: &TaskSystem,
     cfg: &AnalysisConfig,
 ) -> Result<BoundsReport, AnalysisError> {
+    analyze_holistic_seeded(sys, cfg, None).map(|(report, _)| report)
+}
+
+/// [`analyze_holistic`] with an optional warm-start seed; also returns the
+/// converged state as the seed for the next run. See [`HolisticSeed`] for
+/// the from-below soundness precondition.
+pub fn analyze_holistic_seeded(
+    sys: &TaskSystem,
+    cfg: &AnalysisConfig,
+    seed: Option<&HolisticSeed>,
+) -> Result<(BoundsReport, HolisticSeed), AnalysisError> {
     sys.validate(true)?;
     for (p, proc) in sys.processors().iter().enumerate() {
         if proc.scheduler != SchedulerKind::Spp {
@@ -59,9 +108,18 @@ pub fn analyze_holistic(
 
     // Jitter per subjob (measured from the job's nominal release).
     // `diverged` marks subjobs past the cap: their interference is capped.
-    let mut jitter: Vec<Time> = vec![Time::ZERO; refs.len()];
-    let mut diverged: Vec<bool> = vec![false; refs.len()];
-    let mut response: Vec<Time> = vec![Time::ZERO; refs.len()];
+    // A matching seed replaces the all-zero start; the iteration below
+    // converges to the same least fixed point from any state below it.
+    let (mut jitter, mut diverged, mut response) = match seed {
+        Some(s) if s.matches(window, horizon, refs.len()) => {
+            (s.jitter.clone(), s.diverged.clone(), s.response.clone())
+        }
+        _ => (
+            vec![Time::ZERO; refs.len()],
+            vec![false; refs.len()],
+            vec![Time::ZERO; refs.len()],
+        ),
+    };
 
     // Resolve each subjob's interference inputs once: its predecessor slot
     // and, per higher-priority peer, (execution, period, jitter slot).
@@ -88,6 +146,13 @@ pub fn analyze_holistic(
                 .collect()
         })
         .collect();
+    let ctx = Arc::new(HolisticCtx {
+        exec: refs.iter().map(|&r| sys.subjob(r).exec).collect(),
+        period: refs.iter().map(|&r| periods[r.job.0]).collect(),
+        preds,
+        hp_inputs,
+        cap,
+    });
 
     const MAX_ROUNDS: usize = 4096;
     let mut rounds = 0;
@@ -98,56 +163,63 @@ pub fn analyze_holistic(
         }
         // Jacobi round: every subjob's busy-window scan reads only the
         // previous round's responses and jitters, so the scans are
-        // independent and fan out over scoped threads. The iteration is
-        // monotone from zero, so Jacobi and Gauss-Seidel sweeps converge to
+        // independent and fan out over the persistent pool. The iteration is
+        // monotone from below, so Jacobi and Gauss-Seidel sweeps converge to
         // the same least fixed point.
-        let results: Vec<(Time, bool, Time)> = crate::par::par_map(refs.len(), |i| {
-            let r = refs[i];
-            let c = sys.subjob(r).exec;
-            let rho = periods[r.job.0];
-            let j_in = preds[i].map_or(Time::ZERO, |p| response[p]);
+        let results: Vec<(Time, bool, Time)> = {
+            let ctx = Arc::clone(&ctx);
+            let jitter = Arc::new(jitter.clone());
+            let response = Arc::new(response.clone());
+            crate::par::pool_map(refs.len(), move |i| {
+                let c = ctx.exec[i];
+                let rho = ctx.period[i];
+                let cap = ctx.cap;
+                let j_in = ctx.preds[i].map_or(Time::ZERO, |p| response[p]);
 
-            // Jitter-aware busy-window scan.
-            let mut worst = Time::ZERO;
-            let mut q: i64 = 0;
-            let mut ok = true;
-            loop {
-                let mut w = c * (q + 1);
+                // Jitter-aware busy-window scan.
+                let mut worst = Time::ZERO;
+                let mut q: i64 = 0;
+                let mut ok = true;
                 loop {
-                    let mut next = c * (q + 1);
-                    for &(ce, pe, je) in &hp_inputs[i] {
-                        let je = jitter[je];
-                        let ceil = (w.ticks() + je.ticks() + pe.ticks() - 1).div_euclid(pe.ticks());
-                        next += ce * ceil.max(0);
+                    let mut w = c * (q + 1);
+                    loop {
+                        let mut next = c * (q + 1);
+                        for &(ce, pe, je) in &ctx.hp_inputs[i] {
+                            let je = jitter[je];
+                            let ceil =
+                                (w.ticks() + je.ticks() + pe.ticks() - 1).div_euclid(pe.ticks());
+                            next += ce * ceil.max(0);
+                        }
+                        if next == w {
+                            break;
+                        }
+                        w = next;
+                        if w > cap {
+                            ok = false;
+                            break;
+                        }
                     }
-                    if next == w {
+                    if !ok {
                         break;
                     }
-                    w = next;
-                    if w > cap {
+                    worst = worst.max(j_in + w - rho * q);
+                    if w + j_in <= rho * (q + 1) {
+                        break;
+                    }
+                    q += 1;
+                    if rho * q > cap {
                         ok = false;
                         break;
                     }
                 }
-                if !ok {
-                    break;
-                }
-                worst = worst.max(j_in + w - rho * q);
-                if w + j_in <= rho * (q + 1) {
-                    break;
-                }
-                q += 1;
-                if rho * q > cap {
-                    ok = false;
-                    break;
-                }
-            }
 
-            let (new_resp, new_div) = if ok { (worst, false) } else { (cap, true) };
-            // A subjob's *release* jitter is what interferes with peers: the
-            // response bound of its predecessor hop (zero at the first hop).
-            (new_resp, new_div, j_in.min(cap))
-        });
+                let (new_resp, new_div) = if ok { (worst, false) } else { (cap, true) };
+                // A subjob's *release* jitter is what interferes with peers:
+                // the response bound of its predecessor hop (zero at the
+                // first hop).
+                (new_resp, new_div, j_in.min(cap))
+            })
+        };
         let mut changed = false;
         for (i, (new_resp, new_div, new_jit)) in results.into_iter().enumerate() {
             if new_resp != response[i] || new_div != diverged[i] || new_jit != jitter[i] {
@@ -197,11 +269,19 @@ pub fn analyze_holistic(
             deadline: job.deadline,
         });
     }
-    Ok(BoundsReport {
+    let report = BoundsReport {
         window,
         horizon,
         jobs,
-    })
+    };
+    let next_seed = HolisticSeed {
+        window,
+        horizon,
+        jitter,
+        response,
+        diverged,
+    };
+    Ok((report, next_seed))
 }
 
 #[cfg(test)]
@@ -332,6 +412,40 @@ mod tests {
         assert_eq!(h.jobs[0].e2e_bound, Some(Time(11)));
         assert_eq!(h.jobs[0].hop_delays, vec![Some(Time(4)), Some(Time(7))]);
         assert_eq!(h.jobs[1].e2e_bound, Some(Time(2)));
+    }
+
+    #[test]
+    fn warm_start_from_below_matches_cold() {
+        // A scale-up sequence under a pinned frame: the seed of the smaller
+        // system sits below the larger system's least fixed point, so the
+        // warm run must land on exactly the cold-start result.
+        let mut b = SystemBuilder::new();
+        let p1 = b.add_processor("P1", SchedulerKind::Spp);
+        let p2 = b.add_processor("P2", SchedulerKind::Spp);
+        b.add_job(
+            "T1",
+            Time(200),
+            periodic(20),
+            vec![(p1, Time(3)), (p2, Time(4))],
+        );
+        b.add_job(
+            "T2",
+            Time(200),
+            periodic(30),
+            vec![(p1, Time(5)), (p2, Time(6))],
+        );
+        let mut small = b.build().unwrap();
+        assign_priorities(&mut small, PriorityPolicy::RelativeDeadlineMonotonic).unwrap();
+        let big = small.with_scaled_exec(1.25);
+        let cfg = AnalysisConfig {
+            arrival_window: Some(Time(120)),
+            horizon: Some(Time(400)),
+            ..AnalysisConfig::default()
+        };
+        let (_, seed) = analyze_holistic_seeded(&small, &cfg, None).unwrap();
+        let cold = analyze_holistic(&big, &cfg).unwrap();
+        let (warm, _) = analyze_holistic_seeded(&big, &cfg, Some(&seed)).unwrap();
+        assert_eq!(format!("{cold}"), format!("{warm}"));
     }
 
     #[test]

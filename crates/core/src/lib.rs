@@ -66,10 +66,11 @@ pub mod fcfs;
 pub mod fixpoint;
 pub mod holistic;
 pub mod nc;
-mod par;
+pub mod par;
 mod report;
 pub mod sensitivity;
 pub mod server;
+pub mod session;
 pub mod spnp;
 pub mod spp;
 
@@ -78,3 +79,4 @@ pub use config::{AnalysisConfig, SpnpAvailability};
 pub use error::AnalysisError;
 pub use exact::analyze_exact_spp;
 pub use report::{BoundsReport, ExactReport, JobBound, JobReport, SubjobCurves};
+pub use session::{AnalysisSession, SessionStats};

@@ -1,43 +1,207 @@
-//! Scoped-thread fan-out for the analysis drivers.
+//! Persistent worker pool for the analysis drivers.
 //!
 //! The per-round work of the fixpoint analyses is embarrassingly parallel:
 //! every subjob's service bounds for round `r` depend only on round `r − 1`
-//! values. [`par_map`] fans an indexed computation out over
-//! [`std::thread::scope`] workers in contiguous chunks and returns the
-//! results in index order. Falls back to a plain sequential map when the
-//! problem or the machine is too small for threads to pay off.
+//! values. Earlier revisions fanned each round out over fresh
+//! [`std::thread::scope`] threads, paying tens of microseconds of thread
+//! start-up per round — a real tax once an [`crate::AnalysisSession`]
+//! re-analyzes thousands of slightly-perturbed systems. This module replaces
+//! that with a process-wide pool of long-lived workers, built from `std`
+//! primitives only (no external crates, no `unsafe`):
+//!
+//! * Workers park on a [`Condvar`] over a shared [`VecDeque`] of boxed jobs
+//!   and live for the life of the process.
+//! * [`pool_map`] splits an indexed computation into chunks claimed from a
+//!   shared atomic cursor. The **calling thread participates**: it claims
+//!   chunks like any worker and only blocks on results for chunks some
+//!   worker is actively computing. This makes nested `pool_map` calls
+//!   deadlock-free — a worker that re-enters `pool_map` simply computes the
+//!   inner map itself if no peer is free — and keeps the fast path (small
+//!   `n`, single-core machine) allocation-light and sequential.
+//! * A panic inside a worker-executed closure is converted into a panic on
+//!   the calling thread via a drop-guard message rather than a silent hang;
+//!   the worker itself survives and returns to the queue.
+//!
+//! Results are returned in index order and are deterministic: which thread
+//! computes `f(i)` never affects the output.
 
-/// Evaluate `f(0), f(1), …, f(n-1)` (possibly in parallel) and return the
-/// results in index order. `f` must be safe to call concurrently from
-/// multiple threads.
-pub(crate) fn par_map<T, F>(n: usize, f: F) -> Vec<T>
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+type Job = Box<dyn FnOnce() + Send>;
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+}
+
+/// A process-wide set of long-lived worker threads fed from one queue.
+struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    fn with_workers(workers: usize) -> WorkerPool {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        });
+        for k in 0..workers {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("rta-pool-{k}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn pool worker");
+        }
+        WorkerPool { shared, workers }
+    }
+
+    fn global() -> &'static WorkerPool {
+        static POOL: OnceLock<WorkerPool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let cores = std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1);
+            // The caller participates in every map, so `cores - 1` workers
+            // saturate the machine without oversubscribing it.
+            WorkerPool::with_workers(cores.saturating_sub(1))
+        })
+    }
+
+    fn submit(&self, job: Job) {
+        let mut queue = self.shared.queue.lock().expect("pool queue lock");
+        queue.push_back(job);
+        drop(queue);
+        self.shared.available.notify_one();
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("pool queue lock");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = shared.available.wait(queue).expect("pool queue wait");
+            }
+        };
+        // Keep the worker alive across panicking jobs; the job's drop-guard
+        // reports the failure to the thread that submitted it.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+    }
+}
+
+/// Number of threads a [`pool_map`] call can use, caller included.
+pub fn pool_threads() -> usize {
+    WorkerPool::global().workers + 1
+}
+
+enum Msg<T> {
+    Item(usize, T),
+    /// Sent from a ticket's drop-guard when its closure panicked.
+    Failed,
+}
+
+/// Reports ticket failure on unwind so the caller panics instead of hanging.
+struct TicketGuard<T> {
+    tx: Sender<Msg<T>>,
+    armed: bool,
+}
+
+impl<T> Drop for TicketGuard<T> {
+    fn drop(&mut self) {
+        if self.armed {
+            let _ = self.tx.send(Msg::Failed);
+        }
+    }
+}
+
+/// Evaluate `f(0), f(1), …, f(n-1)` on the persistent pool and return the
+/// results in index order.
+///
+/// The calling thread claims and computes chunks alongside the pool workers,
+/// so the call makes progress even when every worker is busy — including
+/// when it is itself running on a pool worker (nested maps). Panics raised
+/// by `f` on a worker are re-raised on the calling thread.
+pub fn pool_map<T, F>(n: usize, f: F) -> Vec<T>
 where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
+    T: Send + 'static,
+    F: Fn(usize) -> T + Send + Sync + 'static,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
-    // Spawning costs ~tens of µs per thread; a tiny batch is cheaper inline.
-    if threads <= 1 || n < 4 {
+    let pool = WorkerPool::global();
+    // Spawn-free fast path: tiny batches are cheaper inline.
+    if pool.workers == 0 || n < 4 {
         return (0..n).map(f).collect();
     }
+
+    let f = Arc::new(f);
+    let next = Arc::new(AtomicUsize::new(0));
+    let participants = (pool.workers + 1).min(n);
+    // Several chunks per participant so an unlucky expensive chunk cannot
+    // serialize the whole map behind one thread.
+    let chunk = n.div_ceil(participants * 4).max(1);
+    let tickets = participants.min(n.div_ceil(chunk)).saturating_sub(1);
+
+    let (tx, rx) = channel::<Msg<T>>();
+    for _ in 0..tickets {
+        let f = Arc::clone(&f);
+        let next = Arc::clone(&next);
+        let tx = tx.clone();
+        pool.submit(Box::new(move || {
+            let mut guard = TicketGuard { tx, armed: true };
+            loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                for i in start..(start + chunk).min(n) {
+                    // A send error means the caller already panicked and
+                    // dropped the receiver; abandon the remaining work.
+                    if guard.tx.send(Msg::Item(i, f(i))).is_err() {
+                        break;
+                    }
+                }
+            }
+            guard.armed = false;
+        }));
+    }
+    drop(tx);
+
     let mut out: Vec<Option<T>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
-    let chunk = n.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (slots, base) in out.chunks_mut(chunk).zip((0..n).step_by(chunk)) {
-            let f = &f;
-            scope.spawn(move || {
-                for (k, slot) in slots.iter_mut().enumerate() {
-                    *slot = Some(f(base + k));
-                }
-            });
+    let mut filled = 0usize;
+    // Caller participation: claim chunks until the cursor is exhausted.
+    loop {
+        let start = next.fetch_add(chunk, Ordering::Relaxed);
+        if start >= n {
+            break;
         }
-    });
+        let end = (start + chunk).min(n);
+        for (off, slot) in out[start..end].iter_mut().enumerate() {
+            *slot = Some(f(start + off));
+            filled += 1;
+        }
+    }
+    // Collect the chunks claimed by workers. Every claimed index is either
+    // delivered or covered by a `Failed` marker from the ticket guard, so
+    // this loop terminates.
+    while filled < n {
+        match rx.recv() {
+            Ok(Msg::Item(i, v)) => {
+                out[i] = Some(v);
+                filled += 1;
+            }
+            Ok(Msg::Failed) => panic!("pool_map: a worker task panicked"),
+            Err(_) => panic!("pool_map: workers disconnected with {filled}/{n} results"),
+        }
+    }
     out.into_iter()
-        .map(|x| x.expect("worker filled every slot"))
+        .map(|x| x.expect("every index computed"))
         .collect()
 }
 
@@ -48,15 +212,41 @@ mod tests {
     #[test]
     fn results_are_in_index_order() {
         for n in [0, 1, 3, 4, 7, 64, 1000] {
-            let v = par_map(n, |i| i * i);
+            let v = pool_map(n, |i| i * i);
             assert_eq!(v, (0..n).map(|i| i * i).collect::<Vec<_>>(), "n={n}");
         }
     }
 
     #[test]
-    fn closures_can_borrow_shared_state() {
-        let data: Vec<i64> = (0..100).collect();
-        let v = par_map(data.len(), |i| data[i] + 1);
+    fn closures_can_capture_shared_state() {
+        let data: Arc<Vec<i64>> = Arc::new((0..100).collect());
+        let v = pool_map(data.len(), move |i| data[i] + 1);
         assert_eq!(v[99], 100);
+    }
+
+    #[test]
+    fn nested_maps_do_not_deadlock() {
+        // Every outer chunk re-enters pool_map while its siblings occupy the
+        // workers; caller participation must keep all of them progressing.
+        let v = pool_map(16, |i| pool_map(64, move |j| i * j).iter().sum::<usize>());
+        for (i, total) in v.into_iter().enumerate() {
+            assert_eq!(total, i * (63 * 64) / 2, "outer index {i}");
+        }
+    }
+
+    #[test]
+    fn repeated_maps_reuse_the_pool() {
+        // Exercises ticket cleanup across many small maps: stale tickets
+        // from earlier maps must drain as no-ops without corrupting later
+        // results.
+        for round in 0..50 {
+            let v = pool_map(32, move |i| i + round);
+            assert_eq!(v[31], 31 + round, "round {round}");
+        }
+    }
+
+    #[test]
+    fn pool_reports_at_least_the_caller() {
+        assert!(pool_threads() >= 1);
     }
 }

@@ -6,9 +6,16 @@
 //! searches the largest uniform execution-time scaling factor `λ` under
 //! which the system remains schedulable — `λ > 1` means headroom, `λ < 1`
 //! means the system is over-committed by that ratio.
+//!
+//! The bisection is driven by an [`crate::AnalysisSession`]: the scaled
+//! system is written into one reusable buffer instead of cloning the
+//! `TaskSystem` per step, repeated quantized probes hit the session's
+//! verdict memo, and (for [`Oracle::Loops`]) the fixpoint warm-starts from
+//! the previous probe's solution.
 
 use crate::config::AnalysisConfig;
 use crate::error::AnalysisError;
+use crate::session::AnalysisSession;
 use rta_model::{SchedulerKind, TaskSystem};
 
 /// Which analysis backs the schedulability oracle.
@@ -18,18 +25,12 @@ pub enum Oracle {
     Exact,
     /// Theorem 4 bounds — any scheduler mix.
     Bounds,
-}
-
-/// Decide schedulability of one scaled copy.
-fn schedulable(
-    sys: &TaskSystem,
-    cfg: &AnalysisConfig,
-    oracle: Oracle,
-) -> Result<bool, AnalysisError> {
-    match oracle {
-        Oracle::Exact => Ok(crate::exact::analyze_exact_spp(sys, cfg)?.all_schedulable()),
-        Oracle::Bounds => Ok(crate::bounds::analyze_bounds(sys, cfg)?.all_schedulable()),
-    }
+    /// Section 6 loop-tolerant fixpoint with the given round budget — any
+    /// scheduler mix, including cyclic subjob graphs.
+    Loops {
+        /// Iteration budget handed to [`crate::fixpoint::analyze_with_loops`].
+        max_rounds: usize,
+    },
 }
 
 /// The largest execution-time scaling factor (within `[lo, hi]`, to
@@ -45,22 +46,7 @@ pub fn critical_scaling(
     oracle: Oracle,
     iterations: u32,
 ) -> Result<Option<f64>, AnalysisError> {
-    let (mut lo, mut hi) = (1.0 / 64.0, 64.0);
-    if !schedulable(&sys.with_scaled_exec(lo), cfg, oracle)? {
-        return Ok(None);
-    }
-    if schedulable(&sys.with_scaled_exec(hi), cfg, oracle)? {
-        return Ok(Some(hi));
-    }
-    for _ in 0..iterations {
-        let mid = 0.5 * (lo + hi);
-        if schedulable(&sys.with_scaled_exec(mid), cfg, oracle)? {
-            lo = mid;
-        } else {
-            hi = mid;
-        }
-    }
-    Ok(Some(lo))
+    AnalysisSession::new(sys.clone(), cfg.clone()).critical_scaling(oracle, iterations)
 }
 
 /// Convenience: pick the oracle from the system's schedulers.

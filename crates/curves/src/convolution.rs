@@ -26,6 +26,17 @@
 //! O(R_f · R_g · segments) for R convex runs — for the convex curves that
 //! dominate the analysis R = 1 and the general path collapses to the
 //! slope merge.
+//!
+//! ## Dense crossover
+//!
+//! The decomposition cost grows with the *product* of the run counts, so
+//! for curves whose breakpoint spacing approaches one tick (R ≈ horizon —
+//! dense staircases at coarse resolution) the O(horizon²) lattice scan is
+//! cheaper than the O(R_f · R_g · segments) pair merge. [`convolve`] is a
+//! hybrid: it estimates both costs and dispatches to the cheaper kernel;
+//! both produce identical values at every tick of the horizon.
+//! [`convolve_decomposed`] pins the decomposition path for benchmarks and
+//! oracle tests.
 
 use crate::{Curve, Segment, Time};
 
@@ -194,16 +205,79 @@ fn partial_to_total(p: Partial, horizon: Time) -> Option<Curve> {
     Some(Curve::from_sorted_segments(segs))
 }
 
-/// Segment-native min-plus convolution
+/// Min-plus convolution
 /// `(f ⊗ g)(t) = min_{0 ≤ s ≤ t} ( f(s) + g(t − s) )` for **arbitrary**
 /// piecewise-linear curves, exact at every integer tick in `[0, horizon]`
 /// (frozen beyond, like the lattice oracle it replaces).
 ///
-/// Convex inputs take the O(n + m) slope-merge fast path; general inputs go
-/// through the convex decomposition described in the module docs. Cost is
-/// O(R_f · R_g · (n + m)) for R convex runs — independent of the horizon,
-/// unlike the O(horizon²) [`min_plus_convolve_lattice`] oracle.
+/// Convex inputs take the O(n + m) slope-merge fast path. General inputs
+/// are dispatched by a cost heuristic (see the module docs): sparse curves
+/// go through the convex decomposition ([`convolve_decomposed`],
+/// O(R_f · R_g · (n + m)) for R convex runs, independent of the horizon),
+/// while run counts approaching the horizon fall back to the dense
+/// O(horizon²) lattice scan, which beats the decomposition in that regime.
 pub fn convolve(f: &Curve, g: &Curve, horizon: Time) -> Curve {
+    assert!(horizon >= Time::ZERO);
+    if f.is_convex() && g.is_convex() {
+        return convolve_convex(f, g);
+    }
+    if dense_scan_is_cheaper(f, g, horizon) {
+        return min_plus_convolve_lattice(f, g, horizon);
+    }
+    convolve_decomposed(f, g, horizon)
+}
+
+/// Exclusive-prefix run starts of a curve's convex decomposition, clipped
+/// to the horizon (runs starting beyond it contribute nothing).
+fn run_starts_within(c: &Curve, horizon: Time) -> Vec<i64> {
+    let segs = c.segments();
+    let mut starts = vec![Time::ZERO.ticks()];
+    for i in 1..segs.len() {
+        let discontinuous = segs[i - 1].eval(segs[i].start) != segs[i].value;
+        if discontinuous || segs[i].slope < segs[i - 1].slope {
+            if segs[i].start > horizon {
+                break;
+            }
+            starts.push(segs[i].start.ticks());
+        }
+    }
+    starts
+}
+
+/// Cost heuristic for the hybrid dispatch: compare the decomposition's
+/// pair-merge work against the lattice scan's `horizon²` cell sweep.
+///
+/// The pair count honors the horizon clip of the decomposition's inner
+/// loop (a pair is dead once its domain starts past the horizon), and each
+/// pair costs on the order of the total segment count. The constant
+/// calibrates the per-pair merge against the per-cell scan; it was fitted
+/// on the `convolve/*` benchmarks in `BENCH_curves.json`.
+fn dense_scan_is_cheaper(f: &Curve, g: &Curve, horizon: Time) -> bool {
+    const PAIR_VS_CELL: u128 = 3;
+    let h = horizon.ticks() as u128;
+    let starts_f = run_starts_within(f, horizon);
+    let starts_g = run_starts_within(g, horizon);
+    // Two-pointer count of pairs with start_f + start_g ≤ horizon.
+    let mut pairs: u128 = 0;
+    let mut j = starts_g.len();
+    for &sf in &starts_f {
+        while j > 0 && sf + starts_g[j - 1] > horizon.ticks() {
+            j -= 1;
+        }
+        if j == 0 {
+            break;
+        }
+        pairs += j as u128;
+    }
+    let segs = (f.num_segments() + g.num_segments()) as u128;
+    h * h < PAIR_VS_CELL * pairs * segs
+}
+
+/// The convex-decomposition convolution kernel behind [`convolve`]: always
+/// takes the pair-merge path regardless of the cost heuristic. Exposed so
+/// benchmarks and oracle tests can pin this path; analysis code should
+/// call [`convolve`].
+pub fn convolve_decomposed(f: &Curve, g: &Curve, horizon: Time) -> Curve {
     assert!(horizon >= Time::ZERO);
     if f.is_convex() && g.is_convex() {
         return convolve_convex(f, g);
@@ -248,9 +322,11 @@ pub fn convolve(f: &Curve, g: &Curve, horizon: Time) -> Curve {
         .truncate_after(horizon)
 }
 
-/// Exhaustive min-plus convolution on the lattice, `O(horizon²)` — kept as
-/// the **test oracle** for [`convolve`] and [`convolve_convex`]; not used on
-/// any analysis path. The result is frozen at its horizon value.
+/// Exhaustive min-plus convolution on the lattice, `O(horizon²)`. Serves
+/// two roles: the **test oracle** for [`convolve_decomposed`] and
+/// [`convolve_convex`], and the dense kernel [`convolve`] falls back to
+/// when the run-pair count rivals the horizon. The result is frozen at its
+/// horizon value.
 pub fn min_plus_convolve_lattice(f: &Curve, g: &Curve, horizon: Time) -> Curve {
     let h = horizon.ticks();
     assert!(h >= 0);
@@ -413,6 +489,43 @@ mod tests {
             Segment::new(Time(4), 12, 1),
         ]);
         assert_eq!(convex_runs(&concave).len(), 2);
+    }
+
+    #[test]
+    fn hybrid_agrees_with_both_kernels_in_both_regimes() {
+        // Dense regime: 64 events at gap 10 against 64 at gap 12 — the
+        // BENCH_curves regression shape, where the lattice scan wins.
+        let dense_f =
+            Curve::from_event_times(&(0..64).map(|i| Time(i * 10)).collect::<Vec<_>>()).scale(3);
+        let dense_g =
+            Curve::from_event_times(&(0..64).map(|i| Time(i * 12)).collect::<Vec<_>>()).scale(2);
+        let h_dense = Time(64 * 12 + 120);
+        assert!(dense_scan_is_cheaper(&dense_f, &dense_g, h_dense));
+        // Sparse regime: few events across a huge horizon — decomposition
+        // territory (the lattice scan would be ~1000× slower here).
+        let sparse_f = Curve::from_event_times(&(0..8).map(|i| Time(i * 625)).collect::<Vec<_>>());
+        let h_sparse = Time(25_000);
+        assert!(!dense_scan_is_cheaper(&sparse_f, &sparse_f, h_sparse));
+        // Whichever kernel the heuristic picks, values are identical at
+        // every tick (spot-check the dense pair on a clipped horizon to
+        // keep the oracle affordable).
+        let h = Time(200);
+        let hybrid = convolve(&dense_f, &dense_g, h);
+        let dec = convolve_decomposed(&dense_f, &dense_g, h);
+        let lat = min_plus_convolve_lattice(&dense_f, &dense_g, h);
+        for t in 0..=h.ticks() {
+            assert_eq!(hybrid.eval(Time(t)), dec.eval(Time(t)), "t={t}");
+            assert_eq!(hybrid.eval(Time(t)), lat.eval(Time(t)), "t={t}");
+        }
+    }
+
+    #[test]
+    fn run_start_counting_clips_at_horizon() {
+        let stair = Curve::from_event_times(&[Time(1), Time(5), Time(9)]);
+        // All four runs (plateau + 3 jumps) start within a large horizon...
+        assert_eq!(run_starts_within(&stair, Time(100)).len(), 4);
+        // ...but only the plateau and the first jump within a small one.
+        assert_eq!(run_starts_within(&stair, Time(4)).len(), 2);
     }
 
     #[test]

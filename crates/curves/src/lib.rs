@@ -16,7 +16,8 @@
 //! * departure extraction `⌊S(t)/τ⌋` ([`floor_div`]),
 //! * event-counting helpers for arrival functions ([`counting`]),
 //! * min-plus convolution and network-calculus bound curves
-//!   ([`convolution`], [`bounds`]).
+//!   ([`convolution`], [`bounds`]),
+//! * structural-hash interning with memoized operators ([`intern`]).
 //!
 //! ## Exactness model: the tick lattice
 //!
@@ -61,6 +62,7 @@ pub mod cursor;
 mod curve;
 pub mod envelope;
 pub mod floor_div;
+pub mod intern;
 pub mod inverse;
 pub mod ops;
 pub mod running;
@@ -70,6 +72,7 @@ mod util;
 
 pub use cursor::CurveCursor;
 pub use curve::Curve;
+pub use intern::{CurveArena, CurveId};
 pub use segment::Segment;
 pub use time::{Time, DEFAULT_TICKS_PER_UNIT};
 

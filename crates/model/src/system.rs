@@ -272,6 +272,45 @@ impl TaskSystem {
         out
     }
 
+    /// Overwrite every execution time in place with `base`'s scaled by
+    /// `factor` (rounded up, at least one tick) — the allocation-free
+    /// counterpart of [`TaskSystem::with_scaled_exec`] for bisection loops
+    /// that re-scale one buffer from the same base system every step.
+    ///
+    /// `self` and `base` must have identical job/subjob shape (as produced
+    /// by cloning `base` once up front).
+    pub fn assign_scaled_exec(&mut self, base: &TaskSystem, factor: f64) {
+        assert!(factor > 0.0 && factor.is_finite());
+        assert_eq!(self.jobs.len(), base.jobs.len(), "shape mismatch");
+        for (job, base_job) in self.jobs.iter_mut().zip(&base.jobs) {
+            assert_eq!(job.subjobs.len(), base_job.subjobs.len(), "shape mismatch");
+            for (s, base_s) in job.subjobs.iter_mut().zip(&base_job.subjobs) {
+                let scaled = (base_s.exec.ticks() as f64 * factor).ceil() as i64;
+                s.exec = Time(scaled.max(1));
+            }
+        }
+    }
+
+    /// Set (or clear) the priority of one subjob. The caller is responsible
+    /// for re-validating before analysis — duplicate priorities on a
+    /// static-priority processor are caught by [`TaskSystem::validate`].
+    pub fn set_priority(&mut self, r: SubjobRef, priority: Option<u32>) {
+        self.jobs[r.job.0].subjobs[r.index].priority = priority;
+    }
+
+    /// Append a job to the system; returns its id. Existing job ids (and
+    /// therefore subjob enumeration order of existing jobs) are unchanged.
+    pub fn push_job(&mut self, job: Job) -> JobId {
+        self.jobs.push(job);
+        JobId(self.jobs.len() - 1)
+    }
+
+    /// Remove a job; later job ids shift down by one. Returns the removed
+    /// job. Panics if the id is out of range.
+    pub fn remove_job(&mut self, id: JobId) -> Job {
+        self.jobs.remove(id.0)
+    }
+
     /// Validate structural invariants; called by the builder and again by
     /// analyses that require priorities.
     pub fn validate(&self, require_priorities: bool) -> Result<(), ModelError> {

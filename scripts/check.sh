@@ -20,8 +20,23 @@ echo "==> workspace tests"
 cargo test --workspace -q
 
 if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
-    echo "==> perf snapshot (writes BENCH_curves.json)"
+    # Stash the committed baselines before perf_snapshot overwrites them,
+    # then gate: fail if any benchmark regressed by more than 25%.
+    basedir="$(mktemp -d)"
+    trap 'rm -rf "$basedir"' EXIT
+    for f in BENCH_curves.json BENCH_incremental.json; do
+        [[ -f "$f" ]] && cp "$f" "$basedir/$f"
+    done
+
+    echo "==> perf snapshot (writes BENCH_curves.json, BENCH_incremental.json)"
     cargo run -p rta-bench --release --bin perf_snapshot
+
+    for f in BENCH_curves.json BENCH_incremental.json; do
+        if [[ -f "$basedir/$f" ]]; then
+            echo "==> bench gate: $f vs committed baseline (max +25%)"
+            cargo run -p rta-bench --release --bin bench_gate -- "$basedir/$f" "$f" 25
+        fi
+    done
 fi
 
 echo "OK"
