@@ -116,6 +116,54 @@ fn main() {
         });
     }
 
+    // Policy-seam overhead: identical Theorem 5/6 inputs through the
+    // direct kernel and through `policy_for(...).service_bounds` (one
+    // vtable hop plus `BoundsInputs` construction per call). The pair pins
+    // the trait dispatch as noise (<5%) next to the curve algebra.
+    {
+        use rta_core::policy::{policy_for, BoundsInputs};
+        use rta_core::spnp::spnp_bounds;
+        use rta_core::SpnpAvailability;
+        let workload = arrivals(48, 10).scale(3);
+        let hp_work = arrivals(48, 14).scale(2);
+        let hp = spnp_bounds(
+            &hp_work,
+            &[],
+            &[],
+            Time::ZERO,
+            SpnpAvailability::Conservative,
+        )
+        .unwrap();
+        let horizon = Time(48 * 14 + 200);
+        b.run("policy_dispatch/spnp_direct", || {
+            spnp_bounds(
+                &workload,
+                &[&hp.lower],
+                &[&hp.upper],
+                Time(5),
+                SpnpAvailability::Conservative,
+            )
+            .unwrap()
+        });
+        let policy = policy_for(SchedulerKind::Spnp);
+        b.run("policy_dispatch/spnp_trait", || {
+            policy
+                .service_bounds(&BoundsInputs {
+                    workload: &workload,
+                    tau: Time(3),
+                    weight: 1,
+                    blocking: Time(5),
+                    hp_lower: &[&hp.lower],
+                    hp_upper: &[&hp.upper],
+                    variant: SpnpAvailability::Conservative,
+                    ctx: None,
+                    horizon,
+                    processor: rta_model::ProcessorId(0),
+                })
+                .unwrap()
+        });
+    }
+
     // End-to-end drivers on the largest analysis_scaling configs.
     let big = shop(SchedulerKind::Spp, 8, 6);
     b.run("analysis/exact_spp_8stage_6job", || {

@@ -4,20 +4,22 @@
 //!
 //! 1. its own arrival function — the departure function of its predecessor
 //!    hop (chain edge);
-//! 2. on SPP/SPNP processors: the service functions of all strictly
-//!    higher-priority subjobs on the same processor (the summations of
-//!    Theorems 3, 5 and 6);
-//! 3. on FCFS processors: the *arrival* functions of every subjob sharing
-//!    the processor (the total workload `G` of Theorem 7) — i.e. the
-//!    departures of those subjobs' predecessor hops, not the subjobs
-//!    themselves.
+//! 2. on [`crate::policy::PeerInputs::HigherPriorityServices`] processors
+//!    (SPP/SPNP): the service functions of all strictly higher-priority
+//!    subjobs on the same processor (the summations of Theorems 3, 5, 6);
+//! 3. on [`crate::policy::PeerInputs::SharedWorkloads`] processors
+//!    (FCFS, IWRR): the *arrival* functions of every subjob sharing the
+//!    processor (the total workload `G` of Theorem 7; IWRR's round
+//!    length) — i.e. the departures of those subjobs' predecessor hops,
+//!    not the subjobs themselves.
 //!
 //! When this relation is acyclic, one topological pass computes everything.
 //! A cycle is the paper's Section 6 "physical/logical loop"; it is reported
 //! as [`AnalysisError::CyclicDependency`] and handled by [`crate::fixpoint`].
 
 use crate::error::AnalysisError;
-use rta_model::{SchedulerKind, SubjobRef, TaskSystem};
+use crate::policy::{policy_for, PeerInputs};
+use rta_model::{SubjobRef, TaskSystem};
 
 /// Dense index for subjobs within one analysis run.
 #[derive(Debug)]
@@ -73,13 +75,13 @@ pub fn dependency_edges(sys: &TaskSystem, idx: &SubjobIndex) -> Vec<(usize, usiz
             edges.push((idx.index(pred), i));
         }
         let s = sys.subjob(r);
-        match sys.processor(s.processor).scheduler {
-            SchedulerKind::Spp | SchedulerKind::Spnp => {
+        match policy_for(sys.processor(s.processor).scheduler).peer_inputs() {
+            PeerInputs::HigherPriorityServices => {
                 for h in sys.higher_priority_peers(r) {
                     edges.push((idx.index(h), i));
                 }
             }
-            SchedulerKind::Fcfs => {
+            PeerInputs::SharedWorkloads => {
                 // Need every sharing subjob's arrival, i.e. its predecessor's
                 // departure (first hops have primary arrivals — no edge).
                 for o in sys.subjobs_on(s.processor) {
@@ -251,7 +253,7 @@ mod tests {
     use super::*;
     use rta_curves::Time;
     use rta_model::priority::{assign_priorities, PriorityPolicy};
-    use rta_model::{ArrivalPattern, JobId, SystemBuilder};
+    use rta_model::{ArrivalPattern, JobId, SchedulerKind, SystemBuilder};
 
     fn periodic(p: i64) -> ArrivalPattern {
         ArrivalPattern::Periodic {

@@ -22,6 +22,13 @@ pub enum AnalysisError {
         /// First offending processor.
         processor: ProcessorId,
     },
+    /// A policy that needs per-processor context (FCFS, IWRR) was invoked
+    /// without one — the driver skipped
+    /// [`crate::policy::ServicePolicy::build_context`].
+    MissingPolicyContext {
+        /// The processor whose context is absent.
+        processor: ProcessorId,
+    },
     /// The holistic baseline requires periodic arrival patterns.
     NotPeriodic {
         /// First offending job.
@@ -65,6 +72,13 @@ impl std::fmt::Display for AnalysisError {
                 write!(
                     f,
                     "exact analysis requires SPP on all processors; {processor} differs"
+                )
+            }
+            AnalysisError::MissingPolicyContext { processor } => {
+                write!(
+                    f,
+                    "no policy context was built for processor {processor} before \
+                     requesting its service bounds"
                 )
             }
             AnalysisError::NotPeriodic { job } => {

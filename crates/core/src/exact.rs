@@ -14,16 +14,17 @@
 use crate::config::AnalysisConfig;
 use crate::depgraph::{evaluation_order, SubjobIndex};
 use crate::error::AnalysisError;
+use crate::policy::policy_for;
 use crate::report::{ExactReport, JobReport, SubjobCurves};
-use crate::spp::exact_service;
 use rta_curves::{Curve, CurveCursor, Time};
-use rta_model::{JobId, SchedulerKind, TaskSystem};
+use rta_model::{JobId, TaskSystem};
 
-/// Check the all-SPP precondition shared by the exact analysis and
-/// [`crate::AnalysisSession`].
-pub(crate) fn require_all_spp(sys: &TaskSystem) -> Result<(), AnalysisError> {
+/// Check that every processor's policy has an exact theory (today: SPP
+/// only, per Theorem 3) — the precondition shared by the exact analysis
+/// and [`crate::AnalysisSession`].
+pub(crate) fn require_exact_capable(sys: &TaskSystem) -> Result<(), AnalysisError> {
     for (p, proc) in sys.processors().iter().enumerate() {
-        if proc.scheduler != SchedulerKind::Spp {
+        if !policy_for(proc.scheduler).supports_exact() {
             return Err(AnalysisError::NotAllSpp {
                 processor: rta_model::ProcessorId(p),
             });
@@ -72,7 +73,11 @@ pub(crate) fn subjob_node_curves(
         .iter()
         .map(|&h| &curves[h].as_ref().expect("dependency order").service)
         .collect();
-    let service = exact_service(&workload, &hp_services);
+    let service = policy_for(sys.processor(subjob.processor).scheduler)
+        .exact_service(&workload, &hp_services)
+        .ok_or(AnalysisError::NotAllSpp {
+            processor: subjob.processor,
+        })?;
     let departure = service.floor_div(subjob.exec.ticks(), horizon)?;
     Ok(SubjobCurves {
         arrival,
@@ -151,7 +156,8 @@ pub(crate) fn assemble_exact_report(
 
 /// Run the exact SPP analysis.
 ///
-/// Requires every processor to use [`SchedulerKind::Spp`] and the subjob
+/// Requires every processor to use [`rta_model::SchedulerKind::Spp`] (the
+/// only policy with [`crate::policy::ServicePolicy::supports_exact`]) and the subjob
 /// dependency relation to be acyclic (no Section 6 loops — see
 /// [`crate::fixpoint`] for those).
 pub fn analyze_exact_spp(
@@ -159,7 +165,7 @@ pub fn analyze_exact_spp(
     cfg: &AnalysisConfig,
 ) -> Result<ExactReport, AnalysisError> {
     sys.validate(true)?;
-    require_all_spp(sys)?;
+    require_exact_capable(sys)?;
     let (window, horizon) = cfg.resolve(sys);
     let idx = SubjobIndex::new(sys);
     let order = evaluation_order(sys, &idx)?;
@@ -182,7 +188,7 @@ mod tests {
     use super::*;
     use rta_curves::Time;
     use rta_model::priority::{assign_priorities, PriorityPolicy};
-    use rta_model::{ArrivalPattern, SubjobRef, SystemBuilder};
+    use rta_model::{ArrivalPattern, SchedulerKind, SubjobRef, SystemBuilder};
 
     fn periodic(p: i64) -> ArrivalPattern {
         ArrivalPattern::Periodic {

@@ -45,11 +45,11 @@ use std::sync::Arc;
 use crate::config::{AnalysisConfig, SpnpAvailability};
 use crate::depgraph::SubjobIndex;
 use crate::error::AnalysisError;
-use crate::fcfs::FcfsProcessor;
+use crate::policy::{policy_for, BoundsInputs, PeerInputs, ProcessorContexts, ServicePolicy};
 use crate::report::{BoundsReport, JobBound};
-use crate::spnp::{spnp_bounds, ServiceBounds};
+use crate::spnp::ServiceBounds;
 use rta_curves::{Curve, Time};
-use rta_model::{JobId, SchedulerKind, SubjobRef, TaskSystem};
+use rta_model::{JobId, ProcessorId, SubjobRef, TaskSystem};
 
 /// Converged interior state of a loop-tolerant run, reusable as the seed of
 /// the next run on a system with the same topology and analysis frame.
@@ -68,28 +68,27 @@ impl LoopSeed {
     }
 }
 
-/// How one subjob's bounds are recomputed each round.
-enum NodeKind {
-    /// SPP/SPNP: Theorem 5/6 with the given blocking term (zero for SPP).
-    Prio { blocking: Time },
-    /// FCFS: Theorem 8/9 against the processor context at `proc_slot`.
-    Fcfs { proc_slot: usize, tau: Time },
-}
-
-/// Round-invariant inputs of one subjob.
+/// Round-invariant inputs of one subjob, dispatched through the policy
+/// seam each round.
 struct RoundNode {
     workload: Curve,
-    /// Dense indices of strictly-higher-priority peers (empty for FCFS).
+    /// Dense indices of strictly-higher-priority peers (empty for
+    /// shared-workload policies like FCFS and IWRR).
     hp: Vec<usize>,
-    kind: NodeKind,
+    policy: &'static dyn ServicePolicy,
+    processor: usize,
+    tau: Time,
+    weight: u32,
+    blocking: Time,
 }
 
 /// Everything a Jacobi round reads besides the previous round's bounds.
 /// Owned (no borrows) so round closures can run on the persistent pool.
 struct RoundCtx {
     nodes: Vec<RoundNode>,
-    fcfs: Vec<FcfsProcessor>,
+    ctxs: ProcessorContexts,
     avail: SpnpAvailability,
+    horizon: Time,
 }
 
 /// Run the loop-tolerant fixed-point analysis for at most `max_rounds`
@@ -132,20 +131,18 @@ pub fn analyze_with_loops_seeded(
         arr_env.push(env);
     }
 
-    // FCFS processor contexts depend only on the (round-invariant) peer
-    // workloads: build each processor's context once, before the rounds.
-    let mut fcfs: Vec<FcfsProcessor> = Vec::new();
-    let mut fcfs_slot: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    // Shared-workload policy contexts (FCFS, IWRR) depend only on the
+    // (round-invariant) peer workloads: build each processor's context
+    // once, before the rounds.
+    let mut ctxs = ProcessorContexts::new();
     for &r in idx.refs() {
         let s = sys.subjob(r);
-        if sys.processor(s.processor).scheduler == SchedulerKind::Fcfs {
-            if let std::collections::hash_map::Entry::Vacant(e) = fcfs_slot.entry(s.processor.0) {
-                let peers = sys.subjobs_on(s.processor);
-                let peer_workloads: Vec<&Curve> =
-                    peers.iter().map(|o| &workload[idx.index(*o)]).collect();
-                e.insert(fcfs.len());
-                fcfs.push(FcfsProcessor::new(&peer_workloads, horizon)?);
-            }
+        if policy_for(sys.processor(s.processor).scheduler).peer_inputs()
+            == PeerInputs::SharedWorkloads
+        {
+            ctxs.ensure(sys, s.processor, horizon, &mut |o| {
+                workload[idx.index(o)].clone()
+            })?;
         }
     }
 
@@ -158,36 +155,31 @@ pub fn analyze_with_loops_seeded(
         .zip(workload.iter())
         .map(|(&r, w)| {
             let s = sys.subjob(r);
-            match sys.processor(s.processor).scheduler {
-                SchedulerKind::Fcfs => RoundNode {
-                    workload: w.clone(),
-                    hp: Vec::new(),
-                    kind: NodeKind::Fcfs {
-                        proc_slot: fcfs_slot[&s.processor.0],
-                        tau: s.exec,
-                    },
-                },
-                SchedulerKind::Spp | SchedulerKind::Spnp => RoundNode {
-                    workload: w.clone(),
-                    hp: sys
-                        .higher_priority_peers(r)
-                        .into_iter()
-                        .map(|h| idx.index(h))
-                        .collect(),
-                    kind: NodeKind::Prio {
-                        blocking: match sys.processor(s.processor).scheduler {
-                            SchedulerKind::Spnp => sys.blocking_time(r),
-                            _ => Time::ZERO,
-                        },
-                    },
-                },
+            let policy = policy_for(sys.processor(s.processor).scheduler);
+            let hp = match policy.peer_inputs() {
+                PeerInputs::HigherPriorityServices => sys
+                    .higher_priority_peers(r)
+                    .into_iter()
+                    .map(|h| idx.index(h))
+                    .collect(),
+                PeerInputs::SharedWorkloads => Vec::new(),
+            };
+            RoundNode {
+                workload: w.clone(),
+                hp,
+                policy,
+                processor: s.processor.0,
+                tau: s.exec,
+                weight: s.weight(),
+                blocking: policy.blocking(sys, r),
             }
         })
         .collect();
     let ctx = Arc::new(RoundCtx {
         nodes,
-        fcfs,
+        ctxs,
         avail: cfg.spnp_availability,
+        horizon,
     });
 
     // Round 0: the seed when it fits the frame, information-free otherwise.
@@ -221,25 +213,20 @@ pub fn analyze_with_loops_seeded(
                     return None;
                 }
                 let node = &ctx.nodes[i];
-                let nb = match node.kind {
-                    NodeKind::Prio { blocking } => {
-                        let hp_lower: Vec<&Curve> =
-                            node.hp.iter().map(|&h| &prev[h].lower).collect();
-                        let hp_upper: Vec<&Curve> =
-                            node.hp.iter().map(|&h| &prev[h].upper).collect();
-                        Ok(spnp_bounds(
-                            &node.workload,
-                            &hp_lower,
-                            &hp_upper,
-                            blocking,
-                            ctx.avail,
-                        ))
-                    }
-                    NodeKind::Fcfs { proc_slot, tau } => ctx.fcfs[proc_slot]
-                        .service_bounds(&node.workload, tau)
-                        .map_err(AnalysisError::from),
-                };
-                Some(nb)
+                let hp_lower: Vec<&Curve> = node.hp.iter().map(|&h| &prev[h].lower).collect();
+                let hp_upper: Vec<&Curve> = node.hp.iter().map(|&h| &prev[h].upper).collect();
+                Some(node.policy.service_bounds(&BoundsInputs {
+                    workload: &node.workload,
+                    tau: node.tau,
+                    weight: node.weight,
+                    blocking: node.blocking,
+                    hp_lower: &hp_lower,
+                    hp_upper: &hp_upper,
+                    variant: ctx.avail,
+                    ctx: ctx.ctxs.get(ProcessorId(node.processor)),
+                    horizon: ctx.horizon,
+                    processor: ProcessorId(node.processor),
+                }))
             })
         };
         let mut changed_now = vec![false; prev.len()];
@@ -314,7 +301,7 @@ mod tests {
     use super::*;
     use crate::depgraph::evaluation_order;
     use rta_model::priority::{assign_priorities, PriorityPolicy};
-    use rta_model::{ArrivalPattern, SystemBuilder};
+    use rta_model::{ArrivalPattern, SchedulerKind, SystemBuilder};
 
     fn periodic(p: i64) -> ArrivalPattern {
         ArrivalPattern::Periodic {

@@ -29,7 +29,7 @@ use crate::config::AnalysisConfig;
 use crate::error::AnalysisError;
 use crate::report::{BoundsReport, JobBound};
 use rta_curves::Time;
-use rta_model::{ArrivalPattern, JobId, SchedulerKind, SubjobRef, TaskSystem};
+use rta_model::{ArrivalPattern, JobId, SubjobRef, TaskSystem};
 
 /// Converged jitter/response state of a holistic run, reusable to warm-start
 /// the next run.
@@ -85,13 +85,7 @@ pub fn analyze_holistic_seeded(
     seed: Option<&HolisticSeed>,
 ) -> Result<(BoundsReport, HolisticSeed), AnalysisError> {
     sys.validate(true)?;
-    for (p, proc) in sys.processors().iter().enumerate() {
-        if proc.scheduler != SchedulerKind::Spp {
-            return Err(AnalysisError::NotAllSpp {
-                processor: rta_model::ProcessorId(p),
-            });
-        }
-    }
+    crate::exact::require_exact_capable(sys)?;
     let mut periods = Vec::with_capacity(sys.jobs().len());
     for (k, job) in sys.jobs().iter().enumerate() {
         match job.arrival {
@@ -290,7 +284,7 @@ mod tests {
     use crate::classic::{rta_uniprocessor, PeriodicTask};
     use crate::exact::analyze_exact_spp;
     use rta_model::priority::{assign_priorities, PriorityPolicy};
-    use rta_model::SystemBuilder;
+    use rta_model::{SchedulerKind, SystemBuilder};
 
     fn periodic(p: i64) -> ArrivalPattern {
         ArrivalPattern::Periodic {

@@ -18,6 +18,13 @@
 //! | Section 5 baseline "SPP/S&L" | [`holistic`] |
 //! | Section 6 loop extension (`X = F(X)`) | [`fixpoint`] |
 //!
+//! The per-discipline kernels plug into the drivers through the
+//! [`policy`] layer: a [`policy::ServicePolicy`] per
+//! [`rta_model::SchedulerKind`]
+//! (SPP, SPNP, FCFS, and the IWRR extension after Tabatabaee, Le Boudec &
+//! Boyer) turns peer curves into service bounds, so drivers never match on
+//! the discipline.
+//!
 //! Classical uniprocessor response-time analysis (Joseph & Pandya) and the
 //! Liu & Layland utilization bound live in [`classic`] as test oracles.
 //!
@@ -51,6 +58,28 @@
 //! assert!(report.all_schedulable());
 //! // T1 in isolation at the critical instant: 4 on P1, 6 on P2 ⇒ WCRT 10.
 //! assert_eq!(report.jobs[0].wcrt, Some(Time(10)));
+//!
+//! // Any registered discipline works through the same drivers — e.g. a
+//! // weighted round-robin processor needs no priorities at all:
+//! use rta_core::analyze_bounds;
+//! let mut b = SystemBuilder::new();
+//! let p = b.add_processor("P1", SchedulerKind::Iwrr);
+//! b.add_job(
+//!     "T1",
+//!     Time(60),
+//!     ArrivalPattern::Periodic { period: Time(20), offset: Time(0) },
+//!     vec![(p, Time(4))],
+//! );
+//! b.add_job(
+//!     "T2",
+//!     Time(60),
+//!     ArrivalPattern::Periodic { period: Time(20), offset: Time(0) },
+//!     vec![(p, Time(5))],
+//! );
+//! let sys = b.build().unwrap();
+//! assert!(analyze_bounds(&sys, &AnalysisConfig::default())
+//!     .unwrap()
+//!     .all_schedulable());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -67,6 +96,7 @@ pub mod fixpoint;
 pub mod holistic;
 pub mod nc;
 pub mod par;
+pub mod policy;
 mod report;
 pub mod sensitivity;
 pub mod server;

@@ -1,0 +1,122 @@
+//! First-come-first-served behind the policy seam.
+//!
+//! The per-processor state (Theorem 7's utilization function and the
+//! extended-inverse of the total workload) lives in a
+//! [`crate::fcfs::FcfsProcessor`] wrapped in a [`PolicyContext`]; the
+//! Theorem 8/9 bounds delegate to
+//! [`crate::fcfs::FcfsProcessor::service_bounds`].
+
+use super::{BoundsInputs, PeerInputs, PolicyContext, ReadyInstance, ServicePolicy, SimScheduler};
+use crate::error::AnalysisError;
+use crate::fcfs::FcfsProcessor;
+use crate::spnp::ServiceBounds;
+use rta_curves::{Curve, Time};
+use rta_model::{ProcessorId, SchedulerKind, SubjobRef, TaskSystem};
+
+/// First-come-first-served (Theorems 7–9).
+pub struct FcfsPolicy;
+
+impl ServicePolicy for FcfsPolicy {
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::Fcfs
+    }
+
+    fn peer_inputs(&self) -> PeerInputs {
+        PeerInputs::SharedWorkloads
+    }
+
+    fn build_context(
+        &self,
+        _sys: &TaskSystem,
+        _p: ProcessorId,
+        _peers: &[SubjobRef],
+        peer_workloads: &[&Curve],
+        horizon: Time,
+    ) -> Result<Option<PolicyContext>, AnalysisError> {
+        let ctx = FcfsProcessor::new(peer_workloads, horizon)?;
+        Ok(Some(PolicyContext::new(ctx)))
+    }
+
+    fn service_bounds(&self, inputs: &BoundsInputs<'_>) -> Result<ServiceBounds, AnalysisError> {
+        let ctx = inputs
+            .ctx
+            .and_then(|c| c.downcast_ref::<FcfsProcessor>())
+            .ok_or(AnalysisError::MissingPolicyContext {
+                processor: inputs.processor,
+            })?;
+        ctx.service_bounds(inputs.workload, inputs.tau)
+            .map_err(AnalysisError::from)
+    }
+
+    fn sim_scheduler(&self, _sys: &TaskSystem, _p: ProcessorId) -> Box<dyn SimScheduler> {
+        Box::new(FcfsSim)
+    }
+}
+
+/// Dispatch in hop-release order; ties break by job index, then sequence.
+struct FcfsSim;
+
+impl SimScheduler for FcfsSim {
+    fn pick(&mut self, _sys: &TaskSystem, ready: &[ReadyInstance]) -> Option<usize> {
+        (0..ready.len()).min_by_key(|&i| {
+            let inst = &ready[i];
+            (inst.hop_release.ticks(), inst.subjob.job.0 as i64, inst.seq)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SpnpAvailability;
+
+    #[test]
+    fn missing_context_is_an_honest_error() {
+        let c = Curve::from_event_times(&[Time(0)]).scale(3);
+        let err = FcfsPolicy
+            .service_bounds(&BoundsInputs {
+                workload: &c,
+                tau: Time(3),
+                weight: 1,
+                blocking: Time::ZERO,
+                hp_lower: &[],
+                hp_upper: &[],
+                variant: SpnpAvailability::Conservative,
+                ctx: None,
+                horizon: Time(50),
+                processor: ProcessorId(7),
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            AnalysisError::MissingPolicyContext { processor } if processor == ProcessorId(7)
+        ));
+    }
+
+    #[test]
+    fn bounds_match_the_kernel_verbatim() {
+        let ca = Curve::from_event_times(&[Time(0)]).scale(4);
+        let cb = Curve::from_event_times(&[Time(2)]).scale(4);
+        let horizon = Time(50);
+        let direct_ctx = FcfsProcessor::new(&[&ca, &cb], horizon).unwrap();
+        let direct = direct_ctx.service_bounds(&ca, Time(4)).unwrap();
+
+        let ctx = PolicyContext::new(FcfsProcessor::new(&[&ca, &cb], horizon).unwrap());
+        let via_policy = FcfsPolicy
+            .service_bounds(&BoundsInputs {
+                workload: &ca,
+                tau: Time(4),
+                weight: 1,
+                blocking: Time::ZERO,
+                hp_lower: &[],
+                hp_upper: &[],
+                variant: SpnpAvailability::Conservative,
+                ctx: Some(&ctx),
+                horizon,
+                processor: ProcessorId(0),
+            })
+            .unwrap();
+        assert_eq!(via_policy.lower, direct.lower);
+        assert_eq!(via_policy.upper, direct.upper);
+    }
+}

@@ -1,0 +1,313 @@
+//! The policy-kernel layer: one trait per scheduling discipline.
+//!
+//! The paper derives per-policy service functions (Theorem 3 for SPP,
+//! Eq. 15/Theorems 5–6 for SPNP, Theorems 7–9 for FCFS) that all feed the
+//! *same* Theorem-1/Theorem-4 response-time machinery. This module is the
+//! seam between the curve algebra ([`rta_curves`]) and the drivers
+//! ([`crate::bounds`], [`crate::fixpoint`], [`crate::exact`],
+//! [`crate::session`], `rta-sim`): a [`ServicePolicy`] answers, for one
+//! subjob, "given peer workload curves, priority context, and a horizon,
+//! what service is guaranteed/possible, and what blocks it?".
+//!
+//! ## Contract (DESIGN.md §4c)
+//!
+//! Every implementation must produce service curves that are
+//!
+//! * **monotone** — nondecreasing (served work never un-happens);
+//! * **causal** — `S(t) ≤ min(t, c̄(t))`: a subjob cannot be served faster
+//!   than real time or beyond its demand;
+//! * **zero at the origin** — `S(0) = 0` on the left-limit lattice;
+//! * **ordered** — `S̲(t) ≤ S̄(t)` for all `t`.
+//!
+//! The property suite in `crates/core/tests/policy_conformance.rs` checks
+//! these obligations for every registered policy on randomized workloads.
+//!
+//! ## Adding a policy
+//!
+//! 1. Add a [`SchedulerKind`] variant in `rta-model` (plus any per-subjob
+//!    parameters, e.g. weights).
+//! 2. Write a submodule here implementing [`ServicePolicy`] (and a
+//!    [`SimScheduler`] for the event engine). Per-processor state derived
+//!    from peer workloads lives in a [`PolicyContext`] built by
+//!    [`ServicePolicy::build_context`].
+//! 3. Register it in [`policy_for`] and [`all_policies`].
+//!
+//! No driver edits are required: the drivers consult
+//! [`ServicePolicy::peer_inputs`] for dependency wiring and call
+//! [`ServicePolicy::service_bounds`] for the math. The IWRR policy
+//! ([`iwrr`]) was landed exactly this way.
+
+use std::any::Any;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use crate::config::SpnpAvailability;
+use crate::error::AnalysisError;
+use crate::spnp::ServiceBounds;
+use rta_curves::{Curve, Time};
+use rta_model::{ProcessorId, SchedulerKind, SubjobRef, TaskSystem};
+
+pub mod fcfs;
+pub mod iwrr;
+pub mod spnp;
+pub mod spp;
+
+/// Which peer curves a policy's bounds consume each evaluation — the
+/// information drivers need to wire dependencies (and staleness tracking)
+/// without knowing the discipline.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum PeerInputs {
+    /// Service bounds of strictly higher-priority subjobs on the same
+    /// processor (the summations of Theorems 3, 5 and 6).
+    HigherPriorityServices,
+    /// Workload curves of *every* subjob sharing the processor, consumed
+    /// once through [`ServicePolicy::build_context`] (Theorem 7's total
+    /// workload `G`; IWRR's round length).
+    SharedWorkloads,
+}
+
+/// Opaque per-processor state a policy derives from peer workload curves —
+/// e.g. the FCFS utilization cache. Policies downcast their own context;
+/// drivers only store and pass it, so adding a policy never touches them.
+pub struct PolicyContext(Box<dyn Any + Send + Sync>);
+
+impl PolicyContext {
+    /// Wrap a policy-owned context value.
+    pub fn new<T: Any + Send + Sync>(value: T) -> PolicyContext {
+        PolicyContext(Box::new(value))
+    }
+
+    /// Downcast to the concrete context type; `None` when the context
+    /// belongs to a different policy.
+    pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
+        self.0.downcast_ref::<T>()
+    }
+}
+
+impl std::fmt::Debug for PolicyContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("PolicyContext(..)")
+    }
+}
+
+/// All inputs of one [`ServicePolicy::service_bounds`] evaluation.
+///
+/// Drivers fill every field they can; fields a policy does not consume
+/// (e.g. `hp_lower` for FCFS, `ctx` for SPP) are simply ignored.
+pub struct BoundsInputs<'a> {
+    /// The subjob's (upper-bounded) workload `c̄ = f̄_arr · τ`.
+    pub workload: &'a Curve,
+    /// The subjob's execution time `τ`.
+    pub tau: Time,
+    /// The subjob's round-robin weight (1 unless assigned).
+    pub weight: u32,
+    /// The blocking term `b_{k,j}` from [`ServicePolicy::blocking`].
+    pub blocking: Time,
+    /// Lower service bounds of strictly higher-priority peers.
+    pub hp_lower: &'a [&'a Curve],
+    /// Upper service bounds of the same peers, in the same order.
+    pub hp_upper: &'a [&'a Curve],
+    /// Which Theorem-5 availability recursion SPNP uses.
+    pub variant: SpnpAvailability,
+    /// The processor context from [`ServicePolicy::build_context`], if any.
+    pub ctx: Option<&'a PolicyContext>,
+    /// Analysis horizon — curves are exact on `[0, horizon]`.
+    pub horizon: Time,
+    /// The processor this subjob executes on (for error reporting).
+    pub processor: ProcessorId,
+}
+
+/// One scheduling discipline's analysis kernel plus its simulator.
+///
+/// Implementations are stateless singletons (per-processor state lives in
+/// [`PolicyContext`]); the registry hands out `&'static` references.
+pub trait ServicePolicy: Send + Sync {
+    /// The model-level tag this policy implements.
+    fn kind(&self) -> SchedulerKind;
+
+    /// Which peer curves [`ServicePolicy::service_bounds`] consumes.
+    fn peer_inputs(&self) -> PeerInputs;
+
+    /// Whether the discipline preempts a running subjob for a
+    /// higher-urgency arrival.
+    fn preemptive(&self) -> bool {
+        false
+    }
+
+    /// The blocking term `b_{k,j}` of Eq. 15 — zero unless the discipline
+    /// lets lower-priority work hold the processor.
+    fn blocking(&self, _sys: &TaskSystem, _r: SubjobRef) -> Time {
+        Time::ZERO
+    }
+
+    /// Whether [`ServicePolicy::exact_service`] is available (Theorem 3
+    /// holds only for preemptive static priorities).
+    fn supports_exact(&self) -> bool {
+        false
+    }
+
+    /// The *exact* service curve given exact peer services, or `None` when
+    /// the discipline has no exact theory (drivers report
+    /// [`AnalysisError::NotAllSpp`]).
+    fn exact_service(&self, _workload: &Curve, _hp_services: &[&Curve]) -> Option<Curve> {
+        None
+    }
+
+    /// Build the per-processor context from the workload curves of all
+    /// subjobs sharing the processor (`peers` and `peer_workloads` are
+    /// parallel slices). `Ok(None)` when the policy keeps no state.
+    fn build_context(
+        &self,
+        _sys: &TaskSystem,
+        _p: ProcessorId,
+        _peers: &[SubjobRef],
+        _peer_workloads: &[&Curve],
+        _horizon: Time,
+    ) -> Result<Option<PolicyContext>, AnalysisError> {
+        Ok(None)
+    }
+
+    /// Lower/upper service bounds for one subjob — the policy kernel.
+    fn service_bounds(&self, inputs: &BoundsInputs<'_>) -> Result<ServiceBounds, AnalysisError>;
+
+    /// A fresh event-engine scheduler for one processor running this
+    /// discipline.
+    fn sim_scheduler(&self, sys: &TaskSystem, p: ProcessorId) -> Box<dyn SimScheduler>;
+}
+
+/// The single dispatch point from model tags to policy kernels.
+pub fn policy_for(kind: SchedulerKind) -> &'static dyn ServicePolicy {
+    match kind {
+        SchedulerKind::Spp => &spp::SppPolicy,
+        SchedulerKind::Spnp => &spnp::SpnpPolicy,
+        SchedulerKind::Fcfs => &fcfs::FcfsPolicy,
+        SchedulerKind::Iwrr => &iwrr::IwrrPolicy,
+    }
+}
+
+/// Every registered policy — the conformance suite iterates this.
+pub fn all_policies() -> Vec<&'static dyn ServicePolicy> {
+    vec![
+        &spp::SppPolicy,
+        &spnp::SpnpPolicy,
+        &fcfs::FcfsPolicy,
+        &iwrr::IwrrPolicy,
+    ]
+}
+
+/// Per-processor policy contexts, built lazily — the single home of the
+/// slot bookkeeping previously duplicated across the bounds and fixpoint
+/// drivers.
+#[derive(Default)]
+pub struct ProcessorContexts {
+    slots: HashMap<usize, Option<PolicyContext>>,
+}
+
+impl ProcessorContexts {
+    /// An empty cache.
+    pub fn new() -> ProcessorContexts {
+        ProcessorContexts::default()
+    }
+
+    /// Build (once) and return processor `p`'s context, deriving the peer
+    /// workload curves on demand via `workload_of`. Policies without
+    /// per-processor state yield `None` without calling `workload_of`.
+    pub fn ensure(
+        &mut self,
+        sys: &TaskSystem,
+        p: ProcessorId,
+        horizon: Time,
+        workload_of: &mut dyn FnMut(SubjobRef) -> Curve,
+    ) -> Result<Option<&PolicyContext>, AnalysisError> {
+        if let Entry::Vacant(e) = self.slots.entry(p.0) {
+            let policy = policy_for(sys.processor(p).scheduler);
+            let ctx = if policy.peer_inputs() == PeerInputs::SharedWorkloads {
+                let peers = sys.subjobs_on(p);
+                let workloads: Vec<Curve> = peers.iter().map(|&o| workload_of(o)).collect();
+                let refs: Vec<&Curve> = workloads.iter().collect();
+                policy.build_context(sys, p, &peers, &refs, horizon)?
+            } else {
+                None
+            };
+            e.insert(ctx);
+        }
+        Ok(self.get(p))
+    }
+
+    /// The context of processor `p`, if one has been built.
+    pub fn get(&self, p: ProcessorId) -> Option<&PolicyContext> {
+        self.slots.get(&p.0).and_then(|c| c.as_ref())
+    }
+}
+
+/// A ready instance as the event engine presents it to a scheduler: the
+/// subjob it instantiates, when it became ready at this hop, and a unique
+/// release sequence number for deterministic tie-breaks.
+#[derive(Copy, Clone, Debug)]
+pub struct ReadyInstance {
+    /// The subjob this instance executes.
+    pub subjob: SubjobRef,
+    /// When the instance was released at this hop.
+    pub hop_release: Time,
+    /// Global release sequence number (unique).
+    pub seq: u64,
+}
+
+/// The dispatch side of a policy: which ready instance runs next, and
+/// whether an arrival preempts the running one. Stateful schedulers (IWRR's
+/// round cursor) advance on each successful `pick`.
+pub trait SimScheduler: Send {
+    /// Index into `ready` of the instance to dispatch, `None` when empty.
+    fn pick(&mut self, sys: &TaskSystem, ready: &[ReadyInstance]) -> Option<usize>;
+
+    /// Whether any instance in `ready` preempts `running`.
+    fn preempts(
+        &self,
+        _sys: &TaskSystem,
+        _running: &ReadyInstance,
+        _ready: &[ReadyInstance],
+    ) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_round_trips_every_kind() {
+        for kind in [
+            SchedulerKind::Spp,
+            SchedulerKind::Spnp,
+            SchedulerKind::Fcfs,
+            SchedulerKind::Iwrr,
+        ] {
+            assert_eq!(policy_for(kind).kind(), kind);
+        }
+        assert_eq!(all_policies().len(), 4);
+    }
+
+    #[test]
+    fn policy_context_downcasts_its_own_type_only() {
+        let ctx = PolicyContext::new(42_u64);
+        assert_eq!(ctx.downcast_ref::<u64>(), Some(&42));
+        assert!(ctx.downcast_ref::<i32>().is_none());
+    }
+
+    #[test]
+    fn exact_support_matches_the_paper() {
+        // Theorem 3 is preemptive-static-priority only.
+        for p in all_policies() {
+            assert_eq!(
+                p.supports_exact(),
+                p.kind() == SchedulerKind::Spp,
+                "{}",
+                p.kind()
+            );
+            if p.supports_exact() {
+                assert!(p.preemptive());
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Preemptive static priorities behind the policy seam.
+//!
+//! Delegates the math to [`crate::spp`] (exact Theorem 3) and
+//! [`crate::spnp::spnp_bounds`] with a zero blocking term (Theorems 5/6
+//! degenerate to Theorem 3 with bounded inputs — see the [`crate::spnp`]
+//! module docs).
+
+use super::{BoundsInputs, PeerInputs, ReadyInstance, ServicePolicy, SimScheduler};
+use crate::error::AnalysisError;
+use crate::spnp::{spnp_bounds, ServiceBounds};
+use rta_curves::Curve;
+use rta_model::{ProcessorId, SchedulerKind, TaskSystem};
+
+/// Static-priority preemptive (Theorem 3).
+pub struct SppPolicy;
+
+impl ServicePolicy for SppPolicy {
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::Spp
+    }
+
+    fn peer_inputs(&self) -> PeerInputs {
+        PeerInputs::HigherPriorityServices
+    }
+
+    fn preemptive(&self) -> bool {
+        true
+    }
+
+    fn supports_exact(&self) -> bool {
+        true
+    }
+
+    fn exact_service(&self, workload: &Curve, hp_services: &[&Curve]) -> Option<Curve> {
+        Some(crate::spp::exact_service(workload, hp_services))
+    }
+
+    fn service_bounds(&self, inputs: &BoundsInputs<'_>) -> Result<ServiceBounds, AnalysisError> {
+        spnp_bounds(
+            inputs.workload,
+            inputs.hp_lower,
+            inputs.hp_upper,
+            inputs.blocking,
+            inputs.variant,
+        )
+        .map_err(AnalysisError::from)
+    }
+
+    fn sim_scheduler(&self, _sys: &TaskSystem, _p: ProcessorId) -> Box<dyn SimScheduler> {
+        Box::new(PrioritySim { preemptive: true })
+    }
+}
+
+/// Dispatch by static priority; shared by SPP (preemptive) and SPNP.
+/// Ties break by hop release time, then release sequence.
+pub(super) struct PrioritySim {
+    pub(super) preemptive: bool,
+}
+
+fn phi(sys: &TaskSystem, inst: &ReadyInstance) -> i64 {
+    sys.subjob(inst.subjob).priority.expect("validated") as i64
+}
+
+impl SimScheduler for PrioritySim {
+    fn pick(&mut self, sys: &TaskSystem, ready: &[ReadyInstance]) -> Option<usize> {
+        (0..ready.len()).min_by_key(|&i| {
+            let inst = &ready[i];
+            (phi(sys, inst), inst.hop_release.ticks(), inst.seq)
+        })
+    }
+
+    fn preempts(&self, sys: &TaskSystem, running: &ReadyInstance, ready: &[ReadyInstance]) -> bool {
+        if !self.preemptive {
+            return false;
+        }
+        let run_phi = phi(sys, running);
+        ready.iter().any(|c| phi(sys, c) < run_phi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::policy_for;
+    use super::*;
+    use crate::config::SpnpAvailability;
+    use rta_curves::Time;
+
+    #[test]
+    fn bounds_match_the_kernel_verbatim() {
+        let c = Curve::from_event_times(&[Time(0), Time(10)]).scale(4);
+        let via_policy = policy_for(SchedulerKind::Spp)
+            .service_bounds(&BoundsInputs {
+                workload: &c,
+                tau: Time(4),
+                weight: 1,
+                blocking: Time::ZERO,
+                hp_lower: &[],
+                hp_upper: &[],
+                variant: SpnpAvailability::Conservative,
+                ctx: None,
+                horizon: Time(100),
+                processor: ProcessorId(0),
+            })
+            .unwrap();
+        let direct = spnp_bounds(&c, &[], &[], Time::ZERO, SpnpAvailability::Conservative).unwrap();
+        assert_eq!(via_policy.lower, direct.lower);
+        assert_eq!(via_policy.upper, direct.upper);
+    }
+
+    #[test]
+    fn exact_matches_theorem_3_kernel() {
+        let c = Curve::from_event_times(&[Time(0), Time(7)]).scale(3);
+        let via_policy = SppPolicy.exact_service(&c, &[]).unwrap();
+        assert_eq!(via_policy, crate::spp::exact_service(&c, &[]));
+    }
+}

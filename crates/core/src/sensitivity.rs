@@ -16,7 +16,7 @@
 use crate::config::AnalysisConfig;
 use crate::error::AnalysisError;
 use crate::session::AnalysisSession;
-use rta_model::{SchedulerKind, TaskSystem};
+use rta_model::TaskSystem;
 
 /// Which analysis backs the schedulability oracle.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -54,7 +54,7 @@ pub fn default_oracle(sys: &TaskSystem) -> Oracle {
     if sys
         .processors()
         .iter()
-        .all(|p| p.scheduler == SchedulerKind::Spp)
+        .all(|p| crate::policy::policy_for(p.scheduler).supports_exact())
     {
         Oracle::Exact
     } else {
@@ -67,7 +67,7 @@ mod tests {
     use super::*;
     use rta_curves::Time;
     use rta_model::priority::{assign_priorities, PriorityPolicy};
-    use rta_model::{ArrivalPattern, SystemBuilder};
+    use rta_model::{ArrivalPattern, SchedulerKind, SystemBuilder};
 
     fn sys(util_percent: i64, scheduler: SchedulerKind) -> TaskSystem {
         let mut b = SystemBuilder::new();

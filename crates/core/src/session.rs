@@ -47,7 +47,7 @@ use std::collections::{HashMap, VecDeque};
 use crate::config::AnalysisConfig;
 use crate::depgraph::{evaluation_order, DepGraph, DirtyCone, SubjobIndex};
 use crate::error::AnalysisError;
-use crate::exact::{assemble_exact_report, job_report, require_all_spp, subjob_node_curves};
+use crate::exact::{assemble_exact_report, job_report, require_exact_capable, subjob_node_curves};
 use crate::fixpoint::{analyze_with_loops_seeded, LoopSeed};
 use crate::holistic::{analyze_holistic_seeded, HolisticSeed};
 use crate::report::{BoundsReport, ExactReport, SubjobCurves};
@@ -279,7 +279,7 @@ impl AnalysisSession {
     /// the dependency graph and recompute exactly the cone.
     fn refresh_exact_curves(&mut self) -> Result<(SubjobIndex, Time, Time), AnalysisError> {
         self.current.validate(true)?;
-        require_all_spp(&self.current)?;
+        require_exact_capable(&self.current)?;
         let (window, horizon) = self.frame();
         if self.cached_frame != Some((window, horizon)) {
             self.mark_all_dirty();
@@ -664,6 +664,7 @@ mod tests {
                 processor: rta_model::ProcessorId(0),
                 exec: Time(3),
                 priority: Some(99),
+                weight: None,
             }],
         };
         let id = session.add_job(new_job.clone());

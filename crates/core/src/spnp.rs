@@ -24,7 +24,7 @@
 //! blocking; Theorems 5/6 then mirror Theorem 3 with bounded inputs).
 
 use crate::config::SpnpAvailability;
-use rta_curves::{Curve, Time};
+use rta_curves::{Curve, CurveError, Time};
 
 /// Lower/upper service-function bounds of one subjob.
 #[derive(Clone, Debug)]
@@ -48,14 +48,23 @@ pub struct ServiceBounds {
 /// re-monotonized soundly (`running_max` of a lower bound is still a lower
 /// bound of a nondecreasing function; likewise the upper bound can only be
 /// loosened).
+///
+/// Errors with [`CurveError::MismatchedLengths`] when the peer bound
+/// slices cannot be paired — a caller bug that would otherwise silently
+/// drop interference.
 pub fn spnp_bounds(
     workload_upper: &Curve,
     hp_lower: &[&Curve],
     hp_upper: &[&Curve],
     blocking: Time,
     variant: SpnpAvailability,
-) -> ServiceBounds {
-    debug_assert_eq!(hp_lower.len(), hp_upper.len());
+) -> Result<ServiceBounds, CurveError> {
+    if hp_lower.len() != hp_upper.len() {
+        return Err(CurveError::MismatchedLengths {
+            left: hp_lower.len(),
+            right: hp_upper.len(),
+        });
+    }
     let b = blocking;
     let c_prev = workload_upper.shift_right(Time::ONE, 0);
     let sum = |curves: &[&Curve]| -> Curve {
@@ -121,7 +130,7 @@ pub fn spnp_bounds(
 
     // Clipping can reorder the raw curves in degenerate spots.
     let upper = upper.max_with(&lower);
-    ServiceBounds { lower, upper }
+    Ok(ServiceBounds { lower, upper })
 }
 
 #[cfg(test)]
@@ -141,11 +150,26 @@ mod tests {
     }
 
     #[test]
+    fn mismatched_peer_slices_are_rejected() {
+        let c = Curve::from_event_times(&[Time(0)]).scale(2);
+        let hp = spnp_bounds(&c, &[], &[], Time::ZERO, SpnpAvailability::Conservative).unwrap();
+        let err = spnp_bounds(
+            &c,
+            &[&hp.lower],
+            &[],
+            Time::ZERO,
+            SpnpAvailability::Conservative,
+        )
+        .unwrap_err();
+        assert_eq!(err, CurveError::MismatchedLengths { left: 1, right: 0 });
+    }
+
+    #[test]
     fn no_blocking_no_interference_brackets_exact() {
         let c = Curve::from_event_times(&[Time(0), Time(10)]).scale(4);
         let exact = exact_service(&c, &[]);
         for variant in [SpnpAvailability::AsPrinted, SpnpAvailability::Conservative] {
-            let b = spnp_bounds(&c, &[], &[], Time::ZERO, variant);
+            let b = spnp_bounds(&c, &[], &[], Time::ZERO, variant).unwrap();
             check_sane(&b, 25);
             for t in 0..=25 {
                 let t = Time(t);
@@ -158,7 +182,7 @@ mod tests {
     #[test]
     fn blocking_delays_the_lower_bound() {
         let c = Curve::from_event_times(&[Time(0)]).scale(5);
-        let b = spnp_bounds(&c, &[], &[], Time(3), SpnpAvailability::Conservative);
+        let b = spnp_bounds(&c, &[], &[], Time(3), SpnpAvailability::Conservative).unwrap();
         check_sane(&b, 20);
         // Nothing guaranteed during the blocking interval.
         assert_eq!(b.lower.eval(Time(3)), 0);
@@ -172,7 +196,7 @@ mod tests {
     fn interference_shrinks_bounds() {
         // hp takes [0,4) guaranteed.
         let hp_c = Curve::from_event_times(&[Time(0)]).scale(4);
-        let hp = spnp_bounds(&hp_c, &[], &[], Time::ZERO, SpnpAvailability::Conservative);
+        let hp = spnp_bounds(&hp_c, &[], &[], Time::ZERO, SpnpAvailability::Conservative).unwrap();
         let c = Curve::from_event_times(&[Time(0)]).scale(5);
         let lo = spnp_bounds(
             &c,
@@ -180,7 +204,8 @@ mod tests {
             &[&hp.upper],
             Time::ZERO,
             SpnpAvailability::Conservative,
-        );
+        )
+        .unwrap();
         check_sane(&lo, 20);
         // Lower bound: hp may consume the first 4 ticks ⇒ our 5 units are
         // only guaranteed complete by t = 9.
@@ -194,7 +219,7 @@ mod tests {
     #[test]
     fn variants_are_both_sane() {
         let hp_c = Curve::from_event_times(&[Time(0), Time(6)]).scale(3);
-        let hp = spnp_bounds(&hp_c, &[], &[], Time(2), SpnpAvailability::Conservative);
+        let hp = spnp_bounds(&hp_c, &[], &[], Time(2), SpnpAvailability::Conservative).unwrap();
         let c = Curve::from_event_times(&[Time(0), Time(8)]).scale(4);
         let printed = spnp_bounds(
             &c,
@@ -202,14 +227,16 @@ mod tests {
             &[&hp.upper],
             Time(2),
             SpnpAvailability::AsPrinted,
-        );
+        )
+        .unwrap();
         let conserv = spnp_bounds(
             &c,
             &[&hp.lower],
             &[&hp.upper],
             Time(2),
             SpnpAvailability::Conservative,
-        );
+        )
+        .unwrap();
         check_sane(&printed, 30);
         check_sane(&conserv, 30);
         // The conservative variant brackets at least as widely as the
@@ -231,7 +258,7 @@ mod tests {
     #[test]
     fn lower_bound_capped_by_workload() {
         let c = Curve::from_event_times(&[Time(0)]).scale(2);
-        let b = spnp_bounds(&c, &[], &[], Time::ZERO, SpnpAvailability::Conservative);
+        let b = spnp_bounds(&c, &[], &[], Time::ZERO, SpnpAvailability::Conservative).unwrap();
         for t in 0..=15 {
             assert!(b.lower.eval(Time(t)) <= c.eval(Time(t)));
         }

@@ -41,6 +41,69 @@ fn arb_jobs() -> impl Strategy<Value = Vec<JobSpec>> {
     )
 }
 
+fn arb_bursty_jobs() -> impl Strategy<Value = Vec<(JobSpec, Vec<i64>)>> {
+    prop::collection::vec(
+        (
+            (
+                20i64..81,
+                prop::collection::vec(1i64..9, 1..3),
+                any::<bool>(),
+            )
+                .prop_map(|(period, execs, forward)| JobSpec {
+                    period,
+                    execs,
+                    forward,
+                }),
+            // Burst release times; empty → the job stays periodic.
+            prop::collection::vec(0i64..120, 0..6),
+        ),
+        2..5,
+    )
+}
+
+/// Like [`build_sys`], but jobs with a non-empty burst list release along
+/// an `ArrivalPattern::Trace` instead of periodically.
+fn build_bursty_sys(specs: &[(JobSpec, Vec<i64>)]) -> TaskSystem {
+    let mut b = SystemBuilder::new();
+    let p0 = b.add_processor("P0", SchedulerKind::Spp);
+    let p1 = b.add_processor("P1", SchedulerKind::Spp);
+    for (k, (s, burst)) in specs.iter().enumerate() {
+        let route: Vec<_> = s
+            .execs
+            .iter()
+            .enumerate()
+            .map(|(h, &c)| {
+                let p = if s.execs.len() > 1 {
+                    if h == 0 {
+                        p0
+                    } else {
+                        p1
+                    }
+                } else if s.forward {
+                    p0
+                } else {
+                    p1
+                };
+                (p, Time(c))
+            })
+            .collect();
+        let pattern = if burst.is_empty() {
+            ArrivalPattern::Periodic {
+                period: Time(s.period),
+                offset: Time::ZERO,
+            }
+        } else {
+            let mut ts: Vec<Time> = burst.iter().map(|&t| Time(t)).collect();
+            ts.sort_unstable();
+            ArrivalPattern::Trace(ts)
+        };
+        b.add_job(format!("T{k}"), Time(2 * s.period), pattern, route);
+    }
+    let mut sys = b.build().unwrap();
+    assign_priorities(&mut sys, PriorityPolicy::RelativeDeadlineMonotonic).unwrap();
+    sys
+}
+
 fn build_sys(specs: &[JobSpec]) -> TaskSystem {
     let mut b = SystemBuilder::new();
     let p0 = b.add_processor("P0", SchedulerKind::Spp);
@@ -153,6 +216,7 @@ proptest! {
                 processor: ProcessorId(0),
                 exec: Time(exec),
                 priority: Some(1000), // below every generated priority
+                weight: None,
             }],
         };
 
@@ -210,6 +274,50 @@ proptest! {
         let cold = analyze_holistic(&sys, &cfg).unwrap();
         let (warm, _) = analyze_holistic_seeded(&sys, &cfg, Some(&seed)).unwrap();
         prop_assert_eq!(format!("{cold}"), format!("{warm}"));
+    }
+
+    /// Bursty (trace-release) workloads through a warm session: scale
+    /// sweeps and a priority swap stay bit-identical to cold analyses.
+    /// Bursts stress the dirty cone differently from periodic releases —
+    /// arrival curves are irregular steps, so any stale cached curve shows
+    /// up immediately as a divergent service or departure function.
+    #[test]
+    fn bursty_session_matches_cold(
+        specs in arb_bursty_jobs(),
+        factors in prop::collection::vec(0.4f64..2.5, 1..4),
+        pick in 0usize..64,
+    ) {
+        let sys = build_bursty_sys(&specs);
+        let cfg = AnalysisConfig {
+            arrival_window: Some(Time(240)),
+            ..AnalysisConfig::default()
+        };
+        let mut session = AnalysisSession::new(sys.clone(), cfg.clone());
+        for &f in &factors {
+            session.scale_exec(f);
+            let warm = session.analyze_exact().unwrap();
+            let cold = analyze_exact_spp(&sys.with_scaled_exec(f), &cfg).unwrap();
+            assert_reports_identical(&cold, &warm);
+        }
+
+        // Follow the sweep with a priority swap on P0 (if it hosts ≥ 2
+        // subjobs) so the cone re-analysis also runs on bursty curves.
+        let on_p0 = sys.subjobs_on(ProcessorId(0));
+        if on_p0.len() >= 2 {
+            let last = *factors.last().unwrap();
+            let a = on_p0[pick % on_p0.len()];
+            let b = on_p0[(pick + 1) % on_p0.len()];
+            let (pa, pb) = (sys.subjob(a).priority, sys.subjob(b).priority);
+            session.set_priority(a, pb);
+            session.set_priority(b, pa);
+            let warm = session.analyze_exact().unwrap();
+
+            let mut cold_sys = sys.with_scaled_exec(last);
+            cold_sys.set_priority(a, pb);
+            cold_sys.set_priority(b, pa);
+            let cold = analyze_exact_spp(&cold_sys, &cfg).unwrap();
+            assert_reports_identical(&cold, &warm);
+        }
     }
 
     /// The session bisection (verdict memo + in-place scaling) lands on the

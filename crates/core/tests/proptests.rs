@@ -89,8 +89,8 @@ proptest! {
         } else {
             SpnpAvailability::AsPrinted
         };
-        let hp = spnp_bounds(&hp_c, &[], &[], Time(b), variant);
-        let me = spnp_bounds(&c, &[&hp.lower], &[&hp.upper], Time(b), variant);
+        let hp = spnp_bounds(&hp_c, &[], &[], Time(b), variant).unwrap();
+        let me = spnp_bounds(&c, &[&hp.lower], &[&hp.upper], Time(b), variant).unwrap();
         prop_assert!(me.lower.is_nondecreasing());
         prop_assert!(me.upper.is_nondecreasing());
         for t in 0..=HORIZON {
@@ -112,7 +112,7 @@ proptest! {
     fn spnp_degenerates_to_exact((c, _tau) in arb_workload()) {
         let exact = exact_service(&c, &[]);
         for variant in [SpnpAvailability::AsPrinted, SpnpAvailability::Conservative] {
-            let bounds = spnp_bounds(&c, &[], &[], Time::ZERO, variant);
+            let bounds = spnp_bounds(&c, &[], &[], Time::ZERO, variant).unwrap();
             for t in 0..=HORIZON {
                 let t = Time(t);
                 prop_assert_eq!(bounds.lower.eval(t), exact.eval(t), "lower {:?} t={}", variant, t);

@@ -104,6 +104,14 @@ pub enum CurveError {
         /// The offending initial value.
         value: i64,
     },
+    /// Two curve collections that must be paired element-wise (e.g. peer
+    /// lower/upper service bounds) have different lengths.
+    MismatchedLengths {
+        /// Length of the left collection.
+        left: usize,
+        /// Length of the right collection.
+        right: usize,
+    },
 }
 
 impl std::fmt::Display for CurveError {
@@ -125,6 +133,12 @@ impl std::fmt::Display for CurveError {
             CurveError::NegativeAtZero { value } => {
                 write!(f, "operation requires f(0) ≥ 0, got {value}")
             }
+            CurveError::MismatchedLengths { left, right } => {
+                write!(
+                    f,
+                    "paired curve collections differ in length: {left} vs {right}"
+                )
+            }
         }
     }
 }
@@ -144,6 +158,10 @@ mod error_tests {
             (CurveError::NotMonotone { at: Time(7) }, "t = 7"),
             (CurveError::UnsupportedSlope { slope: -2 }, "slope -2"),
             (CurveError::NegativeAtZero { value: -5 }, "-5"),
+            (
+                CurveError::MismatchedLengths { left: 2, right: 3 },
+                "2 vs 3",
+            ),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

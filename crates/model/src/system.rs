@@ -13,12 +13,20 @@ pub enum SchedulerKind {
     Spnp,
     /// First-come-first-served.
     Fcfs,
+    /// Interleaved weighted round-robin (non-preemptive, per-subjob
+    /// weights; Tabatabaee, Le Boudec & Boyer).
+    Iwrr,
 }
 
 impl SchedulerKind {
     /// Whether subjobs on this processor need priorities assigned.
     pub fn uses_priorities(self) -> bool {
         matches!(self, SchedulerKind::Spp | SchedulerKind::Spnp)
+    }
+
+    /// Whether subjobs on this processor consume per-subjob weights.
+    pub fn uses_weights(self) -> bool {
+        matches!(self, SchedulerKind::Iwrr)
     }
 }
 
@@ -28,6 +36,7 @@ impl std::fmt::Display for SchedulerKind {
             SchedulerKind::Spp => write!(f, "SPP"),
             SchedulerKind::Spnp => write!(f, "SPNP"),
             SchedulerKind::Fcfs => write!(f, "FCFS"),
+            SchedulerKind::Iwrr => write!(f, "IWRR"),
         }
     }
 }
@@ -52,6 +61,16 @@ pub struct Subjob {
     /// as in the paper. `None` until a priority policy has run (FCFS-only
     /// systems may leave priorities unassigned).
     pub priority: Option<u32>,
+    /// Service weight `w_{k,j}` for weighted round-robin disciplines.
+    /// `None` means the default weight of 1; ignored by SPP/SPNP/FCFS.
+    pub weight: Option<u32>,
+}
+
+impl Subjob {
+    /// Effective round-robin weight (defaults to 1 when unassigned).
+    pub fn weight(&self) -> u32 {
+        self.weight.unwrap_or(1)
+    }
 }
 
 /// A job `T_k`: a chain of subjobs with an end-to-end deadline and an
@@ -119,6 +138,12 @@ pub enum ModelError {
         /// The offending job.
         job: JobId,
     },
+    /// A subjob on a weighted round-robin processor has weight zero —
+    /// such a flow would never be served.
+    ZeroWeight {
+        /// The offending subjob.
+        subjob: SubjobRef,
+    },
 }
 
 impl std::fmt::Display for ModelError {
@@ -151,6 +176,12 @@ impl std::fmt::Display for ModelError {
                 write!(
                     f,
                     "job {job} has no nominal period for rate-monotonic assignment"
+                )
+            }
+            ModelError::ZeroWeight { subjob } => {
+                write!(
+                    f,
+                    "subjob {subjob} on a weighted round-robin processor has weight zero"
                 )
             }
         }
@@ -298,6 +329,12 @@ impl TaskSystem {
         self.jobs[r.job.0].subjobs[r.index].priority = priority;
     }
 
+    /// Set (or clear) the round-robin weight of one subjob. Zero weights on
+    /// a weighted processor are caught by [`TaskSystem::validate`].
+    pub fn set_weight(&mut self, r: SubjobRef, weight: Option<u32>) {
+        self.jobs[r.job.0].subjobs[r.index].weight = weight;
+    }
+
     /// Append a job to the system; returns its id. Existing job ids (and
     /// therefore subjob enumeration order of existing jobs) are unchanged.
     pub fn push_job(&mut self, job: Job) -> JobId {
@@ -335,6 +372,9 @@ impl TaskSystem {
                 }
                 if s.exec <= Time::ZERO {
                     return Err(ModelError::NonPositiveExec { subjob: r });
+                }
+                if self.processors[s.processor.0].scheduler.uses_weights() && s.weight == Some(0) {
+                    return Err(ModelError::ZeroWeight { subjob: r });
                 }
             }
         }
@@ -416,6 +456,7 @@ impl SystemBuilder {
                 processor,
                 exec,
                 priority: None,
+                weight: None,
             })
             .collect();
         self.jobs.push(Job {
@@ -430,6 +471,12 @@ impl SystemBuilder {
     /// Set an explicit priority on a subjob (smaller = higher).
     pub fn set_priority(&mut self, r: SubjobRef, priority: u32) -> &mut SystemBuilder {
         self.jobs[r.job.0].subjobs[r.index].priority = Some(priority);
+        self
+    }
+
+    /// Set an explicit round-robin weight on a subjob (≥ 1).
+    pub fn set_weight(&mut self, r: SubjobRef, weight: u32) -> &mut SystemBuilder {
+        self.jobs[r.job.0].subjobs[r.index].weight = Some(weight);
         self
     }
 
@@ -632,6 +679,47 @@ mod tests {
         assert!(SchedulerKind::Spp.uses_priorities());
         assert!(SchedulerKind::Spnp.uses_priorities());
         assert!(!SchedulerKind::Fcfs.uses_priorities());
+        assert!(!SchedulerKind::Iwrr.uses_priorities());
+        assert!(SchedulerKind::Iwrr.uses_weights());
+        assert!(!SchedulerKind::Fcfs.uses_weights());
         assert_eq!(SchedulerKind::Fcfs.to_string(), "FCFS");
+        assert_eq!(SchedulerKind::Iwrr.to_string(), "IWRR");
+    }
+
+    #[test]
+    fn weights_default_and_validate() {
+        let mut b = SystemBuilder::new();
+        let p = b.add_processor("P1", SchedulerKind::Iwrr);
+        let t1 = b.add_job(
+            "T1",
+            Time(10),
+            ArrivalPattern::Periodic {
+                period: Time(5),
+                offset: Time::ZERO,
+            },
+            vec![(p, Time(1))],
+        );
+        let t2 = b.add_job(
+            "T2",
+            Time(10),
+            ArrivalPattern::Periodic {
+                period: Time(5),
+                offset: Time::ZERO,
+            },
+            vec![(p, Time(1))],
+        );
+        b.set_weight(SubjobRef { job: t2, index: 0 }, 3);
+        let sys = b.build().unwrap();
+        // Unassigned weight defaults to 1; IWRR needs no priorities.
+        assert_eq!(sys.subjob(SubjobRef { job: t1, index: 0 }).weight(), 1);
+        assert_eq!(sys.subjob(SubjobRef { job: t2, index: 0 }).weight(), 3);
+        assert!(sys.validate(true).is_ok());
+        // An explicit zero weight on a weighted processor is rejected.
+        let mut sys = sys;
+        sys.set_weight(SubjobRef { job: t1, index: 0 }, Some(0));
+        assert!(matches!(
+            sys.validate(false).unwrap_err(),
+            ModelError::ZeroWeight { subjob } if subjob.job == t1
+        ));
     }
 }

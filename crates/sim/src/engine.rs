@@ -1,8 +1,9 @@
 //! The event-driven simulation engine.
 
 use crate::result::SimResult;
+use rta_core::policy::{policy_for, ReadyInstance, SimScheduler};
 use rta_curves::Time;
-use rta_model::{JobId, SchedulerKind, SubjobRef, TaskSystem};
+use rta_model::{JobId, ProcessorId, SubjobRef, TaskSystem};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -43,54 +44,44 @@ struct Instance {
     seq: u64, // global release sequence for deterministic tie-breaks
 }
 
-/// Per-processor run state.
+/// The policy-facing view of an [`Instance`].
+fn view(inst: &Instance) -> ReadyInstance {
+    ReadyInstance {
+        subjob: SubjobRef {
+            job: inst.job,
+            index: inst.hop,
+        },
+        hop_release: inst.hop_release,
+        seq: inst.seq,
+    }
+}
+
+/// Per-processor run state: the policy's dispatcher plus the queues. All
+/// discipline-specific logic lives behind [`SimScheduler`], obtained from
+/// the processor's [`rta_core::policy::ServicePolicy`].
 struct Proc {
-    scheduler: SchedulerKind,
+    scheduler: Box<dyn SimScheduler>,
     ready: Vec<Instance>,
     running: Option<(Instance, Time)>, // (instance, started_at)
 }
 
 impl Proc {
     /// Pick the index of the next ready instance per policy.
-    fn pick(&self, sys: &TaskSystem) -> Option<usize> {
+    fn pick(&mut self, sys: &TaskSystem) -> Option<usize> {
         if self.ready.is_empty() {
             return None;
         }
-        let key = |inst: &Instance| -> (i64, i64, u64) {
-            match self.scheduler {
-                SchedulerKind::Spp | SchedulerKind::Spnp => {
-                    let r = SubjobRef {
-                        job: inst.job,
-                        index: inst.hop,
-                    };
-                    let phi = sys.subjob(r).priority.expect("validated") as i64;
-                    (phi, inst.hop_release.ticks(), inst.seq)
-                }
-                SchedulerKind::Fcfs => (inst.hop_release.ticks(), inst.job.0 as i64, inst.seq),
-            }
-        };
-        (0..self.ready.len()).min_by_key(|&i| key(&self.ready[i]))
+        let views: Vec<ReadyInstance> = self.ready.iter().map(view).collect();
+        self.scheduler.pick(sys, &views)
     }
 
-    /// Would `cand` preempt the running instance under SPP?
+    /// Would any ready instance preempt the running one?
     fn preempts(&self, sys: &TaskSystem, running: &Instance) -> bool {
-        if self.scheduler != SchedulerKind::Spp {
+        if self.ready.is_empty() {
             return false;
         }
-        let run_phi = {
-            let r = SubjobRef {
-                job: running.job,
-                index: running.hop,
-            };
-            sys.subjob(r).priority.expect("validated")
-        };
-        self.ready.iter().any(|c| {
-            let r = SubjobRef {
-                job: c.job,
-                index: c.hop,
-            };
-            sys.subjob(r).priority.expect("validated") < run_phi
-        })
+        let views: Vec<ReadyInstance> = self.ready.iter().map(view).collect();
+        self.scheduler.preempts(sys, &view(running), &views)
     }
 }
 
@@ -133,8 +124,9 @@ pub fn simulate(sys: &TaskSystem, cfg: &SimConfig) -> SimResult {
     let mut procs: Vec<Proc> = sys
         .processors()
         .iter()
-        .map(|p| Proc {
-            scheduler: p.scheduler,
+        .enumerate()
+        .map(|(i, p)| Proc {
+            scheduler: policy_for(p.scheduler).sim_scheduler(sys, ProcessorId(i)),
             ready: Vec::new(),
             running: None,
         })
@@ -241,7 +233,7 @@ pub fn simulate(sys: &TaskSystem, cfg: &SimConfig) -> SimResult {
 mod tests {
     use super::*;
     use rta_model::priority::{assign_priorities, PriorityPolicy};
-    use rta_model::{ArrivalPattern, SystemBuilder};
+    use rta_model::{ArrivalPattern, SchedulerKind, SystemBuilder};
 
     fn periodic(p: i64) -> ArrivalPattern {
         ArrivalPattern::Periodic {
@@ -426,6 +418,35 @@ mod tests {
         // Simultaneous arrivals: the lower job index goes first.
         assert_eq!(r.completion(JobId(0), 1), Some(Time(4)));
         assert_eq!(r.completion(JobId(1), 1), Some(Time(10)));
+    }
+
+    #[test]
+    fn iwrr_interleaves_backlogged_flows_by_weight() {
+        // T1 (w=2, τ=2) releases 3 instances at 0; T2 (w=1, τ=3) releases
+        // 2 at 0. Rounds serve T1, T2, T1 (cycle 2), so the timeline is
+        // T1 [0,2) T2 [2,5) T1 [5,7) | T1 [7,9) T2 [9,12).
+        let mut b = SystemBuilder::new();
+        let p = b.add_processor("P1", SchedulerKind::Iwrr);
+        let t1 = b.add_job(
+            "T1",
+            Time(100),
+            ArrivalPattern::Trace(vec![Time(0), Time(0), Time(0)]),
+            vec![(p, Time(2))],
+        );
+        b.add_job(
+            "T2",
+            Time(100),
+            ArrivalPattern::Trace(vec![Time(0), Time(0)]),
+            vec![(p, Time(3))],
+        );
+        b.set_weight(SubjobRef { job: t1, index: 0 }, 2);
+        let sys = b.build().unwrap();
+        let r = simulate(&sys, &cfg(50, 200));
+        assert_eq!(r.completion(JobId(0), 1), Some(Time(2)));
+        assert_eq!(r.completion(JobId(1), 1), Some(Time(5)));
+        assert_eq!(r.completion(JobId(0), 2), Some(Time(7)));
+        assert_eq!(r.completion(JobId(0), 3), Some(Time(9)));
+        assert_eq!(r.completion(JobId(1), 2), Some(Time(12)));
     }
 
     #[test]

@@ -262,6 +262,84 @@ fn fcfs_multi_stage_is_a_good_approximation() {
 }
 
 #[test]
+fn iwrr_bounds_dominate_simulation_single_stage() {
+    // The policy-seam proof: IWRR reaches the analysis and the simulator
+    // purely through `rta_core::policy` — neither driver names it. At the
+    // first hop arrivals are exact, so the strict-service-curve bound
+    // (quantum per complete round, convolved over the busy period) must
+    // dominate every simulated response.
+    let (bad, total, _) = violation_stats(
+        SchedulerKind::Iwrr,
+        SpnpAvailability::Conservative,
+        0..40,
+        &[(1, 0.4), (1, 0.6), (1, 0.8)],
+        false,
+    );
+    assert!(total > 3_000, "coverage: {total}");
+    assert_eq!(bad, 0, "{bad}/{total} violations");
+}
+
+#[test]
+fn iwrr_bounds_dominate_simulation_bursty_single_stage() {
+    let (bad, total, _) = violation_stats(
+        SchedulerKind::Iwrr,
+        SpnpAvailability::Conservative,
+        300..330,
+        &[(1, 0.5)],
+        true,
+    );
+    assert!(total > 500, "coverage: {total}");
+    assert_eq!(bad, 0, "{bad}/{total} violations");
+}
+
+#[test]
+fn iwrr_weighted_bounds_dominate_simulation() {
+    // Non-unit weights stretch the round and quantum differently per flow;
+    // the analytic guarantee must still dominate observed responses.
+    for seed in 0..25u64 {
+        let mut sys = prepared(&shop(SchedulerKind::Iwrr, 1, 0.6, false), seed);
+        let subjobs: Vec<_> = sys.all_subjobs().collect();
+        for r in subjobs {
+            sys.set_weight(r, Some(r.job.0 as u32 % 3 + 1));
+        }
+        let (acfg, scfg) = resolved(&sys);
+        let report = analyze_bounds(&sys, &acfg).unwrap();
+        let sim = simulate(&sys, &scfg);
+        for (k, jb) in report.jobs.iter().enumerate() {
+            let Some(bound) = jb.e2e_bound else { continue };
+            let job = JobId(k);
+            for m in 1..=sim.instances(job) {
+                if let Some(resp) = sim.response(job, m) {
+                    assert!(
+                        resp <= bound,
+                        "seed {seed} job {k} instance {m}: simulated {resp} > bound {bound}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn iwrr_multi_stage_is_a_good_approximation() {
+    // Downstream hops are envelope-relative, as for FCFS; quantify and pin
+    // the approximation quality of the round-robin pipeline.
+    let (bad, total, ratio) = violation_stats(
+        SchedulerKind::Iwrr,
+        SpnpAvailability::Conservative,
+        0..25,
+        &[(2, 0.5)],
+        false,
+    );
+    assert!(total > 500, "coverage: {total}");
+    assert!(
+        (bad as f64) <= 0.05 * total as f64,
+        "violation rate too high: {bad}/{total}"
+    );
+    assert!(ratio < 1.8, "worst excess ratio {ratio}");
+}
+
+#[test]
 fn nc_composition_bound_dominates_simulation() {
     // The pay-bursts-once composition (rta_core::nc) must dominate the
     // simulated responses on uniform-τ pipelines with competing local jobs.

@@ -56,7 +56,8 @@ fn main() {
         &[],
         blocking,
         SpnpAvailability::Conservative,
-    );
+    )
+    .expect("matched peer slices");
 
     let observed = sim.observed_service(t1);
     println!(

@@ -19,6 +19,10 @@ cargo test -q
 echo "==> workspace tests"
 cargo test --workspace -q
 
+echo "==> policy-kernel gates: conformance + golden equivalence"
+cargo test -p rta-core --test policy_conformance -q
+cargo test -p rta-core --test policy_golden -q
+
 if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
     # Stash the committed baselines before perf_snapshot overwrites them,
     # then gate: fail if any benchmark regressed by more than 25%.

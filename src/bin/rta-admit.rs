@@ -83,6 +83,7 @@ fn parse_system(input: &str) -> Result<TaskSystem, String> {
                     Some("spp") => SchedulerKind::Spp,
                     Some("spnp") => SchedulerKind::Spnp,
                     Some("fcfs") => SchedulerKind::Fcfs,
+                    Some("iwrr") => SchedulerKind::Iwrr,
                     other => return Err(ctx(format!("bad scheduler {other:?}"))),
                 };
                 let id = b.add_processor(name, kind);
