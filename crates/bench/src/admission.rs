@@ -12,8 +12,8 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rta_core::{analyze_bounds, analyze_exact_spp, holistic::analyze_holistic, AnalysisConfig};
-use rta_model::jobshop::{generate, ShopConfig};
+use rta_core::{analyze_bounds, analyze_exact_spp, holistic::holistic_schedulable, AnalysisConfig};
+use rta_model::jobshop::{generate, ShopConfig, ShopSampler};
 use rta_model::priority::{assign_priorities, PriorityPolicy};
 use rta_model::SchedulerKind;
 
@@ -60,33 +60,42 @@ pub fn admits(base: &ShopConfig, method: Method, seed: u64, acfg: &AnalysisConfi
         Ok(s) => s,
         Err(_) => return false,
     };
-    if cfg.scheduler.uses_priorities() {
+    decide(&mut sys, method, acfg)
+}
+
+/// Assign priorities (Eq. 24) and run `method`'s analysis on a freshly
+/// drawn system. Shared verdict tail of [`admits`] and the batched sweep.
+fn decide(sys: &mut rta_model::TaskSystem, method: Method, acfg: &AnalysisConfig) -> bool {
+    if method.scheduler().uses_priorities() {
         // The paper's relative-deadline-monotonic rule (Eq. 24).
-        if assign_priorities(&mut sys, PriorityPolicy::RelativeDeadlineMonotonic).is_err() {
+        if assign_priorities(sys, PriorityPolicy::RelativeDeadlineMonotonic).is_err() {
             return false;
         }
     }
     match method {
-        Method::SppExact => analyze_exact_spp(&sys, acfg)
+        Method::SppExact => analyze_exact_spp(sys, acfg)
             .map(|r| r.all_schedulable())
             .unwrap_or(false),
-        Method::SpnpApp | Method::FcfsApp => analyze_bounds(&sys, acfg)
+        Method::SpnpApp | Method::FcfsApp => analyze_bounds(sys, acfg)
             .map(|r| r.all_schedulable())
             .unwrap_or(false),
-        Method::SppSL => analyze_holistic(&sys, acfg)
-            .map(|r| r.all_schedulable())
-            .unwrap_or(false),
+        // Verdict-only driver: same fixed point as `analyze_holistic`, no
+        // report or seed assembly — the sweep only keeps the boolean.
+        Method::SppSL => holistic_schedulable(sys, acfg).unwrap_or(false),
     }
 }
 
 /// Estimate the admission probability of `method` over `sets` random job
 /// sets derived from `master_seed`.
 ///
-/// Fans out over the persistent worker pool ([`rta_core::par::pool_map`]);
-/// the `threads` argument is kept for API compatibility and as the thread
-/// count of the strided fallback, but the estimate itself is a pure
-/// function of `(base, method, sets, master_seed, acfg)` — each seed
-/// depends only on its index, never on which worker ran it.
+/// Runs on the batched scenario engine ([`rta_core::BatchAnalyzer`] over
+/// the persistent worker pool): each participating thread redraws sets
+/// into a reusable [`ShopSampler`] instead of rebuilding a `TaskSystem`
+/// per seed. The `threads` argument is kept for API compatibility (the
+/// pool sizes itself), and the estimate is a pure function of
+/// `(base, method, sets, master_seed, acfg)` — each seed depends only on
+/// its index, never on which worker ran it, so the result is identical to
+/// the per-seed [`admits`] loop and to [`admission_probability_strided`].
 pub fn admission_probability(
     base: &ShopConfig,
     method: Method,
@@ -95,19 +104,55 @@ pub fn admission_probability(
     threads: usize,
     acfg: &AnalysisConfig,
 ) -> f64 {
-    assert!(sets >= 1);
     let _ = threads;
-    let base = base.clone();
-    let acfg = acfg.clone();
-    let admitted = rta_core::par::pool_map(sets as usize, move |i| {
-        let seed = master_seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(i as u64);
-        admits(&base, method, seed, &acfg)
-    })
-    .into_iter()
-    .filter(|&a| a)
-    .count();
+    admission_probability_batched(base, method, sets, master_seed, acfg)
+}
+
+/// Batched estimator over [`rta_core::BatchAnalyzer`]: each participating
+/// thread builds a [`ShopSampler`] once and redraws every set it claims
+/// into that sampler's reusable `TaskSystem` (plus a cloned
+/// [`AnalysisConfig`]), so the per-set cost is the random draws and the
+/// warm, workspace-backed analysis — no per-set Strings, builders, or
+/// shared-state captures.
+///
+/// Produces exactly the same estimate as [`admission_probability`]: the
+/// sampler is draw-for-draw identical to `generate`
+/// (`jobshop::ShopSampler`), and the verdict for seed `i` is a pure
+/// function of `(base, method, master_seed, i, acfg)`.
+pub fn admission_probability_batched(
+    base: &ShopConfig,
+    method: Method,
+    sets: u32,
+    master_seed: u64,
+    acfg: &AnalysisConfig,
+) -> f64 {
+    assert!(sets >= 1);
+    let mut shop = base.clone();
+    shop.scheduler = method.scheduler();
+    let batch = rta_core::BatchAnalyzer::new(acfg.clone());
+    let admitted = batch
+        .run(
+            sets as usize,
+            move |cfg| (ShopSampler::new(shop.clone()), cfg.clone()),
+            move |(sampler, cfg), i| {
+                let Ok(sampler) = sampler else {
+                    // Template construction failed: `generate` would fail
+                    // identically for every seed, so nothing admits.
+                    return false;
+                };
+                let seed = master_seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(i as u64);
+                let mut rng = StdRng::seed_from_u64(seed);
+                match sampler.sample(&mut rng) {
+                    Ok(sys) => decide(sys, method, cfg),
+                    Err(_) => false,
+                }
+            },
+        )
+        .into_iter()
+        .filter(|&a| a)
+        .count();
     admitted as f64 / sets as f64
 }
 
@@ -214,11 +259,18 @@ mod tests {
     }
 
     #[test]
-    fn pooled_and_strided_estimators_agree() {
+    fn pooled_strided_and_batched_estimators_agree() {
         let acfg = AnalysisConfig::default();
         let pooled = admission_probability(&base(0.6), Method::SppExact, 30, 42, 2, &acfg);
         let strided = admission_probability_strided(&base(0.6), Method::SppExact, 30, 42, 2, &acfg);
+        let batched = admission_probability_batched(&base(0.6), Method::SppExact, 30, 42, &acfg);
         assert_eq!(pooled, strided);
+        assert_eq!(pooled, batched);
+        // Also over the S&L holistic path, which exercises the sequential
+        // per-set driver inside the batched sweep.
+        let p2 = admission_probability(&base(0.6), Method::SppSL, 30, 42, 2, &acfg);
+        let b2 = admission_probability_batched(&base(0.6), Method::SppSL, 30, 42, &acfg);
+        assert_eq!(p2, b2);
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! Heap-allocation counting for the zero-allocation discipline.
+//!
+//! Compiled only under the `alloc_stats` feature: installs a counting
+//! wrapper around the system allocator as the crate's global allocator, so
+//! benches and tests can assert *allocation budgets* — e.g. that a warm
+//! seeded `analyze_with_loops_seeded` call stays within a handful of heap
+//! allocations (see `tests/alloc_budget.rs`).
+//!
+//! The counter tallies `alloc` and `realloc` calls (a `realloc` that moves
+//! is the same allocator round-trip as a fresh `alloc`); `dealloc` is free.
+//! Counts are process-global and monotone — measure a region by
+//! differencing [`alloc_count`] before and after, on a single thread, with
+//! the worker pool quiescent.
+//!
+//! The feature is **off by default**. Counting costs an atomic increment on
+//! every allocation, which perturbs the timing baselines, so
+//! `BENCH_curves.json` / `BENCH_incremental.json` are always regenerated
+//! without it; `perf_snapshot` additionally reports allocations per warm
+//! analysis when the feature is on.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-backed allocator that counts `alloc` + `realloc` calls.
+pub struct CountingAlloc;
+
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Heap allocations (`alloc` + `realloc`) since process start.
+pub fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}

@@ -10,7 +10,9 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rta_bench::admission::{admission_probability, admission_probability_strided, Method};
+use rta_bench::admission::{
+    admission_probability, admission_probability_batched, admission_probability_strided, Method,
+};
 use rta_bench::harness::Bench;
 use rta_core::sensitivity::Oracle;
 use rta_core::{analyze_exact_spp, AnalysisConfig, AnalysisSession};
@@ -183,11 +185,15 @@ fn main() {
         ("package", "rta-bench"),
         ("profile", "release"),
     ]);
-    std::fs::write("BENCH_curves.json", &json).expect("write BENCH_curves.json");
-    println!(
-        "\nwrote BENCH_curves.json ({} benchmarks)",
-        b.results().len()
-    );
+    if cfg!(feature = "alloc_stats") {
+        println!("\nalloc_stats build: not overwriting BENCH_curves.json (timings perturbed)");
+    } else {
+        std::fs::write("BENCH_curves.json", &json).expect("write BENCH_curves.json");
+        println!(
+            "\nwrote BENCH_curves.json ({} benchmarks)",
+            b.results().len()
+        );
+    }
 
     incremental_suite();
 }
@@ -231,6 +237,27 @@ fn incremental_suite() {
             .unwrap()
     });
 
+    // The allocation-free steady state: one warm, seeded fixpoint run per
+    // iteration on a session whose seed has already converged. The 2-stage
+    // shop (12 subjobs) stays below the fixpoint's parallel-dispatch
+    // threshold, so this times the sequential in-workspace path — the
+    // per-scenario unit cost inside every batched sweep; the `alloc_budget`
+    // test pins the warm path's heap traffic.
+    let small = shop_at_ticks(SchedulerKind::Spnp, 2, 6, 8);
+    let (sw, sh) = AnalysisConfig::default().resolve(&small);
+    let small_pinned = AnalysisConfig {
+        arrival_window: Some(sw),
+        horizon: Some(sh),
+        ..AnalysisConfig::default()
+    };
+    {
+        let mut warm = AnalysisSession::pinned(small.clone(), small_pinned.clone());
+        warm.analyze_with_loops(rounds).unwrap();
+        b.run("fixpoint_loops/alloc_free", move || {
+            warm.analyze_with_loops(rounds).unwrap()
+        });
+    }
+
     // Same sweep with the exact oracle at full tick resolution (dynamic
     // frame, like the free function) — the conservative data point: far
     // more distinct probes, memoization only collapses the tail.
@@ -249,10 +276,13 @@ fn incremental_suite() {
             .unwrap()
     });
 
-    // The paper's 1,000-set admission sweep. SPP/S&L runs the holistic
-    // fixpoint per seed, so the old path nested per-round scoped spawns
-    // inside per-call strided threads; the pooled path reuses one
-    // work-stealing pool end to end (identical estimates by construction).
+    // The paper's 1,000-set admission sweep. `strided` is the retired
+    // cold path (scoped threads per call, fresh `TaskSystem` per seed),
+    // kept as the oracle baseline. `pooled` is the production
+    // `admission_probability`, which now runs on the batched scenario
+    // engine; `batched` measures the `BatchAnalyzer` entry point directly.
+    // The last two should coincide — the wrapper must add nothing — and
+    // both must dominate the strided baseline.
     let base = ShopConfig {
         stages: 1,
         procs_per_stage: 2,
@@ -272,17 +302,43 @@ fn incremental_suite() {
     b.run("admission/1000sets_pooled", || {
         admission_probability(&base, Method::SppSL, 1000, 7, threads, &acfg)
     });
+    b.run("admission/1000sets_batched", || {
+        admission_probability_batched(&base, Method::SppSL, 1000, 7, &acfg)
+    });
+
+    // With the counting allocator installed, also report heap traffic per
+    // warm analysis (not a timed row: the counter's atomics perturb the
+    // timing baselines, so `alloc_stats` builds never overwrite the JSON
+    // written by default builds — see the guard below).
+    #[cfg(feature = "alloc_stats")]
+    {
+        let mut warm = AnalysisSession::pinned(small.clone(), small_pinned.clone());
+        for _ in 0..3 {
+            warm.analyze_with_loops(rounds).unwrap();
+        }
+        const RUNS: u64 = 64;
+        let before = rta_bench::alloc_stats::alloc_count();
+        for _ in 0..RUNS {
+            warm.analyze_with_loops(rounds).unwrap();
+        }
+        let per = (rta_bench::alloc_stats::alloc_count() - before) as f64 / RUNS as f64;
+        println!("\nallocs/analysis (warm seeded fixpoint): {per:.2}");
+    }
 
     let json = b.to_json(&[
         ("suite", "BENCH_incremental"),
         ("package", "rta-bench"),
         ("profile", "release"),
     ]);
-    std::fs::write("BENCH_incremental.json", &json).expect("write BENCH_incremental.json");
-    println!(
-        "\nwrote BENCH_incremental.json ({} benchmarks)",
-        b.results().len()
-    );
+    if cfg!(feature = "alloc_stats") {
+        println!("alloc_stats build: not overwriting BENCH_incremental.json (timings perturbed)");
+    } else {
+        std::fs::write("BENCH_incremental.json", &json).expect("write BENCH_incremental.json");
+        println!(
+            "\nwrote BENCH_incremental.json ({} benchmarks)",
+            b.results().len()
+        );
+    }
 }
 
 /// The `critical_scaling` search shape, over an arbitrary probe.

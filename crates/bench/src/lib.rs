@@ -19,10 +19,16 @@
 //! Estimation is embarrassingly parallel across job sets and fans out over
 //! `std::thread::scope` threads with deterministic per-set seeds.
 
-#![forbid(unsafe_code)]
+// The counting allocator (feature `alloc_stats`) is the one sanctioned use
+// of `unsafe` in this crate: a `GlobalAlloc` impl cannot be written without
+// it. Everything else stays forbidden.
+#![cfg_attr(not(feature = "alloc_stats"), forbid(unsafe_code))]
+#![cfg_attr(feature = "alloc_stats", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 pub mod admission;
+#[cfg(feature = "alloc_stats")]
+pub mod alloc_stats;
 pub mod figures;
 pub mod harness;
 pub mod table;

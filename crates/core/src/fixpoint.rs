@@ -39,25 +39,46 @@
 //! bit-identical reports to a cold start whenever the round budget lets the
 //! cold run converge. The cold entry point [`analyze_with_loops`] is kept
 //! unchanged as the correctness oracle.
+//!
+//! ## Memory discipline
+//!
+//! All interior state — dense subjob tables, arrival/workload curves,
+//! double-buffered bound iterates and the curve [`Scratch`] — lives in a
+//! per-thread [`LoopWorkspace`] that is reused across calls. Small systems
+//! (below [`PAR_THRESHOLD`] subjobs) run the rounds sequentially through
+//! the `_into` kernels: after a warm-up call on the same frame, a seeded
+//! re-analysis performs O(1) heap allocations (see DESIGN.md §4d and the
+//! `alloc_budget` test in `rta-bench`). Larger systems fan rounds out over
+//! the persistent worker pool exactly as before; both paths compute
+//! bit-identical results (pinned by `sequential_and_parallel_agree`).
 
+use std::cell::RefCell;
 use std::sync::Arc;
 
 use crate::config::{AnalysisConfig, SpnpAvailability};
-use crate::depgraph::SubjobIndex;
 use crate::error::AnalysisError;
 use crate::policy::{policy_for, BoundsInputs, PeerInputs, ProcessorContexts, ServicePolicy};
 use crate::report::{BoundsReport, JobBound};
 use crate::spnp::ServiceBounds;
-use rta_curves::{Curve, Time};
+use rta_curves::{Curve, Scratch, Time};
 use rta_model::{JobId, ProcessorId, SubjobRef, TaskSystem};
+
+/// Systems with at least this many subjobs fan each round out over the
+/// worker pool; smaller ones iterate sequentially in the caller's
+/// workspace, which is both faster (no dispatch overhead) and
+/// allocation-free when warm.
+const PAR_THRESHOLD: usize = 32;
 
 /// Converged interior state of a loop-tolerant run, reusable as the seed of
 /// the next run on a system with the same topology and analysis frame.
+///
+/// The bounds are shared (`Arc`): re-seeding an unchanged system returns a
+/// handle to the same vector instead of cloning every curve.
 #[derive(Clone, Debug)]
 pub struct LoopSeed {
     pub(crate) window: Time,
     pub(crate) horizon: Time,
-    pub(crate) bounds: Vec<ServiceBounds>,
+    pub(crate) bounds: Arc<Vec<ServiceBounds>>,
 }
 
 impl LoopSeed {
@@ -68,8 +89,55 @@ impl LoopSeed {
     }
 }
 
-/// Round-invariant inputs of one subjob, dispatched through the policy
-/// seam each round.
+/// Per-thread state of the fixpoint driver, reused across calls so a warm
+/// seeded re-analysis allocates nothing: dense subjob tables (the `i`-th
+/// entry of every vector describes subjob `refs[i]`, in `all_subjobs`
+/// order), the cycle-free envelopes, the double-buffered bound iterates
+/// (`cur`/`next`), and the curve scratch arena.
+#[derive(Default)]
+struct LoopWorkspace {
+    scratch: Scratch,
+    refs: Vec<SubjobRef>,
+    /// `job_start[k] + j` is the dense index of subjob `j` of job `k`.
+    job_start: Vec<usize>,
+    times: Vec<Time>,
+    stage: Curve,
+    dep_lower: Curve,
+    arr_env: Vec<Curve>,
+    workload: Vec<Curve>,
+    policy: Vec<&'static dyn ServicePolicy>,
+    tau: Vec<Time>,
+    weight: Vec<u32>,
+    blocking: Vec<Time>,
+    processor: Vec<usize>,
+    /// Flattened higher-priority peer indices; node `i`'s peers are
+    /// `hp_flat[hp_start[i]..hp_start[i + 1]]`.
+    hp_flat: Vec<usize>,
+    hp_start: Vec<usize>,
+    cur: Vec<ServiceBounds>,
+    next: Vec<ServiceBounds>,
+    stale: Vec<bool>,
+    changed: Vec<bool>,
+}
+
+thread_local! {
+    static LOOP_WS: RefCell<LoopWorkspace> = RefCell::new(LoopWorkspace::default());
+}
+
+fn ensure_curves(v: &mut Vec<Curve>, n: usize) {
+    if v.len() < n {
+        v.resize_with(n, Curve::zero);
+    }
+}
+
+fn ensure_bounds(v: &mut Vec<ServiceBounds>, n: usize) {
+    if v.len() < n {
+        v.resize_with(n, ServiceBounds::zeroed);
+    }
+}
+
+/// Round-invariant inputs of one subjob, detached from the workspace so
+/// the parallel round closures are `'static` for the worker pool.
 struct RoundNode {
     workload: Curve,
     /// Dense indices of strictly-higher-priority peers (empty for
@@ -82,8 +150,8 @@ struct RoundNode {
     blocking: Time,
 }
 
-/// Everything a Jacobi round reads besides the previous round's bounds.
-/// Owned (no borrows) so round closures can run on the persistent pool.
+/// Everything a parallel Jacobi round reads besides the previous round's
+/// bounds.
 struct RoundCtx {
     nodes: Vec<RoundNode>,
     ctxs: ProcessorContexts,
@@ -114,162 +182,294 @@ pub fn analyze_with_loops_seeded(
     max_rounds: usize,
     seed: Option<&LoopSeed>,
 ) -> Result<(BoundsReport, LoopSeed), AnalysisError> {
+    LOOP_WS.with(|ws| {
+        let mut ws = ws.borrow_mut();
+        analyze_seeded_in(sys, cfg, max_rounds, seed, &mut ws, PAR_THRESHOLD)
+    })
+}
+
+fn analyze_seeded_in(
+    sys: &TaskSystem,
+    cfg: &AnalysisConfig,
+    max_rounds: usize,
+    seed: Option<&LoopSeed>,
+    ws: &mut LoopWorkspace,
+    par_threshold: usize,
+) -> Result<(BoundsReport, LoopSeed), AnalysisError> {
     sys.validate(true)?;
     assert!(max_rounds >= 1);
     let (window, horizon) = cfg.resolve(sys);
-    let idx = SubjobIndex::new(sys);
 
-    // Cycle-free arrival envelopes and workloads.
-    let mut arr_env: Vec<Curve> = Vec::with_capacity(idx.len());
-    let mut workload: Vec<Curve> = Vec::with_capacity(idx.len());
-    for &r in idx.refs() {
-        let job = sys.job(r.job);
-        let first = job.arrival.arrival_curve(window);
-        let min_shift: Time = job.subjobs[..r.index].iter().map(|s| s.exec).sum();
-        let env = first.shift_right(min_shift, 0);
-        workload.push(env.scale(sys.subjob(r).exec.ticks()));
-        arr_env.push(env);
+    // ---- Dense subjob tables (all_subjobs order). ----
+    ws.refs.clear();
+    ws.job_start.clear();
+    for (k, job) in sys.jobs().iter().enumerate() {
+        ws.job_start.push(ws.refs.len());
+        for j in 0..job.subjobs.len() {
+            ws.refs.push(SubjobRef {
+                job: JobId(k),
+                index: j,
+            });
+        }
     }
+    let n = ws.refs.len();
+
+    // ---- Cycle-free arrival envelopes and workloads. ----
+    ensure_curves(&mut ws.arr_env, n);
+    ensure_curves(&mut ws.workload, n);
+    for i in 0..n {
+        let r = ws.refs[i];
+        let job = sys.job(r.job);
+        job.arrival.release_times_into(window, &mut ws.times);
+        Curve::from_event_times_into(&ws.times, &mut ws.stage);
+        let min_shift: Time = job.subjobs[..r.index].iter().map(|s| s.exec).sum();
+        ws.stage.shift_right_into(min_shift, 0, &mut ws.arr_env[i]);
+        ws.arr_env[i].scale_into(sys.subjob(r).exec.ticks(), &mut ws.workload[i]);
+    }
+
+    // ---- Per-node policy metadata. Higher-priority peer slots are the
+    // only cross-subjob inputs of a round, so they drive the staleness
+    // tracking; the enumeration order matches `higher_priority_peers`. ----
+    ws.policy.clear();
+    ws.tau.clear();
+    ws.weight.clear();
+    ws.blocking.clear();
+    ws.processor.clear();
+    ws.hp_flat.clear();
+    ws.hp_start.clear();
+    for i in 0..n {
+        let r = ws.refs[i];
+        let s = sys.subjob(r);
+        let policy = policy_for(sys.processor(s.processor).scheduler);
+        ws.hp_start.push(ws.hp_flat.len());
+        if policy.peer_inputs() == PeerInputs::HigherPriorityServices {
+            let phi = s.priority.expect("validated: priorities assigned");
+            for (h, &o) in ws.refs.iter().enumerate() {
+                if o == r {
+                    continue;
+                }
+                let os = sys.subjob(o);
+                if os.processor == s.processor && os.priority.expect("assigned") < phi {
+                    ws.hp_flat.push(h);
+                }
+            }
+        }
+        ws.policy.push(policy);
+        ws.tau.push(s.exec);
+        ws.weight.push(s.weight());
+        ws.blocking.push(policy.blocking(sys, r));
+        ws.processor.push(s.processor.0);
+    }
+    ws.hp_start.push(ws.hp_flat.len());
 
     // Shared-workload policy contexts (FCFS, IWRR) depend only on the
     // (round-invariant) peer workloads: build each processor's context
-    // once, before the rounds.
+    // once, before the rounds. Priority policies never enter this branch,
+    // so the warm path allocates nothing here.
     let mut ctxs = ProcessorContexts::new();
-    for &r in idx.refs() {
-        let s = sys.subjob(r);
-        if policy_for(sys.processor(s.processor).scheduler).peer_inputs()
-            == PeerInputs::SharedWorkloads
-        {
-            ctxs.ensure(sys, s.processor, horizon, &mut |o| {
-                workload[idx.index(o)].clone()
+    for i in 0..n {
+        if ws.policy[i].peer_inputs() == PeerInputs::SharedWorkloads {
+            let p = ProcessorId(ws.processor[i]);
+            let workload = &ws.workload;
+            let job_start = &ws.job_start;
+            ctxs.ensure(sys, p, horizon, &mut |o| {
+                workload[job_start[o.job.0] + o.index].clone()
             })?;
         }
     }
 
-    // Per-subjob round inputs, detached from `sys` so the round closure is
-    // `'static` for the worker pool. Higher-priority peer slots are the only
-    // cross-subjob inputs of a round, so they drive the staleness tracking.
-    let nodes: Vec<RoundNode> = idx
-        .refs()
-        .iter()
-        .zip(workload.iter())
-        .map(|(&r, w)| {
-            let s = sys.subjob(r);
-            let policy = policy_for(sys.processor(s.processor).scheduler);
-            let hp = match policy.peer_inputs() {
-                PeerInputs::HigherPriorityServices => sys
-                    .higher_priority_peers(r)
-                    .into_iter()
-                    .map(|h| idx.index(h))
-                    .collect(),
-                PeerInputs::SharedWorkloads => Vec::new(),
-            };
-            RoundNode {
-                workload: w.clone(),
-                hp,
-                policy,
-                processor: s.processor.0,
-                tau: s.exec,
-                weight: s.weight(),
-                blocking: policy.blocking(sys, r),
-            }
-        })
-        .collect();
-    let ctx = Arc::new(RoundCtx {
-        nodes,
-        ctxs,
-        avail: cfg.spnp_availability,
-        horizon,
-    });
-
-    // Round 0: the seed when it fits the frame, information-free otherwise.
-    let mut bounds: Vec<ServiceBounds> = match seed {
-        Some(s) if s.matches(window, horizon, idx.len()) => s.bounds.clone(),
-        _ => (0..idx.len())
-            .map(|i| ServiceBounds {
-                lower: Curve::zero(),
-                upper: Curve::identity()
-                    .min_with(&ctx.nodes[i].workload)
-                    .clamp_min(0),
-            })
-            .collect(),
-    };
-
-    // Subjob `i`'s round-r bounds are a pure function of the round-(r−1)
-    // bounds of its higher-priority peers (and round-invariant workloads),
-    // so each round fans out over the persistent pool, and a subjob whose
-    // inputs did not change in the previous round keeps its memoized bounds.
-    // FCFS bounds have no cross-subjob inputs at all: they are computed once
-    // in the first round and never again.
-    let mut stale: Vec<bool> = vec![true; idx.len()];
-    for _round in 0..max_rounds {
-        let prev = Arc::new(std::mem::take(&mut bounds));
-        let results: Vec<Option<Result<ServiceBounds, AnalysisError>>> = {
-            let ctx = Arc::clone(&ctx);
-            let prev = Arc::clone(&prev);
-            let stale = Arc::new(stale.clone());
-            crate::par::pool_map(prev.len(), move |i| {
-                if !stale[i] {
-                    return None;
-                }
-                let node = &ctx.nodes[i];
-                let hp_lower: Vec<&Curve> = node.hp.iter().map(|&h| &prev[h].lower).collect();
-                let hp_upper: Vec<&Curve> = node.hp.iter().map(|&h| &prev[h].upper).collect();
-                Some(node.policy.service_bounds(&BoundsInputs {
-                    workload: &node.workload,
-                    tau: node.tau,
-                    weight: node.weight,
-                    blocking: node.blocking,
-                    hp_lower: &hp_lower,
-                    hp_upper: &hp_upper,
-                    variant: ctx.avail,
-                    ctx: ctx.ctxs.get(ProcessorId(node.processor)),
-                    horizon: ctx.horizon,
-                    processor: ProcessorId(node.processor),
-                }))
-            })
-        };
-        let mut changed_now = vec![false; prev.len()];
-        let mut any_changed = false;
-        bounds = Vec::with_capacity(prev.len());
-        for (i, res) in results.into_iter().enumerate() {
-            match res {
-                Some(nb) => {
-                    let nb = nb?;
-                    if nb.lower != prev[i].lower || nb.upper != prev[i].upper {
-                        changed_now[i] = true;
-                        any_changed = true;
-                    }
-                    bounds.push(nb);
-                }
-                None => bounds.push(prev[i].clone()),
-            }
+    // ---- Round 0: the seed when it fits the frame, information-free
+    // otherwise. ----
+    ensure_bounds(&mut ws.cur, n);
+    ensure_bounds(&mut ws.next, n);
+    let seeded = seed.filter(|s| s.matches(window, horizon, n));
+    if let Some(s) = seeded {
+        for i in 0..n {
+            ws.cur[i].lower.copy_from(&s.bounds[i].lower);
+            ws.cur[i].upper.copy_from(&s.bounds[i].upper);
         }
-        if !any_changed {
-            break;
-        }
-        for (i, s) in stale.iter_mut().enumerate() {
-            *s = ctx.nodes[i].hp.iter().any(|&h| changed_now[h]);
+    } else {
+        for i in 0..n {
+            ws.cur[i].lower.set_affine(0, 0);
+            ws.stage.set_affine(0, 1);
+            ws.stage.min_with_into(&ws.workload[i], &mut ws.dep_lower);
+            ws.dep_lower.clamp_min_into(0, &mut ws.cur[i].upper);
         }
     }
 
-    // Per-hop delays (Eq. 12) against the cycle-free envelopes.
+    // Subjob `i`'s round-r bounds are a pure function of the round-(r−1)
+    // bounds of its higher-priority peers (and round-invariant workloads),
+    // so a subjob whose inputs did not change in the previous round keeps
+    // its memoized bounds. FCFS bounds have no cross-subjob inputs at all:
+    // they are computed once in the first round and never again.
+    let mut any_change_ever = false;
+    if n < par_threshold {
+        // Sequential rounds, double-buffered through `cur`/`next` with all
+        // curve temporaries drawn from the scratch arena.
+        let LoopWorkspace {
+            scratch,
+            workload,
+            policy,
+            tau,
+            weight,
+            blocking,
+            processor,
+            hp_flat,
+            hp_start,
+            cur,
+            next,
+            stale,
+            changed,
+            ..
+        } = &mut *ws;
+        stale.clear();
+        stale.resize(n, true);
+        changed.clear();
+        changed.resize(n, false);
+        for _round in 0..max_rounds {
+            let mut any_changed = false;
+            {
+                let mut hp_lower: Vec<&Curve> = Vec::new();
+                let mut hp_upper: Vec<&Curve> = Vec::new();
+                for i in 0..n {
+                    if !stale[i] {
+                        changed[i] = false;
+                        next[i].lower.copy_from(&cur[i].lower);
+                        next[i].upper.copy_from(&cur[i].upper);
+                        continue;
+                    }
+                    hp_lower.clear();
+                    hp_upper.clear();
+                    for &h in &hp_flat[hp_start[i]..hp_start[i + 1]] {
+                        hp_lower.push(&cur[h].lower);
+                        hp_upper.push(&cur[h].upper);
+                    }
+                    policy[i].service_bounds_into(
+                        &BoundsInputs {
+                            workload: &workload[i],
+                            tau: tau[i],
+                            weight: weight[i],
+                            blocking: blocking[i],
+                            hp_lower: &hp_lower,
+                            hp_upper: &hp_upper,
+                            variant: cfg.spnp_availability,
+                            ctx: ctxs.get(ProcessorId(processor[i])),
+                            horizon,
+                            processor: ProcessorId(processor[i]),
+                        },
+                        scratch,
+                        &mut next[i],
+                    )?;
+                    changed[i] = next[i] != cur[i];
+                    any_changed |= changed[i];
+                }
+            }
+            std::mem::swap(cur, next);
+            if !any_changed {
+                break;
+            }
+            any_change_ever = true;
+            for i in 0..n {
+                stale[i] = hp_flat[hp_start[i]..hp_start[i + 1]]
+                    .iter()
+                    .any(|&h| changed[h]);
+            }
+        }
+    } else {
+        // Parallel rounds: detach the round inputs from the workspace and
+        // fan each sweep out over the persistent pool.
+        let nodes: Vec<RoundNode> = (0..n)
+            .map(|i| RoundNode {
+                workload: ws.workload[i].clone(),
+                hp: ws.hp_flat[ws.hp_start[i]..ws.hp_start[i + 1]].to_vec(),
+                policy: ws.policy[i],
+                processor: ws.processor[i],
+                tau: ws.tau[i],
+                weight: ws.weight[i],
+                blocking: ws.blocking[i],
+            })
+            .collect();
+        let ctx = Arc::new(RoundCtx {
+            nodes,
+            ctxs,
+            avail: cfg.spnp_availability,
+            horizon,
+        });
+        let mut bounds: Vec<ServiceBounds> = ws.cur[..n].to_vec();
+        let mut stale: Vec<bool> = vec![true; n];
+        for _round in 0..max_rounds {
+            let prev = Arc::new(std::mem::take(&mut bounds));
+            let results: Vec<Option<Result<ServiceBounds, AnalysisError>>> = {
+                let ctx = Arc::clone(&ctx);
+                let prev = Arc::clone(&prev);
+                let stale = Arc::new(stale.clone());
+                crate::par::pool_map(prev.len(), move |i| {
+                    if !stale[i] {
+                        return None;
+                    }
+                    let node = &ctx.nodes[i];
+                    let hp_lower: Vec<&Curve> = node.hp.iter().map(|&h| &prev[h].lower).collect();
+                    let hp_upper: Vec<&Curve> = node.hp.iter().map(|&h| &prev[h].upper).collect();
+                    Some(node.policy.service_bounds(&BoundsInputs {
+                        workload: &node.workload,
+                        tau: node.tau,
+                        weight: node.weight,
+                        blocking: node.blocking,
+                        hp_lower: &hp_lower,
+                        hp_upper: &hp_upper,
+                        variant: ctx.avail,
+                        ctx: ctx.ctxs.get(ProcessorId(node.processor)),
+                        horizon: ctx.horizon,
+                        processor: ProcessorId(node.processor),
+                    }))
+                })
+            };
+            let mut changed_now = vec![false; prev.len()];
+            let mut any_changed = false;
+            bounds = Vec::with_capacity(prev.len());
+            for (i, res) in results.into_iter().enumerate() {
+                match res {
+                    Some(nb) => {
+                        let nb = nb?;
+                        if nb != prev[i] {
+                            changed_now[i] = true;
+                            any_changed = true;
+                        }
+                        bounds.push(nb);
+                    }
+                    None => bounds.push(prev[i].clone()),
+                }
+            }
+            if !any_changed {
+                break;
+            }
+            any_change_ever = true;
+            for (i, s) in stale.iter_mut().enumerate() {
+                *s = ctx.nodes[i].hp.iter().any(|&h| changed_now[h]);
+            }
+        }
+        for (i, b) in bounds.into_iter().enumerate() {
+            ws.cur[i] = b;
+        }
+    }
+
+    // ---- Per-hop delays (Eq. 12) against the cycle-free envelopes. ----
     let mut jobs = Vec::with_capacity(sys.jobs().len());
     for (k, job) in sys.jobs().iter().enumerate() {
         let job_id = JobId(k);
-        let n_instances = job.arrival.release_times(window).len() as i64;
+        job.arrival.release_times_into(window, &mut ws.times);
+        let n_instances = ws.times.len() as i64;
         let mut hop_delays = Vec::with_capacity(job.subjobs.len());
         for j in 0..job.subjobs.len() {
-            let i = idx.index(SubjobRef {
-                job: job_id,
-                index: j,
-            });
-            let dep_lower = bounds[i]
-                .lower
-                .floor_div(job.subjobs[j].exec.ticks(), horizon)?;
+            let i = ws.job_start[k] + j;
+            ws.cur[i].lower.floor_div_into(
+                job.subjobs[j].exec.ticks(),
+                horizon,
+                &mut ws.dep_lower,
+            )?;
             hop_delays.push(crate::bounds::hop_delay(
-                &arr_env[i],
-                &dep_lower,
+                &ws.arr_env[i],
+                &ws.dep_lower,
                 n_instances,
             ));
         }
@@ -288,10 +488,19 @@ pub fn analyze_with_loops_seeded(
         horizon,
         jobs,
     };
-    let next_seed = LoopSeed {
-        window,
-        horizon,
-        bounds,
+    // An unchanged seeded run converged onto its own seed: hand the same
+    // Arc back instead of cloning every curve.
+    let next_seed = match seeded {
+        Some(s) if !any_change_ever => LoopSeed {
+            window,
+            horizon,
+            bounds: Arc::clone(&s.bounds),
+        },
+        _ => LoopSeed {
+            window,
+            horizon,
+            bounds: Arc::new(ws.cur[..n].to_vec()),
+        },
     };
     Ok((report, next_seed))
 }
@@ -299,7 +508,7 @@ pub fn analyze_with_loops_seeded(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::depgraph::evaluation_order;
+    use crate::depgraph::{evaluation_order, SubjobIndex};
     use rta_model::priority::{assign_priorities, PriorityPolicy};
     use rta_model::{ArrivalPattern, SchedulerKind, SystemBuilder};
 
@@ -434,6 +643,8 @@ mod tests {
             assert_eq!(a.lower, b.lower);
             assert_eq!(a.upper, b.upper);
         }
+        // The converged warm seed shares storage with its input seed.
+        assert!(Arc::ptr_eq(&seed.bounds, &seed2.bounds));
     }
 
     #[test]
@@ -449,5 +660,28 @@ mod tests {
         let cold = analyze_with_loops(&sys, &other, 16).unwrap();
         let (warm, _) = analyze_with_loops_seeded(&sys, &other, 16, Some(&seed)).unwrap();
         assert_eq!(format!("{cold}"), format!("{warm}"));
+    }
+
+    /// The sequential in-workspace path and the pool-dispatched path are
+    /// the same analysis: bit-identical reports and seed curves.
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let run = |threshold: usize, seed: Option<&LoopSeed>, rounds: usize| {
+            let sys = looped_system();
+            let cfg = AnalysisConfig::default();
+            let mut ws = LoopWorkspace::default();
+            analyze_seeded_in(&sys, &cfg, rounds, seed, &mut ws, threshold).unwrap()
+        };
+        let (seq, seq_seed) = run(usize::MAX, None, 8);
+        let (par, par_seed) = run(0, None, 8);
+        assert_eq!(format!("{seq}"), format!("{par}"));
+        for (a, b) in seq_seed.bounds.iter().zip(par_seed.bounds.iter()) {
+            assert_eq!(a.lower, b.lower);
+            assert_eq!(a.upper, b.upper);
+        }
+        // Warm runs agree too.
+        let (seq_w, _) = run(usize::MAX, Some(&seq_seed), 1);
+        let (par_w, _) = run(0, Some(&par_seed), 1);
+        assert_eq!(format!("{seq_w}"), format!("{par_w}"));
     }
 }

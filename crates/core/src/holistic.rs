@@ -23,7 +23,7 @@
 //! pessimistic on multi-stage ones, because jitter-based interference
 //! accounting implicitly over-estimates downstream arrivals.
 
-use std::sync::Arc;
+use std::cell::RefCell;
 
 use crate::config::AnalysisConfig;
 use crate::error::AnalysisError;
@@ -57,14 +57,36 @@ impl HolisticSeed {
     }
 }
 
-/// Round-invariant inputs of the holistic iteration, detached from the
-/// system so round closures can run on the persistent pool.
-struct HolisticCtx {
+/// Per-thread state of the holistic iteration, reused across calls. The
+/// busy-window scans are scalar arithmetic — microseconds per round — so
+/// the rounds run sequentially in the caller's thread: dispatching them
+/// over the worker pool costs more than the scans themselves, and doing so
+/// from inside a Monte-Carlo sweep (which already parallelizes over
+/// scenarios) serialized the sweep on the pool's queue.
+#[derive(Default)]
+struct HolisticWorkspace {
+    refs: Vec<SubjobRef>,
+    /// `job_start[k] + j` is the dense index of subjob `j` of job `k`.
+    job_start: Vec<usize>,
+    periods: Vec<Time>,
     exec: Vec<Time>,
     period: Vec<Time>,
     preds: Vec<Option<usize>>,
-    hp_inputs: Vec<Vec<(Time, Time, usize)>>,
-    cap: Time,
+    /// Flattened hp interference inputs `(exec, period, jitter slot)`;
+    /// node `i`'s inputs are `hp_flat[hp_start[i]..hp_start[i + 1]]`.
+    hp_flat: Vec<(Time, Time, usize)>,
+    hp_start: Vec<usize>,
+    // Double-buffered Jacobi iterates.
+    jitter: Vec<Time>,
+    response: Vec<Time>,
+    diverged: Vec<bool>,
+    jitter_next: Vec<Time>,
+    response_next: Vec<Time>,
+    diverged_next: Vec<bool>,
+}
+
+thread_local! {
+    static HOL_WS: RefCell<HolisticWorkspace> = RefCell::new(HolisticWorkspace::default());
 }
 
 /// Run the holistic (SPP/S&L-style) analysis. Requires SPP scheduling on
@@ -84,177 +106,67 @@ pub fn analyze_holistic_seeded(
     cfg: &AnalysisConfig,
     seed: Option<&HolisticSeed>,
 ) -> Result<(BoundsReport, HolisticSeed), AnalysisError> {
-    sys.validate(true)?;
-    crate::exact::require_exact_capable(sys)?;
-    let mut periods = Vec::with_capacity(sys.jobs().len());
-    for (k, job) in sys.jobs().iter().enumerate() {
-        match job.arrival {
-            ArrivalPattern::Periodic { period, .. } => periods.push(period),
-            _ => return Err(AnalysisError::NotPeriodic { job: JobId(k) }),
-        }
-    }
+    HOL_WS.with(|ws| {
+        let mut ws = ws.borrow_mut();
+        analyze_holistic_in(sys, cfg, seed, &mut ws)
+    })
+}
 
-    let (window, horizon) = cfg.resolve(sys);
-    let cap = horizon.max(Time(1)) * 4;
-    let refs: Vec<SubjobRef> = sys.all_subjobs().collect();
-    let pos: std::collections::HashMap<SubjobRef, usize> =
-        refs.iter().enumerate().map(|(i, r)| (*r, i)).collect();
-
-    // Jitter per subjob (measured from the job's nominal release).
-    // `diverged` marks subjobs past the cap: their interference is capped.
-    // A matching seed replaces the all-zero start; the iteration below
-    // converges to the same least fixed point from any state below it.
-    let (mut jitter, mut diverged, mut response) = match seed {
-        Some(s) if s.matches(window, horizon, refs.len()) => {
-            (s.jitter.clone(), s.diverged.clone(), s.response.clone())
-        }
-        _ => (
-            vec![Time::ZERO; refs.len()],
-            vec![false; refs.len()],
-            vec![Time::ZERO; refs.len()],
-        ),
-    };
-
-    // Resolve each subjob's interference inputs once: its predecessor slot
-    // and, per higher-priority peer, (execution, period, jitter slot).
-    let preds: Vec<Option<usize>> = refs
-        .iter()
-        .map(|&r| {
-            (r.index > 0).then(|| {
-                pos[&SubjobRef {
-                    job: r.job,
-                    index: r.index - 1,
-                }]
-            })
-        })
-        .collect();
-    let hp_inputs: Vec<Vec<(Time, Time, usize)>> = refs
-        .iter()
-        .map(|&r| {
-            sys.higher_priority_peers(r)
-                .into_iter()
-                .map(|h| {
-                    let hs = sys.subjob(h);
-                    (hs.exec, periods[h.job.0], pos[&h])
-                })
-                .collect()
-        })
-        .collect();
-    let ctx = Arc::new(HolisticCtx {
-        exec: refs.iter().map(|&r| sys.subjob(r).exec).collect(),
-        period: refs.iter().map(|&r| periods[r.job.0]).collect(),
-        preds,
-        hp_inputs,
-        cap,
-    });
-
-    const MAX_ROUNDS: usize = 4096;
-    let mut rounds = 0;
-    loop {
-        rounds += 1;
-        if rounds > MAX_ROUNDS {
-            return Err(AnalysisError::FixpointDiverged { iterations: rounds });
-        }
-        // Jacobi round: every subjob's busy-window scan reads only the
-        // previous round's responses and jitters, so the scans are
-        // independent and fan out over the persistent pool. The iteration is
-        // monotone from below, so Jacobi and Gauss-Seidel sweeps converge to
-        // the same least fixed point.
-        let results: Vec<(Time, bool, Time)> = {
-            let ctx = Arc::clone(&ctx);
-            let jitter = Arc::new(jitter.clone());
-            let response = Arc::new(response.clone());
-            crate::par::pool_map(refs.len(), move |i| {
-                let c = ctx.exec[i];
-                let rho = ctx.period[i];
-                let cap = ctx.cap;
-                let j_in = ctx.preds[i].map_or(Time::ZERO, |p| response[p]);
-
-                // Jitter-aware busy-window scan.
-                let mut worst = Time::ZERO;
-                let mut q: i64 = 0;
-                let mut ok = true;
-                loop {
-                    let mut w = c * (q + 1);
-                    loop {
-                        let mut next = c * (q + 1);
-                        for &(ce, pe, je) in &ctx.hp_inputs[i] {
-                            let je = jitter[je];
-                            let ceil =
-                                (w.ticks() + je.ticks() + pe.ticks() - 1).div_euclid(pe.ticks());
-                            next += ce * ceil.max(0);
-                        }
-                        if next == w {
-                            break;
-                        }
-                        w = next;
-                        if w > cap {
-                            ok = false;
-                            break;
-                        }
-                    }
-                    if !ok {
-                        break;
-                    }
-                    worst = worst.max(j_in + w - rho * q);
-                    if w + j_in <= rho * (q + 1) {
-                        break;
-                    }
-                    q += 1;
-                    if rho * q > cap {
-                        ok = false;
-                        break;
-                    }
-                }
-
-                let (new_resp, new_div) = if ok { (worst, false) } else { (cap, true) };
-                // A subjob's *release* jitter is what interferes with peers:
-                // the response bound of its predecessor hop (zero at the
-                // first hop).
-                (new_resp, new_div, j_in.min(cap))
-            })
-        };
-        let mut changed = false;
-        for (i, (new_resp, new_div, new_jit)) in results.into_iter().enumerate() {
-            if new_resp != response[i] || new_div != diverged[i] || new_jit != jitter[i] {
-                changed = true;
+/// Verdict-only holistic analysis: `true` iff every job's end-to-end bound
+/// is finite and within its deadline. Same fixed point as
+/// [`analyze_holistic`] (the verdict agrees with
+/// `analyze_holistic(..)?.all_schedulable()` bit for bit) but skips the
+/// report and seed assembly, so a warm call allocates nothing — the form
+/// the Monte-Carlo admission sweeps want, where only the verdict survives
+/// the scenario.
+pub fn holistic_schedulable(sys: &TaskSystem, cfg: &AnalysisConfig) -> Result<bool, AnalysisError> {
+    HOL_WS.with(|ws| {
+        let mut ws = ws.borrow_mut();
+        run_fixpoint(sys, cfg, None, &mut ws)?;
+        let ws = &*ws;
+        for (k, job) in sys.jobs().iter().enumerate() {
+            let start = ws.job_start[k];
+            let nj = job.subjobs.len();
+            if ws.diverged[start..start + nj].iter().any(|&d| d) {
+                return Ok(false);
             }
-            response[i] = new_resp;
-            diverged[i] = new_div;
-            jitter[i] = new_jit;
+            if ws.response[start + nj - 1] > job.deadline {
+                return Ok(false);
+            }
         }
-        if !changed {
-            break;
-        }
-    }
+        Ok(true)
+    })
+}
+
+fn analyze_holistic_in(
+    sys: &TaskSystem,
+    cfg: &AnalysisConfig,
+    seed: Option<&HolisticSeed>,
+    ws: &mut HolisticWorkspace,
+) -> Result<(BoundsReport, HolisticSeed), AnalysisError> {
+    let (window, horizon) = run_fixpoint(sys, cfg, seed, ws)?;
     let mut jobs = Vec::with_capacity(sys.jobs().len());
     for (k, job) in sys.jobs().iter().enumerate() {
         let job_id = JobId(k);
-        let n = job.subjobs.len();
-        let mut hop_delays = Vec::with_capacity(n);
+        let nj = job.subjobs.len();
+        let mut hop_delays = Vec::with_capacity(nj);
         let mut prev = Time::ZERO;
         let mut unbounded = false;
-        for j in 0..n {
-            let i = pos[&SubjobRef {
-                job: job_id,
-                index: j,
-            }];
-            if diverged[i] {
+        for j in 0..nj {
+            let i = ws.job_start[k] + j;
+            if ws.diverged[i] {
                 unbounded = true;
                 hop_delays.push(None);
             } else {
-                hop_delays.push(Some(response[i] - prev));
-                prev = response[i];
+                hop_delays.push(Some(ws.response[i] - prev));
+                prev = ws.response[i];
             }
         }
-        let last = pos[&SubjobRef {
-            job: job_id,
-            index: n - 1,
-        }];
+        let last = ws.job_start[k] + nj - 1;
         let e2e_bound = if unbounded {
             None
         } else {
-            Some(response[last])
+            Some(ws.response[last])
         };
         jobs.push(JobBound {
             job: job_id,
@@ -271,11 +183,174 @@ pub fn analyze_holistic_seeded(
     let next_seed = HolisticSeed {
         window,
         horizon,
-        jitter,
-        response,
-        diverged,
+        jitter: ws.jitter.clone(),
+        response: ws.response.clone(),
+        diverged: ws.diverged.clone(),
     };
     Ok((report, next_seed))
+}
+
+/// Converge the jitter iteration, leaving the fixed point in `ws`
+/// (`job_start`, `response`, `diverged`). Returns the resolved frame.
+fn run_fixpoint(
+    sys: &TaskSystem,
+    cfg: &AnalysisConfig,
+    seed: Option<&HolisticSeed>,
+    ws: &mut HolisticWorkspace,
+) -> Result<(Time, Time), AnalysisError> {
+    sys.validate(true)?;
+    crate::exact::require_exact_capable(sys)?;
+    ws.periods.clear();
+    for (k, job) in sys.jobs().iter().enumerate() {
+        match job.arrival {
+            ArrivalPattern::Periodic { period, .. } => ws.periods.push(period),
+            _ => return Err(AnalysisError::NotPeriodic { job: JobId(k) }),
+        }
+    }
+
+    let (window, horizon) = cfg.resolve(sys);
+    let cap = horizon.max(Time(1)) * 4;
+    ws.refs.clear();
+    ws.job_start.clear();
+    for (k, job) in sys.jobs().iter().enumerate() {
+        ws.job_start.push(ws.refs.len());
+        for j in 0..job.subjobs.len() {
+            ws.refs.push(SubjobRef {
+                job: JobId(k),
+                index: j,
+            });
+        }
+    }
+    let n = ws.refs.len();
+
+    // Jitter per subjob (measured from the job's nominal release).
+    // `diverged` marks subjobs past the cap: their interference is capped.
+    // A matching seed replaces the all-zero start; the iteration below
+    // converges to the same least fixed point from any state below it.
+    ws.jitter.clear();
+    ws.diverged.clear();
+    ws.response.clear();
+    match seed {
+        Some(s) if s.matches(window, horizon, n) => {
+            ws.jitter.extend_from_slice(&s.jitter);
+            ws.diverged.extend_from_slice(&s.diverged);
+            ws.response.extend_from_slice(&s.response);
+        }
+        _ => {
+            ws.jitter.resize(n, Time::ZERO);
+            ws.diverged.resize(n, false);
+            ws.response.resize(n, Time::ZERO);
+        }
+    }
+    ws.jitter_next.clear();
+    ws.jitter_next.resize(n, Time::ZERO);
+    ws.diverged_next.clear();
+    ws.diverged_next.resize(n, false);
+    ws.response_next.clear();
+    ws.response_next.resize(n, Time::ZERO);
+
+    // Resolve each subjob's interference inputs once: its predecessor slot
+    // and, per higher-priority peer, (execution, period, jitter slot). The
+    // subjobs of one job are contiguous in `refs`, so the predecessor of a
+    // non-first hop is the previous dense slot.
+    ws.exec.clear();
+    ws.period.clear();
+    ws.preds.clear();
+    ws.hp_flat.clear();
+    ws.hp_start.clear();
+    for i in 0..n {
+        let r = ws.refs[i];
+        let s = sys.subjob(r);
+        ws.exec.push(s.exec);
+        ws.period.push(ws.periods[r.job.0]);
+        ws.preds.push((r.index > 0).then(|| i - 1));
+        ws.hp_start.push(ws.hp_flat.len());
+        let phi = s.priority.expect("validated: priorities assigned");
+        for (h, &o) in ws.refs.iter().enumerate() {
+            if o == r {
+                continue;
+            }
+            let os = sys.subjob(o);
+            if os.processor == s.processor && os.priority.expect("assigned") < phi {
+                ws.hp_flat.push((os.exec, ws.periods[o.job.0], h));
+            }
+        }
+    }
+    ws.hp_start.push(ws.hp_flat.len());
+
+    const MAX_ROUNDS: usize = 4096;
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        if rounds > MAX_ROUNDS {
+            return Err(AnalysisError::FixpointDiverged { iterations: rounds });
+        }
+        // Jacobi round: every subjob's busy-window scan reads only the
+        // previous round's responses and jitters (the `cur` buffers),
+        // writing the `next` buffers. The iteration is monotone from below,
+        // so Jacobi and Gauss-Seidel sweeps converge to the same least
+        // fixed point.
+        let mut changed = false;
+        for i in 0..n {
+            let c = ws.exec[i];
+            let rho = ws.period[i];
+            let j_in = ws.preds[i].map_or(Time::ZERO, |p| ws.response[p]);
+
+            // Jitter-aware busy-window scan.
+            let mut worst = Time::ZERO;
+            let mut q: i64 = 0;
+            let mut ok = true;
+            loop {
+                let mut w = c * (q + 1);
+                loop {
+                    let mut next = c * (q + 1);
+                    for &(ce, pe, je) in &ws.hp_flat[ws.hp_start[i]..ws.hp_start[i + 1]] {
+                        let je = ws.jitter[je];
+                        let ceil = (w.ticks() + je.ticks() + pe.ticks() - 1).div_euclid(pe.ticks());
+                        next += ce * ceil.max(0);
+                    }
+                    if next == w {
+                        break;
+                    }
+                    w = next;
+                    if w > cap {
+                        ok = false;
+                        break;
+                    }
+                }
+                if !ok {
+                    break;
+                }
+                worst = worst.max(j_in + w - rho * q);
+                if w + j_in <= rho * (q + 1) {
+                    break;
+                }
+                q += 1;
+                if rho * q > cap {
+                    ok = false;
+                    break;
+                }
+            }
+
+            let (new_resp, new_div) = if ok { (worst, false) } else { (cap, true) };
+            // A subjob's *release* jitter is what interferes with peers:
+            // the response bound of its predecessor hop (zero at the
+            // first hop).
+            let new_jit = j_in.min(cap);
+            changed |=
+                new_resp != ws.response[i] || new_div != ws.diverged[i] || new_jit != ws.jitter[i];
+            ws.response_next[i] = new_resp;
+            ws.diverged_next[i] = new_div;
+            ws.jitter_next[i] = new_jit;
+        }
+        std::mem::swap(&mut ws.response, &mut ws.response_next);
+        std::mem::swap(&mut ws.diverged, &mut ws.diverged_next);
+        std::mem::swap(&mut ws.jitter, &mut ws.jitter_next);
+        if !changed {
+            break;
+        }
+    }
+    Ok((window, horizon))
 }
 
 #[cfg(test)]
@@ -453,6 +528,36 @@ mod tests {
         let h = analyze_holistic(&sys, &AnalysisConfig::default()).unwrap();
         assert!(!h.all_schedulable());
         assert!(h.jobs[1].e2e_bound.is_none());
+    }
+
+    #[test]
+    fn verdict_only_path_matches_full_report() {
+        // Schedulable multi-stage system, unschedulable overload, and a
+        // tight single-stage case: the allocation-free verdict must agree
+        // with `analyze_holistic(..).all_schedulable()` on each.
+        let mk = |execs: &[i64]| {
+            let mut b = SystemBuilder::new();
+            let p1 = b.add_processor("P1", SchedulerKind::Spp);
+            let p2 = b.add_processor("P2", SchedulerKind::Spp);
+            for (k, &c) in execs.iter().enumerate() {
+                b.add_job(
+                    format!("T{k}"),
+                    Time(40),
+                    periodic(20),
+                    vec![(p1, Time(c)), (p2, Time(c))],
+                );
+            }
+            let mut sys = b.build().unwrap();
+            assign_priorities(&mut sys, PriorityPolicy::RelativeDeadlineMonotonic).unwrap();
+            sys
+        };
+        let cfg = AnalysisConfig::default();
+        for execs in [&[2, 3][..], &[9, 9][..], &[6, 7][..]] {
+            let sys = mk(execs);
+            let full = analyze_holistic(&sys, &cfg).unwrap().all_schedulable();
+            let fast = holistic_schedulable(&sys, &cfg).unwrap();
+            assert_eq!(full, fast, "execs {execs:?}");
+        }
     }
 
     #[test]

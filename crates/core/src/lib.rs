@@ -85,6 +85,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod bounds;
 pub mod classic;
 mod config;
@@ -104,6 +105,7 @@ pub mod session;
 pub mod spnp;
 pub mod spp;
 
+pub use batch::BatchAnalyzer;
 pub use bounds::analyze_bounds;
 pub use config::{AnalysisConfig, SpnpAvailability};
 pub use error::AnalysisError;

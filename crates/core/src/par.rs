@@ -21,6 +21,12 @@
 //! * A panic inside a worker-executed closure is converted into a panic on
 //!   the calling thread via a drop-guard message rather than a silent hang;
 //!   the worker itself survives and returns to the queue.
+//! * Results travel back **one message per chunk**, not per item, so channel
+//!   overhead stays constant-per-participant even for thousand-element maps.
+//! * [`pool_map_stateful`] additionally gives every participating thread a
+//!   private, `init`-built state value threaded through its `f` calls — the
+//!   substrate for batched Monte-Carlo sweeps that reuse warm analysis
+//!   sessions per thread.
 //!
 //! Results are returned in index order and are deterministic: which thread
 //! computes `f(i)` never affects the output.
@@ -102,7 +108,12 @@ pub fn pool_threads() -> usize {
 }
 
 enum Msg<T> {
-    Item(usize, T),
+    /// One computed chunk: the start index and the values for
+    /// `start..start + vals.len()`. Chunk-granular messages keep channel
+    /// traffic at a handful of sends per participant instead of one per
+    /// item — the difference is measurable when `n` is in the thousands
+    /// and `f` is cheap (Monte-Carlo admission sweeps).
+    Chunk(usize, Vec<T>),
     /// Sent from a ticket's drop-guard when its closure panicked.
     Failed,
 }
@@ -133,13 +144,40 @@ where
     T: Send + 'static,
     F: Fn(usize) -> T + Send + Sync + 'static,
 {
+    pool_map_stateful(n, || (), move |(), i| f(i))
+}
+
+/// Like [`pool_map`], but each participating thread carries a private state
+/// value `S` built once by `init` and threaded through every `f` call that
+/// thread makes.
+///
+/// This is the hook that lets Monte-Carlo sweeps reuse expensive per-thread
+/// resources (analysis sessions, curve arenas) across the scenarios a thread
+/// happens to process: a thread calls `init()` exactly once, then evaluates
+/// each claimed index with `&mut` access to its state. `S` never crosses a
+/// thread boundary, so it needs neither `Send` nor `Sync` — a
+/// [`rta_curves::Scratch`] works fine.
+///
+/// Which indices land on which thread (and hence on which state value) is
+/// **not** deterministic; results are deterministic only when `f(state, i)`
+/// depends on mutations of `state` in a value-independent way (caches,
+/// arenas, warm buffers — not accumulators).
+pub fn pool_map_stateful<S, T, I, F>(n: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send + 'static,
+    I: Fn() -> S + Send + Sync + 'static,
+    F: Fn(&mut S, usize) -> T + Send + Sync + 'static,
+{
     let pool = WorkerPool::global();
-    // Spawn-free fast path: tiny batches are cheaper inline.
-    if pool.workers == 0 || n < 4 {
-        return (0..n).map(f).collect();
+    // Spawn-free fast path: tiny batches are cheaper inline — dispatch
+    // overhead (ticket submit, channel, wake-ups) costs more than a handful
+    // of evaluations.
+    if pool.workers == 0 || n < 8 {
+        let mut state = init();
+        return (0..n).map(|i| f(&mut state, i)).collect();
     }
 
-    let f = Arc::new(f);
+    let shared = Arc::new((init, f));
     let next = Arc::new(AtomicUsize::new(0));
     let participants = (pool.workers + 1).min(n);
     // Several chunks per participant so an unlucky expensive chunk cannot
@@ -149,22 +187,27 @@ where
 
     let (tx, rx) = channel::<Msg<T>>();
     for _ in 0..tickets {
-        let f = Arc::clone(&f);
+        let shared = Arc::clone(&shared);
         let next = Arc::clone(&next);
         let tx = tx.clone();
         pool.submit(Box::new(move || {
             let mut guard = TicketGuard { tx, armed: true };
+            let (init, f) = &*shared;
+            let mut state = init();
             loop {
                 let start = next.fetch_add(chunk, Ordering::Relaxed);
                 if start >= n {
                     break;
                 }
-                for i in start..(start + chunk).min(n) {
-                    // A send error means the caller already panicked and
-                    // dropped the receiver; abandon the remaining work.
-                    if guard.tx.send(Msg::Item(i, f(i))).is_err() {
-                        break;
-                    }
+                let end = (start + chunk).min(n);
+                let mut vals = Vec::with_capacity(end - start);
+                for i in start..end {
+                    vals.push(f(&mut state, i));
+                }
+                // A send error means the caller already panicked and dropped
+                // the receiver; abandon the remaining work.
+                if guard.tx.send(Msg::Chunk(start, vals)).is_err() {
+                    break;
                 }
             }
             guard.armed = false;
@@ -175,6 +218,8 @@ where
     let mut out: Vec<Option<T>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
     let mut filled = 0usize;
+    let (init, f) = &*shared;
+    let mut state = init();
     // Caller participation: claim chunks until the cursor is exhausted.
     loop {
         let start = next.fetch_add(chunk, Ordering::Relaxed);
@@ -183,18 +228,20 @@ where
         }
         let end = (start + chunk).min(n);
         for (off, slot) in out[start..end].iter_mut().enumerate() {
-            *slot = Some(f(start + off));
+            *slot = Some(f(&mut state, start + off));
             filled += 1;
         }
     }
-    // Collect the chunks claimed by workers. Every claimed index is either
+    // Collect the chunks claimed by workers. Every claimed chunk is either
     // delivered or covered by a `Failed` marker from the ticket guard, so
     // this loop terminates.
     while filled < n {
         match rx.recv() {
-            Ok(Msg::Item(i, v)) => {
-                out[i] = Some(v);
-                filled += 1;
+            Ok(Msg::Chunk(start, vals)) => {
+                for (slot, v) in out[start..].iter_mut().zip(vals) {
+                    *slot = Some(v);
+                    filled += 1;
+                }
             }
             Ok(Msg::Failed) => panic!("pool_map: a worker task panicked"),
             Err(_) => panic!("pool_map: workers disconnected with {filled}/{n} results"),
@@ -248,5 +295,49 @@ mod tests {
     #[test]
     fn pool_reports_at_least_the_caller() {
         assert!(pool_threads() >= 1);
+    }
+
+    #[test]
+    fn stateful_map_builds_one_state_per_thread() {
+        use std::sync::atomic::AtomicUsize;
+
+        // Each participant gets its own warm buffer; results must still be
+        // index-ordered and value-correct regardless of which thread (and
+        // hence which buffer) computed each index.
+        static INITS: AtomicUsize = AtomicUsize::new(0);
+        let v = pool_map_stateful(
+            1000,
+            || {
+                INITS.fetch_add(1, Ordering::Relaxed);
+                Vec::<usize>::new()
+            },
+            |buf, i| {
+                buf.clear();
+                buf.extend(0..=i % 10);
+                buf.iter().sum::<usize>() + i
+            },
+        );
+        for (i, got) in v.into_iter().enumerate() {
+            let m = i % 10;
+            assert_eq!(got, m * (m + 1) / 2 + i, "index {i}");
+        }
+        // At most one state per participating thread (workers may not all
+        // win a ticket, but none builds two states).
+        assert!(INITS.load(Ordering::Relaxed) <= pool_threads());
+    }
+
+    #[test]
+    fn stateful_map_runs_inline_when_small() {
+        // Below the dispatch threshold the caller computes everything with a
+        // single state, so stateful accumulation is sequential and exact.
+        let v = pool_map_stateful(
+            7,
+            || 0usize,
+            |acc, i| {
+                *acc += i;
+                *acc
+            },
+        );
+        assert_eq!(v, vec![0, 1, 3, 6, 10, 15, 21]);
     }
 }

@@ -44,7 +44,7 @@ use std::collections::HashMap;
 use crate::config::SpnpAvailability;
 use crate::error::AnalysisError;
 use crate::spnp::ServiceBounds;
-use rta_curves::{Curve, Time};
+use rta_curves::{Curve, Scratch, Time};
 use rta_model::{ProcessorId, SchedulerKind, SubjobRef, TaskSystem};
 
 pub mod fcfs;
@@ -169,6 +169,23 @@ pub trait ServicePolicy: Send + Sync {
 
     /// Lower/upper service bounds for one subjob — the policy kernel.
     fn service_bounds(&self, inputs: &BoundsInputs<'_>) -> Result<ServiceBounds, AnalysisError>;
+
+    /// [`ServicePolicy::service_bounds`] writing into a caller-provided
+    /// [`ServiceBounds`], drawing temporaries from `scratch` — the
+    /// zero-allocation entry the fixpoint driver's warm path uses.
+    ///
+    /// The default delegates to the allocating kernel (correct for every
+    /// policy); disciplines with hot `_into` kernels override it. Results
+    /// must be bit-identical to [`ServicePolicy::service_bounds`].
+    fn service_bounds_into(
+        &self,
+        inputs: &BoundsInputs<'_>,
+        _scratch: &mut Scratch,
+        out: &mut ServiceBounds,
+    ) -> Result<(), AnalysisError> {
+        *out = self.service_bounds(inputs)?;
+        Ok(())
+    }
 
     /// A fresh event-engine scheduler for one processor running this
     /// discipline.

@@ -6,8 +6,8 @@
 use super::spp::PrioritySim;
 use super::{BoundsInputs, PeerInputs, ServicePolicy, SimScheduler};
 use crate::error::AnalysisError;
-use crate::spnp::{spnp_bounds, ServiceBounds};
-use rta_curves::Time;
+use crate::spnp::{spnp_bounds, spnp_bounds_into, ServiceBounds};
+use rta_curves::{Scratch, Time};
 use rta_model::{ProcessorId, SchedulerKind, SubjobRef, TaskSystem};
 
 /// Static-priority non-preemptive (Eq. 15, Theorems 5/6).
@@ -33,6 +33,24 @@ impl ServicePolicy for SpnpPolicy {
             inputs.hp_upper,
             inputs.blocking,
             inputs.variant,
+        )
+        .map_err(AnalysisError::from)
+    }
+
+    fn service_bounds_into(
+        &self,
+        inputs: &BoundsInputs<'_>,
+        scratch: &mut Scratch,
+        out: &mut ServiceBounds,
+    ) -> Result<(), AnalysisError> {
+        spnp_bounds_into(
+            inputs.workload,
+            inputs.hp_lower,
+            inputs.hp_upper,
+            inputs.blocking,
+            inputs.variant,
+            scratch,
+            out,
         )
         .map_err(AnalysisError::from)
     }

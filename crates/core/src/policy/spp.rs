@@ -7,8 +7,8 @@
 
 use super::{BoundsInputs, PeerInputs, ReadyInstance, ServicePolicy, SimScheduler};
 use crate::error::AnalysisError;
-use crate::spnp::{spnp_bounds, ServiceBounds};
-use rta_curves::Curve;
+use crate::spnp::{spnp_bounds, spnp_bounds_into, ServiceBounds};
+use rta_curves::{Curve, Scratch};
 use rta_model::{ProcessorId, SchedulerKind, TaskSystem};
 
 /// Static-priority preemptive (Theorem 3).
@@ -42,6 +42,24 @@ impl ServicePolicy for SppPolicy {
             inputs.hp_upper,
             inputs.blocking,
             inputs.variant,
+        )
+        .map_err(AnalysisError::from)
+    }
+
+    fn service_bounds_into(
+        &self,
+        inputs: &BoundsInputs<'_>,
+        scratch: &mut Scratch,
+        out: &mut ServiceBounds,
+    ) -> Result<(), AnalysisError> {
+        spnp_bounds_into(
+            inputs.workload,
+            inputs.hp_lower,
+            inputs.hp_upper,
+            inputs.blocking,
+            inputs.variant,
+            scratch,
+            out,
         )
         .map_err(AnalysisError::from)
     }

@@ -24,7 +24,7 @@
 //! blocking; Theorems 5/6 then mirror Theorem 3 with bounded inputs).
 
 use crate::config::SpnpAvailability;
-use rta_curves::{Curve, CurveError, Time};
+use rta_curves::{Curve, CurveError, Scratch, Time};
 
 /// Lower/upper service-function bounds of one subjob.
 #[derive(Clone, Debug)]
@@ -34,6 +34,24 @@ pub struct ServiceBounds {
     /// Potential (upper-bounded) service `S̄`.
     pub upper: Curve,
 }
+
+impl ServiceBounds {
+    /// The information-free bracket `[0, 0]` — a placeholder whose buffers
+    /// the `_into` drivers overwrite.
+    pub fn zeroed() -> ServiceBounds {
+        ServiceBounds {
+            lower: Curve::zero(),
+            upper: Curve::zero(),
+        }
+    }
+}
+
+impl PartialEq for ServiceBounds {
+    fn eq(&self, other: &ServiceBounds) -> bool {
+        self.lower == other.lower && self.upper == other.upper
+    }
+}
+impl Eq for ServiceBounds {}
 
 /// Compute Theorem 5/6 bounds for one subjob.
 ///
@@ -59,6 +77,34 @@ pub fn spnp_bounds(
     blocking: Time,
     variant: SpnpAvailability,
 ) -> Result<ServiceBounds, CurveError> {
+    let mut scratch = Scratch::new();
+    let mut out = ServiceBounds::zeroed();
+    spnp_bounds_into(
+        workload_upper,
+        hp_lower,
+        hp_upper,
+        blocking,
+        variant,
+        &mut scratch,
+        &mut out,
+    )?;
+    Ok(out)
+}
+
+/// [`spnp_bounds`] writing into a caller-provided [`ServiceBounds`], with
+/// every intermediate curve drawn from `scratch` — the zero-allocation
+/// kernel behind the fixpoint driver's warm path. On error `out` is left
+/// in an unspecified (but valid) state.
+#[allow(clippy::many_single_char_names)]
+pub fn spnp_bounds_into(
+    workload_upper: &Curve,
+    hp_lower: &[&Curve],
+    hp_upper: &[&Curve],
+    blocking: Time,
+    variant: SpnpAvailability,
+    scratch: &mut Scratch,
+    out: &mut ServiceBounds,
+) -> Result<(), CurveError> {
     if hp_lower.len() != hp_upper.len() {
         return Err(CurveError::MismatchedLengths {
             left: hp_lower.len(),
@@ -66,15 +112,28 @@ pub fn spnp_bounds(
         });
     }
     let b = blocking;
-    let c_prev = workload_upper.shift_right(Time::ONE, 0);
-    let sum = |curves: &[&Curve]| -> Curve {
-        let mut acc = Curve::zero();
+    let mut id = scratch.take_curve();
+    let mut c_prev = scratch.take_curve();
+    let mut hp_lo_sum = scratch.take_curve();
+    let mut hp_up_sum = scratch.take_curve();
+    let mut up = scratch.take_curve();
+    let mut s_avail = scratch.take_curve();
+    let mut t1 = scratch.take_curve();
+    let mut t2 = scratch.take_curve();
+    let mut t3 = scratch.take_curve();
+
+    id.set_affine(0, 1);
+    workload_upper.shift_right_into(Time::ONE, 0, &mut c_prev);
+    // Σ hp bounds, ping-ponged through a temp (pointwise add is exact and
+    // canonical on the segment representation, so accumulation order is
+    // irrelevant to the result).
+    for (sum, curves) in [(&mut hp_lo_sum, hp_lower), (&mut hp_up_sum, hp_upper)] {
+        sum.set_affine(0, 0);
         for c in curves {
-            acc = acc.add(c);
+            sum.add_into(c, &mut t1);
+            std::mem::swap(sum, &mut t1);
         }
-        acc
-    };
-    let (hp_lo_sum, hp_up_sum) = (sum(hp_lower), sum(hp_upper));
+    }
 
     // The busy-period candidate is
     //     avail(s, t] + c̄(s⁻)
@@ -88,49 +147,53 @@ pub fn spnp_bounds(
     // the paper's single-curve form with `ΣS̲_h` at both positions.
 
     // ---- Theorem 6: upper bound (no blocking in an upper bound). ----
-    let t_part_up = Curve::identity().sub(&hp_lo_sum);
-    let s_part_up = match variant {
-        SpnpAvailability::AsPrinted => c_prev.add(&hp_lo_sum).sub(&Curve::identity()),
-        SpnpAvailability::Conservative => c_prev.add(&hp_up_sum).sub(&Curve::identity()),
-    };
-    let upper_raw = t_part_up
-        .add(&s_part_up.running_min())
-        .min_with(workload_upper);
-    let upper = upper_raw
-        .min_with(&Curve::identity())
-        .clamp_min(0)
-        .running_max();
+    id.sub_into(&hp_lo_sum, &mut t1); // t1 = t_part_up
+    match variant {
+        SpnpAvailability::AsPrinted => c_prev.add_into(&hp_lo_sum, &mut t2),
+        SpnpAvailability::Conservative => c_prev.add_into(&hp_up_sum, &mut t2),
+    }
+    t2.sub_into(&id, &mut t3); // t3 = s_part_up
+    t3.running_min_into(&mut t2);
+    t1.add_into(&t2, &mut t3);
+    t3.min_with_into(workload_upper, &mut t1); // t1 = upper_raw
+    t1.min_with_into(&id, &mut t2);
+    t2.clamp_min_into(0, &mut t3);
+    t3.running_max_into(&mut up); // up = upper, pre-reorder fix
 
     // ---- Theorem 5: lower bound. ----
-    let t_part_lo = match variant {
-        SpnpAvailability::AsPrinted => Curve::identity().add_const(-b.ticks()).sub(&hp_lo_sum),
-        SpnpAvailability::Conservative => Curve::identity().add_const(-b.ticks()).sub(&hp_up_sum),
-    };
-    // s-part availability: the paper's B̲ (masked to 0 on [0, b]) for
-    // AsPrinted; for Conservative the blocking term lives only in the
-    // t-part (it is a one-shot delay, not an increment at both ends), so
-    // the s-part is the unmasked `s − ΣS̲_h(s)`.
-    let s_avail = match variant {
-        SpnpAvailability::AsPrinted => t_part_lo.clone().mask_before(b + Time::ONE, 0),
-        SpnpAvailability::Conservative => Curve::identity().sub(&hp_lo_sum),
-    };
-    let t_part_lo = t_part_lo.mask_before(b + Time::ONE, 0);
-    // S̲(t) = T(t) + min_{0 ≤ s ≤ t−b} ( c̄(s⁻) − avail_s(s) ), the running
-    // minimum delayed by the blocking interval (Theorem 5's min range).
-    let run = c_prev.sub(&s_avail).running_min();
-    let delayed_run = run.shift_right(b, run.eval(Time::ZERO));
-    let lower_raw = t_part_lo
-        .add(&delayed_run)
-        .min_with(workload_upper)
-        .mask_before(b + Time::ONE, 0);
-    let lower = lower_raw
-        .clamp_min(0)
-        .min_with(&Curve::identity())
-        .running_max();
+    id.add_const_into(-b.ticks(), &mut t1);
+    match variant {
+        SpnpAvailability::AsPrinted => t1.sub_into(&hp_lo_sum, &mut t2),
+        SpnpAvailability::Conservative => t1.sub_into(&hp_up_sum, &mut t2),
+    } // t2 = t_part_lo, unmasked
+      // s-part availability: the paper's B̲ (masked to 0 on [0, b]) for
+      // AsPrinted; for Conservative the blocking term lives only in the
+      // t-part (it is a one-shot delay, not an increment at both ends), so
+      // the s-part is the unmasked `s − ΣS̲_h(s)`.
+    match variant {
+        SpnpAvailability::AsPrinted => t2.mask_before_into(b + Time::ONE, 0, &mut s_avail),
+        SpnpAvailability::Conservative => id.sub_into(&hp_lo_sum, &mut s_avail),
+    }
+    t2.mask_before_into(b + Time::ONE, 0, &mut t1); // t1 = masked t_part_lo
+                                                    // S̲(t) = T(t) + min_{0 ≤ s ≤ t−b} ( c̄(s⁻) − avail_s(s) ), the running
+                                                    // minimum delayed by the blocking interval (Theorem 5's min range).
+    c_prev.sub_into(&s_avail, &mut t2);
+    t2.running_min_into(&mut t3); // t3 = run
+    t3.shift_right_into(b, t3.eval(Time::ZERO), &mut t2); // t2 = delayed_run
+    t1.add_into(&t2, &mut t3);
+    t3.min_with_into(workload_upper, &mut t2);
+    t2.mask_before_into(b + Time::ONE, 0, &mut t1); // t1 = lower_raw
+    t1.clamp_min_into(0, &mut t2);
+    t2.min_with_into(&id, &mut t3);
+    t3.running_max_into(&mut out.lower);
 
     // Clipping can reorder the raw curves in degenerate spots.
-    let upper = upper.max_with(&lower);
-    Ok(ServiceBounds { lower, upper })
+    up.max_with_into(&out.lower, &mut out.upper);
+
+    for c in [id, c_prev, hp_lo_sum, hp_up_sum, up, s_avail, t1, t2, t3] {
+        scratch.put_curve(c);
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -1,0 +1,149 @@
+//! Bump-arena style buffer reuse for the hot curve kernels.
+//!
+//! The `_into` kernel variants (`*_into` methods across [`crate::ops`],
+//! [`crate::running`], [`crate::floor_div`], [`crate::envelope`],
+//! [`crate::convolution`] and [`crate::inverse`]) write their results into
+//! caller-provided [`Curve`]s, reusing the segment buffers already
+//! allocated there. This module provides the two pieces callers need to
+//! keep those buffers alive across calls:
+//!
+//! * [`CurveArenaBuf`] — a free-list of curve buffers. `take` hands out a
+//!   curve whose segment `Vec` retains the capacity it grew to on earlier
+//!   uses; `put` returns it. After a warm-up pass over representative
+//!   inputs, a take/compute/put cycle performs no heap allocation.
+//! * [`Scratch`] — a `CurveArenaBuf` plus the typed side buffers some
+//!   kernels need (dense lattice values for the convolution fallback, a
+//!   piece-merge staging area for the convex path). One `Scratch` per
+//!   worker thread is the intended granularity; none of the types are
+//!   `Sync` — sharing across threads is a compile error, not a data race.
+//!
+//! Results are **bit-identical** to the allocating kernels: every
+//! allocating entry point is a thin wrapper that runs the `_into` kernel
+//! on a fresh buffer (see `tests/into_kernels.rs` for the pinning tests),
+//! so reusing buffers can change *where* a result lives, never what it is.
+//!
+//! A kernel that panics mid-write (e.g. a debug assertion) can leave the
+//! output curve holding a partial, invariant-violating segment list; the
+//! output must be treated as poisoned and not reused after a caught panic.
+
+use crate::{Curve, Time};
+
+/// A free-list of reusable curve buffers — the "bump arena" of the hot
+/// analysis paths.
+///
+/// Unlike a classical bump allocator there is no unsafe pointer bumping
+/// (the crate forbids `unsafe`); the arena instead recycles fully-grown
+/// `Vec<Segment>` storage, which achieves the same steady-state goal:
+/// zero allocator traffic once every buffer has reached its working size.
+#[derive(Default)]
+pub struct CurveArenaBuf {
+    pool: Vec<Curve>,
+}
+
+impl CurveArenaBuf {
+    /// An empty arena.
+    pub fn new() -> CurveArenaBuf {
+        CurveArenaBuf::default()
+    }
+
+    /// Hand out a curve buffer. The returned curve is the zero curve; its
+    /// segment buffer keeps whatever capacity it had when it was `put`
+    /// back, so warm takes allocate nothing.
+    pub fn take(&mut self) -> Curve {
+        match self.pool.pop() {
+            Some(mut c) => {
+                let segs = c.begin_write(1);
+                segs.push(crate::Segment::new(Time::ZERO, 0, 0));
+                c.finish_write();
+                c
+            }
+            None => Curve::zero(),
+        }
+    }
+
+    /// Return a curve buffer to the arena for later reuse.
+    pub fn put(&mut self, c: Curve) {
+        self.pool.push(c);
+    }
+
+    /// Number of buffers currently parked in the arena.
+    pub fn len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// `true` when no buffers are parked.
+    pub fn is_empty(&self) -> bool {
+        self.pool.is_empty()
+    }
+}
+
+/// Reusable scratch space for the `_into` curve kernels: a curve-buffer
+/// arena plus the typed staging buffers of the convolution kernels.
+///
+/// Intended granularity is one `Scratch` per worker thread (the analysis
+/// drivers in `rta-core` keep one in thread-local storage); kernels borrow
+/// it mutably for the duration of a call and leave all buffers empty but
+/// capacity-warm.
+#[derive(Default)]
+pub struct Scratch {
+    bufs: CurveArenaBuf,
+    /// Dense lattice samples of the left convolution operand.
+    pub(crate) values_a: Vec<i64>,
+    /// Dense lattice samples of the right convolution operand.
+    pub(crate) values_b: Vec<i64>,
+    /// Piece staging for the convex slope-merge: `(length, slope)` with
+    /// `None` marking the unbounded tail piece.
+    pub(crate) pieces: Vec<(Option<Time>, i64)>,
+}
+
+impl Scratch {
+    /// A fresh, empty scratch space.
+    pub fn new() -> Scratch {
+        Scratch::default()
+    }
+
+    /// Borrow a temporary curve from the arena (zero curve, capacity-warm).
+    pub fn take_curve(&mut self) -> Curve {
+        self.bufs.take()
+    }
+
+    /// Return a temporary curve to the arena.
+    pub fn put_curve(&mut self, c: Curve) {
+        self.bufs.put(c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Segment;
+
+    #[test]
+    fn arena_round_trips_capacity() {
+        let mut arena = CurveArenaBuf::new();
+        let mut c = arena.take();
+        assert_eq!(c, Curve::zero());
+        // Grow the buffer, return it, take it back: still the zero curve.
+        let segs = c.begin_write(64);
+        for t in 0..64 {
+            segs.push(Segment::new(Time(t), t, 0));
+        }
+        c.finish_write();
+        arena.put(c);
+        assert_eq!(arena.len(), 1);
+        let c2 = arena.take();
+        assert_eq!(c2, Curve::zero());
+        assert!(arena.is_empty());
+    }
+
+    #[test]
+    fn scratch_hands_out_zero_curves() {
+        let mut s = Scratch::new();
+        let a = s.take_curve();
+        let b = s.take_curve();
+        assert_eq!(a, Curve::zero());
+        assert_eq!(b, Curve::zero());
+        s.put_curve(a);
+        s.put_curve(b);
+    }
+}

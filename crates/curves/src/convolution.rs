@@ -38,7 +38,8 @@
 //! [`convolve_decomposed`] pins the decomposition path for benchmarks and
 //! oracle tests.
 
-use crate::{Curve, Segment, Time};
+use crate::curve::push_normalized;
+use crate::{Curve, Scratch, Segment, Time};
 
 /// Sentinel standing in for `+∞` while folding partial curves into a total
 /// minimum. Any real curve value within the analysis horizon is far below
@@ -60,42 +61,48 @@ impl Curve {
 /// pieces of both curves end to end in order of increasing slope, starting
 /// from `f(0) + g(0)` — an O(n + m) merge. Panics (debug) if either curve is
 /// not convex; use [`min_plus_convolve_lattice`] for arbitrary curves.
+#[must_use]
 pub fn convolve_convex(f: &Curve, g: &Curve) -> Curve {
+    let mut scratch = Scratch::new();
+    let mut out = Curve::zero();
+    convolve_convex_into(f, g, &mut scratch, &mut out);
+    out
+}
+
+/// [`convolve_convex`] writing into a caller-provided curve; the
+/// `(length, slope)` piece staging lives in `scratch`, so a warm call
+/// allocates nothing.
+pub fn convolve_convex_into(f: &Curve, g: &Curve, scratch: &mut Scratch, out: &mut Curve) {
     debug_assert!(f.is_convex(), "convolve_convex requires convex f");
     debug_assert!(g.is_convex(), "convolve_convex requires convex g");
 
     // Collect finite pieces (length, slope); final pieces are infinite.
-    struct Piece {
-        len: Option<Time>,
-        slope: i64,
-    }
-    fn pieces(c: &Curve) -> Vec<Piece> {
+    let pieces = &mut scratch.pieces;
+    pieces.clear();
+    for c in [f, g] {
         let segs = c.segments();
-        segs.iter()
-            .enumerate()
-            .map(|(i, s)| Piece {
-                len: segs.get(i + 1).map(|n| n.start - s.start),
-                slope: s.slope,
-            })
-            .collect()
+        for (i, s) in segs.iter().enumerate() {
+            pieces.push((segs.get(i + 1).map(|n| n.start - s.start), s.slope));
+        }
     }
-    let mut all: Vec<Piece> = pieces(f).into_iter().chain(pieces(g)).collect();
-    all.sort_by_key(|p| p.slope);
+    // Stable sort, f's pieces staged before g's — the same piece order the
+    // allocating implementation always produced.
+    pieces.sort_by_key(|&(_, slope)| slope);
 
-    let mut out = Vec::with_capacity(all.len());
+    let out_segs = out.begin_write(pieces.len());
     let mut t = Time::ZERO;
     let mut v = f.eval(Time::ZERO) + g.eval(Time::ZERO);
-    for p in all {
-        out.push(Segment::new(t, v, p.slope));
-        match p.len {
+    for &(len, slope) in pieces.iter() {
+        push_normalized(out_segs, Segment::new(t, v, slope));
+        match len {
             Some(len) => {
                 t += len;
-                v += p.slope * len.ticks();
+                v += slope * len.ticks();
             }
             None => break, // first infinite piece has the smallest remaining slope
         }
     }
-    Curve::from_sorted_segments(out)
+    out.finish_write();
 }
 
 /// A maximal convex run of a curve: segments covering the half-open time
@@ -216,15 +223,28 @@ fn partial_to_total(p: Partial, horizon: Time) -> Option<Curve> {
 /// O(R_f · R_g · (n + m)) for R convex runs, independent of the horizon),
 /// while run counts approaching the horizon fall back to the dense
 /// O(horizon²) lattice scan, which beats the decomposition in that regime.
+#[must_use]
 pub fn convolve(f: &Curve, g: &Curve, horizon: Time) -> Curve {
+    let mut scratch = Scratch::new();
+    let mut out = Curve::zero();
+    convolve_into(f, g, horizon, &mut scratch, &mut out);
+    out
+}
+
+/// [`convolve`] writing into a caller-provided curve. The convex fast path
+/// and the dense lattice fallback run entirely out of `scratch` (no heap
+/// traffic when warm); the convex-decomposition path still allocates its
+/// per-pair intermediates internally — it is chosen exactly when inputs
+/// are irregular enough that those intermediates dominate the cost anyway.
+pub fn convolve_into(f: &Curve, g: &Curve, horizon: Time, scratch: &mut Scratch, out: &mut Curve) {
     assert!(horizon >= Time::ZERO);
     if f.is_convex() && g.is_convex() {
-        return convolve_convex(f, g);
+        convolve_convex_into(f, g, scratch, out);
+    } else if dense_scan_is_cheaper(f, g, horizon) {
+        min_plus_convolve_lattice_into(f, g, horizon, scratch, out);
+    } else {
+        out.copy_from(&convolve_decomposed(f, g, horizon));
     }
-    if dense_scan_is_cheaper(f, g, horizon) {
-        return min_plus_convolve_lattice(f, g, horizon);
-    }
-    convolve_decomposed(f, g, horizon)
 }
 
 /// Exclusive-prefix run starts of a curve's convex decomposition, clipped
@@ -277,6 +297,7 @@ fn dense_scan_is_cheaper(f: &Curve, g: &Curve, horizon: Time) -> bool {
 /// takes the pair-merge path regardless of the cost heuristic. Exposed so
 /// benchmarks and oracle tests can pin this path; analysis code should
 /// call [`convolve`].
+#[must_use]
 pub fn convolve_decomposed(f: &Curve, g: &Curve, horizon: Time) -> Curve {
     assert!(horizon >= Time::ZERO);
     if f.is_convex() && g.is_convex() {
@@ -327,20 +348,41 @@ pub fn convolve_decomposed(f: &Curve, g: &Curve, horizon: Time) -> Curve {
 /// [`convolve_convex`], and the dense kernel [`convolve`] falls back to
 /// when the run-pair count rivals the horizon. The result is frozen at its
 /// horizon value.
+#[must_use]
 pub fn min_plus_convolve_lattice(f: &Curve, g: &Curve, horizon: Time) -> Curve {
+    let mut scratch = Scratch::new();
+    let mut out = Curve::zero();
+    min_plus_convolve_lattice_into(f, g, horizon, &mut scratch, &mut out);
+    out
+}
+
+/// The dense kernel behind [`min_plus_convolve_lattice`]: samples both
+/// operands into `scratch` and pushes the resulting staircase straight
+/// into `out`.
+fn min_plus_convolve_lattice_into(
+    f: &Curve,
+    g: &Curve,
+    horizon: Time,
+    scratch: &mut Scratch,
+    out: &mut Curve,
+) {
     let h = horizon.ticks();
     assert!(h >= 0);
-    let fv: Vec<i64> = (0..=h).map(|t| f.eval(Time(t))).collect();
-    let gv: Vec<i64> = (0..=h).map(|t| g.eval(Time(t))).collect();
-    let mut points = Vec::with_capacity(h as usize + 1);
+    let fv = &mut scratch.values_a;
+    let gv = &mut scratch.values_b;
+    fv.clear();
+    fv.extend((0..=h).map(|t| f.eval(Time(t))));
+    gv.clear();
+    gv.extend((0..=h).map(|t| g.eval(Time(t))));
+    let segs = out.begin_write(h as usize + 1);
     for t in 0..=h {
         let mut best = i64::MAX;
         for s in 0..=t {
             best = best.min(fv[s as usize] + gv[(t - s) as usize]);
         }
-        points.push((Time(t), best));
+        push_normalized(segs, Segment::new(Time(t), best, 0));
     }
-    Curve::step_from_points(points[0].1, &points)
+    out.finish_write();
 }
 
 #[cfg(test)]

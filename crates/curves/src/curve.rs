@@ -71,7 +71,17 @@ impl Curve {
     pub fn zero() -> Curve {
         Curve::constant(0)
     }
+}
 
+/// The zero curve (there is no "empty" curve — every curve has at least
+/// one segment).
+impl Default for Curve {
+    fn default() -> Curve {
+        Curve::zero()
+    }
+}
+
+impl Curve {
     /// The affine curve `f(t) = v0 + slope · t`.
     pub fn affine(v0: i64, slope: i64) -> Curve {
         Curve {
@@ -83,6 +93,14 @@ impl Curve {
     /// function (Definition 6: a processor can offer at most `t` time by `t`).
     pub fn identity() -> Curve {
         Curve::affine(0, 1)
+    }
+
+    /// Overwrite `self` with the affine curve `v0 + slope · t`, reusing the
+    /// segment buffer — the in-place counterpart of [`Curve::affine`].
+    pub fn set_affine(&mut self, v0: i64, slope: i64) {
+        let segs = self.begin_write(1);
+        segs.push(Segment::new(Time::ZERO, v0, slope));
+        self.finish_write();
     }
 
     /// A pure step function from `(time, cumulative value)` breakpoints:
@@ -214,41 +232,83 @@ impl Curve {
 
     /// Horizontal shift right by `d ≥ 0` ticks, filling `[0, d)` with `fill`:
     /// `g(t) = f(t − d)` for `t ≥ d`, `g(t) = fill` for `t < d`.
+    #[must_use = "shift_right returns a new curve without modifying the input"]
     pub fn shift_right(&self, d: Time, fill: i64) -> Curve {
+        let mut out = Curve::zero();
+        self.shift_right_into(d, fill, &mut out);
+        out
+    }
+
+    /// [`Curve::shift_right`] writing into a caller-provided curve, reusing
+    /// its segment buffer.
+    pub fn shift_right_into(&self, d: Time, fill: i64, out: &mut Curve) {
         assert!(d >= Time::ZERO, "shift_right requires d >= 0");
         if d == Time::ZERO {
-            return self.clone();
+            out.copy_from(self);
+            return;
         }
-        let mut segs = Vec::with_capacity(self.segs.len() + 1);
-        segs.push(Segment::new(Time::ZERO, fill, 0));
+        let segs = out.begin_write(self.segs.len() + 1);
+        push_normalized(segs, Segment::new(Time::ZERO, fill, 0));
         for s in &self.segs {
-            segs.push(Segment::new(s.start + d, s.value, s.slope));
+            push_normalized(segs, Segment::new(s.start + d, s.value, s.slope));
         }
-        Curve::from_segments(segs)
+        out.finish_write();
     }
 
     /// Replace the prefix `[0, t0)` with the constant `fill`, keeping the
     /// curve unchanged from `t0` on — e.g. the SPNP lower availability
     /// (Equation 17) is zero during the maximal blocking interval.
+    #[must_use = "mask_before returns a new curve without modifying the input"]
     pub fn mask_before(&self, t0: Time, fill: i64) -> Curve {
+        let mut out = Curve::zero();
+        self.mask_before_into(t0, fill, &mut out);
+        out
+    }
+
+    /// [`Curve::mask_before`] writing into a caller-provided curve, reusing
+    /// its segment buffer.
+    pub fn mask_before_into(&self, t0: Time, fill: i64, out: &mut Curve) {
         if t0 <= Time::ZERO {
-            return self.clone();
+            out.copy_from(self);
+            return;
         }
-        let mut segs = vec![Segment::new(Time::ZERO, fill, 0)];
         let i = self.seg_index(t0);
-        segs.push(Segment::new(t0, self.eval(t0), self.segs[i].slope));
-        segs.extend(self.segs[i + 1..].iter().copied());
-        Curve::from_sorted_segments(segs)
+        let at = self.segs[i].eval(t0);
+        let slope = self.segs[i].slope;
+        let tail = &self.segs[i + 1..];
+        let segs = out.begin_write(tail.len() + 2);
+        push_normalized(segs, Segment::new(Time::ZERO, fill, 0));
+        push_normalized(segs, Segment::new(t0, at, slope));
+        for s in tail {
+            push_normalized(segs, *s);
+        }
+        out.finish_write();
     }
 
     /// Drop all breakpoints strictly after `horizon`, extending the piece
     /// active at `horizon` to infinity. The result agrees with `self` on
     /// `[0, horizon]`.
+    #[must_use = "truncate_after returns a new curve without modifying the input"]
     pub fn truncate_after(&self, horizon: Time) -> Curve {
         let i = self.seg_index(horizon.max(Time::ZERO));
         Curve {
             segs: self.segs[..=i].to_vec(),
         }
+    }
+
+    /// [`Curve::truncate_after`] writing into a caller-provided curve,
+    /// reusing its segment buffer.
+    pub fn truncate_after_into(&self, horizon: Time, out: &mut Curve) {
+        let i = self.seg_index(horizon.max(Time::ZERO));
+        out.segs.clear();
+        out.segs.extend_from_slice(&self.segs[..=i]);
+    }
+
+    /// Overwrite this curve with a copy of `src`, reusing the existing
+    /// segment buffer (no allocation when capacity suffices).
+    pub fn copy_from(&mut self, src: &Curve) {
+        self.segs.clear();
+        self.segs.extend_from_slice(&src.segs);
     }
 
     /// Sample the curve at every integer tick in `[from, to]` (inclusive) —
@@ -263,18 +323,22 @@ impl Curve {
     // Internal
     // ------------------------------------------------------------------
 
-    /// Merge segments that continue their predecessor's line.
+    /// Merge segments that continue their predecessor's line — in place,
+    /// without allocating, by compacting with a read/write pointer pair.
     pub(crate) fn normalize(&mut self) {
-        let mut out: Vec<Segment> = Vec::with_capacity(self.segs.len());
-        for s in self.segs.drain(..) {
-            if let Some(prev) = out.last() {
+        let mut w = 0usize;
+        for r in 0..self.segs.len() {
+            let s = self.segs[r];
+            if w > 0 {
+                let prev = self.segs[w - 1];
                 if prev.slope == s.slope && prev.eval(s.start) == s.value {
                     continue;
                 }
             }
-            out.push(s);
+            self.segs[w] = s;
+            w += 1;
         }
-        self.segs = out;
+        self.segs.truncate(w);
     }
 
     /// Internal constructor for operation results: input must be sorted with
@@ -287,6 +351,46 @@ impl Curve {
         c.normalize();
         c
     }
+
+    /// Start overwriting this curve in place: clears the segment buffer
+    /// (keeping its capacity, reserving room for `cap` more entries) and
+    /// hands it out for writing. The curve's invariants are suspended until
+    /// [`Curve::finish_write`]; writers must push segments with strictly
+    /// increasing starts beginning at [`Time::ZERO`], normally via
+    /// [`push_normalized`].
+    pub(crate) fn begin_write(&mut self, cap: usize) -> &mut Vec<Segment> {
+        self.segs.clear();
+        self.segs.reserve(cap);
+        &mut self.segs
+    }
+
+    /// Close a [`Curve::begin_write`] session, debug-checking the invariants
+    /// (writers using [`push_normalized`] produce normalized output, so no
+    /// normalization pass runs here).
+    pub(crate) fn finish_write(&mut self) {
+        debug_assert!(!self.segs.is_empty(), "written curve must be non-empty");
+        debug_assert!(self.segs[0].start == Time::ZERO);
+        debug_assert!(self.segs.windows(2).all(|w| w[0].start < w[1].start));
+        debug_assert!(self
+            .segs
+            .windows(2)
+            .all(|w| { w[0].slope != w[1].slope || w[0].eval(w[1].start) != w[1].value }));
+    }
+}
+
+/// Append a segment to an output buffer, keeping the buffer normalized:
+/// segments that continue the previous line are skipped, exactly as
+/// [`Curve::normalize`] would merge them. Starts must be strictly
+/// increasing.
+#[inline]
+pub(crate) fn push_normalized(segs: &mut Vec<Segment>, s: Segment) {
+    if let Some(prev) = segs.last() {
+        debug_assert!(prev.start < s.start, "pushes must be strictly increasing");
+        if prev.slope == s.slope && prev.eval(s.start) == s.value {
+            return;
+        }
+    }
+    segs.push(s);
 }
 
 impl std::fmt::Display for Curve {

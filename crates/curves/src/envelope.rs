@@ -19,19 +19,17 @@
 //! assert_eq!(env.eval(Time(50)), 4); // everything fits the full span
 //! ```
 
-use crate::{Curve, Time};
+use crate::{Curve, Segment, Time};
 
-/// The minimal sliding-window arrival envelope of a sorted trace:
-/// `α(Δ) = max_t #{ i : t ≤ times[i] ≤ t + Δ }`, returned as a staircase
-/// curve over window length `Δ` (so `α(0)` is the largest simultaneous
-/// burst).
-///
-/// `O(n²)` over the trace length — envelopes are extracted once per trace,
-/// not in analysis inner loops.
-pub fn arrival_envelope(times: &[Time]) -> Curve {
+/// [`arrival_envelope`] writing into a caller-provided curve, reusing its
+/// segment buffer.
+pub fn arrival_envelope_into(times: &[Time], out: &mut Curve) {
     let n = times.len();
+    let segs = out.begin_write(n + 1);
     if n == 0 {
-        return Curve::zero();
+        segs.push(Segment::new(Time::ZERO, 0, 0));
+        out.finish_write();
+        return;
     }
     debug_assert!(
         times.windows(2).all(|w| w[0] <= w[1]),
@@ -40,20 +38,35 @@ pub fn arrival_envelope(times: &[Time]) -> Curve {
     // w_min(c) = smallest window containing c+1 consecutive events; it is
     // nondecreasing in c, and α(Δ) = max { c+1 : w_min(c) ≤ Δ } is the
     // staircase through the points (w_min(c), c+1), keeping the largest
-    // count per distinct window length. w_min(0) = 0, so α(0) ≥ 1.
-    let mut points: Vec<(Time, i64)> = Vec::with_capacity(n);
+    // count per distinct window length. w_min(0) = 0, so the first segment
+    // sits at Δ = 0 and counts strictly increase — the pushes are already
+    // a normalized staircase.
     for c in 0..n {
         let w_min = (0..n - c)
             .map(|i| times[i + c] - times[i])
             .min()
             .expect("non-empty range");
         let count = c as i64 + 1;
-        match points.last_mut() {
-            Some(last) if last.0 == w_min => last.1 = count,
-            _ => points.push((w_min, count)),
+        match segs.last_mut() {
+            Some(last) if last.start == w_min => last.value = count,
+            _ => segs.push(Segment::new(w_min, count, 0)),
         }
     }
-    Curve::step_from_points(0, &points)
+    out.finish_write();
+}
+
+/// The minimal sliding-window arrival envelope of a sorted trace:
+/// `α(Δ) = max_t #{ i : t ≤ times[i] ≤ t + Δ }`, returned as a staircase
+/// curve over window length `Δ` (so `α(0)` is the largest simultaneous
+/// burst).
+///
+/// `O(n²)` over the trace length — envelopes are extracted once per trace,
+/// not in analysis inner loops.
+#[must_use]
+pub fn arrival_envelope(times: &[Time]) -> Curve {
+    let mut out = Curve::zero();
+    arrival_envelope_into(times, &mut out);
+    out
 }
 
 /// Check that `envelope` dominates every window of the trace:

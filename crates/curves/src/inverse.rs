@@ -6,6 +6,7 @@
 //! the step and slope-`1` curves that dominate the analysis the lattice
 //! answer coincides with the continuous one.
 
+use crate::curve::push_normalized;
 use crate::util::div_ceil;
 use crate::{Curve, CurveError, Segment, Time};
 
@@ -65,6 +66,15 @@ impl Curve {
     /// expanded into an exact staircase (one step per time tick of the
     /// piece). Negative slopes are rejected.
     pub fn inverse_curve(&self) -> Result<Curve, CurveError> {
+        let mut out = Curve::zero();
+        self.inverse_curve_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// [`Curve::inverse_curve`] writing into a caller-provided curve,
+    /// reusing its segment buffer. On error `out` is left untouched (all
+    /// validation runs before the sweep starts writing).
+    pub fn inverse_curve_into(&self, out: &mut Curve) -> Result<(), CurveError> {
         self.require_nondecreasing()?;
         let segs = self.segments();
         if segs[0].value < 0 {
@@ -72,11 +82,21 @@ impl Curve {
                 value: segs[0].value,
             });
         }
-        let mut out: Vec<Segment> = Vec::new();
+        // Validate slopes upfront, in sweep order, so the sweep itself is
+        // infallible: negative slopes are unsupported anywhere, and slopes
+        // ≥ 2 only on bounded pieces (the staircase expansion is finite).
+        for (i, s) in segs.iter().enumerate() {
+            let unbounded = i + 1 == segs.len();
+            if s.slope < 0 || (s.slope >= 2 && unbounded) {
+                return Err(CurveError::UnsupportedSlope { slope: s.slope });
+            }
+        }
+
+        let out_segs = out.begin_write(segs.len() + 2);
         // `covered` = the largest y for which the inverse has been emitted;
         // the inverse for y ≤ g(0) is 0.
         let v0 = segs[0].value;
-        out.push(Segment::new(Time::ZERO, 0, 0));
+        push_normalized(out_segs, Segment::new(Time::ZERO, 0, 0));
         let mut covered = v0;
         for (i, s) in segs.iter().enumerate() {
             let seg_end = segs.get(i + 1).map(|n| n.start);
@@ -87,13 +107,19 @@ impl Curve {
                     if s.value > covered {
                         // Jump at s.start: all y in (covered, s.value] first
                         // reached at s.start.
-                        out.push(Segment::new(Time(covered + 1), s.start.ticks(), 0));
+                        push_normalized(
+                            out_segs,
+                            Segment::new(Time(covered + 1), s.start.ticks(), 0),
+                        );
                         covered = s.value;
                     }
                 }
                 1 => {
                     if s.value > covered {
-                        out.push(Segment::new(Time(covered + 1), s.start.ticks(), 0));
+                        push_normalized(
+                            out_segs,
+                            Segment::new(Time(covered + 1), s.start.ticks(), 0),
+                        );
                         covered = s.value;
                     }
                     // On the rising piece the inverse is the mirrored line:
@@ -103,49 +129,57 @@ impl Curve {
                         None => {
                             // Unbounded rising tail: inverse continues forever.
                             if covered < i64::MAX {
-                                out.push(Segment::new(
-                                    Time(covered + 1),
-                                    s.start.ticks() + (covered + 1 - s.value),
-                                    1,
-                                ));
+                                push_normalized(
+                                    out_segs,
+                                    Segment::new(
+                                        Time(covered + 1),
+                                        s.start.ticks() + (covered + 1 - s.value),
+                                        1,
+                                    ),
+                                );
                             }
                             break;
                         }
                     };
                     if top > covered {
-                        out.push(Segment::new(
-                            Time(covered + 1),
-                            s.start.ticks() + (covered + 1 - s.value),
-                            1,
-                        ));
+                        push_normalized(
+                            out_segs,
+                            Segment::new(
+                                Time(covered + 1),
+                                s.start.ticks() + (covered + 1 - s.value),
+                                1,
+                            ),
+                        );
                         covered = top;
                     }
                 }
-                k if k >= 2 => {
+                k => {
+                    debug_assert!(k >= 2);
                     if s.value > covered {
-                        out.push(Segment::new(Time(covered + 1), s.start.ticks(), 0));
+                        push_normalized(
+                            out_segs,
+                            Segment::new(Time(covered + 1), s.start.ticks(), 0),
+                        );
                         covered = s.value;
                     }
                     // Exact staircase: tick Δ of the piece first reaches
                     // values (value + k(Δ−1), value + kΔ].
-                    let end_tick = match seg_end {
-                        Some(t1) => (t1 - s.start).ticks(),
-                        None => {
-                            return Err(CurveError::UnsupportedSlope { slope: k });
-                        }
-                    };
+                    let end_tick = (seg_end.expect("validated bounded") - s.start).ticks();
                     for d in 1..=end_tick - 1 {
                         let top = s.value + k * d;
                         if top > covered {
-                            out.push(Segment::new(Time(covered + 1), s.start.ticks() + d, 0));
+                            push_normalized(
+                                out_segs,
+                                Segment::new(Time(covered + 1), s.start.ticks() + d, 0),
+                            );
                             covered = top;
                         }
                     }
                 }
-                k => return Err(CurveError::UnsupportedSlope { slope: k }),
             }
         }
-        Ok(Curve::from_sorted_segments(out))
+        out.finish_write();
+        Ok(())
     }
 }
 

@@ -54,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod bounds;
 pub mod compose;
 pub mod convolution;
@@ -70,6 +71,7 @@ mod segment;
 mod time;
 mod util;
 
+pub use arena::{CurveArenaBuf, Scratch};
 pub use cursor::CurveCursor;
 pub use curve::Curve;
 pub use intern::{CurveArena, CurveId};

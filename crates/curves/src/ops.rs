@@ -6,19 +6,20 @@
 //! crossing, which leaves the value at every integer tick exact (see the
 //! crate-level discussion of the lattice exactness model).
 
+use crate::curve::push_normalized;
 use crate::util::div_floor;
 use crate::{Curve, Segment, Time};
 
-/// Walk two curves over their merged breakpoints in one streaming O(n + m)
-/// pass, yielding at each interval start the active segment of each curve.
-/// No intermediate breakpoint list is materialized; each binary operation
-/// allocates only its output.
+/// Walk two segment lists over their merged breakpoints in one streaming
+/// O(n + m) pass, yielding at each interval start the active segment of
+/// each operand. No intermediate breakpoint list is materialized; each
+/// binary operation writes only its output. Taking raw slices (not
+/// `&Curve`) lets the clamp kernels pass a stack-allocated constant
+/// segment as one operand.
 fn zip_pieces<'a>(
-    a: &'a Curve,
-    b: &'a Curve,
+    sa: &'a [Segment],
+    sb: &'a [Segment],
 ) -> impl Iterator<Item = (Time, Option<Time>, &'a Segment, &'a Segment)> {
-    let sa = a.segments();
-    let sb = b.segments();
     let mut ia = 0usize;
     let mut ib = 0usize;
     let mut cur = Some(Time::ZERO);
@@ -41,40 +42,55 @@ fn zip_pieces<'a>(
     })
 }
 
-/// The pointwise linear combination `ca·a + cb·b`.
-pub fn linear_combine(a: &Curve, ca: i64, b: &Curve, cb: i64) -> Curve {
-    let mut segs = Vec::with_capacity(a.num_segments() + b.num_segments());
-    for (t, _next, sa, sb) in zip_pieces(a, b) {
-        segs.push(Segment::new(
-            t,
-            ca * sa.eval(t) + cb * sb.eval(t),
-            ca * sa.slope + cb * sb.slope,
-        ));
+/// The pointwise linear combination `ca·a + cb·b`, written into `out`.
+pub fn linear_combine_into(a: &Curve, ca: i64, b: &Curve, cb: i64, out: &mut Curve) {
+    let segs = out.begin_write(a.num_segments() + b.num_segments());
+    for (t, _next, sa, sb) in zip_pieces(a.segments(), b.segments()) {
+        push_normalized(
+            segs,
+            Segment::new(
+                t,
+                ca * sa.eval(t) + cb * sb.eval(t),
+                ca * sa.slope + cb * sb.slope,
+            ),
+        );
     }
-    Curve::from_sorted_segments(segs)
+    out.finish_write();
 }
 
-/// Pointwise minimum, exact at every integer tick.
-pub fn pointwise_min(a: &Curve, b: &Curve) -> Curve {
-    let mut segs: Vec<Segment> = Vec::with_capacity(2 * (a.num_segments() + b.num_segments()));
-    for (t0, next, sa, sb) in zip_pieces(a, b) {
-        let (va, vb) = (sa.eval(t0), sb.eval(t0));
-        let d0 = va - vb; // a − b at interval start
-        let ds = sa.slope - sb.slope;
-        // The currently-lower piece, then a possible single switch.
-        let (first, second, lower_first) = if d0 <= 0 {
-            (sa, sb, true)
+/// The pointwise linear combination `ca·a + cb·b`.
+#[must_use]
+pub fn linear_combine(a: &Curve, ca: i64, b: &Curve, cb: i64) -> Curve {
+    let mut out = Curve::zero();
+    linear_combine_into(a, ca, b, cb, &mut out);
+    out
+}
+
+/// Shared min/max kernel. With `max = false` this is the lattice-exact
+/// minimum logic verbatim; `max = true` flips the sign of every comparison,
+/// which computes `−min(−a, −b)` without materializing either negation —
+/// the crossing offsets and tie-breaks come out identical because
+/// `div_floor` sees the same (negated-twice) operands.
+fn pointwise_extremum_into(sa: &[Segment], sb: &[Segment], max: bool, out: &mut Curve) {
+    let sign: i64 = if max { -1 } else { 1 };
+    let segs = out.begin_write(2 * (sa.len() + sb.len()));
+    for (t0, next, pa, pb) in zip_pieces(sa, sb) {
+        let e0 = sign * (pa.eval(t0) - pb.eval(t0)); // ±(a − b) at interval start
+        let es = sign * (pa.slope - pb.slope);
+        // The currently-extremal piece, then a possible single switch.
+        let (first, second, take_a) = if e0 <= 0 {
+            (pa, pb, true)
         } else {
-            (sb, sa, false)
+            (pb, pa, false)
         };
-        segs.push(Segment::new(t0, first.eval(t0), first.slope));
-        // Does the sign of d = a − b flip inside this interval?
-        let cross_off = if lower_first && ds > 0 {
-            // first integer offset with d0 + ds·off > 0
-            Some(div_floor(-d0, ds) + 1)
-        } else if !lower_first && ds < 0 {
-            // first integer offset with d0 + ds·off < 0  ⇔  (−ds)·off > d0
-            Some(div_floor(d0, -ds) + 1)
+        push_normalized(segs, Segment::new(t0, first.eval(t0), first.slope));
+        // Does the sign of e = ±(a − b) flip inside this interval?
+        let cross_off = if take_a && es > 0 {
+            // first integer offset with e0 + es·off > 0
+            Some(div_floor(-e0, es) + 1)
+        } else if !take_a && es < 0 {
+            // first integer offset with e0 + es·off < 0  ⇔  (−es)·off > e0
+            Some(div_floor(e0, -es) + 1)
         } else {
             None
         };
@@ -82,79 +98,165 @@ pub fn pointwise_min(a: &Curve, b: &Curve) -> Curve {
             debug_assert!(off >= 1);
             let tc = t0 + Time(off);
             if next.is_none_or(|t1| tc < t1) {
-                segs.push(Segment::new(tc, second.eval(tc), second.slope));
+                push_normalized(segs, Segment::new(tc, second.eval(tc), second.slope));
             }
         }
     }
-    Curve::from_sorted_segments(segs)
+    out.finish_write();
+}
+
+/// Pointwise minimum written into `out`, exact at every integer tick.
+pub fn pointwise_min_into(a: &Curve, b: &Curve, out: &mut Curve) {
+    pointwise_extremum_into(a.segments(), b.segments(), false, out);
+}
+
+/// Pointwise maximum written into `out`, exact at every integer tick.
+pub fn pointwise_max_into(a: &Curve, b: &Curve, out: &mut Curve) {
+    pointwise_extremum_into(a.segments(), b.segments(), true, out);
+}
+
+/// Pointwise minimum, exact at every integer tick.
+#[must_use]
+pub fn pointwise_min(a: &Curve, b: &Curve) -> Curve {
+    let mut out = Curve::zero();
+    pointwise_min_into(a, b, &mut out);
+    out
 }
 
 /// Pointwise maximum, exact at every integer tick.
+#[must_use]
 pub fn pointwise_max(a: &Curve, b: &Curve) -> Curve {
-    pointwise_min(&a.neg(), &b.neg()).neg()
+    let mut out = Curve::zero();
+    pointwise_max_into(a, b, &mut out);
+    out
 }
 
 impl Curve {
+    /// Pointwise sum `self + rhs`, written into `out`.
+    pub fn add_into(&self, rhs: &Curve, out: &mut Curve) {
+        linear_combine_into(self, 1, rhs, 1, out);
+    }
+
     /// Pointwise sum `self + rhs`.
+    #[must_use]
     pub fn add(&self, rhs: &Curve) -> Curve {
         linear_combine(self, 1, rhs, 1)
     }
 
+    /// Pointwise difference `self − rhs`, written into `out`.
+    pub fn sub_into(&self, rhs: &Curve, out: &mut Curve) {
+        linear_combine_into(self, 1, rhs, -1, out);
+    }
+
     /// Pointwise difference `self − rhs`.
+    #[must_use]
     pub fn sub(&self, rhs: &Curve) -> Curve {
         linear_combine(self, 1, rhs, -1)
     }
 
+    /// Pointwise negation written into `out`.
+    pub fn neg_into(&self, out: &mut Curve) {
+        let segs = out.begin_write(self.num_segments());
+        for s in self.segments() {
+            push_normalized(segs, Segment::new(s.start, -s.value, -s.slope));
+        }
+        out.finish_write();
+    }
+
     /// Pointwise negation.
+    #[must_use]
     pub fn neg(&self) -> Curve {
-        let segs = self
-            .segments()
-            .iter()
-            .map(|s| Segment::new(s.start, -s.value, -s.slope))
-            .collect();
-        Curve::from_sorted_segments(segs)
+        let mut out = Curve::zero();
+        self.neg_into(&mut out);
+        out
+    }
+
+    /// Pointwise scaling `k·self`, written into `out`.
+    pub fn scale_into(&self, k: i64, out: &mut Curve) {
+        let segs = out.begin_write(self.num_segments());
+        for s in self.segments() {
+            push_normalized(segs, Segment::new(s.start, k * s.value, k * s.slope));
+        }
+        out.finish_write();
     }
 
     /// Pointwise scaling `k·self` — e.g. the workload function
     /// `c(t) = f_arr(t) · τ` of Definition 3.
+    #[must_use]
     pub fn scale(&self, k: i64) -> Curve {
-        let segs = self
-            .segments()
-            .iter()
-            .map(|s| Segment::new(s.start, k * s.value, k * s.slope))
-            .collect();
-        Curve::from_sorted_segments(segs)
+        let mut out = Curve::zero();
+        self.scale_into(k, &mut out);
+        out
+    }
+
+    /// Pointwise constant offset `self + v`, written into `out`.
+    pub fn add_const_into(&self, v: i64, out: &mut Curve) {
+        let segs = out.begin_write(self.num_segments());
+        for s in self.segments() {
+            push_normalized(segs, Segment::new(s.start, s.value + v, s.slope));
+        }
+        out.finish_write();
     }
 
     /// Pointwise constant offset `self + v`.
+    #[must_use]
     pub fn add_const(&self, v: i64) -> Curve {
-        let segs = self
-            .segments()
-            .iter()
-            .map(|s| Segment::new(s.start, s.value + v, s.slope))
-            .collect();
-        Curve::from_sorted_segments(segs)
+        let mut out = Curve::zero();
+        self.add_const_into(v, &mut out);
+        out
+    }
+
+    /// Pointwise minimum with another curve, written into `out`.
+    pub fn min_with_into(&self, rhs: &Curve, out: &mut Curve) {
+        pointwise_min_into(self, rhs, out);
     }
 
     /// Pointwise minimum with another curve.
+    #[must_use]
     pub fn min_with(&self, rhs: &Curve) -> Curve {
         pointwise_min(self, rhs)
     }
 
+    /// Pointwise maximum with another curve, written into `out`.
+    pub fn max_with_into(&self, rhs: &Curve, out: &mut Curve) {
+        pointwise_max_into(self, rhs, out);
+    }
+
     /// Pointwise maximum with another curve.
+    #[must_use]
     pub fn max_with(&self, rhs: &Curve) -> Curve {
         pointwise_max(self, rhs)
     }
 
+    /// Clamp below written into `out` — allocation-free: the constant
+    /// operand is a stack segment, never a heap curve.
+    pub fn clamp_min_into(&self, v: i64, out: &mut Curve) {
+        let constant = [Segment::new(Time::ZERO, v, 0)];
+        pointwise_extremum_into(self.segments(), &constant, true, out);
+    }
+
     /// Clamp below: `max(self, v)` — e.g. forcing a service lower bound to be
     /// nonnegative.
+    #[must_use]
     pub fn clamp_min(&self, v: i64) -> Curve {
-        pointwise_max(self, &Curve::constant(v))
+        let mut out = Curve::zero();
+        self.clamp_min_into(v, &mut out);
+        out
+    }
+
+    /// Clamp above written into `out` — allocation-free like
+    /// [`Curve::clamp_min_into`].
+    pub fn clamp_max_into(&self, v: i64, out: &mut Curve) {
+        let constant = [Segment::new(Time::ZERO, v, 0)];
+        pointwise_extremum_into(self.segments(), &constant, false, out);
     }
 
     /// Clamp above: `min(self, v)`.
+    #[must_use]
     pub fn clamp_max(&self, v: i64) -> Curve {
-        pointwise_min(self, &Curve::constant(v))
+        let mut out = Curve::zero();
+        self.clamp_max_into(v, &mut out);
+        out
     }
 }
 

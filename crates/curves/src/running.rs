@@ -10,53 +10,81 @@
 //! integer breakpoints, so the infimum over a piece is attained at an integer
 //! endpoint.
 
+use crate::curve::push_normalized;
 use crate::util::div_floor;
 use crate::{Curve, Segment, Time};
 
 impl Curve {
-    /// The running minimum `t ↦ min_{0 ≤ s ≤ t} f(s)` over the lattice.
-    pub fn running_min(&self) -> Curve {
-        let mut out: Vec<Segment> = Vec::new();
-        // Minimum over all lattice points strictly before the current segment.
+    /// Shared prefix-extremum kernel. The minimum logic runs verbatim in a
+    /// sign-folded domain (`max = true` negates every sample on read and
+    /// every output on write), which is exactly `−running_min(−f)` without
+    /// materializing either negation.
+    fn running_extremum_into(&self, max: bool, out: &mut Curve) {
+        let sign: i64 = if max { -1 } else { 1 };
+        let segs_in = self.segments();
+        let segs = out.begin_write(2 * segs_in.len());
+        // Extremum (folded: minimum) over all lattice points strictly
+        // before the current segment.
         let mut m = i64::MAX;
-        let segs = self.segments();
-        for (i, s) in segs.iter().enumerate() {
-            let next_start = segs.get(i + 1).map(|n| n.start);
-            if s.slope >= 0 {
-                // The piece is nondecreasing: its lattice minimum is at its
-                // start, so the running min is flat across the piece.
-                let new_m = m.min(s.value);
-                out.push(Segment::new(s.start, new_m, 0));
+        for (i, s) in segs_in.iter().enumerate() {
+            let next_start = segs_in.get(i + 1).map(|n| n.start);
+            let (value, slope) = (sign * s.value, sign * s.slope);
+            if slope >= 0 {
+                // The piece is (folded) nondecreasing: its lattice minimum
+                // is at its start, so the running min is flat across it.
+                let new_m = m.min(value);
+                push_normalized(segs, Segment::new(s.start, sign * new_m, 0));
                 m = new_m;
             } else {
                 // Decreasing piece: the running min eventually follows it.
-                if s.value <= m {
-                    out.push(Segment::new(s.start, s.value, s.slope));
+                if value <= m {
+                    push_normalized(segs, Segment::new(s.start, s.value, s.slope));
                 } else {
-                    out.push(Segment::new(s.start, m, 0));
+                    push_normalized(segs, Segment::new(s.start, sign * m, 0));
                     // First integer offset where the line dips below m:
                     // value − |slope|·off < m  ⇔  off > (value − m)/|slope|.
-                    let off = div_floor(s.value - m, -s.slope) + 1;
+                    let off = div_floor(value - m, -slope) + 1;
                     let tc = s.start + Time(off);
                     if next_start.is_none_or(|t1| tc < t1) {
-                        out.push(Segment::new(tc, s.eval(tc), s.slope));
+                        push_normalized(segs, Segment::new(tc, s.eval(tc), s.slope));
                     }
                 }
                 if let Some(t1) = next_start {
                     // Update m with the last lattice point of this piece.
                     let last = t1 - Time(1);
                     if last >= s.start {
-                        m = m.min(s.eval(last));
+                        m = m.min(sign * s.eval(last));
                     }
                 }
             }
         }
-        Curve::from_sorted_segments(out)
+        out.finish_write();
+    }
+
+    /// The running minimum `t ↦ min_{0 ≤ s ≤ t} f(s)`, written into `out`.
+    pub fn running_min_into(&self, out: &mut Curve) {
+        self.running_extremum_into(false, out);
+    }
+
+    /// The running minimum `t ↦ min_{0 ≤ s ≤ t} f(s)` over the lattice.
+    #[must_use]
+    pub fn running_min(&self) -> Curve {
+        let mut out = Curve::zero();
+        self.running_min_into(&mut out);
+        out
+    }
+
+    /// The running maximum `t ↦ max_{0 ≤ s ≤ t} f(s)`, written into `out`.
+    pub fn running_max_into(&self, out: &mut Curve) {
+        self.running_extremum_into(true, out);
     }
 
     /// The running maximum `t ↦ max_{0 ≤ s ≤ t} f(s)` over the lattice.
+    #[must_use]
     pub fn running_max(&self) -> Curve {
-        self.neg().running_min().neg()
+        let mut out = Curve::zero();
+        self.running_max_into(&mut out);
+        out
     }
 }
 

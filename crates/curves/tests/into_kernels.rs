@@ -1,0 +1,302 @@
+//! The `_into` kernels must be drop-in replacements for their allocating
+//! counterparts: for every input — including degenerate single-segment and
+//! zero curves, empty event lists, and previously-dirty output buffers —
+//! the curve written into `out` must equal the allocating result *exactly*
+//! (`Curve` is `Eq`, so equality is segment-for-segment). Each test
+//! pre-dirties `out` with an unrelated curve and reuses one output (and one
+//! [`Scratch`]) across all the kernels it checks, which is precisely how
+//! the fixpoint workspaces drive them.
+
+use proptest::prelude::*;
+use rta_curves::arena::Scratch;
+use rta_curves::convolution::{convolve, convolve_convex, convolve_convex_into, convolve_into};
+use rta_curves::envelope::{arrival_envelope, arrival_envelope_into};
+use rta_curves::ops::{
+    linear_combine, linear_combine_into, pointwise_max, pointwise_max_into, pointwise_min,
+    pointwise_min_into,
+};
+use rta_curves::{Curve, Segment, Time};
+
+/// Strategy: an arbitrary PWL curve (possibly negative, with jumps);
+/// `rest` may be empty, so single-segment curves are covered.
+fn arb_curve() -> impl Strategy<Value = Curve> {
+    (
+        -20i64..20,
+        -3i64..4,
+        prop::collection::vec((1i64..12, -20i64..20, -3i64..4), 0..6),
+    )
+        .prop_map(|(v0, k0, rest)| {
+            let mut segs = vec![Segment::new(Time(0), v0, k0)];
+            let mut t = 0i64;
+            for (gap, v, k) in rest {
+                t += gap;
+                segs.push(Segment::new(Time(t), v, k));
+            }
+            Curve::from_segments(segs)
+        })
+}
+
+/// Strategy: a nondecreasing curve with nonnegative values.
+fn arb_cumulative() -> impl Strategy<Value = Curve> {
+    (
+        0i64..10,
+        0i64..3,
+        prop::collection::vec((1i64..10, 0i64..8, 0i64..3), 0..6),
+    )
+        .prop_map(|(v0, k0, rest)| {
+            let mut segs = vec![Segment::new(Time(0), v0, k0)];
+            let mut t = 0i64;
+            for (gap, jump, k) in rest {
+                t += gap;
+                let prev = *segs.last().unwrap();
+                let base = prev.eval(Time(t));
+                segs.push(Segment::new(Time(t), base + jump, k));
+            }
+            Curve::from_segments(segs)
+        })
+}
+
+/// Strategy: a service-shaped curve (nondecreasing, slopes in {0, 1}) —
+/// the domain of `inverse_curve`.
+fn arb_service_shape() -> impl Strategy<Value = Curve> {
+    (
+        0i64..10,
+        0i64..2,
+        prop::collection::vec((1i64..10, 0i64..8, 0i64..2), 0..6),
+    )
+        .prop_map(|(v0, k0, rest)| {
+            let mut segs = vec![Segment::new(Time(0), v0, k0)];
+            let mut t = 0i64;
+            for (gap, jump, k) in rest {
+                t += gap;
+                let prev = *segs.last().unwrap();
+                let base = prev.eval(Time(t));
+                segs.push(Segment::new(Time(t), base + jump, k));
+            }
+            Curve::from_segments(segs)
+        })
+}
+
+/// Strategy: a convex curve (nondecreasing slopes piece by piece).
+fn arb_convex() -> impl Strategy<Value = Curve> {
+    (0i64..5, 0i64..3, prop::collection::vec(1i64..8, 0..4)).prop_map(|(v0, base, lens)| {
+        let mut segs = vec![Segment::new(Time(0), v0, base)];
+        let mut t = 0i64;
+        let mut v = v0;
+        let mut k = base;
+        for len in lens {
+            t += len;
+            v += k * len;
+            k += 1;
+            segs.push(Segment::new(Time(t), v, k));
+        }
+        Curve::from_segments(segs)
+    })
+}
+
+/// A distinctive curve used to dirty `out` before every kernel call: the
+/// kernels must fully overwrite whatever was there.
+fn dirt() -> Curve {
+    Curve::from_segments(vec![
+        Segment::new(Time(0), 17, -2),
+        Segment::new(Time(3), -9, 5),
+        Segment::new(Time(11), 40, 0),
+    ])
+}
+
+proptest! {
+    #[test]
+    fn reindexing_kernels_match_allocating(c in arb_curve(), d in 0i64..15,
+                                           fill in -5i64..5, t0 in 0i64..30,
+                                           h in 0i64..40) {
+        // One shared output across every kernel: later calls must not be
+        // contaminated by earlier contents.
+        let mut out = dirt();
+        c.shift_right_into(Time(d), fill, &mut out);
+        prop_assert_eq!(&out, &c.shift_right(Time(d), fill));
+        c.mask_before_into(Time(t0), fill, &mut out);
+        prop_assert_eq!(&out, &c.mask_before(Time(t0), fill));
+        c.truncate_after_into(Time(h), &mut out);
+        prop_assert_eq!(&out, &c.truncate_after(Time(h)));
+    }
+
+    #[test]
+    fn pointwise_unary_kernels_match_allocating(c in arb_curve(), k in -3i64..4,
+                                                v in -6i64..7) {
+        let mut out = dirt();
+        c.neg_into(&mut out);
+        prop_assert_eq!(&out, &c.neg());
+        c.scale_into(k, &mut out);
+        prop_assert_eq!(&out, &c.scale(k));
+        c.add_const_into(v, &mut out);
+        prop_assert_eq!(&out, &c.add_const(v));
+        c.clamp_min_into(v, &mut out);
+        prop_assert_eq!(&out, &c.clamp_min(v));
+        c.clamp_max_into(v, &mut out);
+        prop_assert_eq!(&out, &c.clamp_max(v));
+        c.running_min_into(&mut out);
+        prop_assert_eq!(&out, &c.running_min());
+        c.running_max_into(&mut out);
+        prop_assert_eq!(&out, &c.running_max());
+    }
+
+    #[test]
+    fn binary_kernels_match_allocating(a in arb_curve(), b in arb_curve(),
+                                       ca in -3i64..4, cb in -3i64..4) {
+        let mut out = dirt();
+        a.add_into(&b, &mut out);
+        prop_assert_eq!(&out, &a.add(&b));
+        a.sub_into(&b, &mut out);
+        prop_assert_eq!(&out, &a.sub(&b));
+        a.min_with_into(&b, &mut out);
+        prop_assert_eq!(&out, &a.min_with(&b));
+        a.max_with_into(&b, &mut out);
+        prop_assert_eq!(&out, &a.max_with(&b));
+        pointwise_min_into(&a, &b, &mut out);
+        prop_assert_eq!(&out, &pointwise_min(&a, &b));
+        pointwise_max_into(&a, &b, &mut out);
+        prop_assert_eq!(&out, &pointwise_max(&a, &b));
+        linear_combine_into(&a, ca, &b, cb, &mut out);
+        prop_assert_eq!(&out, &linear_combine(&a, ca, &b, cb));
+    }
+
+    #[test]
+    fn floor_div_into_matches_allocating(c in arb_cumulative(), tau in 1i64..7) {
+        let mut out = dirt();
+        c.floor_div_into(tau, Time(40), &mut out).unwrap();
+        prop_assert_eq!(&out, &c.floor_div(tau, Time(40)).unwrap());
+    }
+
+    #[test]
+    fn inverse_curve_into_matches_allocating(c in arb_service_shape()) {
+        let mut out = dirt();
+        c.inverse_curve_into(&mut out).unwrap();
+        prop_assert_eq!(&out, &c.inverse_curve().unwrap());
+    }
+
+    #[test]
+    fn event_time_kernels_match_allocating(
+        times in prop::collection::vec(0i64..40, 0..12)
+    ) {
+        let mut ts: Vec<Time> = times.into_iter().map(Time).collect();
+        ts.sort();
+        let mut out = dirt();
+        Curve::from_event_times_into(&ts, &mut out);
+        prop_assert_eq!(&out, &Curve::from_event_times(&ts));
+        arrival_envelope_into(&ts, &mut out);
+        prop_assert_eq!(&out, &arrival_envelope(&ts));
+    }
+
+    #[test]
+    fn convolve_kernels_match_allocating(f in arb_cumulative(), g in arb_cumulative(),
+                                         cf in arb_convex(), cg in arb_convex()) {
+        let mut scratch = Scratch::new();
+        let mut out = dirt();
+        convolve_into(&f, &g, Time(40), &mut scratch, &mut out);
+        prop_assert_eq!(&out, &convolve(&f, &g, Time(40)));
+        convolve_convex_into(&cf, &cg, &mut scratch, &mut out);
+        prop_assert_eq!(&out, &convolve_convex(&cf, &cg));
+        // Convex inputs take the fast path inside the general kernel too.
+        convolve_into(&cf, &cg, Time(40), &mut scratch, &mut out);
+        prop_assert_eq!(&out, &convolve(&cf, &cg, Time(40)));
+    }
+}
+
+/// Degenerate inputs the strategies cannot hit deterministically: the zero
+/// curve, constants, empty event lists, and a bounded slope-2 staircase
+/// inverse.
+#[test]
+fn degenerate_inputs_match_allocating() {
+    let zero = Curve::zero();
+    let konst = Curve::constant(-4);
+    let mut out = dirt();
+
+    zero.shift_right_into(Time(5), 3, &mut out);
+    assert_eq!(out, zero.shift_right(Time(5), 3));
+    zero.add_into(&konst, &mut out);
+    assert_eq!(out, zero.add(&konst));
+    konst.running_min_into(&mut out);
+    assert_eq!(out, konst.running_min());
+    zero.floor_div_into(3, Time(20), &mut out).unwrap();
+    assert_eq!(out, zero.floor_div(3, Time(20)).unwrap());
+    zero.inverse_curve_into(&mut out).unwrap();
+    assert_eq!(out, zero.inverse_curve().unwrap());
+
+    Curve::from_event_times_into(&[], &mut out);
+    assert_eq!(out, Curve::from_event_times(&[]));
+    arrival_envelope_into(&[], &mut out);
+    assert_eq!(out, arrival_envelope(&[]));
+
+    let mut scratch = Scratch::new();
+    convolve_into(&zero, &zero, Time(10), &mut scratch, &mut out);
+    assert_eq!(out, convolve(&zero, &zero, Time(10)));
+
+    // Slope ≥ 2 on a bounded piece: the staircase expansion.
+    let stair = Curve::from_segments(vec![
+        Segment::new(Time(0), 0, 2),
+        Segment::new(Time(4), 8, 1),
+    ]);
+    stair.inverse_curve_into(&mut out).unwrap();
+    assert_eq!(out, stair.inverse_curve().unwrap());
+}
+
+/// Fallible kernels must leave `out` untouched on error, so a workspace
+/// slot never ends up holding a half-written curve.
+#[test]
+fn errors_leave_out_untouched() {
+    let decreasing = Curve::from_segments(vec![Segment::new(Time(0), 3, -1)]);
+    let negative = Curve::from_segments(vec![Segment::new(Time(0), -2, 1)]);
+    let unbounded_steep = Curve::from_segments(vec![Segment::new(Time(0), 0, 3)]);
+
+    let mut out = dirt();
+    assert!(decreasing.floor_div_into(2, Time(20), &mut out).is_err());
+    assert_eq!(out, dirt());
+    assert!(negative.floor_div_into(2, Time(20), &mut out).is_err());
+    assert_eq!(out, dirt());
+    assert!(decreasing.inverse_curve_into(&mut out).is_err());
+    assert_eq!(out, dirt());
+    assert!(negative.inverse_curve_into(&mut out).is_err());
+    assert_eq!(out, dirt());
+    assert!(unbounded_steep.inverse_curve_into(&mut out).is_err());
+    assert_eq!(out, dirt());
+    // The error paths mirror the allocating counterparts.
+    assert!(decreasing.floor_div(2, Time(20)).is_err());
+    assert!(unbounded_steep.inverse_curve().is_err());
+}
+
+/// One `Scratch` and one output driven through many dissimilar inputs in
+/// sequence — the arena-reuse pattern of the fixpoint workspaces. Buffer
+/// capacity carried over from a large input must never leak into the
+/// result of a small one.
+#[test]
+fn shared_scratch_and_out_survive_reuse() {
+    let mut scratch = Scratch::new();
+    let mut out = Curve::zero();
+    let mut inputs: Vec<Curve> = Vec::new();
+    // A deterministic family of increasingly spiky cumulative curves.
+    for i in 0..20i64 {
+        let mut segs = vec![Segment::new(Time(0), i % 4, i % 3)];
+        for j in 1..=(i % 6) {
+            let t = j * (1 + i % 3);
+            let base = segs.last().unwrap().eval(Time(t));
+            segs.push(Segment::new(Time(t), base + j + i % 5, (i + j) % 3));
+        }
+        inputs.push(Curve::from_segments(segs));
+    }
+    for (i, f) in inputs.iter().enumerate() {
+        let g = &inputs[(i * 7 + 3) % inputs.len()];
+        convolve_into(f, g, Time(30), &mut scratch, &mut out);
+        assert_eq!(out, convolve(f, g, Time(30)), "convolve #{i}");
+        f.add_into(g, &mut out);
+        assert_eq!(out, f.add(g), "add #{i}");
+        f.running_max_into(&mut out);
+        assert_eq!(out, f.running_max(), "running_max #{i}");
+        f.floor_div_into(1 + (i as i64 % 5), Time(30), &mut out)
+            .unwrap();
+        assert_eq!(
+            out,
+            f.floor_div(1 + (i as i64 % 5), Time(30)).unwrap(),
+            "floor_div #{i}"
+        );
+    }
+}

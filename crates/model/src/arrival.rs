@@ -72,20 +72,27 @@ pub enum ArrivalPattern {
 impl ArrivalPattern {
     /// All release times in `[0, window]`, sorted.
     pub fn release_times(&self, window: Time) -> Vec<Time> {
+        let mut out = Vec::new();
+        self.release_times_into(window, &mut out);
+        out
+    }
+
+    /// [`ArrivalPattern::release_times`] writing into a caller-provided
+    /// buffer (cleared first), so hot re-analysis paths can reuse its
+    /// capacity across calls.
+    pub fn release_times_into(&self, window: Time, out: &mut Vec<Time>) {
+        out.clear();
         match self {
             ArrivalPattern::Periodic { period, offset } => {
                 assert!(*period >= Time::ONE, "period must be at least one tick");
-                let mut out = Vec::new();
                 let mut t = *offset;
                 while t <= window {
                     out.push(t);
                     t += *period;
                 }
-                out
             }
             ArrivalPattern::Hyperbolic { x, ticks_per_unit } => {
                 assert!(*x > 0.0 && *x < 1.0, "Eq. 27 requires x in (0,1)");
-                let mut out = Vec::new();
                 let mut m: u64 = 1;
                 loop {
                     let i = (m - 1) as f64;
@@ -98,7 +105,6 @@ impl ArrivalPattern {
                     out.push(t);
                     m += 1;
                 }
-                out
             }
             ArrivalPattern::BurstTrain {
                 burst_len,
@@ -112,7 +118,6 @@ impl ArrivalPattern {
                     *train_period > extent,
                     "bursts must not overlap: train_period must exceed the burst extent"
                 );
-                let mut out = Vec::new();
                 let mut start = *offset;
                 'outer: loop {
                     for i in 0..*burst_len {
@@ -127,13 +132,12 @@ impl ArrivalPattern {
                         break;
                     }
                 }
-                out
             }
             ArrivalPattern::SporadicEnvelope { min_gap } => ArrivalPattern::Periodic {
                 period: *min_gap,
                 offset: Time::ZERO,
             }
-            .release_times(window),
+            .release_times_into(window, out),
             ArrivalPattern::PeriodicJitter {
                 period,
                 jitter,
@@ -141,7 +145,6 @@ impl ArrivalPattern {
             } => {
                 assert!(*period >= Time::ONE, "period must be at least one tick");
                 assert!(*jitter >= Time::ZERO, "jitter must be nonnegative");
-                let mut out = Vec::new();
                 let mut m: i64 = 0;
                 loop {
                     let t = *offset + (*period * m - *jitter).max(Time::ZERO);
@@ -151,14 +154,13 @@ impl ArrivalPattern {
                     out.push(t);
                     m += 1;
                 }
-                out
             }
             ArrivalPattern::Trace(times) => {
                 debug_assert!(
                     times.windows(2).all(|w| w[0] <= w[1]),
                     "trace must be sorted"
                 );
-                times.iter().copied().filter(|t| *t <= window).collect()
+                out.extend(times.iter().copied().filter(|t| *t <= window));
             }
         }
     }

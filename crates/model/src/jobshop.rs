@@ -182,6 +182,147 @@ pub fn generate<R: Rng + ?Sized>(cfg: &ShopConfig, rng: &mut R) -> Result<TaskSy
     b.build()
 }
 
+/// Draws successive random job-shop systems into one reusable
+/// [`TaskSystem`] allocation — the batched counterpart of [`generate`].
+///
+/// A Monte-Carlo admission sweep evaluates thousands of draws whose
+/// *shape* (processor grid, job count, chain lengths, names) never
+/// changes; only rates, routes and execution times do. [`generate`]
+/// rebuilds the Strings and Vecs of that shape on every draw; a sampler
+/// builds the shape once and overwrites the numeric fields in place.
+///
+/// `sample` is draw-for-draw identical to `generate`: starting from the
+/// same RNG state it consumes the same random values in the same order and
+/// produces the same system (pinned by the `sampler_matches_generate`
+/// test). One sampler serves one thread; give each worker of a parallel
+/// sweep its own.
+pub struct ShopSampler {
+    cfg: ShopConfig,
+    sys: TaskSystem,
+    /// Per-draw scratch: rate parameters `x_k`.
+    x: Vec<f64>,
+    /// Flattened `n_jobs × stages` processor index per hop.
+    assign: Vec<usize>,
+    /// Flattened `n_jobs × stages` weights `w_{k,j}`.
+    weights: Vec<f64>,
+    /// Per-processor weight sums `Σ w` (the Eq. 26 denominator).
+    denom: Vec<f64>,
+}
+
+impl ShopSampler {
+    /// Build the shape template for `cfg` (placeholder numeric values,
+    /// overwritten by the first [`ShopSampler::sample`]).
+    pub fn new(cfg: ShopConfig) -> Result<ShopSampler, ModelError> {
+        assert!(cfg.stages >= 1 && cfg.procs_per_stage >= 1 && cfg.n_jobs >= 1);
+        assert!(cfg.utilization > 0.0);
+        assert!(cfg.x_min > 0.0 && cfg.x_min < 1.0);
+        let mut b = SystemBuilder::new().ticks_per_unit(cfg.ticks_per_unit);
+        let mut procs = Vec::with_capacity(cfg.stages * cfg.procs_per_stage);
+        for s in 0..cfg.stages {
+            for p in 0..cfg.procs_per_stage {
+                procs.push(b.add_processor(format!("S{}P{}", s + 1, p + 1), cfg.scheduler));
+            }
+        }
+        for k in 0..cfg.n_jobs {
+            b.add_job(
+                format!("T{}", k + 1),
+                Time::ONE,
+                ArrivalPattern::Periodic {
+                    period: Time::ONE,
+                    offset: Time::ZERO,
+                },
+                (0..cfg.stages)
+                    .map(|s| (procs[s * cfg.procs_per_stage], Time::ONE))
+                    .collect(),
+            );
+        }
+        let sys = b.build()?;
+        let hops = cfg.n_jobs * cfg.stages;
+        Ok(ShopSampler {
+            sys,
+            x: Vec::with_capacity(cfg.n_jobs),
+            assign: Vec::with_capacity(hops),
+            weights: Vec::with_capacity(hops),
+            denom: vec![0.0; cfg.stages * cfg.procs_per_stage],
+            cfg,
+        })
+    }
+
+    /// The configuration the sampler draws from.
+    pub fn config(&self) -> &ShopConfig {
+        &self.cfg
+    }
+
+    /// Draw the next system. The returned reference is valid until the
+    /// next call; priorities are reset to unassigned, exactly as
+    /// [`generate`] leaves them.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Result<&mut TaskSystem, ModelError> {
+        let cfg = &self.cfg;
+        let tpu = cfg.ticks_per_unit;
+        let stages = cfg.stages;
+
+        // Pass 1 — identical draw order to `generate`: per job, the rate
+        // parameter, then the per-stage assignments, then the weights.
+        self.x.clear();
+        self.assign.clear();
+        self.weights.clear();
+        for _ in 0..cfg.n_jobs {
+            self.x.push(rng.gen_range(cfg.x_min..1.0));
+            for s in 0..stages {
+                self.assign
+                    .push(s * cfg.procs_per_stage + rng.gen_range(0..cfg.procs_per_stage));
+            }
+            for _ in 0..stages {
+                self.weights.push(rng.gen::<f64>().max(1e-9));
+            }
+        }
+
+        // Pass 2 — per-processor weight sums.
+        self.denom.iter_mut().for_each(|d| *d = 0.0);
+        for (i, &p) in self.assign.iter().enumerate() {
+            self.denom[p] += self.weights[i];
+        }
+
+        // Pass 3 — overwrite the template in place (Eq. 26/28).
+        for (k, job) in self.sys.jobs_mut().iter_mut().enumerate() {
+            let x = self.x[k];
+            let period_units = 1.0 / x;
+            for (j, sub) in job.subjobs.iter_mut().enumerate() {
+                let p = self.assign[k * stages + j];
+                let tau_units =
+                    (self.weights[k * stages + j] * period_units) / self.denom[p] * cfg.utilization;
+                sub.processor = ProcessorId(p);
+                sub.exec = Time::from_units_ceil(tau_units, tpu).max(Time::ONE);
+                sub.priority = None;
+                sub.weight = None;
+            }
+            let (arrival, deadline) = match &cfg.arrivals {
+                ShopArrivals::Periodic { deadline_factor } => (
+                    ArrivalPattern::Periodic {
+                        period: Time::from_units(period_units, tpu).max(Time::ONE),
+                        offset: Time::ZERO,
+                    },
+                    Time::from_units(deadline_factor * period_units, tpu).max(Time::ONE),
+                ),
+                ShopArrivals::Bursty { deadline } => {
+                    let d_units = deadline.sample(rng);
+                    (
+                        ArrivalPattern::Hyperbolic {
+                            x,
+                            ticks_per_unit: tpu,
+                        },
+                        Time::from_units(d_units, tpu).max(Time::ONE),
+                    )
+                }
+            };
+            job.arrival = arrival;
+            job.deadline = deadline;
+        }
+        self.sys.validate(false)?;
+        Ok(&mut self.sys)
+    }
+}
+
 /// The exact Figure 2 topology with the paper's two example routes:
 /// `T1 → P1, P3, P5, P7` and `T2 → P1, P4, P5, P8`, with caller-provided
 /// execution times, periods and deadlines (in ticks).
@@ -241,6 +382,36 @@ mod tests {
                 assert!(job.deadline > Time::ZERO);
             }
             assert!(sys.validate(false).is_ok());
+        }
+    }
+
+    #[test]
+    fn sampler_matches_generate() {
+        // Draw-for-draw fidelity: from the same RNG state, the in-place
+        // sampler and the allocating generator must produce identical
+        // systems — including across reuse of one sampler, and for the
+        // bursty parameterization (which consumes extra deadline draws).
+        let configs = [
+            ShopConfig::figure2_default(),
+            ShopConfig {
+                arrivals: ShopArrivals::Bursty {
+                    deadline: Dist::Exponential { mean: 8.0 },
+                },
+                scheduler: SchedulerKind::Fcfs,
+                ..ShopConfig::figure2_default()
+            },
+        ];
+        for cfg in configs {
+            let mut sampler = ShopSampler::new(cfg.clone()).unwrap();
+            for seed in 0..25u64 {
+                let want = generate(&cfg, &mut StdRng::seed_from_u64(seed)).unwrap();
+                let got = sampler.sample(&mut StdRng::seed_from_u64(seed)).unwrap();
+                assert_eq!(
+                    format!("{got:?}"),
+                    format!("{want:?}"),
+                    "seed {seed} diverged"
+                );
+            }
         }
     }
 

@@ -256,21 +256,26 @@ impl TaskSystem {
     pub fn higher_priority_peers(&self, r: SubjobRef) -> Vec<SubjobRef> {
         let s = self.subjob(r);
         let phi = s.priority.expect("priorities must be assigned");
-        self.subjobs_on(s.processor)
-            .into_iter()
-            .filter(|o| *o != r && self.subjob(*o).priority.expect("assigned") < phi)
+        self.all_subjobs()
+            .filter(|o| {
+                let os = self.subjob(*o);
+                *o != r && os.processor == s.processor && os.priority.expect("assigned") < phi
+            })
             .collect()
     }
 
     /// Maximum execution time of strictly lower-priority subjobs on the same
     /// processor: the blocking term `b_{k,j}` of Equation 15. Zero when no
-    /// lower-priority subjob exists.
+    /// lower-priority subjob exists. Allocation-free — this sits on the
+    /// warm re-analysis path.
     pub fn blocking_time(&self, r: SubjobRef) -> Time {
         let s = self.subjob(r);
         let phi = s.priority.expect("priorities must be assigned");
-        self.subjobs_on(s.processor)
-            .into_iter()
-            .filter(|o| *o != r && self.subjob(*o).priority.expect("assigned") > phi)
+        self.all_subjobs()
+            .filter(|o| {
+                let os = self.subjob(*o);
+                *o != r && os.processor == s.processor && os.priority.expect("assigned") > phi
+            })
             .map(|o| self.subjob(o).exec)
             .max()
             .unwrap_or(Time::ZERO)
@@ -379,21 +384,35 @@ impl TaskSystem {
             }
         }
         if require_priorities {
+            // Allocation-free duplicate detection (validate runs on every
+            // warm re-analysis): for each priority-scheduled processor,
+            // check each subjob's φ against all earlier subjobs on the
+            // same processor. Quadratic in the per-processor subjob count,
+            // which is small; error order matches the map-based scan this
+            // replaces (first missing or duplicating subjob in enumeration
+            // order wins).
             for (p, proc) in self.processors.iter().enumerate() {
                 if !proc.scheduler.uses_priorities() {
                     continue;
                 }
-                let mut seen = std::collections::BTreeMap::new();
-                for r in self.subjobs_on(ProcessorId(p)) {
-                    match self.subjob(r).priority {
-                        None => return Err(ModelError::MissingPriority { subjob: r }),
-                        Some(phi) => {
-                            if seen.insert(phi, r).is_some() {
-                                return Err(ModelError::DuplicatePriority {
-                                    processor: ProcessorId(p),
-                                    priority: phi,
-                                });
-                            }
+                let pid = ProcessorId(p);
+                for r in self.all_subjobs() {
+                    if self.subjob(r).processor != pid {
+                        continue;
+                    }
+                    let Some(phi) = self.subjob(r).priority else {
+                        return Err(ModelError::MissingPriority { subjob: r });
+                    };
+                    for o in self.all_subjobs() {
+                        if o == r {
+                            break;
+                        }
+                        let os = self.subjob(o);
+                        if os.processor == pid && os.priority == Some(phi) {
+                            return Err(ModelError::DuplicatePriority {
+                                processor: pid,
+                                priority: phi,
+                            });
                         }
                     }
                 }

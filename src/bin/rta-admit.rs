@@ -7,9 +7,14 @@
 //! fixed point for cyclic topologies), and prints the per-job verdicts.
 //!
 //! ```text
-//! Usage: rta-admit <file>        analyze a system description
-//!        rta-admit --example     print an annotated example file
+//! Usage: rta-admit <file> [<file> …]   analyze system descriptions
+//!        rta-admit --example           print an annotated example file
 //! ```
+//!
+//! With several files the systems are analyzed as one batch over the
+//! persistent worker pool ([`bursty_rta::analysis::BatchAnalyzer`]);
+//! reports print in argument order and the exit status is 0 iff **every**
+//! system is schedulable.
 //!
 //! File format (one directive per line, `#` comments):
 //!
@@ -163,45 +168,37 @@ fn parse_system(input: &str) -> Result<TaskSystem, String> {
     Ok(sys)
 }
 
-fn analyze_and_print(sys: &TaskSystem) -> bool {
+/// Run the right analysis for `sys`: exact for all-SPP, Theorem 4 bounds
+/// otherwise, falling back to the Section 6 fixed point on cyclic
+/// topologies. Returns the verdict and the rendered report.
+fn analyze_system(sys: &TaskSystem) -> Result<(bool, String), String> {
     let cfg = AnalysisConfig::default();
     let all_spp = sys
         .processors()
         .iter()
         .all(|p| p.scheduler == SchedulerKind::Spp);
-    if all_spp {
-        match analyze_exact_spp(sys, &cfg) {
-            Ok(report) => {
-                print!("{report}");
-                return report.all_schedulable();
-            }
-            Err(AnalysisError::CyclicDependency { .. }) => {
-                eprintln!("(cyclic topology — falling back to the fixed-point analysis)");
-            }
-            Err(e) => {
-                eprintln!("analysis failed: {e}");
-                return false;
-            }
-        }
+    let first = if all_spp {
+        analyze_exact_spp(sys, &cfg).map(|r| (r.all_schedulable(), r.to_string()))
     } else {
-        match analyze_bounds(sys, &cfg) {
-            Ok(report) => {
-                print!("{report}");
-                return report.all_schedulable();
-            }
-            Err(AnalysisError::CyclicDependency { .. }) => {
-                eprintln!("(cyclic topology — falling back to the fixed-point analysis)");
-            }
-            Err(e) => {
-                eprintln!("analysis failed: {e}");
-                return false;
-            }
+        analyze_bounds(sys, &cfg).map(|r| (r.all_schedulable(), r.to_string()))
+    };
+    match first {
+        Ok(out) => return Ok(out),
+        Err(AnalysisError::CyclicDependency { .. }) => {
+            eprintln!("(cyclic topology — falling back to the fixed-point analysis)");
         }
+        Err(e) => return Err(e.to_string()),
     }
-    match analyze_with_loops(sys, &cfg, 8) {
-        Ok(report) => {
+    analyze_with_loops(sys, &cfg, 8)
+        .map(|r| (r.all_schedulable(), r.to_string()))
+        .map_err(|e| e.to_string())
+}
+
+fn analyze_and_print(sys: &TaskSystem) -> bool {
+    match analyze_system(sys) {
+        Ok((ok, report)) => {
             print!("{report}");
-            report.all_schedulable()
+            ok
         }
         Err(e) => {
             eprintln!("analysis failed: {e}");
@@ -210,24 +207,62 @@ fn analyze_and_print(sys: &TaskSystem) -> bool {
     }
 }
 
+/// Analyze all systems as one batch over the worker pool and print the
+/// reports in argument order. Returns `true` iff every system is
+/// schedulable and no analysis failed.
+fn analyze_batch(names: &[String], systems: Vec<TaskSystem>) -> bool {
+    use bursty_rta::analysis::BatchAnalyzer;
+    let systems = std::sync::Arc::new(systems);
+    let scenarios = std::sync::Arc::clone(&systems);
+    let results = BatchAnalyzer::new(AnalysisConfig::default()).run(
+        systems.len(),
+        |_| (),
+        move |(), i| analyze_system(&scenarios[i]),
+    );
+    let mut all_ok = true;
+    for (name, result) in names.iter().zip(results) {
+        println!("== {name} ==");
+        match result {
+            Ok((ok, report)) => {
+                print!("{report}");
+                println!("{name}: {}", if ok { "admitted" } else { "REJECTED" });
+                all_ok &= ok;
+            }
+            Err(e) => {
+                eprintln!("{name}: analysis failed: {e}");
+                all_ok = false;
+            }
+        }
+    }
+    all_ok
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("--example") => print!("{EXAMPLE}"),
-        Some(path) => {
-            let input = std::fs::read_to_string(path).unwrap_or_else(|e| {
-                eprintln!("cannot read {path}: {e}");
-                std::process::exit(2);
-            });
-            let sys = parse_system(&input).unwrap_or_else(|e| {
-                eprintln!("parse error: {e}");
-                std::process::exit(2);
-            });
-            let ok = analyze_and_print(&sys);
+        Some(_) => {
+            let mut systems = Vec::with_capacity(args.len());
+            for path in &args {
+                let input = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    eprintln!("cannot read {path}: {e}");
+                    std::process::exit(2);
+                });
+                let sys = parse_system(&input).unwrap_or_else(|e| {
+                    eprintln!("{path}: parse error: {e}");
+                    std::process::exit(2);
+                });
+                systems.push(sys);
+            }
+            let ok = if systems.len() == 1 {
+                analyze_and_print(&systems[0])
+            } else {
+                analyze_batch(&args, systems)
+            };
             std::process::exit(if ok { 0 } else { 1 });
         }
         None => {
-            eprintln!("usage: rta-admit <file> | rta-admit --example");
+            eprintln!("usage: rta-admit <file> [<file> …] | rta-admit --example");
             std::process::exit(2);
         }
     }
@@ -267,6 +302,23 @@ mod tests {
         )
         .unwrap();
         assert_eq!(sys.jobs().len(), 1);
+    }
+
+    #[test]
+    fn batch_mode_reports_every_file() {
+        // One admissible system, the heterogeneous example, and one
+        // hopeless system: the batch verdict must be the conjunction.
+        let light =
+            parse_system("processor P1 spp\njob T1 deadline 50 periodic 20 0\nhop P1 5\n").unwrap();
+        let example = parse_system(EXAMPLE).unwrap();
+        let doomed =
+            parse_system("processor P1 spp\njob T1 deadline 5 periodic 20 0\nhop P1 9\n").unwrap();
+        let names: Vec<String> = ["light", "example", "doomed"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(!analyze_batch(&names, vec![light.clone(), example, doomed]));
+        assert!(analyze_batch(&names[..1], vec![light]));
     }
 
     #[test]
