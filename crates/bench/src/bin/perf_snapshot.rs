@@ -14,13 +14,16 @@ use rta_bench::admission::{
     admission_probability, admission_probability_batched, admission_probability_strided, Method,
 };
 use rta_bench::harness::Bench;
+use rta_core::sensitivity::region::{explore_region, RegionConfig};
 use rta_core::sensitivity::Oracle;
 use rta_core::{analyze_exact_spp, AnalysisConfig, AnalysisSession};
-use rta_curves::convolution::{convolve, convolve_decomposed, min_plus_convolve_lattice};
-use rta_curves::{Curve, CurveCursor, Time};
+use rta_curves::arena::Scratch;
+use rta_curves::convolution::{convolve, convolve_decomposed_into, min_plus_convolve_lattice};
+use rta_curves::ops::linear_combine_into;
+use rta_curves::{Curve, CurveCursor, SoaCurve, Time};
 use rta_model::jobshop::{generate, ShopArrivals, ShopConfig};
 use rta_model::priority::{assign_priorities, PriorityPolicy};
-use rta_model::{SchedulerKind, TaskSystem};
+use rta_model::{ArrivalPattern, SchedulerKind, SystemBuilder, TaskSystem};
 
 fn arrivals(n: i64, gap: i64) -> Curve {
     let times: Vec<Time> = (0..n).map(|i| Time(i * gap)).collect();
@@ -56,13 +59,92 @@ fn shop_at_ticks(
     sys
 }
 
+/// SPP pipeline with one burst-train flow crossing the first `flow_stages`
+/// stages and two periodic jobs per stage — a wide variant of the
+/// `examples/region_explorer` workload. The flow carries the lowest
+/// priority (deadline-monotonic, longest deadline), so a burst edit dirties
+/// only the flow's own subjob cone while the other `2·stages` jobs stay
+/// cached — the cold arm re-derives all of them per probe.
+fn bursty_pipeline(stages: usize, flow_stages: usize) -> TaskSystem {
+    let mut b = SystemBuilder::new();
+    let procs: Vec<_> = (0..stages)
+        .map(|i| b.add_processor(format!("stage-{}", i + 1), SchedulerKind::Spp))
+        .collect();
+    b.add_job(
+        "bursty-flow",
+        Time(150 * flow_stages as i64),
+        ArrivalPattern::BurstTrain {
+            burst_len: 1,
+            intra_gap: Time(8),
+            train_period: Time(400),
+            offset: Time::ZERO,
+        },
+        procs[..flow_stages]
+            .iter()
+            .map(|&p| (p, Time(10)))
+            .collect(),
+    );
+    for (i, &p) in procs.iter().enumerate() {
+        let i = i as i64;
+        b.add_job(
+            format!("local-a{}", i + 1),
+            Time(80),
+            ArrivalPattern::Periodic {
+                period: Time(80),
+                offset: Time(i * 7 % 80),
+            },
+            vec![(p, Time(16))],
+        );
+        b.add_job(
+            format!("local-b{}", i + 1),
+            Time(120),
+            ArrivalPattern::Periodic {
+                period: Time(120),
+                offset: Time((5 + i * 11) % 120),
+            },
+            vec![(p, Time(20))],
+        );
+    }
+    let mut sys = b.build().unwrap();
+    assign_priorities(&mut sys, PriorityPolicy::RelativeDeadlineMonotonic).unwrap();
+    sys
+}
+
+/// `sys` with every burst-train job's burst length replaced by `len`.
+fn with_burst(sys: &TaskSystem, len: u32) -> TaskSystem {
+    let mut out = sys.clone();
+    for k in 0..out.jobs().len() {
+        if let ArrivalPattern::BurstTrain {
+            intra_gap,
+            train_period,
+            offset,
+            ..
+        } = out.jobs()[k].arrival
+        {
+            out.set_arrival(
+                rta_model::JobId(k),
+                ArrivalPattern::BurstTrain {
+                    burst_len: len,
+                    intra_gap,
+                    train_period,
+                    offset,
+                },
+            );
+        }
+    }
+    out
+}
+
 fn main() {
     let mut b = Bench::new();
 
     // Kernel vs oracle: the general min-plus convolution on non-convex
     // staircase curves. `convolve` is the crossover-dispatching hybrid;
-    // `decomposed` is the pure segment path and `lattice_oracle` the
+    // `segment` is the SoA decomposition path driven the way the analyses
+    // drive it (warm `Scratch`, reused output) and `lattice_oracle` the
     // O(horizon²) scan, pinned so the heuristic's choice stays visible.
+    let mut scratch = Scratch::new();
+    let mut conv_out = Curve::zero();
     for n in [16i64, 64] {
         let f = arrivals(n, 10).scale(3);
         let g = arrivals(n, 12).scale(2);
@@ -71,7 +153,7 @@ fn main() {
             convolve(&f, &g, horizon)
         });
         b.run(&format!("convolve/segment/{n}"), || {
-            convolve_decomposed(&f, &g, horizon)
+            convolve_decomposed_into(&f, &g, horizon, &mut scratch, &mut conv_out)
         });
         b.run(&format!("convolve/lattice_oracle/{n}"), || {
             min_plus_convolve_lattice(&f, &g, horizon)
@@ -87,10 +169,40 @@ fn main() {
         let horizon = Time(25_000);
         b.run("convolve/hybrid/sparse_h25k", || convolve(&f, &g, horizon));
         b.run("convolve/segment/sparse_h25k", || {
-            convolve_decomposed(&f, &g, horizon)
+            convolve_decomposed_into(&f, &g, horizon, &mut scratch, &mut conv_out)
         });
         b.run("convolve/lattice_oracle/sparse_h25k", || {
             min_plus_convolve_lattice(&f, &g, horizon)
+        });
+    }
+
+    // SoA kernels against their AoS counterparts on the merge-heavy shapes
+    // the fixpoint inner loop produces. Same inputs, warm buffers on both
+    // sides; `tests/soa_kernels.rs` pins the outputs equal, so the pair is
+    // a pure layout comparison.
+    {
+        let a = arrivals(256, 7).scale(3);
+        let c = arrivals(256, 11).scale(2);
+        let (sa, sc) = (SoaCurve::from_curve(&a), SoaCurve::from_curve(&c));
+        let mut aos_out = Curve::zero();
+        let mut soa_out = SoaCurve::zero();
+        b.run("aos/linear_combine/256", || {
+            linear_combine_into(&a, 2, &c, -1, &mut aos_out)
+        });
+        b.run("soa/linear_combine/256", || {
+            rta_curves::soa::linear_combine_into(&sa, 2, &sc, -1, &mut soa_out)
+        });
+        b.run("aos/floor_div/256", || {
+            a.floor_div_into(3, Time(2048), &mut aos_out).unwrap()
+        });
+        b.run("soa/floor_div/256", || {
+            sa.floor_div_into(3, Time(2048), &mut soa_out).unwrap()
+        });
+        b.run("aos/pointwise_min/256", || {
+            a.min_with_into(&c, &mut aos_out)
+        });
+        b.run("soa/pointwise_min/256", || {
+            sa.min_with_into(&sc, &mut soa_out)
         });
     }
 
@@ -274,6 +386,49 @@ fn incremental_suite() {
         AnalysisSession::new(spp.clone(), acfg.clone())
             .critical_scaling(Oracle::Exact, iters)
             .unwrap()
+    });
+
+    // Schedulability-region sweep: a 32×32 (execution-scale × burst-length)
+    // grid over the bursty SPP pipeline under the exact oracle. For the
+    // exact path `explore_region` walks scale-outer/burst-inner, so the
+    // inner delta is a single `set_arrival` whose dirty cone is just the
+    // bursty flow's two subjobs — the other 32 single-hop jobs are served
+    // from the session's curve and verdict caches. `grid_cold` performs the
+    // *identical* transposed walk — same pinned frame, same early exits
+    // (a column failing at the smallest burst fails all wider ones) — with
+    // a fresh full analysis per probe. The verdicts coincide (the
+    // `frontier_is_monotone_and_matches_cold_analysis` and
+    // `loops_oracle_cells_match_cold_fixpoint` region tests pin both walk
+    // orders), so the ratio is pure session reuse.
+    let pipeline = bursty_pipeline(16, 2);
+    let region = RegionConfig::grid(0.25, 4.0, 32, 1, 32, 32, Oracle::Exact);
+    b.run("region/32x32_grid", || {
+        explore_region(&pipeline, &acfg, &region).unwrap()
+    });
+    let (rw, rh) = acfg.resolve(&with_burst(&pipeline, 32));
+    let rpinned = AnalysisConfig {
+        arrival_window: Some(rw),
+        horizon: Some(rh),
+        ..AnalysisConfig::default()
+    };
+    b.run("region/32x32_grid_cold", || {
+        let mut masks = vec![vec![false; region.scales.len()]; region.burst_lens.len()];
+        'columns: for (si, &s) in region.scales.iter().enumerate() {
+            for (bi, &bl) in region.burst_lens.iter().enumerate() {
+                let row_sys = with_burst(&pipeline, bl).with_scaled_exec(s);
+                let ok = rta_core::analyze_exact_spp(&row_sys, &rpinned)
+                    .map(|r| r.all_schedulable())
+                    .unwrap_or(false);
+                if ok {
+                    masks[bi][si] = true;
+                } else if bi == 0 {
+                    break 'columns;
+                } else {
+                    break;
+                }
+            }
+        }
+        masks
     });
 
     // The paper's 1,000-set admission sweep. `strided` is the retired

@@ -23,7 +23,7 @@ use crate::error::AnalysisError;
 use crate::policy::{policy_for, BoundsInputs, PeerInputs, ProcessorContexts};
 use crate::report::{BoundsReport, JobBound};
 use crate::spnp::ServiceBounds;
-use rta_curves::{Curve, CurveCursor, Time};
+use rta_curves::{Curve, CurveCursor, SoaCursor, SoaCurve, Time};
 use rta_model::{JobId, SubjobRef, TaskSystem};
 
 /// The per-hop worst-case delay of Equation 12: the maximal horizontal
@@ -33,6 +33,27 @@ use rta_model::{JobId, SubjobRef, TaskSystem};
 pub(crate) fn hop_delay(arr_env: &Curve, dep_lower: &Curve, n_instances: i64) -> Option<Time> {
     let mut arr_cur = CurveCursor::new(arr_env);
     let mut dep_cur = CurveCursor::new(dep_lower);
+    let mut d = Time::ZERO;
+    for m in 1..=n_instances {
+        let early = arr_cur.inverse_at(m)?;
+        let late = dep_cur.inverse_at(m)?;
+        d = d.max(late - early);
+    }
+    Some(d)
+}
+
+/// [`hop_delay`] with the departure bound in structure-of-arrays form, so
+/// the fixpoint driver's Eq. 12 sweep reads the `floor_div` result
+/// straight out of its workspace SoA buffer without converting back.
+/// [`SoaCursor`] is pinned step-identical to [`CurveCursor`], so both
+/// sweeps resolve the same instants.
+pub(crate) fn hop_delay_soa(
+    arr_env: &Curve,
+    dep_lower: &SoaCurve,
+    n_instances: i64,
+) -> Option<Time> {
+    let mut arr_cur = CurveCursor::new(arr_env);
+    let mut dep_cur = SoaCursor::new(dep_lower);
     let mut d = Time::ZERO;
     for m in 1..=n_instances {
         let early = arr_cur.inverse_at(m)?;

@@ -60,7 +60,7 @@ use crate::error::AnalysisError;
 use crate::policy::{policy_for, BoundsInputs, PeerInputs, ProcessorContexts, ServicePolicy};
 use crate::report::{BoundsReport, JobBound};
 use crate::spnp::ServiceBounds;
-use rta_curves::{Curve, Scratch, Time};
+use rta_curves::{Curve, Scratch, SoaCurve, Time};
 use rta_model::{JobId, ProcessorId, SubjobRef, TaskSystem};
 
 /// Systems with at least this many subjobs fan each round out over the
@@ -103,6 +103,10 @@ struct LoopWorkspace {
     times: Vec<Time>,
     stage: Curve,
     dep_lower: Curve,
+    /// SoA staging pair for the Eq. 12 sweep: the converged lower service
+    /// bound and its `floor_div` departure curve.
+    dep_src_soa: SoaCurve,
+    dep_soa: SoaCurve,
     arr_env: Vec<Curve>,
     workload: Vec<Curve>,
     policy: Vec<&'static dyn ServicePolicy>,
@@ -462,14 +466,15 @@ fn analyze_seeded_in(
         let mut hop_delays = Vec::with_capacity(job.subjobs.len());
         for j in 0..job.subjobs.len() {
             let i = ws.job_start[k] + j;
-            ws.cur[i].lower.floor_div_into(
-                job.subjobs[j].exec.ticks(),
-                horizon,
-                &mut ws.dep_lower,
-            )?;
-            hop_delays.push(crate::bounds::hop_delay(
+            // SoA sweep: the lower service bound converts once, the
+            // departure extraction and the Eq. 12 cursor walk both run on
+            // the flat arrays (pinned identical to the AoS kernels).
+            ws.dep_src_soa.copy_from_curve(&ws.cur[i].lower);
+            ws.dep_src_soa
+                .floor_div_into(job.subjobs[j].exec.ticks(), horizon, &mut ws.dep_soa)?;
+            hop_delays.push(crate::bounds::hop_delay_soa(
                 &ws.arr_env[i],
-                &ws.dep_lower,
+                &ws.dep_soa,
                 n_instances,
             ));
         }

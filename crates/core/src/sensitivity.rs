@@ -18,6 +18,8 @@ use crate::error::AnalysisError;
 use crate::session::AnalysisSession;
 use rta_model::TaskSystem;
 
+pub mod region;
+
 /// Which analysis backs the schedulability oracle.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Oracle {

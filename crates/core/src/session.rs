@@ -53,7 +53,7 @@ use crate::holistic::{analyze_holistic_seeded, HolisticSeed};
 use crate::report::{BoundsReport, ExactReport, SubjobCurves};
 use crate::sensitivity::Oracle;
 use rta_curves::{Curve, CurveArena, CurveId, Time};
-use rta_model::{Job, JobId, SubjobRef, TaskSystem};
+use rta_model::{ArrivalPattern, Job, JobId, SubjobRef, TaskSystem};
 
 /// Counters describing how much work a session reused vs. recomputed.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -81,6 +81,15 @@ type VerdictKey = (u8, u64, Vec<i64>);
 ///
 /// See the [module docs](self) for the reuse machinery. The system given at
 /// construction also serves as the *scaling base*:
+/// Structure-dependent exact-path machinery, rebuilt only when a delta
+/// changes what it is derived from (see the field docs on
+/// [`AnalysisSession::structure`]).
+struct StructureCache {
+    idx: SubjobIndex,
+    order: Vec<usize>,
+    graph: DepGraph,
+}
+
 /// [`AnalysisSession::scale_exec`] always scales from it, never
 /// cumulatively.
 pub struct AnalysisSession {
@@ -97,6 +106,15 @@ pub struct AnalysisSession {
     arena: CurveArena,
     /// Interned hop-0 pattern curves keyed by `(job index, window)`.
     pattern_cache: HashMap<(usize, Time), CurveId>,
+    /// Subjob index, evaluation order and dependency graph of the exact
+    /// path. These depend only on chains, processor assignment and
+    /// priorities — never on execution times or arrival patterns — so
+    /// exec/arrival deltas keep them; priority and job-set deltas drop
+    /// them.
+    structure: Option<StructureCache>,
+    /// Per-job exact schedulability verdicts, invalidated by the dirty
+    /// cone whenever a job's curves are recomputed.
+    job_sched: Vec<Option<bool>>,
     loop_seed: Option<LoopSeed>,
     /// Holistic seed plus the execution vector it was computed under (the
     /// from-below gate needs pointwise comparison).
@@ -124,6 +142,7 @@ impl AnalysisSession {
 
     fn build(sys: TaskSystem, cfg: AnalysisConfig, pin: bool) -> AnalysisSession {
         let pinned = pin.then(|| cfg.resolve(&sys));
+        let n_jobs = sys.jobs().len();
         let rows: Vec<Vec<Option<SubjobCurves>>> = sys
             .jobs()
             .iter()
@@ -144,6 +163,8 @@ impl AnalysisSession {
             dirty,
             arena: CurveArena::new(),
             pattern_cache: HashMap::new(),
+            structure: None,
+            job_sched: vec![None; n_jobs],
             loop_seed: None,
             holistic_seed: None,
             verdicts: HashMap::new(),
@@ -217,12 +238,19 @@ impl AnalysisSession {
 
     /// Scale every execution time from the **base** system by `factor`
     /// (ceil, at least one tick), in place — no system clone per step.
-    /// Every workload curve depends on its execution time, so the whole
-    /// cone is dirty; the cross-run reuse for this delta comes from verdict
-    /// memoization, carried fixpoint seeds and interned pattern curves.
+    /// Every workload curve depends on its execution time, so when any
+    /// execution time moves the whole cone is dirty; the cross-run reuse
+    /// for that case comes from verdict memoization, carried fixpoint
+    /// seeds and interned pattern curves. When quantization maps `factor`
+    /// onto the execution vector already in place (re-probing a scale, or
+    /// a bisection step below one tick), nothing an analysis depends on
+    /// has changed and every cached curve stays clean.
     pub fn scale_exec(&mut self, factor: f64) {
+        let before = self.exec_vector();
         self.current.assign_scaled_exec(&self.base, factor);
-        self.mark_all_dirty();
+        if self.exec_vector() != before {
+            self.mark_all_dirty();
+        }
     }
 
     /// Set (or clear) one subjob's priority. Dirties every subjob on that
@@ -231,7 +259,37 @@ impl AnalysisSession {
     pub fn set_priority(&mut self, r: SubjobRef, priority: Option<u32>) {
         self.current.set_priority(r, priority);
         self.mark_processor_dirty(self.current.subjob(r).processor);
+        self.structure = None; // priorities shape the interference edges
         self.forget_structural_caches();
+    }
+
+    /// Replace one job's arrival pattern (e.g. grow its burst train while
+    /// walking a schedulability region). Unlike a priority move, an
+    /// arrival delta leaves the dependency graph intact — only the job's
+    /// hop-0 envelope changes — so just the job's own subjobs are marked;
+    /// the next analysis closes the influence cone over the graph (chain
+    /// successors plus every lower-priority peer on the job's processors),
+    /// and everything outside it keeps its cached curves. A lowest-priority
+    /// burst source therefore invalidates nothing but itself.
+    ///
+    /// The cache invalidation is similarly narrow: verdict memos are keyed
+    /// on execution vectors only, so they must all go, and the carried
+    /// fixpoint seeds are dropped conservatively — but pattern curves are
+    /// keyed per job, so only the edited job's envelopes are evicted and
+    /// every other job's interned envelope survives the delta. This is
+    /// what makes an inner burst-axis walk of
+    /// [`crate::sensitivity::region::explore_region`] cheap: probe after
+    /// probe, the unedited jobs' curves and verdicts are reused verbatim.
+    pub fn set_arrival(&mut self, id: JobId, arrival: ArrivalPattern) {
+        self.current.set_arrival(id, arrival);
+        for d in &mut self.dirty[id.0] {
+            *d = true;
+        }
+        self.verdicts.clear();
+        self.verdict_order.clear();
+        self.loop_seed = None;
+        self.holistic_seed = None;
+        self.pattern_cache.retain(|&(job, _), _| job != id.0);
     }
 
     /// Append a job. Existing jobs keep their ids; subjobs sharing a
@@ -242,9 +300,11 @@ impl AnalysisSession {
         let hops = self.current.job(id).subjobs.len();
         self.curves.push(vec![None; hops]);
         self.dirty.push(vec![true; hops]);
+        self.job_sched.push(None);
         for p in procs {
             self.mark_processor_dirty(p);
         }
+        self.structure = None;
         self.forget_structural_caches();
         id
     }
@@ -255,9 +315,11 @@ impl AnalysisSession {
         let removed = self.current.remove_job(id);
         self.curves.remove(id.0);
         self.dirty.remove(id.0);
+        self.job_sched.remove(id.0);
         for s in &removed.subjobs {
             self.mark_processor_dirty(s.processor);
         }
+        self.structure = None;
         self.forget_structural_caches();
         removed
     }
@@ -276,8 +338,10 @@ impl AnalysisSession {
     }
 
     /// Bring the cached curve set up to date: close the dirty marks over
-    /// the dependency graph and recompute exactly the cone.
-    fn refresh_exact_curves(&mut self) -> Result<(SubjobIndex, Time, Time), AnalysisError> {
+    /// the dependency graph and recompute exactly the cone. On success the
+    /// structure cache is guaranteed present (callers read the index from
+    /// it).
+    fn refresh_exact_curves(&mut self) -> Result<(Time, Time), AnalysisError> {
         self.current.validate(true)?;
         require_exact_capable(&self.current)?;
         let (window, horizon) = self.frame();
@@ -285,9 +349,17 @@ impl AnalysisSession {
             self.mark_all_dirty();
             self.cached_frame = Some((window, horizon));
         }
-        let idx = SubjobIndex::new(&self.current);
-        let order = evaluation_order(&self.current, &idx)?;
-        let graph = DepGraph::new(&self.current, &idx);
+        let sc = match self.structure.take() {
+            Some(sc) => sc,
+            None => {
+                let idx = SubjobIndex::new(&self.current);
+                let order = evaluation_order(&self.current, &idx)?;
+                let graph = DepGraph::new(&self.current, &idx);
+                StructureCache { idx, order, graph }
+            }
+        };
+        let idx = &sc.idx;
+        let order = &sc.order;
 
         let mut cone = DirtyCone::clean(idx.len());
         for (i, &r) in idx.refs().iter().enumerate() {
@@ -295,7 +367,15 @@ impl AnalysisSession {
                 cone.mark(i);
             }
         }
-        cone.propagate(&graph);
+        cone.propagate(&sc.graph);
+
+        // A job whose curves are about to be recomputed loses its cached
+        // verdict; everything outside the cone keeps it.
+        for (i, &r) in idx.refs().iter().enumerate() {
+            if cone.is_dirty(i) {
+                self.job_sched[r.job.0] = None;
+            }
+        }
 
         // Pre-resolve pattern curves for dirty first hops (needs `&mut
         // self` for the arena, so it happens before the rows are detached).
@@ -323,14 +403,14 @@ impl AnalysisSession {
             })
             .collect();
         let mut result = Ok(());
-        for &i in &order {
+        for &i in order {
             if !cone.is_dirty(i) {
                 self.stats.subjobs_reused += 1;
                 continue;
             }
             let r = idx.subjob(i);
             let pattern = (r.index == 0).then(|| hop0.remove(&r.job.0)).flatten();
-            match subjob_node_curves(&self.current, &idx, i, window, horizon, &dense, pattern) {
+            match subjob_node_curves(&self.current, idx, i, window, horizon, &dense, pattern) {
                 Ok(c) => dense[i] = Some(c),
                 Err(e) => {
                     result = Err(e);
@@ -347,17 +427,20 @@ impl AnalysisSession {
         } else {
             // Leave the session fully dirty rather than half-updated.
             self.mark_all_dirty();
+            self.job_sched.iter_mut().for_each(|v| *v = None);
         }
         self.curves = rows;
-        result.map(|()| (idx, window, horizon))
+        self.structure = Some(sc);
+        result.map(|()| (window, horizon))
     }
 
     /// Exact Theorem-1 analysis of the current system, recomputing only the
     /// dirty cone. Bit-identical to
     /// [`crate::analyze_exact_spp`]`(self.system(), &self.config())`.
     pub fn analyze_exact(&mut self) -> Result<ExactReport, AnalysisError> {
-        let (idx, window, horizon) = self.refresh_exact_curves()?;
+        let (window, horizon) = self.refresh_exact_curves()?;
         self.stats.analyses += 1;
+        let idx = &self.structure.as_ref().expect("refreshed").idx;
         let dense: Vec<SubjobCurves> = idx
             .refs()
             .iter()
@@ -369,41 +452,54 @@ impl AnalysisSession {
             .collect();
         Ok(assemble_exact_report(
             &self.current,
-            &idx,
+            idx,
             dense,
             window,
             horizon,
         ))
     }
 
+    /// All-jobs verdict of the exact path, with per-job verdicts served
+    /// from [`AnalysisSession::job_sched`] when the job's curves were
+    /// reused verbatim — response-time extraction runs only for jobs the
+    /// dirty cone touched.
     fn exact_all_schedulable(&mut self) -> Result<bool, AnalysisError> {
-        let (idx, _, _) = self.refresh_exact_curves()?;
+        self.refresh_exact_curves()?;
         self.stats.analyses += 1;
+        let idx = &self.structure.as_ref().expect("refreshed").idx;
         for (k, job) in self.current.jobs().iter().enumerate() {
-            let job_id = JobId(k);
-            let first = idx.index(SubjobRef {
-                job: job_id,
-                index: 0,
-            });
-            let last = idx.index(SubjobRef {
-                job: job_id,
-                index: job.subjobs.len() - 1,
-            });
-            let fr = idx.subjob(first);
-            let lr = idx.subjob(last);
-            let rep = job_report(
-                job_id,
-                job.deadline,
-                &self.curves[fr.job.0][fr.index]
-                    .as_ref()
-                    .expect("refreshed")
-                    .arrival,
-                &self.curves[lr.job.0][lr.index]
-                    .as_ref()
-                    .expect("refreshed")
-                    .departure,
-            );
-            if !rep.schedulable() {
+            let v = match self.job_sched[k] {
+                Some(v) => v,
+                None => {
+                    let job_id = JobId(k);
+                    let first = idx.index(SubjobRef {
+                        job: job_id,
+                        index: 0,
+                    });
+                    let last = idx.index(SubjobRef {
+                        job: job_id,
+                        index: job.subjobs.len() - 1,
+                    });
+                    let fr = idx.subjob(first);
+                    let lr = idx.subjob(last);
+                    let rep = job_report(
+                        job_id,
+                        job.deadline,
+                        &self.curves[fr.job.0][fr.index]
+                            .as_ref()
+                            .expect("refreshed")
+                            .arrival,
+                        &self.curves[lr.job.0][lr.index]
+                            .as_ref()
+                            .expect("refreshed")
+                            .departure,
+                    );
+                    let v = rep.schedulable();
+                    self.job_sched[k] = Some(v);
+                    v
+                }
+            };
+            if !v {
                 return Ok(false);
             }
         }

@@ -91,10 +91,135 @@ pub fn spnp_bounds(
     Ok(out)
 }
 
+/// The full Theorem 5/6 chain on the structure-of-arrays kernels, pinned
+/// segment-identical to the production AoS chain by the
+/// `soa_chain_matches_aos_oracle` test.
+///
+/// This is deliberately *not* the path [`spnp_bounds_into`] takes: the
+/// chain is a sequence of short two-pointer merges sandwiched between AoS
+/// boundaries (operands arrive as [`Curve`]s and results leave as
+/// `Curve`s), so the SoA variant pays per-call conversion plus three
+/// `Vec` pushes per output piece and measures ~45% slower end-to-end on
+/// the warm fixpoint path. SoA wins where the data *stays* SoA across a
+/// fold — see the convolution kernels — and this variant is kept so the
+/// trade-off stays measurable (the bench suite's `aos/*` vs `soa/*`
+/// rows) and correct.
+#[allow(clippy::many_single_char_names)]
+pub fn spnp_bounds_into_soa(
+    workload_upper: &Curve,
+    hp_lower: &[&Curve],
+    hp_upper: &[&Curve],
+    blocking: Time,
+    variant: SpnpAvailability,
+    scratch: &mut Scratch,
+    out: &mut ServiceBounds,
+) -> Result<(), CurveError> {
+    if hp_lower.len() != hp_upper.len() {
+        return Err(CurveError::MismatchedLengths {
+            left: hp_lower.len(),
+            right: hp_upper.len(),
+        });
+    }
+    let b = blocking;
+    let mut w = scratch.take_soa();
+    let mut id = scratch.take_soa();
+    let mut c_prev = scratch.take_soa();
+    let mut hp_lo_sum = scratch.take_soa();
+    let mut hp_up_sum = scratch.take_soa();
+    let mut up = scratch.take_soa();
+    let mut lo = scratch.take_soa();
+    let mut s_avail = scratch.take_soa();
+    let mut t1 = scratch.take_soa();
+    let mut t2 = scratch.take_soa();
+    let mut t3 = scratch.take_soa();
+
+    w.copy_from_curve(workload_upper);
+    id.set_affine(0, 1);
+    w.shift_right_into(Time::ONE, 0, &mut c_prev);
+    // Σ hp bounds, ping-ponged through a temp (pointwise add is exact and
+    // canonical on the segment representation, so accumulation order is
+    // irrelevant to the result). `t2` stages each peer's SoA conversion.
+    for (sum, curves) in [(&mut hp_lo_sum, hp_lower), (&mut hp_up_sum, hp_upper)] {
+        sum.set_affine(0, 0);
+        for c in curves {
+            t2.copy_from_curve(c);
+            sum.add_into(&t2, &mut t1);
+            std::mem::swap(sum, &mut t1);
+        }
+    }
+
+    // The busy-period candidate is
+    //     avail(s, t] + c̄(s⁻)
+    // with avail(s, t] bracketed through the hp service bounds. A single
+    // availability curve `B(t) − B(s)` (the paper's Eqs. 17/19) cannot
+    // bracket the *increment* of hp interference — the `t` and `s`
+    // positions need opposite hp bounds:
+    //     lower: (t−s) − b − [ΣS̄_h(t) − ΣS̲_h(s)]
+    //     upper: (t−s)     − [ΣS̲_h(t) − ΣS̄_h(s)]
+    // The `Conservative` variant implements exactly that; `AsPrinted` keeps
+    // the paper's single-curve form with `ΣS̲_h` at both positions.
+
+    // ---- Theorem 6: upper bound (no blocking in an upper bound). ----
+    id.sub_into(&hp_lo_sum, &mut t1); // t1 = t_part_up
+    match variant {
+        SpnpAvailability::AsPrinted => c_prev.add_into(&hp_lo_sum, &mut t2),
+        SpnpAvailability::Conservative => c_prev.add_into(&hp_up_sum, &mut t2),
+    }
+    t2.sub_into(&id, &mut t3); // t3 = s_part_up
+    t3.running_min_into(&mut t2);
+    t1.add_into(&t2, &mut t3);
+    t3.min_with_into(&w, &mut t1); // t1 = upper_raw
+    t1.min_with_into(&id, &mut t2);
+    t2.clamp_min_into(0, &mut t3);
+    t3.running_max_into(&mut up); // up = upper, pre-reorder fix
+
+    // ---- Theorem 5: lower bound. ----
+    id.add_const_into(-b.ticks(), &mut t1);
+    match variant {
+        SpnpAvailability::AsPrinted => t1.sub_into(&hp_lo_sum, &mut t2),
+        SpnpAvailability::Conservative => t1.sub_into(&hp_up_sum, &mut t2),
+    } // t2 = t_part_lo, unmasked
+      // s-part availability: the paper's B̲ (masked to 0 on [0, b]) for
+      // AsPrinted; for Conservative the blocking term lives only in the
+      // t-part (it is a one-shot delay, not an increment at both ends), so
+      // the s-part is the unmasked `s − ΣS̲_h(s)`.
+    match variant {
+        SpnpAvailability::AsPrinted => t2.mask_before_into(b + Time::ONE, 0, &mut s_avail),
+        SpnpAvailability::Conservative => id.sub_into(&hp_lo_sum, &mut s_avail),
+    }
+    t2.mask_before_into(b + Time::ONE, 0, &mut t1); // t1 = masked t_part_lo
+                                                    // S̲(t) = T(t) + min_{0 ≤ s ≤ t−b} ( c̄(s⁻) − avail_s(s) ), the running
+                                                    // minimum delayed by the blocking interval (Theorem 5's min range).
+    c_prev.sub_into(&s_avail, &mut t2);
+    t2.running_min_into(&mut t3); // t3 = run
+    t3.shift_right_into(b, t3.eval(Time::ZERO), &mut t2); // t2 = delayed_run
+    t1.add_into(&t2, &mut t3);
+    t3.min_with_into(&w, &mut t2);
+    t2.mask_before_into(b + Time::ONE, 0, &mut t1); // t1 = lower_raw
+    t1.clamp_min_into(0, &mut t2);
+    t2.min_with_into(&id, &mut t3);
+    t3.running_max_into(&mut lo);
+
+    // Clipping can reorder the raw curves in degenerate spots.
+    up.max_with_into(&lo, &mut t1);
+
+    lo.write_to_curve(&mut out.lower);
+    t1.write_to_curve(&mut out.upper);
+
+    for c in [
+        w, id, c_prev, hp_lo_sum, hp_up_sum, up, lo, s_avail, t1, t2, t3,
+    ] {
+        scratch.put_soa(c);
+    }
+    Ok(())
+}
+
 /// [`spnp_bounds`] writing into a caller-provided [`ServiceBounds`], with
-/// every intermediate curve drawn from `scratch` — the zero-allocation
-/// kernel behind the fixpoint driver's warm path. On error `out` is left
-/// in an unspecified (but valid) state.
+/// every intermediate curve drawn from `scratch`'s pool — the
+/// zero-allocation kernel behind the fixpoint driver's warm path. The
+/// SoA port of this chain ([`spnp_bounds_into_soa`]) is pinned
+/// segment-identical by unit tests. On error `out` is left in an
+/// unspecified (but valid) state.
 #[allow(clippy::many_single_char_names)]
 pub fn spnp_bounds_into(
     workload_upper: &Curve,
@@ -124,9 +249,6 @@ pub fn spnp_bounds_into(
 
     id.set_affine(0, 1);
     workload_upper.shift_right_into(Time::ONE, 0, &mut c_prev);
-    // Σ hp bounds, ping-ponged through a temp (pointwise add is exact and
-    // canonical on the segment representation, so accumulation order is
-    // irrelevant to the result).
     for (sum, curves) in [(&mut hp_lo_sum, hp_lower), (&mut hp_up_sum, hp_upper)] {
         sum.set_affine(0, 0);
         for c in curves {
@@ -135,59 +257,41 @@ pub fn spnp_bounds_into(
         }
     }
 
-    // The busy-period candidate is
-    //     avail(s, t] + c̄(s⁻)
-    // with avail(s, t] bracketed through the hp service bounds. A single
-    // availability curve `B(t) − B(s)` (the paper's Eqs. 17/19) cannot
-    // bracket the *increment* of hp interference — the `t` and `s`
-    // positions need opposite hp bounds:
-    //     lower: (t−s) − b − [ΣS̄_h(t) − ΣS̲_h(s)]
-    //     upper: (t−s)     − [ΣS̲_h(t) − ΣS̄_h(s)]
-    // The `Conservative` variant implements exactly that; `AsPrinted` keeps
-    // the paper's single-curve form with `ΣS̲_h` at both positions.
-
-    // ---- Theorem 6: upper bound (no blocking in an upper bound). ----
-    id.sub_into(&hp_lo_sum, &mut t1); // t1 = t_part_up
+    // Theorem 6 upper bound, then Theorem 5 lower bound — the operation
+    // sequence is documented step by step in the SoA port above.
+    id.sub_into(&hp_lo_sum, &mut t1);
     match variant {
         SpnpAvailability::AsPrinted => c_prev.add_into(&hp_lo_sum, &mut t2),
         SpnpAvailability::Conservative => c_prev.add_into(&hp_up_sum, &mut t2),
     }
-    t2.sub_into(&id, &mut t3); // t3 = s_part_up
+    t2.sub_into(&id, &mut t3);
     t3.running_min_into(&mut t2);
     t1.add_into(&t2, &mut t3);
-    t3.min_with_into(workload_upper, &mut t1); // t1 = upper_raw
+    t3.min_with_into(workload_upper, &mut t1);
     t1.min_with_into(&id, &mut t2);
     t2.clamp_min_into(0, &mut t3);
-    t3.running_max_into(&mut up); // up = upper, pre-reorder fix
+    t3.running_max_into(&mut up);
 
-    // ---- Theorem 5: lower bound. ----
     id.add_const_into(-b.ticks(), &mut t1);
     match variant {
         SpnpAvailability::AsPrinted => t1.sub_into(&hp_lo_sum, &mut t2),
         SpnpAvailability::Conservative => t1.sub_into(&hp_up_sum, &mut t2),
-    } // t2 = t_part_lo, unmasked
-      // s-part availability: the paper's B̲ (masked to 0 on [0, b]) for
-      // AsPrinted; for Conservative the blocking term lives only in the
-      // t-part (it is a one-shot delay, not an increment at both ends), so
-      // the s-part is the unmasked `s − ΣS̲_h(s)`.
+    }
     match variant {
         SpnpAvailability::AsPrinted => t2.mask_before_into(b + Time::ONE, 0, &mut s_avail),
         SpnpAvailability::Conservative => id.sub_into(&hp_lo_sum, &mut s_avail),
     }
-    t2.mask_before_into(b + Time::ONE, 0, &mut t1); // t1 = masked t_part_lo
-                                                    // S̲(t) = T(t) + min_{0 ≤ s ≤ t−b} ( c̄(s⁻) − avail_s(s) ), the running
-                                                    // minimum delayed by the blocking interval (Theorem 5's min range).
+    t2.mask_before_into(b + Time::ONE, 0, &mut t1);
     c_prev.sub_into(&s_avail, &mut t2);
-    t2.running_min_into(&mut t3); // t3 = run
-    t3.shift_right_into(b, t3.eval(Time::ZERO), &mut t2); // t2 = delayed_run
+    t2.running_min_into(&mut t3);
+    t3.shift_right_into(b, t3.eval(Time::ZERO), &mut t2);
     t1.add_into(&t2, &mut t3);
     t3.min_with_into(workload_upper, &mut t2);
-    t2.mask_before_into(b + Time::ONE, 0, &mut t1); // t1 = lower_raw
+    t2.mask_before_into(b + Time::ONE, 0, &mut t1);
     t1.clamp_min_into(0, &mut t2);
     t2.min_with_into(&id, &mut t3);
     t3.running_max_into(&mut out.lower);
 
-    // Clipping can reorder the raw curves in degenerate spots.
     up.max_with_into(&out.lower, &mut out.upper);
 
     for c in [id, c_prev, hp_lo_sum, hp_up_sum, up, s_avail, t1, t2, t3] {
@@ -315,6 +419,39 @@ mod tests {
                 conserv.lower.eval(t) <= printed.lower.eval(t),
                 "lower at {t}"
             );
+        }
+    }
+
+    #[test]
+    fn soa_chain_matches_aos_oracle() {
+        // The retained SoA chain must stay segment-identical to the
+        // production AoS chain — same ops, ported kernels — across
+        // variants, blocking values, and repeated calls on one warm
+        // scratch.
+        let hp_c = Curve::from_event_times(&[Time(0), Time(6), Time(11)]).scale(3);
+        let c = Curve::from_event_times(&[Time(0), Time(8)]).scale(4);
+        let mut scratch = Scratch::new();
+        let mut hp = ServiceBounds::zeroed();
+        spnp_bounds_into(
+            &hp_c,
+            &[],
+            &[],
+            Time(2),
+            SpnpAvailability::Conservative,
+            &mut scratch,
+            &mut hp,
+        )
+        .unwrap();
+        let mut soa = ServiceBounds::zeroed();
+        let mut aos = ServiceBounds::zeroed();
+        for variant in [SpnpAvailability::AsPrinted, SpnpAvailability::Conservative] {
+            for b in [Time::ZERO, Time(2), Time(7)] {
+                let hp_lo: &[&Curve] = &[&hp.lower];
+                let hp_up: &[&Curve] = &[&hp.upper];
+                spnp_bounds_into_soa(&c, hp_lo, hp_up, b, variant, &mut scratch, &mut soa).unwrap();
+                spnp_bounds_into(&c, hp_lo, hp_up, b, variant, &mut scratch, &mut aos).unwrap();
+                assert_eq!(soa, aos, "variant={variant:?} b={b}");
+            }
         }
     }
 

@@ -26,7 +26,7 @@
 //! output curve holding a partial, invariant-violating segment list; the
 //! output must be treated as poisoned and not reused after a caught panic.
 
-use crate::{Curve, Time};
+use crate::{Curve, SoaCurve, Time};
 
 /// A free-list of reusable curve buffers — the "bump arena" of the hot
 /// analysis paths.
@@ -94,6 +94,17 @@ pub struct Scratch {
     /// Piece staging for the convex slope-merge: `(length, slope)` with
     /// `None` marking the unbounded tail piece.
     pub(crate) pieces: Vec<(Option<Time>, i64)>,
+    /// Free-list of structure-of-arrays curve buffers for the SoA kernels.
+    soa_pool: Vec<SoaCurve>,
+    /// Convex-run begin indices of the left decomposition operand.
+    pub(crate) run_bounds_a: Vec<u32>,
+    /// Convex-run begin indices of the right decomposition operand.
+    pub(crate) run_bounds_b: Vec<u32>,
+    /// Tree-fold layer staging for the decomposed convolution (curves held
+    /// here come from `soa_pool` and return to it between calls).
+    pub(crate) fold_layer: Vec<SoaCurve>,
+    /// Second tree-fold layer, ping-ponged with `fold_layer`.
+    pub(crate) fold_spare: Vec<SoaCurve>,
 }
 
 impl Scratch {
@@ -110,6 +121,23 @@ impl Scratch {
     /// Return a temporary curve to the arena.
     pub fn put_curve(&mut self, c: Curve) {
         self.bufs.put(c);
+    }
+
+    /// Borrow a temporary SoA curve buffer (zero curve, capacity-warm) —
+    /// the structure-of-arrays counterpart of [`Scratch::take_curve`].
+    pub fn take_soa(&mut self) -> SoaCurve {
+        match self.soa_pool.pop() {
+            Some(mut c) => {
+                c.set_affine(0, 0);
+                c
+            }
+            None => SoaCurve::zero(),
+        }
+    }
+
+    /// Return a temporary SoA curve buffer to the arena.
+    pub fn put_soa(&mut self, c: SoaCurve) {
+        self.soa_pool.push(c);
     }
 }
 

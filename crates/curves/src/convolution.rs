@@ -39,6 +39,7 @@
 //! oracle tests.
 
 use crate::curve::push_normalized;
+use crate::soa::SoaCurve;
 use crate::{Curve, Scratch, Segment, Time};
 
 /// Sentinel standing in for `+∞` while folding partial curves into a total
@@ -231,11 +232,11 @@ pub fn convolve(f: &Curve, g: &Curve, horizon: Time) -> Curve {
     out
 }
 
-/// [`convolve`] writing into a caller-provided curve. The convex fast path
-/// and the dense lattice fallback run entirely out of `scratch` (no heap
-/// traffic when warm); the convex-decomposition path still allocates its
-/// per-pair intermediates internally — it is chosen exactly when inputs
-/// are irregular enough that those intermediates dominate the cost anyway.
+/// [`convolve`] writing into a caller-provided curve. All three kernels —
+/// the convex fast path, the dense lattice fallback, and the
+/// convex-decomposition path (whose per-pair partials and fold layers are
+/// structure-of-arrays buffers pooled in `scratch`) — run entirely out of
+/// `scratch`, so a warm call performs no heap traffic.
 pub fn convolve_into(f: &Curve, g: &Curve, horizon: Time, scratch: &mut Scratch, out: &mut Curve) {
     assert!(horizon >= Time::ZERO);
     if f.is_convex() && g.is_convex() {
@@ -243,7 +244,7 @@ pub fn convolve_into(f: &Curve, g: &Curve, horizon: Time, scratch: &mut Scratch,
     } else if dense_scan_is_cheaper(f, g, horizon) {
         min_plus_convolve_lattice_into(f, g, horizon, scratch, out);
     } else {
-        out.copy_from(&convolve_decomposed(f, g, horizon));
+        convolve_decomposed_into(f, g, horizon, scratch, out);
     }
 }
 
@@ -265,16 +266,36 @@ fn run_starts_within(c: &Curve, horizon: Time) -> Vec<i64> {
 }
 
 /// Cost heuristic for the hybrid dispatch: compare the decomposition's
-/// pair-merge work against the lattice scan's `horizon²` cell sweep.
+/// leaf-and-fold work against the lattice scan's `horizon²` cell sweep,
+/// mirroring which leaf generator [`convolve_decomposed_into`] would pick.
 ///
-/// The pair count honors the horizon clip of the decomposition's inner
-/// loop (a pair is dead once its domain starts past the horizon), and each
-/// pair costs on the order of the total segment count. The constant
-/// calibrates the per-pair merge against the per-cell scan; it was fitted
-/// on the `convolve/*` benchmarks in `BENCH_curves.json`.
+/// When the staircase row path applies its work is `R · |other|` (one
+/// shifted copy of the other operand per flat run), so the lattice only
+/// wins for near-every-tick staircases where `R` and `|other|` both
+/// approach the horizon. Otherwise the pair count honors the horizon clip
+/// of the decomposition's inner loop (a pair is dead once its domain
+/// starts past the horizon), and each pair costs on the order of the total
+/// segment count. Both constants calibrate merge work against the per-cell
+/// scan; they were fitted on the `convolve/*` benchmarks in
+/// `BENCH_curves.json` plus adversarial every-tick / every-2-tick
+/// staircase shapes (lattice 506–576 µs vs rows 1.9–17.8 ms there; rows
+/// 67–317 µs on the bench shapes).
 fn dense_scan_is_cheaper(f: &Curve, g: &Curve, horizon: Time) -> bool {
+    const ROW_VS_CELL: u128 = 16;
     const PAIR_VS_CELL: u128 = 3;
     let h = horizon.ticks() as u128;
+    let segs_within = |c: &Curve| {
+        c.segments()
+            .iter()
+            .take_while(|s| s.start <= horizon)
+            .count() as u128
+    };
+    for (stair, other) in [(f, g), (g, f)] {
+        if is_staircase(stair) && other.is_nondecreasing() {
+            let rows = segs_within(stair);
+            return h * h < ROW_VS_CELL * rows * (segs_within(other) + 2);
+        }
+    }
     let starts_f = run_starts_within(f, horizon);
     let starts_g = run_starts_within(g, horizon);
     // Two-pointer count of pairs with start_f + start_g ≤ horizon.
@@ -296,9 +317,299 @@ fn dense_scan_is_cheaper(f: &Curve, g: &Curve, horizon: Time) -> bool {
 /// The convex-decomposition convolution kernel behind [`convolve`]: always
 /// takes the pair-merge path regardless of the cost heuristic. Exposed so
 /// benchmarks and oracle tests can pin this path; analysis code should
-/// call [`convolve`].
+/// call [`convolve`]. Delegates to [`convolve_decomposed_into`] on a fresh
+/// scratch; hot callers should hold a warm [`Scratch`] and use the `_into`
+/// variant directly.
 #[must_use]
 pub fn convolve_decomposed(f: &Curve, g: &Curve, horizon: Time) -> Curve {
+    let mut scratch = Scratch::new();
+    let mut out = Curve::zero();
+    convolve_decomposed_into(f, g, horizon, &mut scratch, &mut out);
+    out
+}
+
+/// Convex-run begin indices of a segment list — the index form of
+/// [`convex_runs`], staged in a reusable buffer. Run `k` spans
+/// `segs[out[k]..out[k+1]]` (the last run extends to the end of the list).
+fn run_begins_into(segs: &[Segment], out: &mut Vec<u32>) {
+    out.clear();
+    out.push(0);
+    for i in 1..segs.len() {
+        let discontinuous = segs[i - 1].eval(segs[i].start) != segs[i].value;
+        if discontinuous || segs[i].slope < segs[i - 1].slope {
+            out.push(i as u32);
+        }
+    }
+}
+
+/// Min-plus convolution of two convex runs, written as an [`INFTY`]-padded
+/// total curve straight into an SoA buffer — [`convolve_runs`] and
+/// [`partial_to_total`] fused into one pass with no per-pair allocation.
+/// The normalized pushes produce the same segment list the reference
+/// path's `from_sorted_segments` normalization would.
+#[allow(clippy::too_many_arguments)]
+fn pair_partial_into(
+    fsegs: &[Segment],
+    f_end: Option<Time>,
+    gsegs: &[Segment],
+    g_end: Option<Time>,
+    horizon: Time,
+    pieces: &mut Vec<(Option<Time>, i64)>,
+    p: &mut SoaCurve,
+) {
+    pieces.clear();
+    let mut unbounded = false;
+    for (segs, end) in [(fsegs, f_end), (gsegs, g_end)] {
+        for (i, s) in segs.iter().enumerate() {
+            match segs.get(i + 1) {
+                Some(n) => pieces.push((Some(n.start - s.start), s.slope)),
+                None => match end {
+                    // Last lattice point of the domain is `end − 1`.
+                    Some(e) => pieces.push((Some(e - Time(1) - s.start), s.slope)),
+                    None => {
+                        pieces.push((None, s.slope));
+                        unbounded = true;
+                    }
+                },
+            }
+        }
+    }
+    pieces.sort_by_key(|&(_, slope)| slope);
+
+    let mut t = (fsegs[0].start + gsegs[0].start).ticks();
+    let mut v = fsegs[0].value + gsegs[0].value;
+    p.begin(pieces.len() + 3);
+    if t > 0 {
+        p.push(0, INFTY, 0);
+    }
+    let mut pushed = false;
+    for &(len, slope) in pieces.iter() {
+        match len {
+            Some(len) if len == Time::ZERO => continue,
+            Some(len) => {
+                p.push(t, v, slope);
+                pushed = true;
+                t += len.ticks();
+                v += slope * len.ticks();
+            }
+            None => {
+                p.push(t, v, slope);
+                pushed = true;
+                break; // smallest-slope unbounded piece dominates the tail
+            }
+        }
+    }
+    if !pushed {
+        // Both domains are single lattice points: a point mass.
+        p.push(t, v, 0);
+    }
+    if !unbounded {
+        // Closed result domain ends at the sum of the last lattice points.
+        let e = t + 1;
+        if e <= horizon.ticks() {
+            p.push(e, INFTY, 0);
+        }
+    }
+    p.finish();
+}
+
+/// `true` iff every segment is flat — i.e. every convex run is a single
+/// slope-0 segment (a staircase; jumps may go either way). Normalization
+/// guarantees consecutive flat segments are discontinuous, so for such a
+/// curve segments and convex runs coincide.
+fn is_staircase(c: &Curve) -> bool {
+    c.segments().iter().all(|s| s.slope == 0)
+}
+
+/// Leaf generator for the staircase fast path of the decomposition:
+/// `f` a staircase, `g` nondecreasing. The flat run `[aᵢ, bᵢ)` of `f` at
+/// height `vᵢ` convolves with *all* of `g` at once:
+///
+/// ```text
+/// (fᵢ ⊗ g)(t) = vᵢ + min_{s ∈ [aᵢ, min(bᵢ−1, t)]} g(t − s)
+///             = vᵢ + g(max(t − (bᵢ − 1), 0))        for t ≥ aᵢ
+/// ```
+///
+/// because a nondecreasing `g` always prefers the latest start the run
+/// allows. Each row is a shifted copy of `g`, so the `R_f · R_g` pair
+/// explosion collapses to one leaf per run of `f` — the difference between
+/// ~R² tiny partials and ~R rows on dense staircase workloads.
+fn staircase_rows(
+    f: &Curve,
+    g: &Curve,
+    horizon: Time,
+    scratch: &mut Scratch,
+    layer: &mut Vec<SoaCurve>,
+) {
+    let fsegs = f.segments();
+    let gsegs = g.segments();
+    let g0 = gsegs[0].value;
+    for (i, s) in fsegs.iter().enumerate() {
+        let a = s.start.ticks();
+        if a > horizon.ticks() {
+            break; // later runs start even further out
+        }
+        let v = s.value;
+        let mut p = scratch.take_soa();
+        p.begin(gsegs.len() + 2);
+        if a > 0 {
+            p.push(0, INFTY, 0);
+        }
+        match fsegs.get(i + 1) {
+            // Final, unbounded run: the inner minimum always reaches g(0).
+            None => p.push(a, v + g0, 0),
+            Some(n) => {
+                let shift = n.start.ticks() - 1;
+                if a < shift {
+                    // Flat at v + g(0) until the run's last lattice point …
+                    p.push(a, v + g0, 0);
+                    if gsegs[0].slope != 0 {
+                        p.push(shift, v + g0, gsegs[0].slope);
+                    }
+                } else {
+                    // … which for a one-point run is the start itself.
+                    p.push(a, v + g0, gsegs[0].slope);
+                }
+                for gs in &gsegs[1..] {
+                    let t = shift + gs.start.ticks();
+                    if t > horizon.ticks() {
+                        break; // beyond-horizon content is truncated anyway
+                    }
+                    p.push(t, v + gs.value, gs.slope);
+                }
+            }
+        }
+        p.finish();
+        layer.push(p);
+    }
+}
+
+/// Leaf generator for the general decomposition path: one [`INFTY`]-padded
+/// partial per pair of convex runs whose domain starts within the horizon.
+fn pair_partials(
+    f: &Curve,
+    g: &Curve,
+    horizon: Time,
+    scratch: &mut Scratch,
+    layer: &mut Vec<SoaCurve>,
+) {
+    let fsegs = f.segments();
+    let gsegs = g.segments();
+    let mut rb_f = std::mem::take(&mut scratch.run_bounds_a);
+    let mut rb_g = std::mem::take(&mut scratch.run_bounds_b);
+    run_begins_into(fsegs, &mut rb_f);
+    run_begins_into(gsegs, &mut rb_g);
+
+    for i in 0..rb_f.len() {
+        let f_run = &fsegs[rb_f[i] as usize..rb_f.get(i + 1).map_or(fsegs.len(), |&n| n as usize)];
+        let f_end = rb_f.get(i + 1).map(|&n| fsegs[n as usize].start);
+        if f_run[0].start > horizon {
+            break; // later runs start even further out
+        }
+        for j in 0..rb_g.len() {
+            let g_run =
+                &gsegs[rb_g[j] as usize..rb_g.get(j + 1).map_or(gsegs.len(), |&n| n as usize)];
+            let g_end = rb_g.get(j + 1).map(|&n| gsegs[n as usize].start);
+            // The pair's domain starts at the sum of the run starts.
+            if f_run[0].start + g_run[0].start > horizon {
+                break;
+            }
+            let mut p = scratch.take_soa();
+            pair_partial_into(
+                f_run,
+                f_end,
+                g_run,
+                g_end,
+                horizon,
+                &mut scratch.pieces,
+                &mut p,
+            );
+            layer.push(p);
+        }
+    }
+    scratch.run_bounds_a = rb_f;
+    scratch.run_bounds_b = rb_g;
+}
+
+/// [`convolve_decomposed`] writing into a caller-provided curve, with
+/// every leaf partial and both tree-fold layers drawn from `scratch`'s
+/// SoA pool — the allocation-free counterpart of the reference path
+/// ([`convolve_decomposed_reference`]), value-identical to it at every
+/// lattice tick in `[0, horizon]`.
+///
+/// Leaves come from one of two generators: when either operand is a
+/// staircase and the other nondecreasing, [`staircase_rows`] emits one
+/// shifted copy of the other curve per flat run; otherwise
+/// [`pair_partials`] emits the classical per-run-pair convex merges
+/// (segment-identical to the reference on that path).
+pub fn convolve_decomposed_into(
+    f: &Curve,
+    g: &Curve,
+    horizon: Time,
+    scratch: &mut Scratch,
+    out: &mut Curve,
+) {
+    assert!(horizon >= Time::ZERO);
+    if f.is_convex() && g.is_convex() {
+        convolve_convex_into(f, g, scratch, out);
+        return;
+    }
+    let mut layer = std::mem::take(&mut scratch.fold_layer);
+    let mut spare = std::mem::take(&mut scratch.fold_spare);
+    layer.clear();
+    spare.clear();
+
+    if is_staircase(f) && g.is_nondecreasing() {
+        staircase_rows(f, g, horizon, scratch, &mut layer);
+    } else if is_staircase(g) && f.is_nondecreasing() {
+        // Min-plus convolution is commutative; swap roles.
+        staircase_rows(g, f, horizon, scratch, &mut layer);
+    } else {
+        pair_partials(f, g, horizon, scratch, &mut layer);
+    }
+    // Tree-fold the pairwise results: a sequential fold would re-walk the
+    // O(horizon)-sized accumulator once per pair (O(pairs · |acc|)); merging
+    // neighbours pairwise keeps every operand near its final size and costs
+    // O(total segments · log pairs). Truncating at every merge keeps all
+    // breakpoints within the horizon, so sentinel-sized values only ever
+    // appear on constant pieces (no overflow in later crossings).
+    while layer.len() > 1 {
+        spare.clear();
+        let mut k = 0;
+        while k < layer.len() {
+            if k + 1 < layer.len() {
+                let mut m = scratch.take_soa();
+                crate::soa::pointwise_min_into(&layer[k], &layer[k + 1], &mut m);
+                m.truncate_after(horizon);
+                spare.push(m);
+                k += 2;
+            } else {
+                // The odd leftover passes to the next layer unchanged (and
+                // untruncated, exactly like the reference fold).
+                let placeholder = scratch.take_soa();
+                spare.push(std::mem::replace(&mut layer[k], placeholder));
+                k += 1;
+            }
+        }
+        for c in layer.drain(..) {
+            scratch.put_soa(c);
+        }
+        std::mem::swap(&mut layer, &mut spare);
+    }
+    let mut result = layer.pop().expect("runs cover t = 0");
+    result.truncate_after(horizon);
+    result.write_to_curve(out);
+    scratch.put_soa(result);
+    scratch.fold_layer = layer;
+    scratch.fold_spare = spare;
+}
+
+/// The retained allocating AoS implementation of the decomposition path —
+/// the oracle [`convolve_decomposed_into`] is pinned against (unit tests
+/// here, property tests in `tests/soa_kernels.rs`). Not used on analysis
+/// paths.
+#[must_use]
+pub fn convolve_decomposed_reference(f: &Curve, g: &Curve, horizon: Time) -> Curve {
     assert!(horizon >= Time::ZERO);
     if f.is_convex() && g.is_convex() {
         return convolve_convex(f, g);
@@ -320,12 +631,8 @@ pub fn convolve_decomposed(f: &Curve, g: &Curve, horizon: Time) -> Curve {
             }
         }
     }
-    // Tree-fold the pairwise results: a sequential fold would re-walk the
-    // O(horizon)-sized accumulator once per pair (O(pairs · |acc|)); merging
-    // neighbours pairwise keeps every operand near its final size and costs
-    // O(total segments · log pairs). Truncating at every merge keeps all
-    // breakpoints within the horizon, so sentinel-sized values only ever
-    // appear on constant pieces (no overflow in later crossings).
+    // Same neighbour-pairwise fold as the SoA path (see there for the cost
+    // argument).
     while layer.len() > 1 {
         let mut next = Vec::with_capacity(layer.len().div_ceil(2));
         let mut it = layer.into_iter();
@@ -536,13 +843,16 @@ mod tests {
     #[test]
     fn hybrid_agrees_with_both_kernels_in_both_regimes() {
         // Dense regime: 64 events at gap 10 against 64 at gap 12 — the
-        // BENCH_curves regression shape, where the lattice scan wins.
+        // BENCH_curves regression shape. The staircase row path collapsed
+        // the pair explosion, so the decomposition wins here now; the
+        // lattice only takes over near every-tick density (see
+        // `dispatch_picks_expected_kernel_per_size_class`).
         let dense_f =
             Curve::from_event_times(&(0..64).map(|i| Time(i * 10)).collect::<Vec<_>>()).scale(3);
         let dense_g =
             Curve::from_event_times(&(0..64).map(|i| Time(i * 12)).collect::<Vec<_>>()).scale(2);
         let h_dense = Time(64 * 12 + 120);
-        assert!(dense_scan_is_cheaper(&dense_f, &dense_g, h_dense));
+        assert!(!dense_scan_is_cheaper(&dense_f, &dense_g, h_dense));
         // Sparse regime: few events across a huge horizon — decomposition
         // territory (the lattice scan would be ~1000× slower here).
         let sparse_f = Curve::from_event_times(&(0..8).map(|i| Time(i * 625)).collect::<Vec<_>>());
@@ -558,6 +868,112 @@ mod tests {
         for t in 0..=h.ticks() {
             assert_eq!(hybrid.eval(Time(t)), dec.eval(Time(t)), "t={t}");
             assert_eq!(hybrid.eval(Time(t)), lat.eval(Time(t)), "t={t}");
+        }
+    }
+
+    #[test]
+    fn decomposed_soa_path_matches_reference() {
+        // Value-identical to the reference at every lattice tick, across
+        // both leaf generators (the staircase row path may normalize to a
+        // different — equivalent — segment structure), repeated calls on
+        // one scratch, and a dirty output buffer.
+        let dense_f =
+            Curve::from_event_times(&(0..32).map(|i| Time(i * 10)).collect::<Vec<_>>()).scale(3);
+        let dense_g =
+            Curve::from_event_times(&(0..32).map(|i| Time(i * 12)).collect::<Vec<_>>()).scale(2);
+        let sparse = Curve::from_event_times(&(0..8).map(|i| Time(i * 625)).collect::<Vec<_>>());
+        let concave = Curve::from_segments(vec![
+            Segment::new(Time(0), 0, 3),
+            Segment::new(Time(4), 12, 1),
+        ]);
+        let mut scratch = Scratch::new();
+        let mut out = Curve::affine(-7, 13); // pre-dirtied
+        for (f, g, h) in [
+            (&dense_f, &dense_g, Time(500)),
+            (&sparse, &sparse, Time(25_000)),
+            (&dense_f, &concave, Time(400)),
+        ] {
+            convolve_decomposed_into(f, g, h, &mut scratch, &mut out);
+            let reference = convolve_decomposed_reference(f, g, h);
+            for t in 0..=h.ticks() {
+                assert_eq!(out.eval(Time(t)), reference.eval(Time(t)), "t={t} h={h}");
+            }
+            assert_eq!(out, convolve_decomposed(f, g, h), "h={h}");
+        }
+    }
+
+    #[test]
+    fn decomposed_pair_path_matches_reference_exactly() {
+        // Neither operand is a staircase, so the pair-partial generator
+        // runs — that path is pinned segment-identical to the reference.
+        let saw_f = Curve::from_segments(vec![
+            Segment::new(Time(0), 0, 2),
+            Segment::new(Time(6), 12, 1), // slope decrease: run break
+        ]);
+        let saw_g = Curve::from_segments(vec![
+            Segment::new(Time(0), 1, 3),
+            Segment::new(Time(5), 16, 1), // slope decrease: run break
+            Segment::new(Time(9), 20, 2),
+        ]);
+        assert!(!is_staircase(&saw_f) && !is_staircase(&saw_g));
+        let mut scratch = Scratch::new();
+        let mut out = Curve::affine(-7, 13); // pre-dirtied
+        let h = Time(60);
+        convolve_decomposed_into(&saw_f, &saw_g, h, &mut scratch, &mut out);
+        assert_eq!(out, convolve_decomposed_reference(&saw_f, &saw_g, h));
+    }
+
+    #[test]
+    fn staircase_row_path_matches_lattice_oracle() {
+        // The row identity (fᵢ ⊗ g)(t) = vᵢ + g(max(t − (bᵢ − 1), 0))
+        // needs g nondecreasing but allows f to jump *down*; check both
+        // argument orders so each dispatch branch runs.
+        let down_stair = Curve::from_segments(vec![
+            Segment::new(Time(0), 5, 0),
+            Segment::new(Time(3), 2, 0),
+            Segment::new(Time(7), 9, 0),
+        ]);
+        let ramp = Curve::identity();
+        let h = Time(30);
+        for (f, g) in [(&down_stair, &ramp), (&ramp, &down_stair)] {
+            let dec = convolve_decomposed(f, g, h);
+            let lat = min_plus_convolve_lattice(f, g, h);
+            for t in 0..=h.ticks() {
+                assert_eq!(dec.eval(Time(t)), lat.eval(Time(t)), "t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_picks_expected_kernel_per_size_class() {
+        // Pins the hybrid's choice on each benchmarked size class, so a
+        // heuristic retune that flips a class shows up as a test diff, not
+        // as a silent perf cliff. Measured on the BENCH_curves shapes:
+        // the decomposition (row path) wins every staircase shape up to
+        // roughly every-2-tick density, where the lattice takes over.
+        let shape = |n: i64, gap_f: i64, gap_g: i64, h: i64| {
+            (
+                Curve::from_event_times(&(0..n).map(|i| Time(i * gap_f)).collect::<Vec<_>>())
+                    .scale(3),
+                Curve::from_event_times(&(0..n).map(|i| Time(i * gap_g)).collect::<Vec<_>>())
+                    .scale(2),
+                Time(h),
+            )
+        };
+        // Bench size classes 16 / 64 / sparse: decomposition.
+        for (n, gf, gg, h) in [
+            (16, 10, 12, 16 * 12 + 120),
+            (64, 10, 12, 64 * 12 + 120),
+            (8, 625, 625, 25_000),
+        ] {
+            let (f, g, h) = shape(n, gf, gg, h);
+            assert!(!dense_scan_is_cheaper(&f, &g, h), "n={n} gap={gf}/{gg}");
+        }
+        // Adversarial near-every-tick staircases: lattice (the row fold
+        // would walk R · |g| ≈ h² segments with a worse constant).
+        for gap in [1, 2] {
+            let (f, g, h) = shape(888 / gap + 1, gap, gap, 888);
+            assert!(dense_scan_is_cheaper(&f, &g, h), "gap={gap}");
         }
     }
 

@@ -342,13 +342,19 @@ impl Curve {
     }
 
     /// Internal constructor for operation results: input must be sorted with
-    /// strictly increasing starts beginning at zero; normalizes.
+    /// strictly increasing starts beginning at zero; normalizes, then
+    /// debug-checks the full invariant set (sortedness *and* coalesced
+    /// runs), so a writer handing over a malformed list — e.g. an SoA
+    /// round-trip that corrupted a column — fails loudly here instead of
+    /// producing a curve that silently violates the representation
+    /// invariants downstream.
     pub(crate) fn from_sorted_segments(segs: Vec<Segment>) -> Curve {
         debug_assert!(!segs.is_empty());
         debug_assert!(segs[0].start == Time::ZERO);
         debug_assert!(segs.windows(2).all(|w| w[0].start < w[1].start));
         let mut c = Curve { segs };
         c.normalize();
+        c.finish_write();
         c
     }
 

@@ -68,6 +68,7 @@ pub mod inverse;
 pub mod ops;
 pub mod running;
 mod segment;
+pub mod soa;
 mod time;
 mod util;
 
@@ -76,6 +77,7 @@ pub use cursor::CurveCursor;
 pub use curve::Curve;
 pub use intern::{CurveArena, CurveId};
 pub use segment::Segment;
+pub use soa::{SoaCursor, SoaCurve, SoaView};
 pub use time::{Time, DEFAULT_TICKS_PER_UNIT};
 
 /// Error type for curve construction and operations.

@@ -1,0 +1,933 @@
+//! Structure-of-arrays curve kernels.
+//!
+//! [`SoaCurve`] stores the same normalized piecewise-linear function as
+//! [`Curve`], but in three parallel arrays (`starts`, `values`, `slopes`)
+//! instead of an array of [`Segment`] structs. The hot merge loops walk the
+//! breakpoint columns contiguously, which halves the bytes touched per
+//! comparison (the AoS layout drags every segment's unused fields through
+//! the cache) and gives the autovectorizer straight-line arithmetic over
+//! `i64` lanes in the compute phases — see [`linear_combine_into`], whose
+//! breakpoint-merge and value-compute phases are split precisely so the
+//! second phase is a branch-free gather loop.
+//!
+//! ## Equivalence contract
+//!
+//! Every kernel here is a port of its AoS counterpart in [`crate::ops`],
+//! [`crate::running`], [`crate::floor_div`], [`crate::convolution`] or
+//! [`crate::cursor`], with the *same* crossing-offset formulas
+//! (`div_floor`/`div_ceil`) and the *same* normalization predicate, so the
+//! results are **segment-identical** — not merely value-equal — to the AoS
+//! kernels. The AoS kernels are retained as oracles; the property tests in
+//! `tests/soa_kernels.rs` pin the equivalence over random curves, dirty
+//! output buffers and error paths.
+//!
+//! Writers first emit a raw breakpoint sequence with strictly increasing
+//! starts and then coalesce line-continuations with the exact predicate of
+//! `Curve::normalize` (`prev.slope == s.slope && prev.eval(s.start) ==
+//! s.value`); this is observationally identical to pushing through
+//! `push_normalized`, which is how the AoS kernels write.
+
+use crate::util::{div_ceil, div_floor};
+use crate::{Curve, CurveError, Scratch, Segment, Time};
+
+/// A piecewise-linear curve in structure-of-arrays layout: three parallel
+/// arrays of breakpoint starts (ticks), values and slopes.
+///
+/// Invariants match [`Curve`]: non-empty, first start at zero, strictly
+/// increasing starts, normalized (no segment continues its predecessor's
+/// line). Constructed from an AoS curve ([`SoaCurve::from_curve`]) or as a
+/// kernel output; arbitrary raw construction is not exposed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SoaCurve {
+    starts: Vec<i64>,
+    values: Vec<i64>,
+    slopes: Vec<i64>,
+}
+
+/// A borrowed view of a curve in structure-of-arrays layout — the operand
+/// type of the SoA kernels. Cheap to copy; also constructible from stack
+/// arrays inside the crate (the clamp kernels pass a one-segment constant
+/// operand without touching the heap).
+#[derive(Clone, Copy, Debug)]
+pub struct SoaView<'a> {
+    pub(crate) starts: &'a [i64],
+    pub(crate) values: &'a [i64],
+    pub(crate) slopes: &'a [i64],
+}
+
+impl<'a> SoaView<'a> {
+    /// Number of linear pieces.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// `true` when the view holds no pieces (never the case for views of a
+    /// valid curve).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.starts.is_empty()
+    }
+
+    /// Breakpoint starts, in ticks.
+    #[inline]
+    pub fn starts(&self) -> &'a [i64] {
+        self.starts
+    }
+
+    /// Values at the breakpoints.
+    #[inline]
+    pub fn values(&self) -> &'a [i64] {
+        self.values
+    }
+
+    /// Slopes of the pieces.
+    #[inline]
+    pub fn slopes(&self) -> &'a [i64] {
+        self.slopes
+    }
+
+    /// Value of piece `i` extended to time `t` (ticks).
+    #[inline]
+    fn piece_eval(&self, i: usize, t: i64) -> i64 {
+        self.values[i] + self.slopes[i] * (t - self.starts[i])
+    }
+}
+
+impl Default for SoaCurve {
+    fn default() -> SoaCurve {
+        SoaCurve::zero()
+    }
+}
+
+impl SoaCurve {
+    /// The zero curve.
+    pub fn zero() -> SoaCurve {
+        SoaCurve {
+            starts: vec![0],
+            values: vec![0],
+            slopes: vec![0],
+        }
+    }
+
+    /// Convert an AoS curve, allocating fresh arrays.
+    pub fn from_curve(c: &Curve) -> SoaCurve {
+        let mut s = SoaCurve {
+            starts: Vec::new(),
+            values: Vec::new(),
+            slopes: Vec::new(),
+        };
+        s.copy_from_curve(c);
+        s
+    }
+
+    /// Overwrite with the contents of an AoS curve, reusing the arrays.
+    pub fn copy_from_curve(&mut self, c: &Curve) {
+        let segs = c.segments();
+        self.begin(segs.len());
+        for s in segs {
+            self.starts.push(s.start.ticks());
+            self.values.push(s.value);
+            self.slopes.push(s.slope);
+        }
+    }
+
+    /// Convert back to an AoS [`Curve`], allocating.
+    pub fn to_curve(&self) -> Curve {
+        let mut out = Curve::zero();
+        self.write_to_curve(&mut out);
+        out
+    }
+
+    /// Convert back to an AoS [`Curve`], reusing `out`'s segment buffer.
+    /// The curve invariants are debug-checked at this boundary, so an SoA
+    /// round-trip can never silently hand an invariant-violating segment
+    /// list to the AoS world.
+    pub fn write_to_curve(&self, out: &mut Curve) {
+        let segs = out.begin_write(self.len());
+        for i in 0..self.len() {
+            segs.push(Segment::new(
+                Time(self.starts[i]),
+                self.values[i],
+                self.slopes[i],
+            ));
+        }
+        out.finish_write();
+    }
+
+    /// Borrow as an [`SoaView`].
+    #[inline]
+    pub fn view(&self) -> SoaView<'_> {
+        SoaView {
+            starts: &self.starts,
+            values: &self.values,
+            slopes: &self.slopes,
+        }
+    }
+
+    /// Number of linear pieces.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// `true` when the curve holds no pieces — only observable mid-write;
+    /// every finished curve is non-empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.starts.is_empty()
+    }
+
+    /// Index of the piece containing `t ≥ 0`.
+    #[inline]
+    fn seg_index(&self, t: i64) -> usize {
+        debug_assert!(t >= 0, "curves are defined on [0, ∞)");
+        self.starts.partition_point(|&s| s <= t) - 1
+    }
+
+    /// Evaluate at `t ≥ 0` (right-continuous value).
+    #[inline]
+    pub fn eval(&self, t: Time) -> i64 {
+        let i = self.seg_index(t.ticks());
+        self.values[i] + self.slopes[i] * (t.ticks() - self.starts[i])
+    }
+
+    /// Overwrite with the affine curve `v0 + slope · t`.
+    pub fn set_affine(&mut self, v0: i64, slope: i64) {
+        self.begin(1);
+        self.starts.push(0);
+        self.values.push(v0);
+        self.slopes.push(slope);
+    }
+
+    /// Overwrite with a copy of `src`, reusing the arrays.
+    pub fn copy_from(&mut self, src: &SoaCurve) {
+        self.begin(src.len());
+        self.starts.extend_from_slice(&src.starts);
+        self.values.extend_from_slice(&src.values);
+        self.slopes.extend_from_slice(&src.slopes);
+    }
+
+    /// Drop all breakpoints strictly after `horizon`, in place — the SoA
+    /// counterpart of [`Curve::truncate_after`] (a normalized prefix of a
+    /// normalized curve needs no re-normalization).
+    pub fn truncate_after(&mut self, horizon: Time) {
+        let i = self.seg_index(horizon.ticks().max(0));
+        self.starts.truncate(i + 1);
+        self.values.truncate(i + 1);
+        self.slopes.truncate(i + 1);
+    }
+
+    /// Clear all three arrays (keeping capacity) and reserve room for `cap`
+    /// entries — the start of a write session.
+    pub(crate) fn begin(&mut self, cap: usize) {
+        self.starts.clear();
+        self.values.clear();
+        self.slopes.clear();
+        self.starts.reserve(cap);
+        self.values.reserve(cap);
+        self.slopes.reserve(cap);
+    }
+
+    /// Normalized push: skip the entry when it continues the previous
+    /// line — the exact predicate of `Curve::normalize` / `push_normalized`.
+    /// Starts must be strictly increasing (debug-asserted).
+    #[inline]
+    pub(crate) fn push(&mut self, t: i64, v: i64, m: i64) {
+        if let Some(k) = self.starts.len().checked_sub(1) {
+            debug_assert!(self.starts[k] < t, "pushes must be strictly increasing");
+            if self.slopes[k] == m && self.values[k] + self.slopes[k] * (t - self.starts[k]) == v {
+                return;
+            }
+        }
+        self.starts.push(t);
+        self.values.push(v);
+        self.slopes.push(m);
+    }
+
+    /// Debug-check the curve invariants at the end of a write session.
+    pub(crate) fn finish(&self) {
+        debug_assert!(!self.starts.is_empty(), "written curve must be non-empty");
+        debug_assert!(self.starts[0] == 0);
+        debug_assert!(self.starts.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!((1..self.len()).all(|i| {
+            self.slopes[i - 1] != self.slopes[i]
+                || self.values[i - 1] + self.slopes[i - 1] * (self.starts[i] - self.starts[i - 1])
+                    != self.values[i]
+        }));
+    }
+
+    /// First integer `t` with `f(t) < f(t−1)`, if any — the SoA port of
+    /// [`Curve::first_decrease`].
+    pub fn first_decrease(&self) -> Option<Time> {
+        for i in 0..self.len() {
+            let next_start = self.starts.get(i + 1);
+            if self.slopes[i] < 0 {
+                let second = self.starts[i] + 1;
+                if next_start.is_none_or(|&ns| second < ns) {
+                    return Some(Time(second));
+                }
+            }
+            if i > 0 && self.starts[i] > 0 && self.values[i] < self.eval(Time(self.starts[i] - 1)) {
+                return Some(Time(self.starts[i]));
+            }
+        }
+        None
+    }
+
+    /// `true` iff the curve never decreases on the tick lattice.
+    pub fn is_nondecreasing(&self) -> bool {
+        self.first_decrease().is_none()
+    }
+
+    /// Check the curve is nondecreasing, returning a descriptive error if
+    /// not.
+    pub fn require_nondecreasing(&self) -> Result<(), CurveError> {
+        match self.first_decrease() {
+            None => Ok(()),
+            Some(at) => Err(CurveError::NotMonotone { at }),
+        }
+    }
+
+    /// `true` iff the curve is continuous (no jumps).
+    pub fn is_continuous(&self) -> bool {
+        (1..self.len()).all(|i| {
+            self.values[i - 1] + self.slopes[i - 1] * (self.starts[i] - self.starts[i - 1])
+                == self.values[i]
+        })
+    }
+
+    /// `true` iff the curve is convex on the lattice: continuous with
+    /// nondecreasing slopes.
+    pub fn is_convex(&self) -> bool {
+        self.is_continuous() && self.slopes.windows(2).all(|w| w[0] <= w[1])
+    }
+
+    // ------------------------------------------------------------------
+    // Unary kernels (ports of the `Curve` methods of the same names)
+    // ------------------------------------------------------------------
+
+    /// Pointwise scaling `k·self`, written into `out`.
+    pub fn scale_into(&self, k: i64, out: &mut SoaCurve) {
+        out.begin(self.len());
+        for i in 0..self.len() {
+            out.push(self.starts[i], k * self.values[i], k * self.slopes[i]);
+        }
+        out.finish();
+    }
+
+    /// Pointwise negation, written into `out`.
+    pub fn neg_into(&self, out: &mut SoaCurve) {
+        self.scale_into(-1, out);
+    }
+
+    /// Pointwise constant offset `self + v`, written into `out`.
+    pub fn add_const_into(&self, v: i64, out: &mut SoaCurve) {
+        out.begin(self.len());
+        for i in 0..self.len() {
+            out.push(self.starts[i], self.values[i] + v, self.slopes[i]);
+        }
+        out.finish();
+    }
+
+    /// Horizontal shift right by `d ≥ 0` ticks, filling `[0, d)` with
+    /// `fill` — the SoA port of [`Curve::shift_right_into`].
+    pub fn shift_right_into(&self, d: Time, fill: i64, out: &mut SoaCurve) {
+        assert!(d >= Time::ZERO, "shift_right requires d >= 0");
+        if d == Time::ZERO {
+            out.copy_from(self);
+            return;
+        }
+        out.begin(self.len() + 1);
+        out.push(0, fill, 0);
+        for i in 0..self.len() {
+            out.push(self.starts[i] + d.ticks(), self.values[i], self.slopes[i]);
+        }
+        out.finish();
+    }
+
+    /// Replace the prefix `[0, t0)` with the constant `fill` — the SoA
+    /// port of [`Curve::mask_before_into`].
+    pub fn mask_before_into(&self, t0: Time, fill: i64, out: &mut SoaCurve) {
+        if t0 <= Time::ZERO {
+            out.copy_from(self);
+            return;
+        }
+        let i = self.seg_index(t0.ticks());
+        let at = self.values[i] + self.slopes[i] * (t0.ticks() - self.starts[i]);
+        out.begin(self.len() - i + 1);
+        out.push(0, fill, 0);
+        out.push(t0.ticks(), at, self.slopes[i]);
+        for j in i + 1..self.len() {
+            out.push(self.starts[j], self.values[j], self.slopes[j]);
+        }
+        out.finish();
+    }
+
+    /// Shared prefix-extremum kernel — the SoA port of
+    /// `Curve::running_extremum_into` (same sign folding, same crossing
+    /// offsets).
+    fn running_extremum_into(&self, max: bool, out: &mut SoaCurve) {
+        let sign: i64 = if max { -1 } else { 1 };
+        out.begin(2 * self.len());
+        let mut m = i64::MAX;
+        for i in 0..self.len() {
+            let next_start = self.starts.get(i + 1).copied();
+            let (value, slope) = (sign * self.values[i], sign * self.slopes[i]);
+            if slope >= 0 {
+                let new_m = m.min(value);
+                out.push(self.starts[i], sign * new_m, 0);
+                m = new_m;
+            } else {
+                if value <= m {
+                    out.push(self.starts[i], self.values[i], self.slopes[i]);
+                } else {
+                    out.push(self.starts[i], sign * m, 0);
+                    let off = div_floor(value - m, -slope) + 1;
+                    let tc = self.starts[i] + off;
+                    if next_start.is_none_or(|t1| tc < t1) {
+                        out.push(
+                            tc,
+                            self.values[i] + self.slopes[i] * (tc - self.starts[i]),
+                            self.slopes[i],
+                        );
+                    }
+                }
+                if let Some(t1) = next_start {
+                    let last = t1 - 1;
+                    if last >= self.starts[i] {
+                        m = m.min(
+                            sign * (self.values[i] + self.slopes[i] * (last - self.starts[i])),
+                        );
+                    }
+                }
+            }
+        }
+        out.finish();
+    }
+
+    /// The running minimum `t ↦ min_{0 ≤ s ≤ t} f(s)`, written into `out`.
+    pub fn running_min_into(&self, out: &mut SoaCurve) {
+        self.running_extremum_into(false, out);
+    }
+
+    /// The running maximum `t ↦ max_{0 ≤ s ≤ t} f(s)`, written into `out`.
+    pub fn running_max_into(&self, out: &mut SoaCurve) {
+        self.running_extremum_into(true, out);
+    }
+
+    /// Compute `t ↦ ⌊self(t)/τ⌋` on `[0, horizon]` as a counting curve —
+    /// the SoA port of [`Curve::floor_div_into`]. On error `out` is left
+    /// untouched.
+    pub fn floor_div_into(
+        &self,
+        tau: i64,
+        horizon: Time,
+        out: &mut SoaCurve,
+    ) -> Result<(), CurveError> {
+        assert!(tau >= 1, "execution time must be at least one tick");
+        self.require_nondecreasing()?;
+        let v0 = self.values[0];
+        if v0 < 0 {
+            return Err(CurveError::NegativeAtZero { value: v0 });
+        }
+
+        out.begin(self.len() + 4);
+        let mut count = div_floor(v0, tau);
+        out.push(0, count, 0);
+        for i in 0..self.len() {
+            let (s_start, s_value, s_slope) = (self.starts[i], self.values[i], self.slopes[i]);
+            if s_start > horizon.ticks() {
+                break;
+            }
+            let c0 = div_floor(s_value, tau);
+            if c0 > count {
+                out.push(s_start, c0, 0);
+                count = c0;
+            }
+            if s_slope > 0 {
+                let end = self
+                    .starts
+                    .get(i + 1)
+                    .map(|&n| n - 1)
+                    .unwrap_or(i64::MAX)
+                    .min(horizon.ticks());
+                loop {
+                    let level = (count + 1) * tau;
+                    let off = div_ceil(level - s_value, s_slope);
+                    let t = s_start + off;
+                    if t > end {
+                        break;
+                    }
+                    let c = div_floor(s_value + s_slope * (t - s_start), tau);
+                    debug_assert!(c > count);
+                    out.push(t, c, 0);
+                    count = c;
+                }
+            }
+        }
+        out.finish();
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Binary-op sugar
+    // ------------------------------------------------------------------
+
+    /// Pointwise sum `self + rhs`, written into `out`.
+    pub fn add_into(&self, rhs: &SoaCurve, out: &mut SoaCurve) {
+        linear_combine_into(self, 1, rhs, 1, out);
+    }
+
+    /// Pointwise difference `self − rhs`, written into `out`.
+    pub fn sub_into(&self, rhs: &SoaCurve, out: &mut SoaCurve) {
+        linear_combine_into(self, 1, rhs, -1, out);
+    }
+
+    /// Pointwise minimum with another curve, written into `out`.
+    pub fn min_with_into(&self, rhs: &SoaCurve, out: &mut SoaCurve) {
+        pointwise_min_into(self, rhs, out);
+    }
+
+    /// Pointwise maximum with another curve, written into `out`.
+    pub fn max_with_into(&self, rhs: &SoaCurve, out: &mut SoaCurve) {
+        pointwise_max_into(self, rhs, out);
+    }
+
+    /// Clamp below: `max(self, v)`, written into `out` — allocation-free:
+    /// the constant operand is three stack arrays, never a heap curve.
+    pub fn clamp_min_into(&self, v: i64, out: &mut SoaCurve) {
+        let (s, val, m) = ([0i64], [v], [0i64]);
+        extremum_into(
+            self.view(),
+            SoaView {
+                starts: &s,
+                values: &val,
+                slopes: &m,
+            },
+            true,
+            out,
+        );
+    }
+
+    /// Clamp above: `min(self, v)`, written into `out` — allocation-free
+    /// like [`SoaCurve::clamp_min_into`].
+    pub fn clamp_max_into(&self, v: i64, out: &mut SoaCurve) {
+        let (s, val, m) = ([0i64], [v], [0i64]);
+        extremum_into(
+            self.view(),
+            SoaView {
+                starts: &s,
+                values: &val,
+                slopes: &m,
+            },
+            false,
+            out,
+        );
+    }
+}
+
+/// One operand of a merged-breakpoint walk. The active piece's scalars are
+/// cached in the struct so the hot loop touches the backing slices only
+/// when a head actually advances — the SoA counterpart of `ops::zip_pieces`
+/// handing out `&Segment`s, which gets that caching for free from the
+/// borrow. Without it every evaluation costs three separately
+/// bounds-checked gathers, which is exactly where the first-cut SoA merges
+/// lost to the AoS kernels.
+struct Head<'a> {
+    starts: &'a [i64],
+    values: &'a [i64],
+    slopes: &'a [i64],
+    i: usize,
+    start: i64,
+    value: i64,
+    slope: i64,
+}
+
+impl<'a> Head<'a> {
+    fn new(v: SoaView<'a>) -> Head<'a> {
+        Head {
+            starts: v.starts,
+            values: v.values,
+            slopes: v.slopes,
+            i: 0,
+            start: v.starts[0],
+            value: v.values[0],
+            slope: v.slopes[0],
+        }
+    }
+
+    /// Advance to the piece active at `t`; returns the next breakpoint
+    /// strictly after the active piece, if any.
+    #[inline]
+    fn advance(&mut self, t: i64) -> Option<i64> {
+        while self.i + 1 < self.starts.len() && self.starts[self.i + 1] <= t {
+            self.i += 1;
+            self.start = self.starts[self.i];
+            self.value = self.values[self.i];
+            self.slope = self.slopes[self.i];
+        }
+        self.starts.get(self.i + 1).copied()
+    }
+
+    /// The active piece evaluated at `t`.
+    #[inline]
+    fn eval(&self, t: i64) -> i64 {
+        self.value + self.slope * (t - self.start)
+    }
+}
+
+/// The next merged breakpoint after the two heads' active pieces.
+#[inline]
+fn merged_next(na: Option<i64>, nb: Option<i64>) -> Option<i64> {
+    match (na, nb) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+/// The pointwise linear combination `ca·a + cb·b`, written into `out` —
+/// the SoA port of [`crate::ops::linear_combine_into`]: one streaming pass
+/// over the merged breakpoints with cached piece heads and normalized
+/// pushes.
+pub fn linear_combine_into(a: &SoaCurve, ca: i64, b: &SoaCurve, cb: i64, out: &mut SoaCurve) {
+    let (mut ha, mut hb) = (Head::new(a.view()), Head::new(b.view()));
+    out.begin(a.len() + b.len());
+    let mut cur = Some(0i64);
+    while let Some(t) = cur {
+        let (na, nb) = (ha.advance(t), hb.advance(t));
+        cur = merged_next(na, nb);
+        out.push(
+            t,
+            ca * ha.eval(t) + cb * hb.eval(t),
+            ca * ha.slope + cb * hb.slope,
+        );
+    }
+    out.finish();
+}
+
+/// Shared min/max kernel — the SoA port of `ops::pointwise_extremum_into`
+/// (same sign folding, same `div_floor` crossing offsets, same tie-breaks).
+fn extremum_into(a: SoaView<'_>, b: SoaView<'_>, max: bool, out: &mut SoaCurve) {
+    let sign: i64 = if max { -1 } else { 1 };
+    out.begin(2 * (a.len() + b.len()));
+    let (mut ha, mut hb) = (Head::new(a), Head::new(b));
+    let mut cur = Some(0i64);
+    while let Some(t0) = cur {
+        let (na, nb) = (ha.advance(t0), hb.advance(t0));
+        let next = merged_next(na, nb);
+        cur = next;
+        let ea = ha.eval(t0);
+        let eb = hb.eval(t0);
+        let e0 = sign * (ea - eb);
+        let es = sign * (ha.slope - hb.slope);
+        // The currently-extremal piece, then a possible single switch.
+        let take_a = e0 <= 0;
+        let (first_v, first_m) = if take_a {
+            (ea, ha.slope)
+        } else {
+            (eb, hb.slope)
+        };
+        out.push(t0, first_v, first_m);
+        let cross_off = if take_a && es > 0 {
+            Some(div_floor(-e0, es) + 1)
+        } else if !take_a && es < 0 {
+            Some(div_floor(e0, -es) + 1)
+        } else {
+            None
+        };
+        if let Some(off) = cross_off {
+            debug_assert!(off >= 1);
+            let tc = t0 + off;
+            if next.is_none_or(|t1| tc < t1) {
+                let (sv, sm) = if take_a {
+                    (hb.eval(tc), hb.slope)
+                } else {
+                    (ha.eval(tc), ha.slope)
+                };
+                out.push(tc, sv, sm);
+            }
+        }
+    }
+    out.finish();
+}
+
+/// Pointwise minimum written into `out`, exact at every integer tick.
+pub fn pointwise_min_into(a: &SoaCurve, b: &SoaCurve, out: &mut SoaCurve) {
+    extremum_into(a.view(), b.view(), false, out);
+}
+
+/// Pointwise maximum written into `out`, exact at every integer tick.
+pub fn pointwise_max_into(a: &SoaCurve, b: &SoaCurve, out: &mut SoaCurve) {
+    extremum_into(a.view(), b.view(), true, out);
+}
+
+/// Min-plus convolution for **convex** nondecreasing curves, written into
+/// `out` — the SoA port of [`crate::convolution::convolve_convex_into`].
+/// The `(length, slope)` piece staging lives in `scratch`, so a warm call
+/// allocates nothing.
+pub fn convolve_convex_into(f: &SoaCurve, g: &SoaCurve, scratch: &mut Scratch, out: &mut SoaCurve) {
+    debug_assert!(f.is_convex(), "convolve_convex requires convex f");
+    debug_assert!(g.is_convex(), "convolve_convex requires convex g");
+
+    let pieces = &mut scratch.pieces;
+    pieces.clear();
+    for c in [f, g] {
+        for i in 0..c.len() {
+            pieces.push((
+                c.starts.get(i + 1).map(|&n| Time(n - c.starts[i])),
+                c.slopes[i],
+            ));
+        }
+    }
+    pieces.sort_by_key(|&(_, slope)| slope);
+
+    out.begin(pieces.len());
+    let mut t = 0i64;
+    let mut v = f.values[0] + g.values[0];
+    for &(len, slope) in pieces.iter() {
+        out.push(t, v, slope);
+        match len {
+            Some(len) => {
+                t += len.ticks();
+                v += slope * len.ticks();
+            }
+            None => break, // first infinite piece has the smallest remaining slope
+        }
+    }
+    out.finish();
+}
+
+/// A forward-only cursor over a **nondecreasing** SoA curve — the port of
+/// [`crate::CurveCursor`], answering [`SoaCursor::eval`] and
+/// [`SoaCursor::inverse_at`] for monotone query sequences in amortized
+/// O(1). The inverse sweep touches only the `starts`/`values` columns until
+/// a sloped piece resolves the query, so a counting-curve sweep streams two
+/// flat arrays instead of striding through segment structs.
+#[derive(Clone, Debug)]
+pub struct SoaCursor<'a> {
+    curve: SoaView<'a>,
+    inv_idx: usize,
+    eval_idx: usize,
+    #[cfg(debug_assertions)]
+    last_t: Option<Time>,
+    #[cfg(debug_assertions)]
+    last_y: Option<i64>,
+}
+
+impl<'a> SoaCursor<'a> {
+    /// Start a sweep over `curve`.
+    pub fn new(curve: &'a SoaCurve) -> SoaCursor<'a> {
+        debug_assert!(
+            curve.is_nondecreasing(),
+            "SoaCursor requires a nondecreasing curve"
+        );
+        SoaCursor {
+            curve: curve.view(),
+            inv_idx: 0,
+            eval_idx: 0,
+            #[cfg(debug_assertions)]
+            last_t: None,
+            #[cfg(debug_assertions)]
+            last_y: None,
+        }
+    }
+
+    /// `curve.eval(t)` for a nondecreasing sequence of `t`.
+    pub fn eval(&mut self, t: Time) -> i64 {
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(t >= Time::ZERO);
+            debug_assert!(
+                self.last_t.is_none_or(|p| t >= p),
+                "cursor eval queries must be nondecreasing"
+            );
+            self.last_t = Some(t);
+        }
+        let starts = self.curve.starts;
+        while self.eval_idx + 1 < starts.len() && starts[self.eval_idx + 1] <= t.ticks() {
+            self.eval_idx += 1;
+        }
+        self.curve.piece_eval(self.eval_idx, t.ticks())
+    }
+
+    /// `curve.inverse_at(y)` — smallest integer `t ≥ 0` with `f(t) ≥ y` —
+    /// for a nondecreasing sequence of `y`.
+    pub fn inverse_at(&mut self, y: i64) -> Option<Time> {
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(
+                self.last_y.is_none_or(|p| y >= p),
+                "cursor inverse queries must be nondecreasing"
+            );
+            self.last_y = Some(y);
+        }
+        let (starts, values, slopes) = (self.curve.starts, self.curve.values, self.curve.slopes);
+        while self.inv_idx < starts.len() {
+            let i = self.inv_idx;
+            if values[i] >= y {
+                return Some(Time(starts[i]));
+            }
+            if slopes[i] > 0 {
+                let off = div_ceil(y - values[i], slopes[i]);
+                debug_assert!(off >= 1);
+                let t = starts[i] + off;
+                match starts.get(i + 1) {
+                    Some(&next) if t >= next => {} // reached after piece ends
+                    _ => return Some(Time(t)),
+                }
+            }
+            // This piece never reaches `y` (nor any larger value): skip it
+            // for the rest of the sweep.
+            self.inv_idx += 1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn staircase() -> Curve {
+        Curve::from_segments(vec![
+            Segment::new(Time(0), 0, 0),
+            Segment::new(Time(5), 2, 0),
+            Segment::new(Time(10), 2, 1),
+        ])
+    }
+
+    #[test]
+    fn round_trip_preserves_segments() {
+        for c in [Curve::zero(), Curve::identity(), staircase()] {
+            assert_eq!(SoaCurve::from_curve(&c).to_curve(), c);
+        }
+    }
+
+    #[test]
+    fn eval_matches_aos() {
+        let c = staircase();
+        let s = SoaCurve::from_curve(&c);
+        for t in 0..=15 {
+            assert_eq!(s.eval(Time(t)), c.eval(Time(t)), "t={t}");
+        }
+    }
+
+    #[test]
+    fn linear_combine_matches_aos() {
+        let a = SoaCurve::from_curve(&staircase());
+        let b = SoaCurve::from_curve(&Curve::identity());
+        let mut out = SoaCurve::zero();
+        linear_combine_into(&a, 2, &b, -3, &mut out);
+        let oracle = crate::ops::linear_combine(&staircase(), 2, &Curve::identity(), -3);
+        assert_eq!(out.to_curve(), oracle);
+    }
+
+    #[test]
+    fn extrema_match_aos() {
+        let ac = staircase();
+        let bc = Curve::affine(1, 0);
+        let (a, b) = (SoaCurve::from_curve(&ac), SoaCurve::from_curve(&bc));
+        let mut out = SoaCurve::zero();
+        pointwise_min_into(&a, &b, &mut out);
+        assert_eq!(out.to_curve(), ac.min_with(&bc));
+        pointwise_max_into(&a, &b, &mut out);
+        assert_eq!(out.to_curve(), ac.max_with(&bc));
+        a.clamp_min_into(1, &mut out);
+        assert_eq!(out.to_curve(), ac.clamp_min(1));
+        a.clamp_max_into(1, &mut out);
+        assert_eq!(out.to_curve(), ac.clamp_max(1));
+    }
+
+    #[test]
+    fn running_extrema_match_aos() {
+        let c = Curve::from_segments(vec![
+            Segment::new(Time(0), 5, 1),
+            Segment::new(Time(3), 8, -2),
+            Segment::new(Time(7), 10, 0),
+            Segment::new(Time(9), -1, -1),
+        ]);
+        let s = SoaCurve::from_curve(&c);
+        let mut out = SoaCurve::zero();
+        s.running_min_into(&mut out);
+        assert_eq!(out.to_curve(), c.running_min());
+        s.running_max_into(&mut out);
+        assert_eq!(out.to_curve(), c.running_max());
+    }
+
+    #[test]
+    fn floor_div_matches_aos_including_errors() {
+        let c = Curve::identity();
+        let s = SoaCurve::from_curve(&c);
+        let mut out = SoaCurve::zero();
+        s.floor_div_into(4, Time(30), &mut out).unwrap();
+        assert_eq!(out.to_curve(), c.floor_div(4, Time(30)).unwrap());
+        // Errors leave out untouched.
+        let bad = SoaCurve::from_curve(&Curve::affine(5, -1));
+        let before = out.clone();
+        assert!(bad.floor_div_into(2, Time(10), &mut out).is_err());
+        assert_eq!(out, before);
+    }
+
+    #[test]
+    fn shift_and_mask_match_aos() {
+        let c = staircase();
+        let s = SoaCurve::from_curve(&c);
+        let mut out = SoaCurve::zero();
+        s.shift_right_into(Time(3), 7, &mut out);
+        assert_eq!(out.to_curve(), c.shift_right(Time(3), 7));
+        s.mask_before_into(Time(7), -1, &mut out);
+        assert_eq!(out.to_curve(), c.mask_before(Time(7), -1));
+    }
+
+    #[test]
+    fn convolve_convex_matches_aos() {
+        let fc = Curve::from_segments(vec![
+            Segment::new(Time(0), 1, 0),
+            Segment::new(Time(3), 1, 1),
+            Segment::new(Time(7), 5, 4),
+        ]);
+        let gc = Curve::from_segments(vec![
+            Segment::new(Time(0), 0, 2),
+            Segment::new(Time(5), 10, 3),
+        ]);
+        let (f, g) = (SoaCurve::from_curve(&fc), SoaCurve::from_curve(&gc));
+        let mut scratch = Scratch::new();
+        let mut out = SoaCurve::zero();
+        convolve_convex_into(&f, &g, &mut scratch, &mut out);
+        assert_eq!(
+            out.to_curve(),
+            crate::convolution::convolve_convex(&fc, &gc)
+        );
+    }
+
+    #[test]
+    fn cursor_matches_aos_cursor() {
+        let c = Curve::from_segments(vec![
+            Segment::new(Time(0), 0, 1),
+            Segment::new(Time(3), 3, 0),
+            Segment::new(Time(8), 5, 2),
+            Segment::new(Time(12), 13, 0),
+        ]);
+        let s = SoaCurve::from_curve(&c);
+        let mut soa = SoaCursor::new(&s);
+        let mut aos = crate::CurveCursor::new(&c);
+        for t in 0..=20 {
+            assert_eq!(soa.eval(Time(t)), aos.eval(Time(t)), "t={t}");
+        }
+        let mut soa = SoaCursor::new(&s);
+        let mut aos = crate::CurveCursor::new(&c);
+        for y in 0..=16 {
+            assert_eq!(soa.inverse_at(y), aos.inverse_at(y), "y={y}");
+        }
+    }
+
+    #[test]
+    fn truncate_after_matches_aos() {
+        let c = staircase();
+        let mut s = SoaCurve::from_curve(&c);
+        s.truncate_after(Time(6));
+        assert_eq!(s.to_curve(), c.truncate_after(Time(6)));
+    }
+}

@@ -144,6 +144,12 @@ pub enum ModelError {
         /// The offending subjob.
         subjob: SubjobRef,
     },
+    /// A burst-train arrival whose burst extent `intra_gap · (burst_len − 1)`
+    /// reaches its `train_period`, so consecutive trains would overlap.
+    OverlappingBursts {
+        /// The offending job.
+        job: JobId,
+    },
 }
 
 impl std::fmt::Display for ModelError {
@@ -182,6 +188,12 @@ impl std::fmt::Display for ModelError {
                 write!(
                     f,
                     "subjob {subjob} on a weighted round-robin processor has weight zero"
+                )
+            }
+            ModelError::OverlappingBursts { job } => {
+                write!(
+                    f,
+                    "job {job} has a burst train whose extent reaches its train period"
                 )
             }
         }
@@ -340,6 +352,13 @@ impl TaskSystem {
         self.jobs[r.job.0].subjobs[r.index].weight = weight;
     }
 
+    /// Replace one job's arrival pattern (e.g. to grow a burst train while
+    /// sweeping a schedulability region). Overlapping burst trains are
+    /// caught by [`TaskSystem::validate`].
+    pub fn set_arrival(&mut self, id: JobId, arrival: ArrivalPattern) {
+        self.jobs[id.0].arrival = arrival;
+    }
+
     /// Append a job to the system; returns its id. Existing job ids (and
     /// therefore subjob enumeration order of existing jobs) are unchanged.
     pub fn push_job(&mut self, job: Job) -> JobId {
@@ -366,6 +385,17 @@ impl TaskSystem {
             }
             if job.deadline <= Time::ZERO {
                 return Err(ModelError::NonPositiveDeadline { job: job_id });
+            }
+            if let ArrivalPattern::BurstTrain {
+                burst_len,
+                intra_gap,
+                train_period,
+                ..
+            } = job.arrival
+            {
+                if intra_gap * (burst_len.max(1) as i64 - 1) >= train_period {
+                    return Err(ModelError::OverlappingBursts { job: job_id });
+                }
             }
             for (j, s) in job.subjobs.iter().enumerate() {
                 let r = SubjobRef {

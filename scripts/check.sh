@@ -23,6 +23,10 @@ echo "==> policy-kernel gates: conformance + golden equivalence"
 cargo test -p rta-core --test policy_conformance -q
 cargo test -p rta-core --test policy_golden -q
 
+echo "==> SoA kernel gates: SoA results pinned segment-identical to AoS oracles"
+cargo test -p rta-curves --test soa_kernels -q
+cargo test -p rta-core --lib -q soa_chain_matches_aos_oracle
+
 if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
     # Stash the committed baselines before perf_snapshot overwrites them,
     # then gate: fail if any benchmark regressed by more than 25%.
