@@ -85,6 +85,22 @@ impl Bench {
         self.results.last().expect("just pushed")
     }
 
+    /// Record an externally-derived measurement — e.g. a per-event cost
+    /// computed from a timed run and an event count — so it lands in the
+    /// JSON dump and the regression gate like any timed row.
+    pub fn record(&mut self, name: &str, iters: u64, ns_per_iter: f64) -> &Measurement {
+        println!(
+            "{name:<40} {:>14} /iter  ({iters} events, derived)",
+            fmt_ns(ns_per_iter)
+        );
+        self.results.push(Measurement {
+            name: name.to_string(),
+            iters,
+            ns_per_iter,
+        });
+        self.results.last().expect("just pushed")
+    }
+
     /// All measurements recorded so far.
     pub fn results(&self) -> &[Measurement] {
         &self.results

@@ -63,25 +63,33 @@ struct Proc {
     scheduler: Box<dyn SimScheduler>,
     ready: Vec<Instance>,
     running: Option<(Instance, Time)>, // (instance, started_at)
+    /// Policy-facing views of `ready`, rebuilt in place per decision —
+    /// reusing one buffer keeps the scheduling hot path allocation-free.
+    views: Vec<ReadyInstance>,
 }
 
 impl Proc {
+    fn fill_views(&mut self) {
+        self.views.clear();
+        self.views.extend(self.ready.iter().map(view));
+    }
+
     /// Pick the index of the next ready instance per policy.
     fn pick(&mut self, sys: &TaskSystem) -> Option<usize> {
         if self.ready.is_empty() {
             return None;
         }
-        let views: Vec<ReadyInstance> = self.ready.iter().map(view).collect();
-        self.scheduler.pick(sys, &views)
+        self.fill_views();
+        self.scheduler.pick(sys, &self.views)
     }
 
     /// Would any ready instance preempt the running one?
-    fn preempts(&self, sys: &TaskSystem, running: &Instance) -> bool {
+    fn preempts(&mut self, sys: &TaskSystem, running: &Instance) -> bool {
         if self.ready.is_empty() {
             return false;
         }
-        let views: Vec<ReadyInstance> = self.ready.iter().map(view).collect();
-        self.scheduler.preempts(sys, &view(running), &views)
+        self.fill_views();
+        self.scheduler.preempts(sys, &view(running), &self.views)
     }
 }
 
@@ -129,6 +137,7 @@ pub fn simulate(sys: &TaskSystem, cfg: &SimConfig) -> SimResult {
             scheduler: policy_for(p.scheduler).sim_scheduler(sys, ProcessorId(i)),
             ready: Vec::new(),
             running: None,
+            views: Vec::new(),
         })
         .collect();
 

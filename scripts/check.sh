@@ -32,14 +32,17 @@ if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
     # then gate: fail if any benchmark regressed by more than 25%.
     basedir="$(mktemp -d)"
     trap 'rm -rf "$basedir"' EXIT
-    for f in BENCH_curves.json BENCH_incremental.json; do
+    for f in BENCH_curves.json BENCH_incremental.json BENCH_sim.json; do
         [[ -f "$f" ]] && cp "$f" "$basedir/$f"
     done
 
     echo "==> perf snapshot (writes BENCH_curves.json, BENCH_incremental.json)"
     cargo run -p rta-bench --release --bin perf_snapshot
 
-    for f in BENCH_curves.json BENCH_incremental.json; do
+    echo "==> sim snapshot (writes BENCH_sim.json)"
+    cargo run -p rta-bench --release --bin sim_snapshot
+
+    for f in BENCH_curves.json BENCH_incremental.json BENCH_sim.json; do
         if [[ -f "$basedir/$f" ]]; then
             echo "==> bench gate: $f vs committed baseline (max +25%)"
             cargo run -p rta-bench --release --bin bench_gate -- "$basedir/$f" "$f" 25
