@@ -6,7 +6,7 @@
 //! Theorem 8/9 bounds delegate to
 //! [`crate::fcfs::FcfsProcessor::service_bounds`].
 
-use super::{BoundsInputs, PeerInputs, PolicyContext, ReadyInstance, ServicePolicy, SimScheduler};
+use super::{BoundsInputs, PeerInputs, PolicyContext, ReadySet, ServicePolicy, SimScheduler};
 use crate::error::AnalysisError;
 use crate::fcfs::FcfsProcessor;
 use crate::spnp::ServiceBounds;
@@ -57,7 +57,7 @@ impl ServicePolicy for FcfsPolicy {
 struct FcfsSim;
 
 impl SimScheduler for FcfsSim {
-    fn pick(&mut self, _sys: &TaskSystem, ready: &[ReadyInstance]) -> Option<usize> {
+    fn pick_idx(&mut self, _sys: &TaskSystem, ready: &ReadySet<'_>) -> Option<usize> {
         (0..ready.len()).min_by_key(|&i| {
             let inst = &ready[i];
             (inst.hop_release.ticks(), inst.subjob.job.0 as i64, inst.seq)

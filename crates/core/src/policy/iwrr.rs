@@ -32,7 +32,7 @@
 //! without peer *service* curves, and the looseness only feeds the next
 //! hop's arrival envelope conservatively.
 
-use super::{BoundsInputs, PeerInputs, PolicyContext, ReadyInstance, ServicePolicy, SimScheduler};
+use super::{BoundsInputs, PeerInputs, PolicyContext, ReadySet, ServicePolicy, SimScheduler};
 use crate::error::AnalysisError;
 use crate::spnp::ServiceBounds;
 use rta_curves::convolution::convolve;
@@ -135,7 +135,7 @@ struct IwrrSim {
 }
 
 impl SimScheduler for IwrrSim {
-    fn pick(&mut self, _sys: &TaskSystem, ready: &[ReadyInstance]) -> Option<usize> {
+    fn pick_idx(&mut self, _sys: &TaskSystem, ready: &ReadySet<'_>) -> Option<usize> {
         if ready.is_empty() || self.flows.is_empty() {
             return None;
         }
@@ -177,6 +177,7 @@ impl SimScheduler for IwrrSim {
 mod tests {
     use super::*;
     use crate::config::SpnpAvailability;
+    use crate::policy::{ReadyInstance, ReadySet};
     use rta_model::{ArrivalPattern, SystemBuilder};
 
     fn two_flow_sys(w1: u32, w2: u32) -> (TaskSystem, ProcessorId) {
@@ -342,18 +343,19 @@ mod tests {
         };
         // Both flows deeply backlogged: a full round serves f1, f2 (cycle
         // 1), then f1 again (cycle 2, f2's weight exhausted), repeating.
-        let ready = vec![mk(f1, 0), mk(f1, 1), mk(f1, 2), mk(f2, 3), mk(f2, 4)];
+        let views = vec![mk(f1, 0), mk(f1, 1), mk(f1, 2), mk(f2, 3), mk(f2, 4)];
+        let ready = ReadySet::new(&views);
         let order: Vec<SubjobRef> = (0..3)
             .map(|_| {
-                let i = sched.pick(&sys, &ready).unwrap();
+                let i = sched.pick_idx(&sys, &ready).unwrap();
                 ready[i].subjob
             })
             .collect();
         assert_eq!(order, vec![f1, f2, f1]);
         // Next round starts over at cycle 1.
-        let i = sched.pick(&sys, &ready).unwrap();
+        let i = sched.pick_idx(&sys, &ready).unwrap();
         assert_eq!(ready[i].subjob, f1);
-        let i = sched.pick(&sys, &ready).unwrap();
+        let i = sched.pick_idx(&sys, &ready).unwrap();
         assert_eq!(ready[i].subjob, f2);
     }
 
@@ -366,13 +368,14 @@ mod tests {
             index: 0,
         };
         // Only flow 2 backlogged: every pick must serve it immediately.
-        let ready = vec![ReadyInstance {
+        let views = vec![ReadyInstance {
             subjob: f2,
             hop_release: Time(5),
             seq: 9,
         }];
+        let ready = ReadySet::new(&views);
         for _ in 0..4 {
-            assert_eq!(sched.pick(&sys, &ready), Some(0));
+            assert_eq!(sched.pick_idx(&sys, &ready), Some(0));
         }
     }
 }

@@ -270,20 +270,61 @@ pub struct ReadyInstance {
     pub seq: u64,
 }
 
+/// One processor's ready queue as the event engine presents it for a
+/// scheduling decision: a borrowed view over the engine's per-processor
+/// scratch buffer, rebuilt in place before each decision. Wrapping the
+/// slice (rather than passing it raw) keeps the trait contract explicit —
+/// the views are valid only for the duration of one `pick_idx`/`preempts`
+/// call, and no policy may retain or allocate copies of them.
+#[derive(Copy, Clone, Debug)]
+pub struct ReadySet<'a> {
+    items: &'a [ReadyInstance],
+}
+
+impl<'a> ReadySet<'a> {
+    /// Wrap the engine's scratch buffer for one decision.
+    pub fn new(items: &'a [ReadyInstance]) -> ReadySet<'a> {
+        ReadySet { items }
+    }
+
+    /// Number of ready instances.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the ready queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterate the ready instances in queue order.
+    pub fn iter(&self) -> std::slice::Iter<'a, ReadyInstance> {
+        self.items.iter()
+    }
+
+    /// The underlying slice, in queue order.
+    pub fn as_slice(&self) -> &'a [ReadyInstance] {
+        self.items
+    }
+}
+
+impl std::ops::Index<usize> for ReadySet<'_> {
+    type Output = ReadyInstance;
+    fn index(&self, i: usize) -> &ReadyInstance {
+        &self.items[i]
+    }
+}
+
 /// The dispatch side of a policy: which ready instance runs next, and
 /// whether an arrival preempts the running one. Stateful schedulers (IWRR's
-/// round cursor) advance on each successful `pick`.
+/// round cursor) advance on each successful `pick_idx`. Both hooks operate
+/// on a borrowed [`ReadySet`] so a decision never allocates.
 pub trait SimScheduler: Send {
     /// Index into `ready` of the instance to dispatch, `None` when empty.
-    fn pick(&mut self, sys: &TaskSystem, ready: &[ReadyInstance]) -> Option<usize>;
+    fn pick_idx(&mut self, sys: &TaskSystem, ready: &ReadySet<'_>) -> Option<usize>;
 
     /// Whether any instance in `ready` preempts `running`.
-    fn preempts(
-        &self,
-        _sys: &TaskSystem,
-        _running: &ReadyInstance,
-        _ready: &[ReadyInstance],
-    ) -> bool {
+    fn preempts(&self, _sys: &TaskSystem, _running: &ReadyInstance, _ready: &ReadySet<'_>) -> bool {
         false
     }
 }

@@ -5,7 +5,7 @@
 //! degenerate to Theorem 3 with bounded inputs — see the [`crate::spnp`]
 //! module docs).
 
-use super::{BoundsInputs, PeerInputs, ReadyInstance, ServicePolicy, SimScheduler};
+use super::{BoundsInputs, PeerInputs, ReadyInstance, ReadySet, ServicePolicy, SimScheduler};
 use crate::error::AnalysisError;
 use crate::spnp::{spnp_bounds, spnp_bounds_into, ServiceBounds};
 use rta_curves::{Curve, Scratch};
@@ -80,14 +80,14 @@ fn phi(sys: &TaskSystem, inst: &ReadyInstance) -> i64 {
 }
 
 impl SimScheduler for PrioritySim {
-    fn pick(&mut self, sys: &TaskSystem, ready: &[ReadyInstance]) -> Option<usize> {
+    fn pick_idx(&mut self, sys: &TaskSystem, ready: &ReadySet<'_>) -> Option<usize> {
         (0..ready.len()).min_by_key(|&i| {
             let inst = &ready[i];
             (phi(sys, inst), inst.hop_release.ticks(), inst.seq)
         })
     }
 
-    fn preempts(&self, sys: &TaskSystem, running: &ReadyInstance, ready: &[ReadyInstance]) -> bool {
+    fn preempts(&self, sys: &TaskSystem, running: &ReadyInstance, ready: &ReadySet<'_>) -> bool {
         if !self.preemptive {
             return false;
         }

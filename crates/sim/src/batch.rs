@@ -1,0 +1,259 @@
+//! Monte-Carlo replication of job-shop arrival draws.
+//!
+//! Replicates a [`ShopConfig`] across many independent draws of the Eq. 26
+//! workload generator, simulating each draw and (optionally) analyzing it,
+//! to produce per-job empirical response-time distributions and the
+//! observed-vs-analytic tightness gap — the measurement instrument behind
+//! the EXPERIMENTS.md bound-tightness studies.
+//!
+//! Draws are distributed over the `rta-core` worker pool via
+//! [`pool_map_stateful`]; each worker owns a ([`ShopSampler`],
+//! [`SimEngine`], [`SimResult`]) workspace, so the per-draw cost is the
+//! event loop itself, not setup allocations. Draw `i` is generated from
+//! `StdRng::seed_from_u64(base_seed + i)` — the result depends only on the
+//! draw index, never on which thread ran it or how many threads exist, and
+//! `tests/determinism.rs` pins that bit for bit.
+
+use crate::engine::{SimConfig, SimEngine};
+use crate::result::SimResult;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rta_core::par::pool_map_stateful;
+use rta_core::{analyze_bounds, AnalysisConfig};
+use rta_curves::Time;
+use rta_model::jobshop::{ShopConfig, ShopSampler};
+use rta_model::priority::{assign_priorities, PriorityPolicy};
+use rta_model::JobId;
+
+/// Replication parameters.
+#[derive(Clone, Debug)]
+pub struct BatchConfig {
+    /// Number of independent workload draws.
+    pub draws: usize,
+    /// Draw `i` uses seed `base_seed + i`.
+    pub base_seed: u64,
+}
+
+/// Empirical statistics of one job across all draws.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct JobStats {
+    /// Observed end-to-end response times of every completed instance in
+    /// every draw, sorted ascending.
+    pub samples: Vec<Time>,
+    /// Instances released but not completed by the horizon.
+    pub incomplete: usize,
+    /// Completed instances whose response exceeded the analytic bound
+    /// (only counted when bounds were computed and available).
+    pub violations: usize,
+    /// Instances measured against a bound.
+    pub bounded_samples: usize,
+    /// `Σ response/bound` over `bounded_samples` (0 when none) — divide to
+    /// get the mean tightness ratio.
+    pub ratio_sum: f64,
+    /// Worst observed `response/bound` (0 when no bounded samples).
+    pub worst_ratio: f64,
+}
+
+impl JobStats {
+    /// The `q`-quantile (0 ≤ q ≤ 1, nearest-rank) of the response samples.
+    pub fn quantile(&self, q: f64) -> Option<Time> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
+        Some(self.samples[rank - 1])
+    }
+
+    /// Mean observed/bound tightness ratio, if any instance had a bound.
+    pub fn mean_ratio(&self) -> Option<f64> {
+        (self.bounded_samples > 0).then(|| self.ratio_sum / self.bounded_samples as f64)
+    }
+}
+
+/// Outcome of one replication run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchReport {
+    /// Draws simulated.
+    pub draws: usize,
+    /// Draws where the analytic bounds could not be computed (bounds mode
+    /// only; their instances still contribute response samples).
+    pub analysis_failures: usize,
+    /// Per-job statistics, indexed by [`JobId`].
+    pub jobs: Vec<JobStats>,
+}
+
+/// One draw's contribution, in draw-index order.
+struct DrawOutcome {
+    /// Per job: (responses, incomplete, bound).
+    per_job: Vec<(Vec<Time>, usize, Option<Time>)>,
+    analysis_failed: bool,
+}
+
+/// Simulate `cfg.draws` independent draws of `shop`, collecting empirical
+/// response-time distributions only (no analysis — the fast path the
+/// throughput row tracks).
+pub fn replicate(shop: &ShopConfig, cfg: &BatchConfig) -> BatchReport {
+    run(shop, cfg, false)
+}
+
+/// Like [`replicate`], but also run the Theorem-4 bounds analysis on every
+/// draw and measure the observed-vs-analytic tightness gap per job.
+pub fn replicate_with_bounds(shop: &ShopConfig, cfg: &BatchConfig) -> BatchReport {
+    run(shop, cfg, true)
+}
+
+fn run(shop: &ShopConfig, cfg: &BatchConfig, with_bounds: bool) -> BatchReport {
+    let n_jobs = shop.n_jobs;
+    let shop = shop.clone();
+    let base_seed = cfg.base_seed;
+    let outcomes: Vec<DrawOutcome> = pool_map_stateful(
+        cfg.draws,
+        move || {
+            (
+                ShopSampler::new(shop.clone()).expect("valid shop shape"),
+                SimEngine::new(),
+                SimResult::default(),
+            )
+        },
+        move |(sampler, engine, result), i| {
+            let mut rng = StdRng::seed_from_u64(base_seed + i as u64);
+            let sys = sampler.sample(&mut rng).expect("valid draw");
+            if sys
+                .processors()
+                .iter()
+                .any(|p| p.scheduler.uses_priorities())
+            {
+                assign_priorities(sys, PriorityPolicy::RelativeDeadlineMonotonic)
+                    .expect("priority assignment");
+            }
+            let acfg = AnalysisConfig::default();
+            let (window, horizon) = acfg.resolve(sys);
+            let bounds = if with_bounds {
+                Some(analyze_bounds(sys, &acfg))
+            } else {
+                None
+            };
+            engine.simulate_into(sys, &SimConfig { window, horizon }, result);
+
+            let analysis_failed = matches!(bounds, Some(Err(_)));
+            let per_job = (0..sys.jobs().len())
+                .map(|k| {
+                    let job = JobId(k);
+                    let mut responses = Vec::new();
+                    let mut incomplete = 0usize;
+                    for m in 1..=result.instances(job) {
+                        match result.response(job, m) {
+                            Some(r) => responses.push(r),
+                            None => incomplete += 1,
+                        }
+                    }
+                    let bound = bounds
+                        .as_ref()
+                        .and_then(|b| b.as_ref().ok())
+                        .and_then(|rep| rep.jobs[k].e2e_bound);
+                    (responses, incomplete, bound)
+                })
+                .collect();
+            DrawOutcome {
+                per_job,
+                analysis_failed,
+            }
+        },
+    );
+
+    let mut jobs = vec![JobStats::default(); n_jobs];
+    let mut analysis_failures = 0usize;
+    for outcome in &outcomes {
+        if outcome.analysis_failed {
+            analysis_failures += 1;
+        }
+        for (k, (responses, incomplete, bound)) in outcome.per_job.iter().enumerate() {
+            let stats = &mut jobs[k];
+            stats.incomplete += incomplete;
+            for &r in responses {
+                stats.samples.push(r);
+                if let Some(b) = bound {
+                    let ratio = r.ticks() as f64 / b.ticks().max(1) as f64;
+                    stats.bounded_samples += 1;
+                    stats.ratio_sum += ratio;
+                    if ratio > stats.worst_ratio {
+                        stats.worst_ratio = ratio;
+                    }
+                    if r > *b {
+                        stats.violations += 1;
+                    }
+                }
+            }
+        }
+    }
+    for stats in &mut jobs {
+        stats.samples.sort_unstable();
+    }
+    BatchReport {
+        draws: cfg.draws,
+        analysis_failures,
+        jobs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rta_model::distributions::Dist;
+    use rta_model::jobshop::ShopArrivals;
+    use rta_model::SchedulerKind;
+
+    fn small_shop() -> ShopConfig {
+        ShopConfig {
+            stages: 2,
+            procs_per_stage: 2,
+            n_jobs: 4,
+            scheduler: SchedulerKind::Spp,
+            utilization: 0.5,
+            arrivals: ShopArrivals::Bursty {
+                deadline: Dist::Exponential { mean: 6.0 },
+            },
+            x_min: 0.25,
+            ticks_per_unit: 100,
+        }
+    }
+
+    #[test]
+    fn collects_samples_per_job() {
+        let report = replicate(
+            &small_shop(),
+            &BatchConfig {
+                draws: 10,
+                base_seed: 42,
+            },
+        );
+        assert_eq!(report.draws, 10);
+        assert_eq!(report.jobs.len(), 4);
+        assert_eq!(report.analysis_failures, 0);
+        for stats in &report.jobs {
+            assert!(!stats.samples.is_empty());
+            assert!(stats.samples.windows(2).all(|w| w[0] <= w[1]), "sorted");
+            assert_eq!(stats.bounded_samples, 0, "no bounds requested");
+            assert_eq!(stats.quantile(1.0), stats.samples.last().copied());
+        }
+    }
+
+    #[test]
+    fn bounds_mode_measures_tightness() {
+        let report = replicate_with_bounds(
+            &small_shop(),
+            &BatchConfig {
+                draws: 5,
+                base_seed: 7,
+            },
+        );
+        for stats in &report.jobs {
+            assert!(stats.bounded_samples > 0, "bounds computed");
+            let mean = stats.mean_ratio().unwrap();
+            assert!(mean > 0.0 && mean <= stats.worst_ratio.max(1.0) + 1e-9);
+            // SPP bounds are sound: no observed response may exceed them.
+            assert_eq!(stats.violations, 0);
+            assert!(stats.worst_ratio <= 1.0 + 1e-9);
+        }
+    }
+}

@@ -1,11 +1,25 @@
-//! The event-driven simulation engine.
+//! The indexed discrete-event engine.
+//!
+//! Instances live in a flat [`InstanceArena`]; the [`Calendar`] schedule
+//! carries typed [`Event`]s holding ids and processor indices only. One
+//! `pop_min` loop replaces the retired three-phase timestep: the phase
+//! ranks baked into the event keys (see [`crate::schedule`]) make pure
+//! pop order reproduce it exactly, which `tests/oracle.rs` pins against
+//! the retired loop (kept as [`crate::legacy`]) event for event.
+//!
+//! Processors whose state did not change at an instant are never visited —
+//! the retired loop re-examined every processor at every event time, but a
+//! processor with no completion and no arrival either keeps running
+//! (nothing new to preempt it: its ready set is unchanged) or is idle with
+//! an empty ready queue (dispatch never leaves work queued on an idle
+//! processor), so skipping it cannot change the schedule.
 
+use crate::arena::{InstanceArena, InstanceId, InstanceState};
 use crate::result::SimResult;
-use rta_core::policy::{policy_for, ReadyInstance, SimScheduler};
+use crate::schedule::{ord_check, ord_complete, ord_release, Calendar, Event};
+use rta_core::policy::{policy_for, ReadyInstance, ReadySet, SimScheduler};
 use rta_curves::Time;
-use rta_model::{JobId, ProcessorId, SubjobRef, TaskSystem};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use rta_model::{JobId, ProcessorId, TaskSystem};
 
 /// Simulation parameters.
 #[derive(Clone, Debug)]
@@ -33,216 +47,256 @@ impl SimConfig {
     }
 }
 
-/// A live instance working through its chain.
-#[derive(Clone, Debug)]
-struct Instance {
-    job: JobId,
-    m: usize, // 1-based instance index
-    hop: usize,
-    remaining: Time,
-    hop_release: Time,
-    seq: u64, // global release sequence for deterministic tie-breaks
+/// Per-processor run state. Discipline logic lives behind
+/// [`SimScheduler`]; the engine owns the queues.
+struct ProcState {
+    scheduler: Box<dyn SimScheduler>,
+    /// Ready instances, by arena id. Order is insertion order; policies
+    /// select by index through the views buffer.
+    ready: Vec<InstanceId>,
+    /// Policy-facing views of `ready`, rebuilt in place per decision.
+    views: Vec<ReadyInstance>,
+    running: Option<(InstanceId, Time)>, // (instance, dispatched at)
+    /// Dispatch generation: bumped on every dispatch and preemption, so a
+    /// pending [`Event::HopComplete`] from an unseated dispatch is
+    /// recognized as stale when it pops.
+    run_gen: u32,
+    /// Whether a [`Event::PreemptCheck`] is already scheduled for this
+    /// processor at the instant being drained.
+    check_pending: bool,
 }
 
-/// The policy-facing view of an [`Instance`].
-fn view(inst: &Instance) -> ReadyInstance {
+/// Rebuild the policy-facing views of `ready` in the scratch buffer.
+fn fill_views(views: &mut Vec<ReadyInstance>, ready: &[InstanceId], arena: &InstanceArena) {
+    views.clear();
+    views.extend(ready.iter().map(|&id| view(&arena[id])));
+}
+
+/// The policy-facing view of one instance.
+fn view(inst: &InstanceState) -> ReadyInstance {
     ReadyInstance {
-        subjob: SubjobRef {
-            job: inst.job,
-            index: inst.hop,
-        },
+        subjob: inst.subjob(),
         hop_release: inst.hop_release,
         seq: inst.seq,
     }
 }
 
-/// Per-processor run state: the policy's dispatcher plus the queues. All
-/// discipline-specific logic lives behind [`SimScheduler`], obtained from
-/// the processor's [`rta_core::policy::ServicePolicy`].
-struct Proc {
-    scheduler: Box<dyn SimScheduler>,
-    ready: Vec<Instance>,
-    running: Option<(Instance, Time)>, // (instance, started_at)
-    /// Policy-facing views of `ready`, rebuilt in place per decision —
-    /// reusing one buffer keeps the scheduling hot path allocation-free.
-    views: Vec<ReadyInstance>,
+/// A reusable simulation workspace: the arena, the calendar and the
+/// per-processor queues survive across runs, so a Monte-Carlo driver pays
+/// the allocations once per thread, not once per draw.
+#[derive(Default)]
+pub struct SimEngine {
+    cal: Calendar,
+    arena: InstanceArena,
+    procs: Vec<ProcState>,
 }
 
-impl Proc {
-    fn fill_views(&mut self) {
-        self.views.clear();
-        self.views.extend(self.ready.iter().map(view));
+impl SimEngine {
+    /// A fresh workspace.
+    pub fn new() -> SimEngine {
+        SimEngine::default()
     }
 
-    /// Pick the index of the next ready instance per policy.
-    fn pick(&mut self, sys: &TaskSystem) -> Option<usize> {
-        if self.ready.is_empty() {
-            return None;
-        }
-        self.fill_views();
-        self.scheduler.pick(sys, &self.views)
-    }
+    /// Run one simulation, writing the outcome into `out` (whose buffers
+    /// are recycled). Equivalent to [`simulate`] but allocation-amortized
+    /// across repeated runs.
+    pub fn simulate_into(&mut self, sys: &TaskSystem, cfg: &SimConfig, out: &mut SimResult) {
+        sys.validate(true).expect("system must be valid");
 
-    /// Would any ready instance preempt the running one?
-    fn preempts(&mut self, sys: &TaskSystem, running: &Instance) -> bool {
-        if self.ready.is_empty() {
-            return false;
-        }
-        self.fill_views();
-        self.scheduler.preempts(sys, &view(running), &self.views)
-    }
-}
-
-/// Run the simulation.
-pub fn simulate(sys: &TaskSystem, cfg: &SimConfig) -> SimResult {
-    sys.validate(true).expect("system must be valid");
-    let njobs = sys.jobs().len();
-
-    // Primary releases.
-    let mut releases: Vec<Vec<Time>> = Vec::with_capacity(njobs);
-    let mut heap: BinaryHeap<Reverse<(Time, u64)>> = BinaryHeap::new();
-    let mut pending: HashMap<u64, Instance> = HashMap::new();
-    let mut seq: u64 = 0;
-    for (k, job) in sys.jobs().iter().enumerate() {
-        let times = job.arrival.release_times(cfg.window);
-        for (i, &t) in times.iter().enumerate() {
-            let inst = Instance {
-                job: JobId(k),
-                m: i + 1,
-                hop: 0,
-                remaining: job.subjobs[0].exec,
-                hop_release: t,
-                seq,
-            };
-            heap.push(Reverse((t, seq)));
-            pending.insert(seq, inst);
-            seq += 1;
-        }
-        releases.push(times);
-    }
-
-    let mut hop_completions: Vec<Vec<Vec<Option<Time>>>> = sys
-        .jobs()
-        .iter()
-        .enumerate()
-        .map(|(k, job)| vec![vec![None; job.subjobs.len()]; releases[k].len()])
-        .collect();
-    let mut service_intervals: HashMap<SubjobRef, Vec<(Time, Time)>> = HashMap::new();
-
-    let mut procs: Vec<Proc> = sys
-        .processors()
-        .iter()
-        .enumerate()
-        .map(|(i, p)| Proc {
-            scheduler: policy_for(p.scheduler).sim_scheduler(sys, ProcessorId(i)),
-            ready: Vec::new(),
-            running: None,
-            views: Vec::new(),
-        })
-        .collect();
-
-    let mut record_interval = |r: SubjobRef, from: Time, to: Time| {
-        if from < to {
-            service_intervals.entry(r).or_default().push((from, to));
-        }
-    };
-
-    loop {
-        // Next event time: earliest pending release or earliest completion.
-        let next_release = heap.peek().map(|Reverse((t, _))| *t);
-        let next_completion = procs
-            .iter()
-            .filter_map(|p| p.running.as_ref().map(|(inst, at)| *at + inst.remaining))
-            .min();
-        let t = match (next_release, next_completion) {
-            (Some(a), Some(b)) => a.min(b),
-            (Some(a), None) => a,
-            (None, Some(b)) => b,
-            (None, None) => break,
-        };
-        if t > cfg.horizon {
-            break;
+        self.arena.clear();
+        out.releases.clear();
+        out.hop_completions.clear();
+        out.horizon = cfg.horizon;
+        #[cfg(feature = "trace")]
+        {
+            out.service_intervals.clear();
+            out.hop_records.clear();
         }
 
-        // 1. Completions at t.
-        for (pidx, p) in procs.iter_mut().enumerate() {
-            let done = matches!(&p.running, Some((inst, at)) if *at + inst.remaining == t);
-            if !done {
-                continue;
-            }
-            let (mut inst, at) = p.running.take().expect("checked");
-            let r = SubjobRef {
-                job: inst.job,
-                index: inst.hop,
-            };
-            debug_assert_eq!(sys.subjob(r).processor.0, pidx);
-            record_interval(r, at, t);
-            hop_completions[inst.job.0][inst.m - 1][inst.hop] = Some(t);
-            let job = sys.job(inst.job);
-            if inst.hop + 1 < job.subjobs.len() {
-                // Direct synchronization: release the next hop immediately.
-                inst.hop += 1;
-                inst.remaining = job.subjobs[inst.hop].exec;
-                inst.hop_release = t;
-                inst.seq = seq;
-                heap.push(Reverse((t, seq)));
-                pending.insert(seq, inst);
+        // Primary releases in job-then-instance order: `seq` order is the
+        // deterministic tie-break every policy bottoms out in.
+        let mut expected_events = 0usize;
+        for job in sys.jobs() {
+            let times = job.arrival.release_times(cfg.window);
+            expected_events += times.len() * job.subjobs.len();
+            out.hop_completions
+                .push(vec![vec![None; job.subjobs.len()]; times.len()]);
+            out.releases.push(times);
+        }
+        self.cal.reset(cfg.horizon, expected_events);
+        let mut seq: u64 = 0;
+        for (k, times) in out.releases.iter().enumerate() {
+            let job = &sys.jobs()[k];
+            for (i, &t) in times.iter().enumerate() {
+                let id = self.arena.push(InstanceState {
+                    job: JobId(k),
+                    m: (i + 1) as u32,
+                    hop: 0,
+                    remaining: job.subjobs[0].exec,
+                    hop_release: t,
+                    seq,
+                    #[cfg(feature = "trace")]
+                    started: Time(-1),
+                });
+                self.cal.push(t, ord_release(seq), Event::Release(id));
                 seq += 1;
             }
         }
 
-        // 2. Releases at t.
-        while matches!(heap.peek(), Some(Reverse((rt, _))) if *rt == t) {
-            let Reverse((_, s)) = heap.pop().expect("peeked");
-            let inst = pending.remove(&s).expect("pending");
-            let r = SubjobRef {
-                job: inst.job,
-                index: inst.hop,
-            };
-            let pidx = sys.subjob(r).processor.0;
-            procs[pidx].ready.push(inst);
+        // Fresh schedulers (stateful cursors must restart), recycled queues.
+        self.procs.truncate(sys.processors().len());
+        for (i, p) in self.procs.iter_mut().enumerate() {
+            p.scheduler =
+                policy_for(sys.processors()[i].scheduler).sim_scheduler(sys, ProcessorId(i));
+            p.ready.clear();
+            p.views.clear();
+            p.running = None;
+            p.run_gen = 0;
+            p.check_pending = false;
+        }
+        for i in self.procs.len()..sys.processors().len() {
+            self.procs.push(ProcState {
+                scheduler: policy_for(sys.processors()[i].scheduler)
+                    .sim_scheduler(sys, ProcessorId(i)),
+                ready: Vec::new(),
+                views: Vec::new(),
+                running: None,
+                run_gen: 0,
+                check_pending: false,
+            });
         }
 
-        // 3. Re-dispatch.
-        for p in procs.iter_mut() {
-            // Preemption (SPP only).
-            if let Some((inst, at)) = p.running.take() {
-                if p.preempts(sys, &inst) {
-                    let r = SubjobRef {
-                        job: inst.job,
-                        index: inst.hop,
-                    };
-                    record_interval(r, at, t);
-                    let mut inst = inst;
-                    inst.remaining -= t - at;
-                    debug_assert!(inst.remaining > Time::ZERO);
-                    p.ready.push(inst);
-                } else {
-                    p.running = Some((inst, at));
-                }
+        let SimEngine { cal, arena, procs } = self;
+        while let Some((t, ev)) = cal.pop_min() {
+            if t > cfg.horizon {
+                break;
             }
-            if p.running.is_none() {
-                if let Some(i) = p.pick(sys) {
-                    let inst = p.ready.swap_remove(i);
-                    p.running = Some((inst, t));
+            match ev {
+                Event::HopComplete { proc, gen } => {
+                    let p = &mut procs[proc as usize];
+                    if p.run_gen != gen {
+                        continue; // unseated by a preemption: stale
+                    }
+                    let (id, _at) = p.running.take().expect("generation matched");
+                    let inst = &arena[id];
+                    debug_assert_eq!(_at + inst.remaining, t);
+                    debug_assert_eq!(sys.subjob(inst.subjob()).processor.0, proc as usize);
+                    #[cfg(feature = "trace")]
+                    {
+                        if _at < t {
+                            out.service_intervals
+                                .entry(inst.subjob())
+                                .or_default()
+                                .push((_at, t));
+                        }
+                        out.hop_records.push(crate::result::HopRecord {
+                            job: inst.job,
+                            m: inst.m,
+                            hop: inst.hop,
+                            release: inst.hop_release,
+                            start: inst.started,
+                            finish: t,
+                        });
+                    }
+                    out.hop_completions[inst.job.0][inst.m as usize - 1][inst.hop as usize] =
+                        Some(t);
+                    let job = sys.job(inst.job);
+                    if (inst.hop as usize) + 1 < job.subjobs.len() {
+                        // Direct Synchronization: the next hop releases at
+                        // this very instant; its Release event sorts after
+                        // the remaining completions of this instant.
+                        let inst = &mut arena[id];
+                        inst.hop += 1;
+                        inst.remaining = job.subjobs[inst.hop as usize].exec;
+                        inst.hop_release = t;
+                        inst.seq = seq;
+                        #[cfg(feature = "trace")]
+                        {
+                            inst.started = Time(-1);
+                        }
+                        cal.push(t, ord_release(seq), Event::Release(id));
+                        seq += 1;
+                    }
+                    let p = &mut procs[proc as usize];
+                    if !p.check_pending {
+                        p.check_pending = true;
+                        cal.push(t, ord_check(proc), Event::PreemptCheck { proc });
+                    }
+                }
+                Event::Release(id) => {
+                    let pidx = sys.subjob(arena[id].subjob()).processor.0;
+                    let p = &mut procs[pidx];
+                    p.ready.push(id);
+                    if !p.check_pending {
+                        p.check_pending = true;
+                        let proc = pidx as u32;
+                        cal.push(t, ord_check(proc), Event::PreemptCheck { proc });
+                    }
+                }
+                Event::PreemptCheck { proc } => {
+                    let p = &mut procs[proc as usize];
+                    p.check_pending = false;
+                    if let Some((id, at)) = p.running {
+                        if !p.ready.is_empty() {
+                            fill_views(&mut p.views, &p.ready, arena);
+                            let running_view = view(&arena[id]);
+                            if p.scheduler
+                                .preempts(sys, &running_view, &ReadySet::new(&p.views))
+                            {
+                                #[cfg(feature = "trace")]
+                                if at < t {
+                                    out.service_intervals
+                                        .entry(arena[id].subjob())
+                                        .or_default()
+                                        .push((at, t));
+                                }
+                                let inst = &mut arena[id];
+                                inst.remaining -= t - at;
+                                debug_assert!(inst.remaining > Time::ZERO);
+                                p.ready.push(id);
+                                p.running = None;
+                                p.run_gen = p.run_gen.wrapping_add(1);
+                            }
+                        }
+                    }
+                    if p.running.is_none() && !p.ready.is_empty() {
+                        fill_views(&mut p.views, &p.ready, arena);
+                        if let Some(i) = p.scheduler.pick_idx(sys, &ReadySet::new(&p.views)) {
+                            let id = p.ready.swap_remove(i);
+                            p.running = Some((id, t));
+                            p.run_gen = p.run_gen.wrapping_add(1);
+                            #[cfg(feature = "trace")]
+                            if arena[id].started < Time::ZERO {
+                                arena[id].started = t;
+                            }
+                            cal.push(
+                                t + arena[id].remaining,
+                                ord_complete(proc),
+                                Event::HopComplete {
+                                    proc,
+                                    gen: p.run_gen,
+                                },
+                            );
+                        }
+                    }
                 }
             }
         }
     }
+}
 
-    SimResult {
-        releases,
-        hop_completions,
-        service_intervals,
-        horizon: cfg.horizon,
-    }
+/// Run one simulation in a fresh workspace.
+pub fn simulate(sys: &TaskSystem, cfg: &SimConfig) -> SimResult {
+    let mut out = SimResult::default();
+    SimEngine::new().simulate_into(sys, cfg, &mut out);
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use rta_model::priority::{assign_priorities, PriorityPolicy};
-    use rta_model::{ArrivalPattern, SchedulerKind, SystemBuilder};
+    use rta_model::{ArrivalPattern, SchedulerKind, SubjobRef, SystemBuilder};
 
     fn periodic(p: i64) -> ArrivalPattern {
         ArrivalPattern::Periodic {
@@ -300,12 +354,15 @@ mod tests {
         // T2: 6 exec + 4 preemption = completes at 10.
         assert_eq!(r.completion(JobId(1), 1), Some(Time(10)));
         // Observed service of T2 has a hole during preemptions.
-        let s = r.observed_service(SubjobRef { job: t2, index: 0 });
-        assert_eq!(s.eval(Time(2)), 2);
-        assert_eq!(s.eval(Time(4)), 2);
-        assert_eq!(s.eval(Time(5)), 3);
-        assert_eq!(s.eval(Time(7)), 3);
-        assert_eq!(s.eval(Time(10)), 6);
+        #[cfg(feature = "trace")]
+        {
+            let s = r.observed_service(SubjobRef { job: t2, index: 0 });
+            assert_eq!(s.eval(Time(2)), 2);
+            assert_eq!(s.eval(Time(4)), 2);
+            assert_eq!(s.eval(Time(5)), 3);
+            assert_eq!(s.eval(Time(7)), 3);
+            assert_eq!(s.eval(Time(10)), 6);
+        }
     }
 
     #[test]
@@ -480,6 +537,7 @@ mod tests {
         assert_eq!(r.completion(JobId(1), 1), Some(Time(6)));
     }
 
+    #[cfg(feature = "trace")]
     #[test]
     fn observed_utilization_aggregates_processor_busy_time() {
         let mut b = SystemBuilder::new();
@@ -533,5 +591,38 @@ mod tests {
         let r = simulate(&sys, &cfg(50, 100));
         assert_eq!(r.completion(JobId(1), 1), Some(Time(4)));
         assert_eq!(r.completion(JobId(0), 1), Some(Time(6)));
+    }
+
+    #[test]
+    fn workspace_reuse_is_equivalent_to_fresh_runs() {
+        // One engine, two different systems back to back: results must
+        // match fresh single-run engines (workspace recycling is benign).
+        let mut b = SystemBuilder::new();
+        let p = b.add_processor("P1", SchedulerKind::Fcfs);
+        b.add_job("T1", Time(100), periodic(7), vec![(p, Time(3))]);
+        let sys_a = b.build().unwrap();
+
+        let mut b = SystemBuilder::new();
+        let p1 = b.add_processor("P1", SchedulerKind::Spp);
+        let p2 = b.add_processor("P2", SchedulerKind::Spp);
+        let t = b.add_job(
+            "T1",
+            Time(100),
+            periodic(10),
+            vec![(p1, Time(2)), (p2, Time(5))],
+        );
+        b.set_priority(SubjobRef { job: t, index: 0 }, 1);
+        b.set_priority(SubjobRef { job: t, index: 1 }, 1);
+        let sys_b = b.build().unwrap();
+
+        let c = cfg(40, 200);
+        let mut engine = SimEngine::new();
+        let mut out = SimResult::default();
+        engine.simulate_into(&sys_a, &c, &mut out);
+        assert_eq!(out, simulate(&sys_a, &c));
+        engine.simulate_into(&sys_b, &c, &mut out);
+        assert_eq!(out, simulate(&sys_b, &c));
+        engine.simulate_into(&sys_a, &c, &mut out);
+        assert_eq!(out, simulate(&sys_a, &c));
     }
 }

@@ -1,11 +1,42 @@
 //! Simulation results and observed-curve reconstruction.
+//!
+//! The hot path records completion times only. Service intervals and
+//! per-hop trace records — everything needed to *reconstruct observed
+//! curves* rather than check response times — sit behind the `trace`
+//! feature so throughput runs pay nothing for them.
 
-use rta_curves::{Curve, Segment, Time};
-use rta_model::{JobId, SubjobRef};
+use rta_curves::Time;
+use rta_model::JobId;
+
+#[cfg(feature = "trace")]
+use rta_curves::{Curve, Segment};
+#[cfg(feature = "trace")]
+use rta_model::SubjobRef;
+#[cfg(feature = "trace")]
 use std::collections::HashMap;
 
+/// One completed hop of one instance (`trace` feature): when it was
+/// released at the hop, when it first got the processor, and when it
+/// finished. Records appear in completion order.
+#[cfg(feature = "trace")]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct HopRecord {
+    /// The job the instance belongs to.
+    pub job: JobId,
+    /// 1-based instance index.
+    pub m: u32,
+    /// 0-based hop (subjob index).
+    pub hop: u32,
+    /// Release time at this hop.
+    pub release: Time,
+    /// First dispatch time at this hop.
+    pub start: Time,
+    /// Completion time of this hop.
+    pub finish: Time,
+}
+
 /// Outcome of one simulation run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SimResult {
     /// Release time of each analyzed instance, per job: `releases[k][m-1]`.
     pub releases: Vec<Vec<Time>>,
@@ -13,9 +44,29 @@ pub struct SimResult {
     /// the hop did not complete before the simulation horizon.
     pub hop_completions: Vec<Vec<Vec<Option<Time>>>>,
     /// Serving intervals `(from, to)` per subjob, in time order.
+    #[cfg(feature = "trace")]
     pub service_intervals: HashMap<SubjobRef, Vec<(Time, Time)>>,
+    /// Per-hop release/start/finish records, in completion order.
+    #[cfg(feature = "trace")]
+    pub hop_records: Vec<HopRecord>,
     /// The simulation horizon that was used.
     pub horizon: Time,
+}
+
+impl Default for SimResult {
+    /// An empty result, ready to be filled by
+    /// [`crate::SimEngine::simulate_into`].
+    fn default() -> SimResult {
+        SimResult {
+            releases: Vec::new(),
+            hop_completions: Vec::new(),
+            #[cfg(feature = "trace")]
+            service_intervals: HashMap::new(),
+            #[cfg(feature = "trace")]
+            hop_records: Vec::new(),
+            horizon: Time::ZERO,
+        }
+    }
 }
 
 impl SimResult {
@@ -48,6 +99,7 @@ impl SimResult {
 
     /// Reconstruct the observed service function of a subjob from its
     /// serving intervals: slope 1 while serving, flat elsewhere.
+    #[cfg(feature = "trace")]
     pub fn observed_service(&self, r: SubjobRef) -> Curve {
         let mut segs: Vec<Segment> = Vec::new();
         let mut acc: i64 = 0;
@@ -82,6 +134,7 @@ impl SimResult {
     /// For any work-conserving scheduler this must equal the Theorem 7
     /// utilization function computed from the exact aggregate workload —
     /// an invariant checked by the integration tests.
+    #[cfg(feature = "trace")]
     pub fn observed_utilization(
         &self,
         sys: &rta_model::TaskSystem,
@@ -117,14 +170,15 @@ impl SimResult {
         Curve::from_segments(segs)
     }
 
-    /// Observed departure (completion-count) curve of a subjob.
-    pub fn observed_departures(&self, r: SubjobRef) -> Curve {
+    /// Observed departure (completion-count) curve of a subjob — available
+    /// without the `trace` feature: it needs completion times only.
+    pub fn observed_departures(&self, r: rta_model::SubjobRef) -> rta_curves::Curve {
         let mut times: Vec<Time> = self.hop_completions[r.job.0]
             .iter()
             .filter_map(|inst| inst.get(r.index).copied().flatten())
             .collect();
         times.sort();
-        Curve::from_event_times(&times)
+        rta_curves::Curve::from_event_times(&times)
     }
 }
 
@@ -132,6 +186,27 @@ impl SimResult {
 mod tests {
     use super::*;
 
+    #[test]
+    // The `..default()` covers the trace-gated fields; without `trace`
+    // every field is explicit and the update is (harmlessly) redundant.
+    #[allow(clippy::needless_update)]
+    fn responses_and_wcrt_from_completions() {
+        let res = SimResult {
+            releases: vec![vec![Time(0), Time(10)]],
+            hop_completions: vec![vec![
+                vec![Some(Time(4)), Some(Time(9))],
+                vec![Some(Time(12)), Some(Time(17))],
+            ]],
+            horizon: Time(20),
+            ..SimResult::default()
+        };
+        assert_eq!(res.completion(JobId(0), 1), Some(Time(9)));
+        assert_eq!(res.response(JobId(0), 1), Some(Time(9)));
+        assert_eq!(res.response(JobId(0), 2), Some(Time(7)));
+        assert_eq!(res.wcrt(JobId(0)), Some(Time(9)));
+    }
+
+    #[cfg(feature = "trace")]
     #[test]
     fn observed_service_from_intervals() {
         let mut service_intervals = HashMap::new();
@@ -145,6 +220,7 @@ mod tests {
             hop_completions: vec![vec![vec![Some(Time(9))]]],
             service_intervals,
             horizon: Time(20),
+            ..SimResult::default()
         };
         let s = res.observed_service(r);
         assert_eq!(s.eval(Time(2)), 0);

@@ -103,6 +103,7 @@ fn exact_spp_equals_simulation_bursty() {
     }
 }
 
+#[cfg(feature = "trace")]
 #[test]
 fn exact_spp_service_curves_match_observed() {
     for seed in 0..20 {
@@ -168,6 +169,30 @@ fn violation_stats(
         }
     }
     (bad, total, worst_ratio)
+}
+
+#[test]
+fn all_policies_bounds_dominate_bursty_single_stage() {
+    // Registry-driven: every policy the kernel layer registers must produce
+    // end-to-end bounds that dominate simulation on a bursty single-stage
+    // shop. Single-stage because that is where every discipline's bound is
+    // sound — multi-hop FCFS/IWRR chains are documented approximations
+    // (measured by the *_is_a_good_approximation tests below).
+    for policy in rta_core::policy::all_policies() {
+        let kind = policy.kind();
+        let (bad, total, worst) = violation_stats(
+            kind,
+            SpnpAvailability::Conservative,
+            0..10,
+            &[(1, 0.6)],
+            true,
+        );
+        assert!(total > 0, "{kind:?}: no bounded instances simulated");
+        assert_eq!(
+            bad, 0,
+            "{kind:?}: {bad}/{total} bursty instances exceeded the bound (worst {worst:.3}×)"
+        );
+    }
 }
 
 #[test]

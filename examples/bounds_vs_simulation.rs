@@ -1,88 +1,76 @@
-//! Visual comparison of the analytic service-function bounds against the
-//! simulator's observed service on a small SPNP system: prints the lower
-//! bound, the observed truth and the upper bound side by side.
+//! Empirical response-time distributions vs. analytic bounds, at scale.
 //!
-//! Run with: `cargo run --example bounds_vs_simulation`
+//! Uses [`bursty_rta::sim::batch`] to re-draw a bursty job shop many
+//! times, simulate every draw on the calendar-queue event core, run the
+//! Theorem 4 analysis on the same draw, and print the per-job
+//! observed-vs-analytic tightness gap — the measurement behind the
+//! EXPERIMENTS.md bound-tightness table. This replaces the old
+//! single-trajectory curve comparison: one trace shows that the bounds
+//! bracket one run; the replication shows how much headroom the bound
+//! leaves over the *distribution* of runs, and that no draw ever crosses
+//! it.
+//!
+//! Run with: `cargo run --release --example bounds_vs_simulation`
 
-use bursty_rta::analysis::spnp::spnp_bounds;
-use bursty_rta::analysis::SpnpAvailability;
-use bursty_rta::curves::{Curve, Time};
-use bursty_rta::model::priority::{assign_priorities, PriorityPolicy};
-use bursty_rta::model::{ArrivalPattern, JobId, SchedulerKind, SubjobRef, SystemBuilder};
-use bursty_rta::sim::{simulate, SimConfig};
+use bursty_rta::model::distributions::Dist;
+use bursty_rta::model::jobshop::{ShopArrivals, ShopConfig};
+use bursty_rta::model::SchedulerKind;
+use bursty_rta::sim::batch::{replicate_with_bounds, BatchConfig};
 
 fn main() {
-    // Two jobs on one SPNP processor: T1 (high priority, τ=3, period 10),
-    // T2 (low priority, τ=7, period 20). T1 suffers blocking from T2.
-    let mut b = SystemBuilder::new();
-    let p = b.add_processor("P1", SchedulerKind::Spnp);
-    b.add_job(
-        "T1",
-        Time(10),
-        ArrivalPattern::Periodic {
-            period: Time(10),
-            offset: Time::ZERO,
+    // A 2-stage SPP shop under the paper's Eq. 27 bursty arrivals,
+    // re-drawn 200 times: every draw is simulated and analyzed, giving an
+    // empirical response distribution per job next to its analytic bound.
+    let shop = ShopConfig {
+        stages: 2,
+        procs_per_stage: 2,
+        n_jobs: 5,
+        scheduler: SchedulerKind::Spp,
+        utilization: 0.7,
+        arrivals: ShopArrivals::Bursty {
+            deadline: Dist::Exponential { mean: 6.0 },
         },
-        vec![(p, Time(3))],
-    );
-    b.add_job(
-        "T2",
-        Time(20),
-        ArrivalPattern::Periodic {
-            period: Time(20),
-            offset: Time::ZERO,
-        },
-        vec![(p, Time(7))],
-    );
-    let mut sys = b.build().unwrap();
-    assign_priorities(&mut sys, PriorityPolicy::DeadlineMonotonic).unwrap();
-
-    let window = Time(40);
-    let horizon = Time(80);
-    let sim = simulate(&sys, &SimConfig { window, horizon });
-
-    // Analytic Theorem 5/6 bounds for T1 with its Eq. 15 blocking term.
-    let t1 = SubjobRef {
-        job: JobId(0),
-        index: 0,
+        x_min: 0.25,
+        ticks_per_unit: 100,
     };
-    let arr = sys.job(JobId(0)).arrival.arrival_curve(window);
-    let workload = arr.scale(3);
-    let blocking = sys.blocking_time(t1);
-    println!("T1 blocking term b (Eq. 15) = {blocking} ticks\n");
-    let bounds = spnp_bounds(
-        &workload,
-        &[],
-        &[],
-        blocking,
-        SpnpAvailability::Conservative,
-    )
-    .expect("matched peer slices");
+    let cfg = BatchConfig {
+        draws: 200,
+        base_seed: 42,
+    };
+    let report = replicate_with_bounds(&shop, &cfg);
 
-    let observed = sim.observed_service(t1);
     println!(
-        "{:>5} {:>8} {:>10} {:>8}",
-        "t", "lower", "observed", "upper"
+        "bursty 2-stage SPP shop, {} draws (seeds {}..{}), {} analysis failures",
+        report.draws,
+        cfg.base_seed,
+        cfg.base_seed + report.draws as u64,
+        report.analysis_failures
     );
-    for t in (0..=60).step_by(5) {
-        let t = Time(t);
-        let (lo, ob, up) = (bounds.lower.eval(t), observed.eval(t), bounds.upper.eval(t));
-        println!("{:>5} {:>8} {:>10} {:>8}", t, lo, ob, up);
-        assert!(lo <= ob && ob <= up, "bounds must bracket the truth at {t}");
+    println!(
+        "{:>4} {:>8} {:>6} {:>8} {:>8} {:>8} {:>6} {:>6} {:>5}",
+        "job", "samples", "incmp", "p50", "p99", "max", "mean%", "worst%", "viol"
+    );
+    for (k, stats) in report.jobs.iter().enumerate() {
+        let p50 = stats.quantile(0.50).unwrap();
+        let p99 = stats.quantile(0.99).unwrap();
+        let max = stats.quantile(1.0).unwrap();
+        println!(
+            "{:>4} {:>8} {:>6} {:>8} {:>8} {:>8} {:>6.1} {:>6.1} {:>5}",
+            k,
+            stats.samples.len(),
+            stats.incomplete,
+            p50.ticks(),
+            p99.ticks(),
+            max.ticks(),
+            stats.mean_ratio().unwrap_or(0.0) * 100.0,
+            stats.worst_ratio * 100.0,
+            stats.violations,
+        );
+        // SPP bounds are sound: the observed worst case never exceeds them.
+        assert_eq!(stats.violations, 0, "job {k}: bound violated");
     }
-    println!("\nanalytic bounds bracket the simulated service everywhere");
-
-    // End-to-end: T1's worst simulated response vs its per-hop bound.
-    let worst = sim.wcrt(JobId(0)).unwrap();
-    let dep_lower = bounds.lower.floor_div(3, horizon).unwrap();
-    let mut d = Time::ZERO;
-    for m in 1..=arr.total_events() {
-        let a = arr.event_time(m).unwrap();
-        let c = dep_lower.event_time(m).unwrap();
-        d = d.max(c - a);
-    }
-    println!("T1: simulated WCRT {worst}, Theorem 4 hop bound {d}");
-    assert!(worst <= d);
-
-    let _: Curve = observed; // (type showcase)
+    println!(
+        "\nno simulated response exceeded its Theorem 4 bound \
+         (mean/worst% = observed response as a share of the bound)"
+    );
 }

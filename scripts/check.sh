@@ -27,6 +27,18 @@ echo "==> SoA kernel gates: SoA results pinned segment-identical to AoS oracles"
 cargo test -p rta-curves --test soa_kernels -q
 cargo test -p rta-core --lib -q soa_chain_matches_aos_oracle
 
+# The sim crate builds in two configurations: trace-off (how `-p rta-sim`
+# and the bench binaries see it — the gated hot path) and trace-on (how
+# the root package sees it — full trace capture). The workspace clippy and
+# test runs above cover trace-on; cover trace-off explicitly, plus the
+# event-core gates in both.
+echo "==> sim trace-off config: clippy + tests"
+cargo clippy -p rta-sim --all-targets -- -D warnings
+cargo test -p rta-sim -q
+
+echo "==> sim gates: legacy-oracle equivalence + replay determinism (trace on)"
+cargo test -p rta-sim --features trace --test oracle --test determinism --test agreement -q
+
 if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
     # Stash the committed baselines before perf_snapshot overwrites them,
     # then gate: fail if any benchmark regressed by more than 25%.
