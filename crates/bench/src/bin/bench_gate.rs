@@ -2,13 +2,22 @@
 //!
 //! ```text
 //! bench_gate <baseline.json> <current.json> [max_regression_pct]
+//! bench_gate --pair <current.json> <row> <reference_row> [grace_pct]
 //! ```
 //!
-//! Compares two harness JSON dumps (see [`rta_bench::harness::Bench`]) and
-//! exits non-zero if any benchmark present in both regressed by more than
-//! `max_regression_pct` percent (default 25). Benchmarks only present on
-//! one side are reported but never fail the gate, so adding or renaming
-//! benchmarks does not require a baseline dance.
+//! The two-file form compares two harness JSON dumps (see
+//! [`rta_bench::harness::Bench`]) and exits non-zero if any benchmark
+//! present in both regressed by more than `max_regression_pct` percent
+//! (default 25); on failure it prints a per-row delta table, worst first,
+//! so the damage is visible without diffing the dumps by hand. Benchmarks
+//! only present on one side are reported but never fail the gate, so
+//! adding or renaming benchmarks does not require a baseline dance.
+//!
+//! The `--pair` form enforces an intra-dump invariant: `row` must not be
+//! slower than `reference_row` by more than `grace_pct` percent (default
+//! 10, covering run-to-run noise). It gates the SoA kernel rows against
+//! their retained AoS counterparts — layout parity is a standing claim of
+//! the analysis pipeline, not just a point-in-time measurement.
 
 use std::process::ExitCode;
 
@@ -46,8 +55,59 @@ fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     })
 }
 
+/// `--pair <current.json> <row> <reference_row> [grace_pct]`: fail when
+/// `row` is more than `grace_pct` percent slower than `reference_row`.
+fn pair_gate(args: &[String]) -> ExitCode {
+    if args.len() < 3 {
+        eprintln!("usage: bench_gate --pair <current.json> <row> <reference_row> [grace_pct]");
+        return ExitCode::from(2);
+    }
+    let grace: f64 = match args.get(3) {
+        None => 10.0,
+        Some(s) => match s.parse() {
+            Ok(p) => p,
+            Err(_) => {
+                eprintln!("bench_gate: grace_pct must be a number, got {s:?}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let rows = match std::fs::read_to_string(&args[0]) {
+        Ok(text) => parse(&text),
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {}: {e}", args[0]);
+            return ExitCode::from(2);
+        }
+    };
+    let find = |name: &str| rows.iter().find(|(n, _)| n == name).map(|&(_, ns)| ns);
+    let (Some(row_ns), Some(ref_ns)) = (find(&args[1]), find(&args[2])) else {
+        eprintln!(
+            "bench_gate: pair rows {:?} / {:?} not both present in {}",
+            args[1], args[2], args[0]
+        );
+        return ExitCode::from(2);
+    };
+    let pct = 100.0 * (row_ns - ref_ns) / ref_ns;
+    if row_ns > ref_ns * (1.0 + grace / 100.0) {
+        eprintln!(
+            "bench_gate: {} ({row_ns:.0} ns) is {pct:+.1}% vs {} ({ref_ns:.0} ns), \
+             over the {grace}% grace",
+            args[1], args[2]
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "  pair ok   {}: {row_ns:.0} ns vs {}: {ref_ns:.0} ns ({pct:+.1}%, grace {grace}%)",
+        args[1], args[2]
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("--pair") {
+        return pair_gate(&args[2..]);
+    }
     if args.len() < 3 {
         eprintln!("usage: bench_gate <baseline.json> <current.json> [max_regression_pct]");
         return ExitCode::from(2);
@@ -74,14 +134,15 @@ fn main() -> ExitCode {
     };
 
     let mut failures = 0u32;
-    let mut compared = 0u32;
+    // (name, base_ns, cur_ns, pct) for every row present on both sides.
+    let mut rows: Vec<(&str, f64, f64, f64)> = Vec::new();
     for (name, base_ns) in &baseline {
         let Some((_, cur_ns)) = current.iter().find(|(n, _)| n == name) else {
             println!("  (gone)    {name}");
             continue;
         };
-        compared += 1;
         let pct = 100.0 * (cur_ns - base_ns) / base_ns;
+        rows.push((name, *base_ns, *cur_ns, pct));
         if pct > max_pct {
             println!("  REGRESSED {name}: {base_ns:.0} ns -> {cur_ns:.0} ns ({pct:+.1}%)");
             failures += 1;
@@ -94,8 +155,24 @@ fn main() -> ExitCode {
             println!("  (new)     {name}");
         }
     }
+    let compared = rows.len();
     if failures > 0 {
-        eprintln!("bench_gate: {failures}/{compared} benchmarks regressed more than {max_pct}%");
+        // Full delta table, worst regression first, so a failing gate
+        // shows every row's movement without re-running or diffing JSON.
+        let width = rows.iter().map(|r| r.0.len()).max().unwrap_or(0);
+        eprintln!("\nbench_gate: {failures}/{compared} benchmarks regressed more than {max_pct}%");
+        eprintln!(
+            "  {:<width$}  {:>12}  {:>12}  {:>8}",
+            "benchmark", "baseline", "current", "delta"
+        );
+        rows.sort_by(|a, b| b.3.total_cmp(&a.3));
+        for (name, base_ns, cur_ns, pct) in &rows {
+            let flag = if *pct > max_pct { "  <-- FAIL" } else { "" };
+            eprintln!(
+                "  {name:<width$}  {:>9.0} ns  {:>9.0} ns  {pct:>+7.1}%{flag}",
+                base_ns, cur_ns
+            );
+        }
         return ExitCode::FAILURE;
     }
     println!("bench_gate: {compared} benchmarks within {max_pct}% of baseline");

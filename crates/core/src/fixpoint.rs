@@ -57,9 +57,11 @@ use std::sync::Arc;
 
 use crate::config::{AnalysisConfig, SpnpAvailability};
 use crate::error::AnalysisError;
-use crate::policy::{policy_for, BoundsInputs, PeerInputs, ProcessorContexts, ServicePolicy};
+use crate::policy::{
+    policy_for, BoundsInputs, PeerInputs, ProcessorContexts, ServicePolicy, SoaBoundsInputs,
+};
 use crate::report::{BoundsReport, JobBound};
-use crate::spnp::ServiceBounds;
+use crate::spnp::{ServiceBounds, SoaServiceBounds};
 use rta_curves::{Curve, Scratch, SoaCurve, Time};
 use rta_model::{JobId, ProcessorId, SubjobRef, TaskSystem};
 
@@ -72,13 +74,15 @@ const PAR_THRESHOLD: usize = 32;
 /// Converged interior state of a loop-tolerant run, reusable as the seed of
 /// the next run on a system with the same topology and analysis frame.
 ///
-/// The bounds are shared (`Arc`): re-seeding an unchanged system returns a
-/// handle to the same vector instead of cloning every curve.
+/// The bounds are shared (`Arc`) and stored in structure-of-arrays layout —
+/// the working representation of the warm rounds (DESIGN.md §4g), so
+/// re-seeding copies flat arrays (or, for an unchanged system, returns a
+/// handle to the same vector) without ever materializing AoS segments.
 #[derive(Clone, Debug)]
 pub struct LoopSeed {
     pub(crate) window: Time,
     pub(crate) horizon: Time,
-    pub(crate) bounds: Arc<Vec<ServiceBounds>>,
+    pub(crate) bounds: Arc<Vec<SoaServiceBounds>>,
 }
 
 impl LoopSeed {
@@ -102,13 +106,16 @@ struct LoopWorkspace {
     job_start: Vec<usize>,
     times: Vec<Time>,
     stage: Curve,
-    dep_lower: Curve,
-    /// SoA staging pair for the Eq. 12 sweep: the converged lower service
-    /// bound and its `floor_div` departure curve.
-    dep_src_soa: SoaCurve,
+    /// SoA staging pair: round-0 cold-init temporaries, then the Eq. 12
+    /// `floor_div` departure curve.
+    stage_soa: SoaCurve,
     dep_soa: SoaCurve,
     arr_env: Vec<Curve>,
+    /// Per-subjob workloads in both layouts, built once at model ingest:
+    /// the SoA copy feeds the rounds, the AoS copy feeds shared-workload
+    /// policy contexts and the conversion fallback (DESIGN.md §4g).
     workload: Vec<Curve>,
+    workload_soa: Vec<SoaCurve>,
     policy: Vec<&'static dyn ServicePolicy>,
     tau: Vec<Time>,
     weight: Vec<u32>,
@@ -118,8 +125,10 @@ struct LoopWorkspace {
     /// `hp_flat[hp_start[i]..hp_start[i + 1]]`.
     hp_flat: Vec<usize>,
     hp_start: Vec<usize>,
-    cur: Vec<ServiceBounds>,
-    next: Vec<ServiceBounds>,
+    /// Double-buffered bound iterates, in SoA layout end-to-end: a warm
+    /// round never materializes an AoS segment array.
+    cur: Vec<SoaServiceBounds>,
+    next: Vec<SoaServiceBounds>,
     stale: Vec<bool>,
     changed: Vec<bool>,
 }
@@ -134,9 +143,15 @@ fn ensure_curves(v: &mut Vec<Curve>, n: usize) {
     }
 }
 
-fn ensure_bounds(v: &mut Vec<ServiceBounds>, n: usize) {
+fn ensure_soa_curves(v: &mut Vec<SoaCurve>, n: usize) {
     if v.len() < n {
-        v.resize_with(n, ServiceBounds::zeroed);
+        v.resize_with(n, SoaCurve::zero);
+    }
+}
+
+fn ensure_bounds(v: &mut Vec<SoaServiceBounds>, n: usize) {
+    if v.len() < n {
+        v.resize_with(n, SoaServiceBounds::zeroed);
     }
 }
 
@@ -192,6 +207,21 @@ pub fn analyze_with_loops_seeded(
     })
 }
 
+/// [`analyze_with_loops`] forced onto the retained AoS kernels (the
+/// parallel-round path, which never touches the SoA iterate buffers).
+///
+/// This is the pinned reference driver: the SoA rounds are required to be
+/// bit-identical to it, and the driver-level oracle tests compare full
+/// reports from both entry points. It is not a performance API.
+pub fn analyze_with_loops_aos_reference(
+    sys: &TaskSystem,
+    cfg: &AnalysisConfig,
+    max_rounds: usize,
+) -> Result<BoundsReport, AnalysisError> {
+    let mut ws = LoopWorkspace::default();
+    analyze_seeded_in(sys, cfg, max_rounds, None, &mut ws, 0).map(|(report, _)| report)
+}
+
 fn analyze_seeded_in(
     sys: &TaskSystem,
     cfg: &AnalysisConfig,
@@ -218,9 +248,12 @@ fn analyze_seeded_in(
     }
     let n = ws.refs.len();
 
-    // ---- Cycle-free arrival envelopes and workloads. ----
+    // ---- Cycle-free arrival envelopes and workloads. This is the single
+    // AoS→SoA ingest boundary: the workloads convert here, once, and the
+    // rounds run on the flat arrays. ----
     ensure_curves(&mut ws.arr_env, n);
     ensure_curves(&mut ws.workload, n);
+    ensure_soa_curves(&mut ws.workload_soa, n);
     for i in 0..n {
         let r = ws.refs[i];
         let job = sys.job(r.job);
@@ -229,6 +262,7 @@ fn analyze_seeded_in(
         let min_shift: Time = job.subjobs[..r.index].iter().map(|s| s.exec).sum();
         ws.stage.shift_right_into(min_shift, 0, &mut ws.arr_env[i]);
         ws.arr_env[i].scale_into(sys.subjob(r).exec.ticks(), &mut ws.workload[i]);
+        ws.workload_soa[i].copy_from_curve(&ws.workload[i]);
     }
 
     // ---- Per-node policy metadata. Higher-priority peer slots are the
@@ -283,7 +317,8 @@ fn analyze_seeded_in(
     }
 
     // ---- Round 0: the seed when it fits the frame, information-free
-    // otherwise. ----
+    // otherwise — built directly on the SoA kernels (segment-identical to
+    // the AoS construction by the equivalence contract). ----
     ensure_bounds(&mut ws.cur, n);
     ensure_bounds(&mut ws.next, n);
     let seeded = seed.filter(|s| s.matches(window, horizon, n));
@@ -295,9 +330,10 @@ fn analyze_seeded_in(
     } else {
         for i in 0..n {
             ws.cur[i].lower.set_affine(0, 0);
-            ws.stage.set_affine(0, 1);
-            ws.stage.min_with_into(&ws.workload[i], &mut ws.dep_lower);
-            ws.dep_lower.clamp_min_into(0, &mut ws.cur[i].upper);
+            ws.stage_soa.set_affine(0, 1);
+            ws.stage_soa
+                .min_with_into(&ws.workload_soa[i], &mut ws.dep_soa);
+            ws.dep_soa.clamp_min_into(0, &mut ws.cur[i].upper);
         }
     }
 
@@ -309,10 +345,13 @@ fn analyze_seeded_in(
     let mut any_change_ever = false;
     if n < par_threshold {
         // Sequential rounds, double-buffered through `cur`/`next` with all
-        // curve temporaries drawn from the scratch arena.
+        // curve temporaries drawn from the scratch arena. Bounds stay in
+        // SoA layout across rounds — the policies' `service_bounds_soa_into`
+        // reads and writes the flat arrays directly.
         let LoopWorkspace {
             scratch,
             workload,
+            workload_soa,
             policy,
             tau,
             weight,
@@ -333,8 +372,8 @@ fn analyze_seeded_in(
         for _round in 0..max_rounds {
             let mut any_changed = false;
             {
-                let mut hp_lower: Vec<&Curve> = Vec::new();
-                let mut hp_upper: Vec<&Curve> = Vec::new();
+                let mut hp_lower: Vec<&SoaCurve> = Vec::new();
+                let mut hp_upper: Vec<&SoaCurve> = Vec::new();
                 for i in 0..n {
                     if !stale[i] {
                         changed[i] = false;
@@ -348,9 +387,10 @@ fn analyze_seeded_in(
                         hp_lower.push(&cur[h].lower);
                         hp_upper.push(&cur[h].upper);
                     }
-                    policy[i].service_bounds_into(
-                        &BoundsInputs {
-                            workload: &workload[i],
+                    policy[i].service_bounds_soa_into(
+                        &SoaBoundsInputs {
+                            workload: &workload_soa[i],
+                            workload_aos: &workload[i],
                             tau: tau[i],
                             weight: weight[i],
                             blocking: blocking[i],
@@ -381,7 +421,10 @@ fn analyze_seeded_in(
         }
     } else {
         // Parallel rounds: detach the round inputs from the workspace and
-        // fan each sweep out over the persistent pool.
+        // fan each sweep out over the persistent pool. This path runs on
+        // the retained AoS kernels (it is the oracle the SoA rounds are
+        // pinned against by `sequential_and_parallel_agree`), converting
+        // the SoA iterates at entry and exit.
         let nodes: Vec<RoundNode> = (0..n)
             .map(|i| RoundNode {
                 workload: ws.workload[i].clone(),
@@ -399,7 +442,7 @@ fn analyze_seeded_in(
             avail: cfg.spnp_availability,
             horizon,
         });
-        let mut bounds: Vec<ServiceBounds> = ws.cur[..n].to_vec();
+        let mut bounds: Vec<ServiceBounds> = ws.cur[..n].iter().map(|b| b.to_bounds()).collect();
         let mut stale: Vec<bool> = vec![true; n];
         for _round in 0..max_rounds {
             let prev = Arc::new(std::mem::take(&mut bounds));
@@ -453,7 +496,7 @@ fn analyze_seeded_in(
             }
         }
         for (i, b) in bounds.into_iter().enumerate() {
-            ws.cur[i] = b;
+            ws.cur[i].copy_from_bounds(&b);
         }
     }
 
@@ -466,12 +509,14 @@ fn analyze_seeded_in(
         let mut hop_delays = Vec::with_capacity(job.subjobs.len());
         for j in 0..job.subjobs.len() {
             let i = ws.job_start[k] + j;
-            // SoA sweep: the lower service bound converts once, the
-            // departure extraction and the Eq. 12 cursor walk both run on
-            // the flat arrays (pinned identical to the AoS kernels).
-            ws.dep_src_soa.copy_from_curve(&ws.cur[i].lower);
-            ws.dep_src_soa
-                .floor_div_into(job.subjobs[j].exec.ticks(), horizon, &mut ws.dep_soa)?;
+            // SoA sweep: the converged lower bound is already SoA, so the
+            // departure extraction and the Eq. 12 cursor walk run on the
+            // flat arrays with no conversion at all.
+            ws.cur[i].lower.floor_div_into(
+                job.subjobs[j].exec.ticks(),
+                horizon,
+                &mut ws.dep_soa,
+            )?;
             hop_delays.push(crate::bounds::hop_delay_soa(
                 &ws.arr_env[i],
                 &ws.dep_soa,

@@ -43,8 +43,8 @@ use std::collections::HashMap;
 
 use crate::config::SpnpAvailability;
 use crate::error::AnalysisError;
-use crate::spnp::ServiceBounds;
-use rta_curves::{Curve, Scratch, Time};
+use crate::spnp::{ServiceBounds, SoaServiceBounds};
+use rta_curves::{Curve, Scratch, SoaCurve, Time};
 use rta_model::{ProcessorId, SchedulerKind, SubjobRef, TaskSystem};
 
 pub mod fcfs;
@@ -107,6 +107,40 @@ pub struct BoundsInputs<'a> {
     pub hp_lower: &'a [&'a Curve],
     /// Upper service bounds of the same peers, in the same order.
     pub hp_upper: &'a [&'a Curve],
+    /// Which Theorem-5 availability recursion SPNP uses.
+    pub variant: SpnpAvailability,
+    /// The processor context from [`ServicePolicy::build_context`], if any.
+    pub ctx: Option<&'a PolicyContext>,
+    /// Analysis horizon — curves are exact on `[0, horizon]`.
+    pub horizon: Time,
+    /// The processor this subjob executes on (for error reporting).
+    pub processor: ProcessorId,
+}
+
+/// The inputs of one [`ServicePolicy::service_bounds_soa_into`]
+/// evaluation — [`BoundsInputs`] with the curves in structure-of-arrays
+/// layout (DESIGN.md §4g).
+///
+/// `workload_aos` carries the same curve as `workload` in AoS form: the
+/// fixpoint drivers keep both (the AoS copy is built once at model
+/// ingest), so policies falling back on the AoS kernels — the default
+/// implementation, FCFS's context path — never pay a per-round
+/// conversion of the workload.
+pub struct SoaBoundsInputs<'a> {
+    /// The subjob's (upper-bounded) workload `c̄ = f̄_arr · τ`.
+    pub workload: &'a SoaCurve,
+    /// The same workload in AoS layout (ingest-time conversion).
+    pub workload_aos: &'a Curve,
+    /// The subjob's execution time `τ`.
+    pub tau: Time,
+    /// The subjob's round-robin weight (1 unless assigned).
+    pub weight: u32,
+    /// The blocking term `b_{k,j}` from [`ServicePolicy::blocking`].
+    pub blocking: Time,
+    /// Lower service bounds of strictly higher-priority peers.
+    pub hp_lower: &'a [&'a SoaCurve],
+    /// Upper service bounds of the same peers, in the same order.
+    pub hp_upper: &'a [&'a SoaCurve],
     /// Which Theorem-5 availability recursion SPNP uses.
     pub variant: SpnpAvailability,
     /// The processor context from [`ServicePolicy::build_context`], if any.
@@ -185,6 +219,51 @@ pub trait ServicePolicy: Send + Sync {
     ) -> Result<(), AnalysisError> {
         *out = self.service_bounds(inputs)?;
         Ok(())
+    }
+
+    /// [`ServicePolicy::service_bounds_into`] with every curve in
+    /// structure-of-arrays layout — the entry the SoA fixpoint rounds call
+    /// (DESIGN.md §4g). Results must convert bit-identically to
+    /// [`ServicePolicy::service_bounds`].
+    ///
+    /// The default converts at the boundary and delegates to the AoS
+    /// kernel — correct for every policy, and cheap for disciplines whose
+    /// bounds take no cross-round inputs (FCFS, IWRR: computed once per
+    /// analysis, never re-evaluated on warm rounds). Disciplines with
+    /// native SoA chains (SPP/SPNP) override it.
+    fn service_bounds_soa_into(
+        &self,
+        inputs: &SoaBoundsInputs<'_>,
+        scratch: &mut Scratch,
+        out: &mut SoaServiceBounds,
+    ) -> Result<(), AnalysisError> {
+        let hp_lower: Vec<Curve> = inputs.hp_lower.iter().map(|c| c.to_curve()).collect();
+        let hp_upper: Vec<Curve> = inputs.hp_upper.iter().map(|c| c.to_curve()).collect();
+        let hp_lo_refs: Vec<&Curve> = hp_lower.iter().collect();
+        let hp_up_refs: Vec<&Curve> = hp_upper.iter().collect();
+        let aos_inputs = BoundsInputs {
+            workload: inputs.workload_aos,
+            tau: inputs.tau,
+            weight: inputs.weight,
+            blocking: inputs.blocking,
+            hp_lower: &hp_lo_refs,
+            hp_upper: &hp_up_refs,
+            variant: inputs.variant,
+            ctx: inputs.ctx,
+            horizon: inputs.horizon,
+            processor: inputs.processor,
+        };
+        let mut tmp = ServiceBounds {
+            lower: scratch.take_curve(),
+            upper: scratch.take_curve(),
+        };
+        let r = self.service_bounds_into(&aos_inputs, scratch, &mut tmp);
+        if r.is_ok() {
+            out.copy_from_bounds(&tmp);
+        }
+        scratch.put_curve(tmp.lower);
+        scratch.put_curve(tmp.upper);
+        r
     }
 
     /// A fresh event-engine scheduler for one processor running this
@@ -323,7 +402,12 @@ pub trait SimScheduler: Send {
     /// Index into `ready` of the instance to dispatch, `None` when empty.
     fn pick_idx(&mut self, sys: &TaskSystem, ready: &ReadySet<'_>) -> Option<usize>;
 
-    /// Whether any instance in `ready` preempts `running`.
+    /// Whether any instance in `ready` preempts `running` — an
+    /// exists-test over the set, with no ordering or completeness
+    /// assumptions. Callers may pass any subset of the true ready set that
+    /// is guaranteed to contain every instance that could preempt (the
+    /// engine passes just the newly released instance when it is the only
+    /// state change since the last decision).
     fn preempts(&self, _sys: &TaskSystem, _running: &ReadyInstance, _ready: &ReadySet<'_>) -> bool {
         false
     }

@@ -4,9 +4,11 @@
 //! Eq. 15 blocking term supplied by [`ServicePolicy::blocking`].
 
 use super::spp::PrioritySim;
-use super::{BoundsInputs, PeerInputs, ServicePolicy, SimScheduler};
+use super::{BoundsInputs, PeerInputs, ServicePolicy, SimScheduler, SoaBoundsInputs};
 use crate::error::AnalysisError;
-use crate::spnp::{spnp_bounds, spnp_bounds_into, ServiceBounds};
+use crate::spnp::{
+    spnp_bounds, spnp_bounds_into, spnp_bounds_soa_into, ServiceBounds, SoaServiceBounds,
+};
 use rta_curves::{Scratch, Time};
 use rta_model::{ProcessorId, SchedulerKind, SubjobRef, TaskSystem};
 
@@ -44,6 +46,24 @@ impl ServicePolicy for SpnpPolicy {
         out: &mut ServiceBounds,
     ) -> Result<(), AnalysisError> {
         spnp_bounds_into(
+            inputs.workload,
+            inputs.hp_lower,
+            inputs.hp_upper,
+            inputs.blocking,
+            inputs.variant,
+            scratch,
+            out,
+        )
+        .map_err(AnalysisError::from)
+    }
+
+    fn service_bounds_soa_into(
+        &self,
+        inputs: &SoaBoundsInputs<'_>,
+        scratch: &mut Scratch,
+        out: &mut SoaServiceBounds,
+    ) -> Result<(), AnalysisError> {
+        spnp_bounds_soa_into(
             inputs.workload,
             inputs.hp_lower,
             inputs.hp_upper,

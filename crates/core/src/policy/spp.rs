@@ -5,9 +5,12 @@
 //! degenerate to Theorem 3 with bounded inputs — see the [`crate::spnp`]
 //! module docs).
 
-use super::{BoundsInputs, PeerInputs, ReadyInstance, ReadySet, ServicePolicy, SimScheduler};
+use super::{
+    BoundsInputs, PeerInputs, ReadyInstance, ReadySet, ServicePolicy, SimScheduler, SoaBoundsInputs,
+};
 use crate::error::AnalysisError;
-use crate::spnp::{spnp_bounds, spnp_bounds_into, ServiceBounds};
+use crate::spnp::SoaServiceBounds;
+use crate::spnp::{spnp_bounds, spnp_bounds_into, spnp_bounds_soa_into, ServiceBounds};
 use rta_curves::{Curve, Scratch};
 use rta_model::{ProcessorId, SchedulerKind, TaskSystem};
 
@@ -53,6 +56,24 @@ impl ServicePolicy for SppPolicy {
         out: &mut ServiceBounds,
     ) -> Result<(), AnalysisError> {
         spnp_bounds_into(
+            inputs.workload,
+            inputs.hp_lower,
+            inputs.hp_upper,
+            inputs.blocking,
+            inputs.variant,
+            scratch,
+            out,
+        )
+        .map_err(AnalysisError::from)
+    }
+
+    fn service_bounds_soa_into(
+        &self,
+        inputs: &SoaBoundsInputs<'_>,
+        scratch: &mut Scratch,
+        out: &mut SoaServiceBounds,
+    ) -> Result<(), AnalysisError> {
+        spnp_bounds_soa_into(
             inputs.workload,
             inputs.hp_lower,
             inputs.hp_upper,

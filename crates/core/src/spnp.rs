@@ -24,7 +24,9 @@
 //! blocking; Theorems 5/6 then mirror Theorem 3 with bounded inputs).
 
 use crate::config::SpnpAvailability;
-use rta_curves::{Curve, CurveError, Scratch, Time};
+use rta_curves::{
+    linear_combine_line_into, sum_many_into, Curve, CurveError, Scratch, SoaCurve, Time,
+};
 
 /// Lower/upper service-function bounds of one subjob.
 #[derive(Clone, Debug)]
@@ -52,6 +54,49 @@ impl PartialEq for ServiceBounds {
     }
 }
 impl Eq for ServiceBounds {}
+
+/// [`ServiceBounds`] in structure-of-arrays layout — the working
+/// representation of the fixpoint drivers' warm path (DESIGN.md §4g). The
+/// SoA kernels are segment-identical to their AoS oracles, so a
+/// `SoaServiceBounds` and the `ServiceBounds` it converts to/from always
+/// describe the same pair of curves.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SoaServiceBounds {
+    /// Guaranteed (lower-bounded) service `S̲`.
+    pub lower: SoaCurve,
+    /// Potential (upper-bounded) service `S̄`.
+    pub upper: SoaCurve,
+}
+
+impl SoaServiceBounds {
+    /// The information-free bracket `[0, 0]` — a placeholder whose buffers
+    /// the `_into` drivers overwrite.
+    pub fn zeroed() -> SoaServiceBounds {
+        SoaServiceBounds {
+            lower: SoaCurve::zero(),
+            upper: SoaCurve::zero(),
+        }
+    }
+
+    /// Overwrite from an AoS bounds pair, reusing the arrays.
+    pub fn copy_from_bounds(&mut self, src: &ServiceBounds) {
+        self.lower.copy_from_curve(&src.lower);
+        self.upper.copy_from_curve(&src.upper);
+    }
+
+    /// Convert back to AoS, reusing `out`'s segment buffers.
+    pub fn write_to_bounds(&self, out: &mut ServiceBounds) {
+        self.lower.write_to_curve(&mut out.lower);
+        self.upper.write_to_curve(&mut out.upper);
+    }
+
+    /// Convert back to AoS, allocating.
+    pub fn to_bounds(&self) -> ServiceBounds {
+        let mut out = ServiceBounds::zeroed();
+        self.write_to_bounds(&mut out);
+        out
+    }
+}
 
 /// Compute Theorem 5/6 bounds for one subjob.
 ///
@@ -91,20 +136,13 @@ pub fn spnp_bounds(
     Ok(out)
 }
 
-/// The full Theorem 5/6 chain on the structure-of-arrays kernels, pinned
-/// segment-identical to the production AoS chain by the
-/// `soa_chain_matches_aos_oracle` test.
-///
-/// This is deliberately *not* the path [`spnp_bounds_into`] takes: the
-/// chain is a sequence of short two-pointer merges sandwiched between AoS
-/// boundaries (operands arrive as [`Curve`]s and results leave as
-/// `Curve`s), so the SoA variant pays per-call conversion plus three
-/// `Vec` pushes per output piece and measures ~45% slower end-to-end on
-/// the warm fixpoint path. SoA wins where the data *stays* SoA across a
-/// fold — see the convolution kernels — and this variant is kept so the
-/// trade-off stays measurable (the bench suite's `aos/*` vs `soa/*`
-/// rows) and correct.
-#[allow(clippy::many_single_char_names)]
+/// The full Theorem 5/6 chain on the structure-of-arrays kernels with AoS
+/// operands and results — a conversion wrapper around
+/// [`spnp_bounds_soa_into`], pinned segment-identical to the production
+/// AoS chain by the `soa_chain_matches_aos_oracle` test. The warm fixpoint
+/// path calls the native-SoA kernel directly and never pays this
+/// boundary; the wrapper is kept so the AoS↔SoA conversion overhead stays
+/// measurable (the bench suite's `aos/*` vs `soa/*` rows) and correct.
 pub fn spnp_bounds_into_soa(
     workload_upper: &Curve,
     hp_lower: &[&Curve],
@@ -114,6 +152,45 @@ pub fn spnp_bounds_into_soa(
     scratch: &mut Scratch,
     out: &mut ServiceBounds,
 ) -> Result<(), CurveError> {
+    let mut w = scratch.take_soa();
+    w.copy_from_curve(workload_upper);
+    let hp_lo: Vec<SoaCurve> = hp_lower.iter().map(|c| SoaCurve::from_curve(c)).collect();
+    let hp_up: Vec<SoaCurve> = hp_upper.iter().map(|c| SoaCurve::from_curve(c)).collect();
+    let hp_lo_refs: Vec<&SoaCurve> = hp_lo.iter().collect();
+    let hp_up_refs: Vec<&SoaCurve> = hp_up.iter().collect();
+    let mut soa_out = SoaServiceBounds::zeroed();
+    let r = spnp_bounds_soa_into(
+        &w,
+        &hp_lo_refs,
+        &hp_up_refs,
+        blocking,
+        variant,
+        scratch,
+        &mut soa_out,
+    );
+    scratch.put_soa(w);
+    r?;
+    soa_out.write_to_bounds(out);
+    Ok(())
+}
+
+/// The native structure-of-arrays Theorem 5/6 chain: SoA operands in, SoA
+/// bounds out, every intermediate drawn from `scratch` — the kernel behind
+/// [`crate::policy::ServicePolicy::service_bounds_soa_into`] for SPP/SPNP
+/// and the one the warm fixpoint rounds run on (DESIGN.md §4g). The
+/// operation sequence is step-for-step the one documented in
+/// [`spnp_bounds_into`]; with segment-identical kernels on both sides the
+/// results are bit-identical after conversion.
+#[allow(clippy::many_single_char_names)]
+pub fn spnp_bounds_soa_into(
+    workload_upper: &SoaCurve,
+    hp_lower: &[&SoaCurve],
+    hp_upper: &[&SoaCurve],
+    blocking: Time,
+    variant: SpnpAvailability,
+    scratch: &mut Scratch,
+    out: &mut SoaServiceBounds,
+) -> Result<(), CurveError> {
     if hp_lower.len() != hp_upper.len() {
         return Err(CurveError::MismatchedLengths {
             left: hp_lower.len(),
@@ -121,32 +198,24 @@ pub fn spnp_bounds_into_soa(
         });
     }
     let b = blocking;
-    let mut w = scratch.take_soa();
+    let w = workload_upper;
     let mut id = scratch.take_soa();
     let mut c_prev = scratch.take_soa();
     let mut hp_lo_sum = scratch.take_soa();
     let mut hp_up_sum = scratch.take_soa();
     let mut up = scratch.take_soa();
-    let mut lo = scratch.take_soa();
     let mut s_avail = scratch.take_soa();
     let mut t1 = scratch.take_soa();
     let mut t2 = scratch.take_soa();
     let mut t3 = scratch.take_soa();
 
-    w.copy_from_curve(workload_upper);
     id.set_affine(0, 1);
     w.shift_right_into(Time::ONE, 0, &mut c_prev);
-    // Σ hp bounds, ping-ponged through a temp (pointwise add is exact and
-    // canonical on the segment representation, so accumulation order is
-    // irrelevant to the result). `t2` stages each peer's SoA conversion.
-    for (sum, curves) in [(&mut hp_lo_sum, hp_lower), (&mut hp_up_sum, hp_upper)] {
-        sum.set_affine(0, 0);
-        for c in curves {
-            t2.copy_from_curve(c);
-            sum.add_into(&t2, &mut t1);
-            std::mem::swap(sum, &mut t1);
-        }
-    }
+    // Σ hp bounds in one k-way merge (pointwise add is exact and canonical
+    // on the segment representation, so this matches the AoS chain's
+    // ping-ponged fold segment for segment).
+    sum_many_into(hp_lower, &mut hp_lo_sum);
+    sum_many_into(hp_upper, &mut hp_up_sum);
 
     // The busy-period candidate is
     //     avail(s, t] + c̄(s⁻)
@@ -160,15 +229,21 @@ pub fn spnp_bounds_into_soa(
     // the paper's single-curve form with `ΣS̲_h` at both positions.
 
     // ---- Theorem 6: upper bound (no blocking in an upper bound). ----
-    id.sub_into(&hp_lo_sum, &mut t1); // t1 = t_part_up
+    // The `− s` / `+ t` identity-line terms ride along inside the merges
+    // (`linear_combine_line_into` is pinned segment-identical to the
+    // staged pipeline), so neither `t_part_up` nor `s_part_up` costs a
+    // separate pass over the hp sums.
     match variant {
-        SpnpAvailability::AsPrinted => c_prev.add_into(&hp_lo_sum, &mut t2),
-        SpnpAvailability::Conservative => c_prev.add_into(&hp_up_sum, &mut t2),
-    }
-    t2.sub_into(&id, &mut t3); // t3 = s_part_up
+        SpnpAvailability::AsPrinted => {
+            linear_combine_line_into(&c_prev, 1, &hp_lo_sum, 1, 0, -1, &mut t3)
+        }
+        SpnpAvailability::Conservative => {
+            linear_combine_line_into(&c_prev, 1, &hp_up_sum, 1, 0, -1, &mut t3)
+        }
+    } // t3 = s_part_up = c̄(s⁻) + Σ − s
     t3.running_min_into(&mut t2);
-    t1.add_into(&t2, &mut t3);
-    t3.min_with_into(&w, &mut t1); // t1 = upper_raw
+    linear_combine_line_into(&t2, 1, &hp_lo_sum, -1, 0, 1, &mut t3); // + t_part_up
+    t3.min_with_into(w, &mut t1); // t1 = upper_raw
     t1.min_with_into(&id, &mut t2);
     t2.clamp_min_into(0, &mut t3);
     t3.running_max_into(&mut up); // up = upper, pre-reorder fix
@@ -182,33 +257,33 @@ pub fn spnp_bounds_into_soa(
       // s-part availability: the paper's B̲ (masked to 0 on [0, b]) for
       // AsPrinted; for Conservative the blocking term lives only in the
       // t-part (it is a one-shot delay, not an increment at both ends), so
-      // the s-part is the unmasked `s − ΣS̲_h(s)`.
-    match variant {
-        SpnpAvailability::AsPrinted => t2.mask_before_into(b + Time::ONE, 0, &mut s_avail),
-        SpnpAvailability::Conservative => id.sub_into(&hp_lo_sum, &mut s_avail),
+      // the s-part is the unmasked `s − ΣS̲_h(s)` — folded straight into
+      // `c̄(s⁻) − avail_s(s)` below as `c̄(s⁻) + ΣS̲_h(s) − s`.
+    if variant == SpnpAvailability::AsPrinted {
+        t2.mask_before_into(b + Time::ONE, 0, &mut s_avail);
     }
     t2.mask_before_into(b + Time::ONE, 0, &mut t1); // t1 = masked t_part_lo
                                                     // S̲(t) = T(t) + min_{0 ≤ s ≤ t−b} ( c̄(s⁻) − avail_s(s) ), the running
                                                     // minimum delayed by the blocking interval (Theorem 5's min range).
-    c_prev.sub_into(&s_avail, &mut t2);
+    match variant {
+        SpnpAvailability::AsPrinted => c_prev.sub_into(&s_avail, &mut t2),
+        SpnpAvailability::Conservative => {
+            linear_combine_line_into(&c_prev, 1, &hp_lo_sum, 1, 0, -1, &mut t2)
+        }
+    }
     t2.running_min_into(&mut t3); // t3 = run
     t3.shift_right_into(b, t3.eval(Time::ZERO), &mut t2); // t2 = delayed_run
     t1.add_into(&t2, &mut t3);
-    t3.min_with_into(&w, &mut t2);
+    t3.min_with_into(w, &mut t2);
     t2.mask_before_into(b + Time::ONE, 0, &mut t1); // t1 = lower_raw
     t1.clamp_min_into(0, &mut t2);
     t2.min_with_into(&id, &mut t3);
-    t3.running_max_into(&mut lo);
+    t3.running_max_into(&mut out.lower);
 
     // Clipping can reorder the raw curves in degenerate spots.
-    up.max_with_into(&lo, &mut t1);
+    up.max_with_into(&out.lower, &mut out.upper);
 
-    lo.write_to_curve(&mut out.lower);
-    t1.write_to_curve(&mut out.upper);
-
-    for c in [
-        w, id, c_prev, hp_lo_sum, hp_up_sum, up, lo, s_avail, t1, t2, t3,
-    ] {
+    for c in [id, c_prev, hp_lo_sum, hp_up_sum, up, s_avail, t1, t2, t3] {
         scratch.put_soa(c);
     }
     Ok(())

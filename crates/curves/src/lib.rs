@@ -77,7 +77,7 @@ pub use cursor::CurveCursor;
 pub use curve::Curve;
 pub use intern::{CurveArena, CurveId};
 pub use segment::Segment;
-pub use soa::{SoaCursor, SoaCurve, SoaView};
+pub use soa::{linear_combine_line_into, sum_many_into, SoaCursor, SoaCurve, SoaView};
 pub use time::{Time, DEFAULT_TICKS_PER_UNIT};
 
 /// Error type for curve construction and operations.

@@ -5,10 +5,12 @@
 //! instead of an array of [`Segment`] structs. The hot merge loops walk the
 //! breakpoint columns contiguously, which halves the bytes touched per
 //! comparison (the AoS layout drags every segment's unused fields through
-//! the cache) and gives the autovectorizer straight-line arithmetic over
-//! `i64` lanes in the compute phases — see [`linear_combine_into`], whose
-//! breakpoint-merge and value-compute phases are split precisely so the
-//! second phase is a branch-free gather loop.
+//! the cache), keep both operands' active piece scalars in registers with
+//! `i64::MAX` sentinels for exhausted heads (no `Option` juggling in the
+//! merge), and write by index into pre-sized columns with the
+//! normalization predicate checked inline against a register-cached
+//! previous entry — no per-entry `Vec::push` length/capacity traffic. See
+//! [`linear_combine_into`] for the canonical shape.
 //!
 //! ## Equivalence contract
 //!
@@ -21,11 +23,12 @@
 //! `tests/soa_kernels.rs` pin the equivalence over random curves, dirty
 //! output buffers and error paths.
 //!
-//! Writers first emit a raw breakpoint sequence with strictly increasing
-//! starts and then coalesce line-continuations with the exact predicate of
-//! `Curve::normalize` (`prev.slope == s.slope && prev.eval(s.start) ==
-//! s.value`); this is observationally identical to pushing through
-//! `push_normalized`, which is how the AoS kernels write.
+//! Writers emit breakpoints in strictly increasing order and coalesce
+//! line-continuations with the exact predicate of `Curve::normalize`
+//! (`prev.slope == s.slope && prev.eval(s.start) == s.value`) — applied
+//! inline against the last written entry; this is observationally
+//! identical to pushing through `push_normalized`, which is how the AoS
+//! kernels write.
 
 use crate::util::{div_ceil, div_floor};
 use crate::{Curve, CurveError, Scratch, Segment, Time};
@@ -268,8 +271,12 @@ impl SoaCurve {
                     return Some(Time(second));
                 }
             }
-            if i > 0 && self.starts[i] > 0 && self.values[i] < self.eval(Time(self.starts[i] - 1)) {
-                return Some(Time(self.starts[i]));
+            if i > 0 && self.starts[i] > 0 {
+                let prev_end = self.values[i - 1]
+                    + self.slopes[i - 1] * (self.starts[i] - 1 - self.starts[i - 1]);
+                if self.values[i] < prev_end {
+                    return Some(Time(self.starts[i]));
+                }
             }
         }
         None
@@ -309,10 +316,11 @@ impl SoaCurve {
 
     /// Pointwise scaling `k·self`, written into `out`.
     pub fn scale_into(&self, k: i64, out: &mut SoaCurve) {
-        out.begin(self.len());
+        let mut w = SoaWriter::new(out, self.len());
         for i in 0..self.len() {
-            out.push(self.starts[i], k * self.values[i], k * self.slopes[i]);
+            w.emit(self.starts[i], k * self.values[i], k * self.slopes[i]);
         }
+        w.finish();
         out.finish();
     }
 
@@ -323,10 +331,11 @@ impl SoaCurve {
 
     /// Pointwise constant offset `self + v`, written into `out`.
     pub fn add_const_into(&self, v: i64, out: &mut SoaCurve) {
-        out.begin(self.len());
+        let mut w = SoaWriter::new(out, self.len());
         for i in 0..self.len() {
-            out.push(self.starts[i], self.values[i] + v, self.slopes[i]);
+            w.emit(self.starts[i], self.values[i] + v, self.slopes[i]);
         }
+        w.finish();
         out.finish();
     }
 
@@ -338,11 +347,23 @@ impl SoaCurve {
             out.copy_from(self);
             return;
         }
-        out.begin(self.len() + 1);
-        out.push(0, fill, 0);
-        for i in 0..self.len() {
-            out.push(self.starts[i] + d.ticks(), self.values[i], self.slopes[i]);
+        let b = d.ticks();
+        let mut w = SoaWriter::new(out, self.len() + 1);
+        w.emit(0, fill, 0);
+        w.emit(b, self.values[0], self.slopes[0]);
+        // Time shifts cancel inside the normalize predicate and the input
+        // is normalized, so no shifted tail entry can continue its
+        // predecessor (nor the fill line, which would imply piece 1
+        // continued piece 0 unshifted) — copy the tail verbatim.
+        let k = w.w;
+        let cnt = self.len() - 1;
+        for (dst, src) in w.s[k..k + cnt].iter_mut().zip(&self.starts[1..]) {
+            *dst = src + b;
         }
+        w.v[k..k + cnt].copy_from_slice(&self.values[1..]);
+        w.m[k..k + cnt].copy_from_slice(&self.slopes[1..]);
+        w.w = k + cnt;
+        w.finish();
         out.finish();
     }
 
@@ -355,12 +376,20 @@ impl SoaCurve {
         }
         let i = self.seg_index(t0.ticks());
         let at = self.values[i] + self.slopes[i] * (t0.ticks() - self.starts[i]);
-        out.begin(self.len() - i + 1);
-        out.push(0, fill, 0);
-        out.push(t0.ticks(), at, self.slopes[i]);
-        for j in i + 1..self.len() {
-            out.push(self.starts[j], self.values[j], self.slopes[j]);
-        }
+        let mut w = SoaWriter::new(out, self.len() - i + 1);
+        w.emit(0, fill, 0);
+        w.emit(t0.ticks(), at, self.slopes[i]);
+        // The entry at `t0` lies on piece `i`'s line and the input is
+        // normalized, so piece `i + 1` continues neither it nor the fill
+        // line it may have collapsed into — the tail copies verbatim.
+        let k = w.w;
+        let tail = i + 1;
+        let cnt = self.len() - tail;
+        w.s[k..k + cnt].copy_from_slice(&self.starts[tail..]);
+        w.v[k..k + cnt].copy_from_slice(&self.values[tail..]);
+        w.m[k..k + cnt].copy_from_slice(&self.slopes[tail..]);
+        w.w = k + cnt;
+        w.finish();
         out.finish();
     }
 
@@ -369,24 +398,40 @@ impl SoaCurve {
     /// offsets).
     fn running_extremum_into(&self, max: bool, out: &mut SoaCurve) {
         let sign: i64 = if max { -1 } else { 1 };
-        out.begin(2 * self.len());
+        // A curve already monotone in the accumulated direction is its own
+        // running extremum, and the general loop below would emit exactly
+        // its pieces back (monotone input never triggers a crossing). Near
+        // the fixpoint the chain tails are monotone almost always, so the
+        // scan-then-copy beats re-emitting piece by piece.
+        let mut monotone = sign * self.slopes[0] <= 0;
+        let mut i = 1;
+        while monotone && i < self.len() {
+            let prev_end =
+                self.values[i - 1] + self.slopes[i - 1] * (self.starts[i] - 1 - self.starts[i - 1]);
+            monotone = sign * self.slopes[i] <= 0 && sign * self.values[i] <= sign * prev_end;
+            i += 1;
+        }
+        if monotone {
+            return copy_view(self.view(), out);
+        }
+        let mut wr = SoaWriter::new(out, 2 * self.len());
         let mut m = i64::MAX;
         for i in 0..self.len() {
             let next_start = self.starts.get(i + 1).copied();
             let (value, slope) = (sign * self.values[i], sign * self.slopes[i]);
             if slope >= 0 {
                 let new_m = m.min(value);
-                out.push(self.starts[i], sign * new_m, 0);
+                wr.emit(self.starts[i], sign * new_m, 0);
                 m = new_m;
             } else {
                 if value <= m {
-                    out.push(self.starts[i], self.values[i], self.slopes[i]);
+                    wr.emit(self.starts[i], self.values[i], self.slopes[i]);
                 } else {
-                    out.push(self.starts[i], sign * m, 0);
+                    wr.emit(self.starts[i], sign * m, 0);
                     let off = div_floor(value - m, -slope) + 1;
                     let tc = self.starts[i] + off;
                     if next_start.is_none_or(|t1| tc < t1) {
-                        out.push(
+                        wr.emit(
                             tc,
                             self.values[i] + self.slopes[i] * (tc - self.starts[i]),
                             self.slopes[i],
@@ -403,6 +448,7 @@ impl SoaCurve {
                 }
             }
         }
+        wr.finish();
         out.finish();
     }
 
@@ -432,9 +478,16 @@ impl SoaCurve {
             return Err(CurveError::NegativeAtZero { value: v0 });
         }
 
-        out.begin(self.len() + 4);
+        // Every emitted step strictly raises the count, so the entry total
+        // is bounded by the count swing over `[0, horizon]` — a hard cap
+        // for the indexed writer (no reallocation mid-staircase).
+        let t_end = horizon.ticks().max(0);
+        let i_end = self.seg_index(t_end);
+        let f_end = self.values[i_end] + self.slopes[i_end] * (t_end - self.starts[i_end]);
+        let cap = (div_floor(f_end.max(v0), tau) - div_floor(v0, tau) + 1) as usize;
+        let mut wr = SoaWriter::new(out, cap);
         let mut count = div_floor(v0, tau);
-        out.push(0, count, 0);
+        wr.emit(0, count, 0);
         for i in 0..self.len() {
             let (s_start, s_value, s_slope) = (self.starts[i], self.values[i], self.slopes[i]);
             if s_start > horizon.ticks() {
@@ -442,7 +495,7 @@ impl SoaCurve {
             }
             let c0 = div_floor(s_value, tau);
             if c0 > count {
-                out.push(s_start, c0, 0);
+                wr.emit(s_start, c0, 0);
                 count = c0;
             }
             if s_slope > 0 {
@@ -461,11 +514,12 @@ impl SoaCurve {
                     }
                     let c = div_floor(s_value + s_slope * (t - s_start), tau);
                     debug_assert!(c > count);
-                    out.push(t, c, 0);
+                    wr.emit(t, c, 0);
                     count = c;
                 }
             }
         }
+        wr.finish();
         out.finish();
         Ok(())
     }
@@ -527,109 +581,357 @@ impl SoaCurve {
     }
 }
 
-/// One operand of a merged-breakpoint walk. The active piece's scalars are
-/// cached in the struct so the hot loop touches the backing slices only
-/// when a head actually advances — the SoA counterpart of `ops::zip_pieces`
-/// handing out `&Segment`s, which gets that caching for free from the
-/// borrow. Without it every evaluation costs three separately
-/// bounds-checked gathers, which is exactly where the first-cut SoA merges
-/// lost to the AoS kernels.
-struct Head<'a> {
-    starts: &'a [i64],
-    values: &'a [i64],
-    slopes: &'a [i64],
-    i: usize,
-    start: i64,
-    value: i64,
-    slope: i64,
+/// Indexed writer over a curve's three columns: pre-sizes the arrays once,
+/// writes by index (no per-entry `Vec::push` length/capacity traffic), and
+/// applies the `Curve::normalize` continuation predicate inline against a
+/// register-cached previous entry, so no second normalization pass runs.
+/// All merge and unary kernels write through this.
+struct SoaWriter<'a> {
+    s: &'a mut Vec<i64>,
+    v: &'a mut Vec<i64>,
+    m: &'a mut Vec<i64>,
+    w: usize,
+    pt: i64,
+    pv: i64,
+    pm: i64,
 }
 
-impl<'a> Head<'a> {
-    fn new(v: SoaView<'a>) -> Head<'a> {
-        Head {
-            starts: v.starts,
-            values: v.values,
-            slopes: v.slopes,
-            i: 0,
-            start: v.starts[0],
-            value: v.values[0],
-            slope: v.slopes[0],
+impl<'a> SoaWriter<'a> {
+    #[inline]
+    fn new(out: &'a mut SoaCurve, cap: usize) -> SoaWriter<'a> {
+        out.starts.resize(cap, 0);
+        out.values.resize(cap, 0);
+        out.slopes.resize(cap, 0);
+        SoaWriter {
+            s: &mut out.starts,
+            v: &mut out.values,
+            m: &mut out.slopes,
+            w: 0,
+            pt: 0,
+            // No real entry evaluates to i64::MIN, so the first emit can
+            // never be mistaken for a line continuation.
+            pv: i64::MIN,
+            pm: 0,
         }
     }
 
-    /// Advance to the piece active at `t`; returns the next breakpoint
-    /// strictly after the active piece, if any.
     #[inline]
-    fn advance(&mut self, t: i64) -> Option<i64> {
-        while self.i + 1 < self.starts.len() && self.starts[self.i + 1] <= t {
-            self.i += 1;
-            self.start = self.starts[self.i];
-            self.value = self.values[self.i];
-            self.slope = self.slopes[self.i];
+    fn emit(&mut self, t: i64, v: i64, m: i64) {
+        if self.pm == m && self.pv + self.pm * (t - self.pt) == v {
+            return;
         }
-        self.starts.get(self.i + 1).copied()
+        self.s[self.w] = t;
+        self.v[self.w] = v;
+        self.m[self.w] = m;
+        (self.pt, self.pv, self.pm) = (t, v, m);
+        self.w += 1;
     }
 
-    /// The active piece evaluated at `t`.
     #[inline]
-    fn eval(&self, t: i64) -> i64 {
-        self.value + self.slope * (t - self.start)
-    }
-}
-
-/// The next merged breakpoint after the two heads' active pieces.
-#[inline]
-fn merged_next(na: Option<i64>, nb: Option<i64>) -> Option<i64> {
-    match (na, nb) {
-        (Some(x), Some(y)) => Some(x.min(y)),
-        (x, None) => x,
-        (None, y) => y,
+    fn finish(self) {
+        self.s.truncate(self.w);
+        self.v.truncate(self.w);
+        self.m.truncate(self.w);
     }
 }
 
 /// The pointwise linear combination `ca·a + cb·b`, written into `out` —
-/// the SoA port of [`crate::ops::linear_combine_into`]: one streaming pass
-/// over the merged breakpoints with cached piece heads and normalized
-/// pushes.
+/// the SoA port of [`crate::ops::linear_combine_into`]. The merge keeps
+/// both operands' active piece scalars in locals (loaded once per head
+/// advance, with `i64::MAX` sentinels standing in for "no next
+/// breakpoint", so the hot loop is `Option`-free), and writes by index
+/// into pre-sized columns with the `Curve::normalize` continuation
+/// predicate checked against a register-cached previous entry — no
+/// per-entry `Vec::push` length/capacity traffic and no second
+/// normalization pass, while the output stays segment-identical to the
+/// AoS kernel.
 pub fn linear_combine_into(a: &SoaCurve, ca: i64, b: &SoaCurve, cb: i64, out: &mut SoaCurve) {
-    let (mut ha, mut hb) = (Head::new(a.view()), Head::new(b.view()));
-    out.begin(a.len() + b.len());
-    let mut cur = Some(0i64);
-    while let Some(t) = cur {
-        let (na, nb) = (ha.advance(t), hb.advance(t));
-        cur = merged_next(na, nb);
-        out.push(
-            t,
-            ca * ha.eval(t) + cb * hb.eval(t),
-            ca * ha.slope + cb * hb.slope,
-        );
+    // A zero line folds away inside the fused kernel, including its
+    // one-piece dispatches, so this is the same merge term for term.
+    linear_combine_line_into(a, ca, b, cb, 0, 0, out);
+}
+
+/// `cc·c + lv + lm·t` — a scaled curve plus a line, one pass over `c`'s
+/// breakpoints. The affine term regroups exactly in integer arithmetic,
+/// so this matches the general merge against any one-piece operand that
+/// folds to the same `(lv, lm)`.
+fn combine_line(c: &SoaCurve, cc: i64, lv: i64, lm: i64, out: &mut SoaCurve) {
+    let mut wr = SoaWriter::new(out, c.len());
+    for i in 0..c.len() {
+        let t = c.starts[i];
+        wr.emit(t, cc * c.values[i] + lv + lm * t, cc * c.slopes[i] + lm);
     }
+    wr.finish();
+    out.finish();
+}
+
+/// `ca·a + cb·b + lv + lm·t` in a single merge pass — the two-operand
+/// combine with an affine tail fused in. Staging the affine term as a
+/// separate pass produces the identical segments: the `Curve::normalize`
+/// continuation predicate is invariant under affine offsets (the offset
+/// cancels on both sides of the check), so fusing drops a full
+/// write+read of the intermediate without moving a breakpoint.
+pub fn linear_combine_line_into(
+    a: &SoaCurve,
+    ca: i64,
+    b: &SoaCurve,
+    cb: i64,
+    lv: i64,
+    lm: i64,
+    out: &mut SoaCurve,
+) {
+    if b.len() == 1 {
+        let (fv, fm) = (
+            lv + cb * (b.values[0] - b.slopes[0] * b.starts[0]),
+            lm + cb * b.slopes[0],
+        );
+        return combine_line(a, ca, fv, fm, out);
+    }
+    if a.len() == 1 {
+        let (fv, fm) = (
+            lv + ca * (a.values[0] - a.slopes[0] * a.starts[0]),
+            lm + ca * a.slopes[0],
+        );
+        return combine_line(b, cb, fv, fm, out);
+    }
+    let (sa, va, ma) = (
+        a.starts.as_slice(),
+        a.values.as_slice(),
+        a.slopes.as_slice(),
+    );
+    let (sb, vb, mb) = (
+        b.starts.as_slice(),
+        b.values.as_slice(),
+        b.slopes.as_slice(),
+    );
+    let mut wr = SoaWriter::new(out, a.len() + b.len());
+    // The merge keeps each scaled piece in intercept form `k + m·t`, so an
+    // emit is one multiply; the per-piece constants are refreshed only when
+    // a head advances. `k + m·t` equals the scaled point-slope evaluation
+    // exactly in integer arithmetic.
+    let (mut ia, mut ib) = (0usize, 0usize);
+    let mut ka = ca * (va[0] - ma[0] * sa[0]);
+    let mut kam = ca * ma[0];
+    let mut kb = cb * (vb[0] - mb[0] * sb[0]);
+    let mut kbm = cb * mb[0];
+    let mut na = sa.get(1).copied().unwrap_or(i64::MAX);
+    let mut nb = sb.get(1).copied().unwrap_or(i64::MAX);
+    wr.emit(0, ka + kb + lv, kam + kbm + lm);
+    loop {
+        let t = na.min(nb);
+        if t == i64::MAX {
+            break;
+        }
+        if na == t {
+            ia += 1;
+            ka = ca * (va[ia] - ma[ia] * sa[ia]);
+            kam = ca * ma[ia];
+            na = sa.get(ia + 1).copied().unwrap_or(i64::MAX);
+        }
+        if nb == t {
+            ib += 1;
+            kb = cb * (vb[ib] - mb[ib] * sb[ib]);
+            kbm = cb * mb[ib];
+            nb = sb.get(ib + 1).copied().unwrap_or(i64::MAX);
+        }
+        let m = kam + kbm + lm;
+        wr.emit(t, ka + kb + lv + m * t, m);
+    }
+    wr.finish();
+    out.finish();
+}
+
+/// The pointwise sum of `curves`, written into `out` in a single k-way
+/// merge — equivalent to folding [`SoaCurve::add_into`] over the slice
+/// (pointwise addition is exact and the normalized segment representation
+/// is canonical, so the two agree segment for segment), but each input
+/// breakpoint is visited once instead of once per accumulation step. An
+/// empty slice yields the zero curve. Merge state lives in fixed stack
+/// arrays; sums wider than their capacity fall back to the fold.
+pub fn sum_many_into(curves: &[&SoaCurve], out: &mut SoaCurve) {
+    const FAN: usize = 16;
+    match curves.len() {
+        0 => {
+            out.set_affine(0, 0);
+            return;
+        }
+        1 => {
+            out.copy_from(curves[0]);
+            return;
+        }
+        2 => {
+            linear_combine_into(curves[0], 1, curves[1], 1, out);
+            return;
+        }
+        n if n > FAN => {
+            // Cold path: tree-reduce through temporaries so the hot merge
+            // below keeps its fixed-size state.
+            let mut acc = SoaCurve::zero();
+            let mut tmp = SoaCurve::zero();
+            sum_many_into(&curves[..FAN], &mut acc);
+            for chunk in curves[FAN..].chunks(FAN - 1) {
+                let mut operands: Vec<&SoaCurve> = Vec::with_capacity(FAN);
+                operands.push(&acc);
+                operands.extend_from_slice(chunk);
+                sum_many_into(&operands, &mut tmp);
+                std::mem::swap(&mut acc, &mut tmp);
+            }
+            out.copy_from(&acc);
+            return;
+        }
+        _ => {}
+    }
+    let k = curves.len();
+    let cap: usize = curves.iter().map(|c| c.len()).sum();
+    let mut wr = SoaWriter::new(out, cap);
+    let mut idx = [0usize; FAN];
+    let mut head = [(0i64, 0i64, 0i64); FAN];
+    let mut next = [i64::MAX; FAN];
+    let (mut v0, mut m0) = (0i64, 0i64);
+    for (j, c) in curves.iter().enumerate() {
+        head[j] = (c.starts[0], c.values[0], c.slopes[0]);
+        next[j] = c.starts.get(1).copied().unwrap_or(i64::MAX);
+        v0 += c.values[0] - c.slopes[0] * c.starts[0];
+        m0 += c.slopes[0];
+    }
+    wr.emit(0, v0, m0);
+    loop {
+        let mut t = i64::MAX;
+        for &n in &next[..k] {
+            t = t.min(n);
+        }
+        if t == i64::MAX {
+            break;
+        }
+        let (mut v, mut m) = (0i64, 0i64);
+        for j in 0..k {
+            if next[j] == t {
+                idx[j] += 1;
+                let i = idx[j];
+                let c = curves[j];
+                head[j] = (c.starts[i], c.values[i], c.slopes[i]);
+                next[j] = c.starts.get(i + 1).copied().unwrap_or(i64::MAX);
+            }
+            let (a0, av, am) = head[j];
+            v += av + am * (t - a0);
+            m += am;
+        }
+        wr.emit(t, v, m);
+    }
+    wr.finish();
     out.finish();
 }
 
 /// Shared min/max kernel — the SoA port of `ops::pointwise_extremum_into`
 /// (same sign folding, same `div_floor` crossing offsets, same tie-breaks).
+/// Uses the same indexed-write scheme as [`linear_combine_into`]: pre-sized
+/// columns, sentinel-merged heads in registers, and the `Curve::normalize`
+/// continuation predicate applied inline against the last written entry.
+/// Copy a (normalized) view verbatim into `out`.
+fn copy_view(v: SoaView<'_>, out: &mut SoaCurve) {
+    out.starts.clear();
+    out.starts.extend_from_slice(v.starts);
+    out.values.clear();
+    out.values.extend_from_slice(v.values);
+    out.slopes.clear();
+    out.slopes.extend_from_slice(v.slopes);
+    out.finish();
+}
+
 fn extremum_into(a: SoaView<'_>, b: SoaView<'_>, max: bool, out: &mut SoaCurve) {
+    // One-piece operands (the identity line, clamp constants) skip the
+    // merge. The specialization keeps the operand roles of the general
+    // loop — ties pick `a`, and which side a single-tick switch piece
+    // borrows its slope from depends on that order.
+    if b.len() == 1 {
+        return extremum_with_affine(a, (b.starts[0], b.values[0], b.slopes[0]), max, false, out);
+    }
+    if a.len() == 1 {
+        return extremum_with_affine(b, (a.starts[0], a.values[0], a.slopes[0]), max, true, out);
+    }
     let sign: i64 = if max { -1 } else { 1 };
-    out.begin(2 * (a.len() + b.len()));
-    let (mut ha, mut hb) = (Head::new(a), Head::new(b));
-    let mut cur = Some(0i64);
-    while let Some(t0) = cur {
-        let (na, nb) = (ha.advance(t0), hb.advance(t0));
-        let next = merged_next(na, nb);
-        cur = next;
-        let ea = ha.eval(t0);
-        let eb = hb.eval(t0);
+    let (sa, va, ma) = (a.starts, a.values, a.slopes);
+    let (sb, vb, mb) = (b.starts, b.values, b.slopes);
+    let (mut ia, mut ib) = (0usize, 0usize);
+    let (mut a0, mut av, mut am) = (sa[0], va[0], ma[0]);
+    let (mut b0, mut bv, mut bm) = (sb[0], vb[0], mb[0]);
+    let mut na = sa.get(1).copied().unwrap_or(i64::MAX);
+    let mut nb = sb.get(1).copied().unwrap_or(i64::MAX);
+    let mut t0 = 0i64;
+    // Phase 1: follow the tick-0 winner (ties pick `a`) through the
+    // breakpoint union without writing anything — each interval only needs
+    // the sign of the linear difference at its endpoints, no divisions.
+    // The clamp/cap steps of the analysis chains are one-sided almost
+    // always once the fixpoint is warm, so this usually runs to the end
+    // and the merge collapses to a copy. When the winner does lose an
+    // interval, everything emitted so far is exactly the winner's pieces
+    // up to its current head (the other operand's breakpoints inside a won
+    // stretch are line continuations the normalize predicate drops), so
+    // the emitting merge resumes mid-stream from a bulk-copied prefix.
+    let a_winning = sign * (va[0] - vb[0]) <= 0;
+    loop {
+        let next = na.min(nb);
+        let d0 = sign * ((av + am * (t0 - a0)) - (bv + bm * (t0 - b0)));
+        let ds = sign * (am - bm);
+        let holds = if next == i64::MAX {
+            if a_winning {
+                d0 <= 0 && ds <= 0
+            } else {
+                d0 > 0 && ds >= 0
+            }
+        } else {
+            let de = d0 + ds * (next - 1 - t0);
+            if a_winning {
+                d0 <= 0 && de <= 0
+            } else {
+                d0 > 0 && de > 0
+            }
+        };
+        if !holds {
+            break;
+        }
+        if next == i64::MAX {
+            return copy_view(if a_winning { a } else { b }, out);
+        }
+        t0 = next;
+        if na == next {
+            ia += 1;
+            (a0, av, am) = (sa[ia], va[ia], ma[ia]);
+            na = sa.get(ia + 1).copied().unwrap_or(i64::MAX);
+        }
+        if nb == next {
+            ib += 1;
+            (b0, bv, bm) = (sb[ib], vb[ib], mb[ib]);
+            nb = sb.get(ib + 1).copied().unwrap_or(i64::MAX);
+        }
+    }
+    // Phase 2: the emitting merge, seeded with the winner's prefix.
+    let mut wr = SoaWriter::new(out, 2 * (a.len() + b.len()));
+    if t0 > 0 {
+        let (ws, wv, wm, iw) = if a_winning {
+            (sa, va, ma, ia)
+        } else {
+            (sb, vb, mb, ib)
+        };
+        // A winner piece starting exactly at the divergence time covers no
+        // validated interval — the merge below owns the emit at `t0`.
+        let n = if ws[iw] == t0 { iw } else { iw + 1 };
+        wr.s[..n].copy_from_slice(&ws[..n]);
+        wr.v[..n].copy_from_slice(&wv[..n]);
+        wr.m[..n].copy_from_slice(&wm[..n]);
+        wr.w = n;
+        (wr.pt, wr.pv, wr.pm) = (ws[n - 1], wv[n - 1], wm[n - 1]);
+    }
+    loop {
+        let next = na.min(nb);
+        let ea = av + am * (t0 - a0);
+        let eb = bv + bm * (t0 - b0);
         let e0 = sign * (ea - eb);
-        let es = sign * (ha.slope - hb.slope);
+        let es = sign * (am - bm);
         // The currently-extremal piece, then a possible single switch.
         let take_a = e0 <= 0;
-        let (first_v, first_m) = if take_a {
-            (ea, ha.slope)
-        } else {
-            (eb, hb.slope)
-        };
-        out.push(t0, first_v, first_m);
+        let (first_v, first_m) = if take_a { (ea, am) } else { (eb, bm) };
+        wr.emit(t0, first_v, first_m);
         let cross_off = if take_a && es > 0 {
             Some(div_floor(-e0, es) + 1)
         } else if !take_a && es < 0 {
@@ -640,16 +942,121 @@ fn extremum_into(a: SoaView<'_>, b: SoaView<'_>, max: bool, out: &mut SoaCurve) 
         if let Some(off) = cross_off {
             debug_assert!(off >= 1);
             let tc = t0 + off;
-            if next.is_none_or(|t1| tc < t1) {
+            if tc < next {
                 let (sv, sm) = if take_a {
-                    (hb.eval(tc), hb.slope)
+                    (bv + bm * (tc - b0), bm)
                 } else {
-                    (ha.eval(tc), ha.slope)
+                    (av + am * (tc - a0), am)
                 };
-                out.push(tc, sv, sm);
+                wr.emit(tc, sv, sm);
+            }
+        }
+        if next == i64::MAX {
+            break;
+        }
+        t0 = next;
+        if na == next {
+            ia += 1;
+            (a0, av, am) = (sa[ia], va[ia], ma[ia]);
+            na = sa.get(ia + 1).copied().unwrap_or(i64::MAX);
+        }
+        if nb == next {
+            ib += 1;
+            (b0, bv, bm) = (sb[ib], vb[ib], mb[ib]);
+            nb = sb.get(ib + 1).copied().unwrap_or(i64::MAX);
+        }
+    }
+    wr.finish();
+    out.finish();
+}
+
+/// [`extremum_into`] against a single affine piece `aff(t) = av + am·(t −
+/// a0)`, iterating only the multi-piece operand `c`. `aff_is_a` records
+/// which *positional* operand the affine piece was, so tie-breaks (`take_a
+/// = e0 ≤ 0`) and switch-piece slopes replicate the general merge exactly.
+fn extremum_with_affine(
+    c: SoaView<'_>,
+    (f0, fv, fm): (i64, i64, i64),
+    max: bool,
+    aff_is_a: bool,
+    out: &mut SoaCurve,
+) {
+    let sign: i64 = if max { -1 } else { 1 };
+    let (sc, vc, mc) = (c.starts, c.values, c.slopes);
+    // Pre-scan: when `c` is extremal at every integer tick the merge is
+    // the identity on it — the general loop would take `c`'s piece in
+    // every interval and never emit a switch, so copying `c` is
+    // segment-identical and skips all crossing divisions. Ties go to
+    // positional operand `a`, so `c` must win strictly when the affine
+    // piece holds that slot. Clipping curves against the identity line or
+    // a zero floor usually no-ops on converged bounds, which makes this
+    // the common case in the fixpoint's warm rounds.
+    let strict = aff_is_a;
+    let mut c_extremal = true;
+    for i in 0..c.len() {
+        let (t0, cv, cm) = (sc[i], vc[i], mc[i]);
+        let d0 = sign * (cv - (fv + fm * (t0 - f0)));
+        if if strict { d0 >= 0 } else { d0 > 0 } {
+            c_extremal = false;
+            break;
+        }
+        let ds = sign * (cm - fm);
+        match sc.get(i + 1) {
+            Some(&t1) => {
+                let de = d0 + ds * (t1 - 1 - t0);
+                if if strict { de >= 0 } else { de > 0 } {
+                    c_extremal = false;
+                    break;
+                }
+            }
+            None => {
+                if ds > 0 {
+                    c_extremal = false;
+                    break;
+                }
             }
         }
     }
+    if c_extremal {
+        return copy_view(c, out);
+    }
+    let mut wr = SoaWriter::new(out, 2 * (c.len() + 1));
+    for i in 0..c.len() {
+        let (t0, cv, cm) = (sc[i], vc[i], mc[i]);
+        let next = sc.get(i + 1).copied().unwrap_or(i64::MAX);
+        let ev = fv + fm * (t0 - f0);
+        // The general loop's (ea, eb) with the affine piece restored to
+        // its original operand slot.
+        let (e0, es) = if aff_is_a {
+            (sign * (ev - cv), sign * (fm - cm))
+        } else {
+            (sign * (cv - ev), sign * (cm - fm))
+        };
+        let take_a = e0 <= 0;
+        let take_aff = take_a == aff_is_a;
+        let (first_v, first_m) = if take_aff { (ev, fm) } else { (cv, cm) };
+        wr.emit(t0, first_v, first_m);
+        let cross_off = if take_a && es > 0 {
+            Some(div_floor(-e0, es) + 1)
+        } else if !take_a && es < 0 {
+            Some(div_floor(e0, -es) + 1)
+        } else {
+            None
+        };
+        if let Some(off) = cross_off {
+            debug_assert!(off >= 1);
+            let tc = t0 + off;
+            if tc < next {
+                let (sv, sm) = if take_aff {
+                    (cv + cm * (tc - t0), cm)
+                } else {
+                    (fv + fm * (tc - f0), fm)
+                };
+                wr.emit(tc, sv, sm);
+            }
+        }
+    }
+    wr.finish();
     out.finish();
 }
 

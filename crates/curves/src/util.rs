@@ -1,16 +1,27 @@
 //! Small exact-integer helpers shared across curve operations.
 
-/// Floor division for `i64` with a strictly positive divisor.
+/// Floor division for `i64` with a strictly positive divisor. Unit
+/// divisors skip the hardware division — crossing-offset divisors are
+/// slope differences, and the analysis chains run on staircases against
+/// the unit-slope identity line, so `b == 1` is the overwhelmingly common
+/// case.
 #[inline]
 pub(crate) fn div_floor(a: i64, b: i64) -> i64 {
     debug_assert!(b > 0, "div_floor requires positive divisor");
+    if b == 1 {
+        return a;
+    }
     a.div_euclid(b)
 }
 
-/// Ceiling division for `i64` with a strictly positive divisor.
+/// Ceiling division for `i64` with a strictly positive divisor. Same
+/// unit-divisor fast path as [`div_floor`].
 #[inline]
 pub(crate) fn div_ceil(a: i64, b: i64) -> i64 {
     debug_assert!(b > 0, "div_ceil requires positive divisor");
+    if b == 1 {
+        return a;
+    }
     -((-a).div_euclid(b))
 }
 

@@ -15,7 +15,8 @@ use rta_curves::convolution::{
 };
 use rta_curves::ops::{linear_combine, pointwise_max, pointwise_min};
 use rta_curves::soa::{
-    convolve_convex_into, linear_combine_into, pointwise_max_into, pointwise_min_into,
+    convolve_convex_into, linear_combine_into, linear_combine_line_into, pointwise_max_into,
+    pointwise_min_into, sum_many_into,
 };
 use rta_curves::{Curve, CurveCursor, Segment, SoaCursor, SoaCurve, Time};
 
@@ -73,6 +74,26 @@ fn arb_convex() -> impl Strategy<Value = Curve> {
         }
         Curve::from_segments(segs)
     })
+}
+
+/// Strategy: a long many-piece curve with values in a narrow band, so
+/// extremum merges switch winners often and winner pre-scans see both
+/// early failures and full-length successes.
+fn arb_wide_curve() -> impl Strategy<Value = Curve> {
+    (
+        -4i64..4,
+        -2i64..3,
+        prop::collection::vec((1i64..5, -4i64..4, -2i64..3), 8..40),
+    )
+        .prop_map(|(v0, k0, rest)| {
+            let mut segs = vec![Segment::new(Time(0), v0, k0)];
+            let mut t = 0i64;
+            for (gap, v, k) in rest {
+                t += gap;
+                segs.push(Segment::new(Time(t), v, k));
+            }
+            Curve::from_segments(segs)
+        })
 }
 
 /// A distinctive curve used to dirty outputs before every kernel call: the
@@ -165,6 +186,52 @@ proptest! {
         prop_assert_eq!(&back(&out), &pointwise_max(&a, &b));
         linear_combine_into(&sa, ca, &sb, cb, &mut out);
         prop_assert_eq!(&back(&out), &linear_combine(&a, ca, &b, cb));
+    }
+
+    #[test]
+    fn fused_line_combine_matches_staged_aos(a in arb_curve(), b in arb_curve(),
+                                             ca in -3i64..4, cb in -3i64..4,
+                                             lv in -9i64..10, lm in -3i64..4) {
+        // `ca·a + cb·b + (lv + lm·t)` in one pass must equal staging the
+        // affine term as a separate AoS add.
+        let (sa, sb) = (SoaCurve::from_curve(&a), SoaCurve::from_curve(&b));
+        let mut out = soa_dirt();
+        linear_combine_line_into(&sa, ca, &sb, cb, lv, lm, &mut out);
+        let line = Curve::from_segments(vec![Segment::new(Time(0), lv, lm)]);
+        prop_assert_eq!(&back(&out), &linear_combine(&a, ca, &b, cb).add(&line));
+    }
+
+    #[test]
+    fn sum_many_matches_folded_aos(curves in prop::collection::vec(arb_curve(), 0..20)) {
+        // Sized to cross the k-way merge fan-out (16), so the tree-reduce
+        // cold path is exercised alongside the fixed-state merge.
+        let soa: Vec<SoaCurve> = curves.iter().map(SoaCurve::from_curve).collect();
+        let refs: Vec<&SoaCurve> = soa.iter().collect();
+        let mut out = soa_dirt();
+        sum_many_into(&refs, &mut out);
+        let expected = curves
+            .iter()
+            .fold(Curve::zero(), |acc, c| acc.add(c));
+        prop_assert_eq!(&back(&out), &expected);
+    }
+
+    #[test]
+    fn wide_extremum_merges_match_aos(a in arb_wide_curve(), b in arb_wide_curve()) {
+        // Long many-piece operands stress the winner pre-scans and the
+        // two-phase merge seeding (prefix copy + divergence handoff) in a
+        // way the short default strategy rarely does.
+        let (sa, sb) = (SoaCurve::from_curve(&a), SoaCurve::from_curve(&b));
+        let mut out = soa_dirt();
+        pointwise_min_into(&sa, &sb, &mut out);
+        prop_assert_eq!(&back(&out), &pointwise_min(&a, &b));
+        pointwise_max_into(&sa, &sb, &mut out);
+        prop_assert_eq!(&back(&out), &pointwise_max(&a, &b));
+        sa.running_min_into(&mut out);
+        prop_assert_eq!(&back(&out), &a.running_min());
+        sa.running_max_into(&mut out);
+        prop_assert_eq!(&back(&out), &a.running_max());
+        linear_combine_into(&sa, 2, &sb, -1, &mut out);
+        prop_assert_eq!(&back(&out), &linear_combine(&a, 2, &b, -1));
     }
 
     #[test]

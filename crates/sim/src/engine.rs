@@ -16,7 +16,7 @@
 
 use crate::arena::{InstanceArena, InstanceId, InstanceState};
 use crate::result::SimResult;
-use crate::schedule::{ord_check, ord_complete, ord_release, Calendar, Event};
+use crate::schedule::{ord_check, ord_complete, ord_release, Calendar, Event, NO_TRIGGER};
 use rta_core::policy::{policy_for, ReadyInstance, ReadySet, SimScheduler};
 use rta_curves::Time;
 use rta_model::{JobId, ProcessorId, TaskSystem};
@@ -64,6 +64,10 @@ struct ProcState {
     /// Whether a [`Event::PreemptCheck`] is already scheduled for this
     /// processor at the instant being drained.
     check_pending: bool,
+    /// Set when a second state change coalesces into the pending check:
+    /// its `trigger` no longer names the only new arrival, so the check
+    /// must consult the full ready set.
+    multi_trigger: bool,
 }
 
 /// Rebuild the policy-facing views of `ready` in the scratch buffer.
@@ -153,6 +157,7 @@ impl SimEngine {
             p.running = None;
             p.run_gen = 0;
             p.check_pending = false;
+            p.multi_trigger = false;
         }
         for i in self.procs.len()..sys.processors().len() {
             self.procs.push(ProcState {
@@ -163,6 +168,7 @@ impl SimEngine {
                 running: None,
                 run_gen: 0,
                 check_pending: false,
+                multi_trigger: false,
             });
         }
 
@@ -220,7 +226,16 @@ impl SimEngine {
                     let p = &mut procs[proc as usize];
                     if !p.check_pending {
                         p.check_pending = true;
-                        cal.push(t, ord_check(proc), Event::PreemptCheck { proc });
+                        cal.push(
+                            t,
+                            ord_check(proc),
+                            Event::PreemptCheck {
+                                proc,
+                                trigger: NO_TRIGGER,
+                            },
+                        );
+                    } else {
+                        p.multi_trigger = true;
                     }
                 }
                 Event::Release(id) => {
@@ -230,19 +245,43 @@ impl SimEngine {
                     if !p.check_pending {
                         p.check_pending = true;
                         let proc = pidx as u32;
-                        cal.push(t, ord_check(proc), Event::PreemptCheck { proc });
+                        cal.push(
+                            t,
+                            ord_check(proc),
+                            Event::PreemptCheck {
+                                proc,
+                                trigger: id.0,
+                            },
+                        );
+                    } else {
+                        p.multi_trigger = true;
                     }
                 }
-                Event::PreemptCheck { proc } => {
+                Event::PreemptCheck { proc, trigger } => {
                     let p = &mut procs[proc as usize];
                     p.check_pending = false;
+                    let multi = std::mem::take(&mut p.multi_trigger);
                     if let Some((id, at)) = p.running {
                         if !p.ready.is_empty() {
-                            fill_views(&mut p.views, &p.ready, arena);
                             let running_view = view(&arena[id]);
-                            if p.scheduler
-                                .preempts(sys, &running_view, &ReadySet::new(&p.views))
-                            {
+                            // With exactly one release since the last
+                            // decision, that instance is the only possible
+                            // preemptor: every other ready instance already
+                            // declined against this running instance (or
+                            // lost the dispatch that seated it), and
+                            // `preempts` is an any-exists test, so the
+                            // one-element view is equivalent to the full
+                            // set.
+                            let wants = if multi || trigger == NO_TRIGGER {
+                                fill_views(&mut p.views, &p.ready, arena);
+                                p.scheduler
+                                    .preempts(sys, &running_view, &ReadySet::new(&p.views))
+                            } else {
+                                let tv = [view(&arena[InstanceId(trigger)])];
+                                p.scheduler
+                                    .preempts(sys, &running_view, &ReadySet::new(&tv))
+                            };
+                            if wants {
                                 #[cfg(feature = "trace")]
                                 if at < t {
                                     out.service_intervals
@@ -591,6 +630,44 @@ mod tests {
         let r = simulate(&sys, &cfg(50, 100));
         assert_eq!(r.completion(JobId(1), 1), Some(Time(4)));
         assert_eq!(r.completion(JobId(0), 1), Some(Time(6)));
+    }
+
+    #[test]
+    fn coalesced_check_consults_the_full_ready_set() {
+        // Two releases at the same instant coalesce into one PreemptCheck
+        // whose `trigger` names only the first. The first (T1a) is lower
+        // priority than the running T2 and would not preempt on its own;
+        // the second (T1b) must still get its preemption.
+        let mut b = SystemBuilder::new();
+        let p = b.add_processor("P1", SchedulerKind::Spp);
+        let t1a = b.add_job(
+            "T1a",
+            Time(100),
+            ArrivalPattern::Trace(vec![Time(2)]),
+            vec![(p, Time(1))],
+        );
+        let t1b = b.add_job(
+            "T1b",
+            Time(100),
+            ArrivalPattern::Trace(vec![Time(2)]),
+            vec![(p, Time(1))],
+        );
+        let t2 = b.add_job(
+            "T2",
+            Time(100),
+            ArrivalPattern::Trace(vec![Time(0)]),
+            vec![(p, Time(10))],
+        );
+        b.set_priority(SubjobRef { job: t1a, index: 0 }, 3);
+        b.set_priority(SubjobRef { job: t1b, index: 0 }, 1);
+        b.set_priority(SubjobRef { job: t2, index: 0 }, 2);
+        let sys = b.build().unwrap();
+        let r = simulate(&sys, &cfg(50, 200));
+        // T1b preempts T2 at 2 and finishes at 3; T2 resumes and finishes
+        // at 11; T1a (lowest priority) runs last.
+        assert_eq!(r.completion(JobId(1), 1), Some(Time(3)));
+        assert_eq!(r.completion(JobId(2), 1), Some(Time(11)));
+        assert_eq!(r.completion(JobId(0), 1), Some(Time(12)));
     }
 
     #[test]

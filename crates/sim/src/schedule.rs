@@ -12,7 +12,10 @@
 //!   (primary arrival, or a chain advancing under Direct Synchronization).
 //! * [`Event::PreemptCheck`] — a processor whose state changed at the
 //!   current instant re-evaluates preemption and dispatch. Deduplicated per
-//!   processor per instant.
+//!   processor per instant; carries the arena id of the instance whose
+//!   release triggered it (or [`NO_TRIGGER`] for completion-scheduled
+//!   checks), so a check with exactly one trigger can test preemption
+//!   against that instance alone.
 //!
 //! ## Ordering
 //!
@@ -48,9 +51,19 @@ pub(crate) enum Event {
     /// The instance dispatched on processor `proc` at generation `gen`
     /// finishes. Stale once the processor's generation has moved on.
     HopComplete { proc: u32, gen: u32 },
-    /// Processor `proc` re-evaluates preemption and dispatch.
-    PreemptCheck { proc: u32 },
+    /// Processor `proc` re-evaluates preemption and dispatch. `trigger` is
+    /// the raw [`InstanceId`] of the release that scheduled the check, or
+    /// [`NO_TRIGGER`] when a completion did (a completion frees the
+    /// processor, so no preemption test is needed). Meaningful only while
+    /// the processor's `multi_trigger` flag is clear — once a second
+    /// state change coalesces into the pending check, the full ready set
+    /// must be consulted.
+    PreemptCheck { proc: u32, trigger: u32 },
 }
+
+/// Sentinel `trigger` for [`Event::PreemptCheck`]s scheduled by hop
+/// completions rather than releases.
+pub(crate) const NO_TRIGGER: u32 = u32::MAX;
 
 /// Phase rank 0: completions drain first at an instant, in processor order.
 pub(crate) fn ord_complete(proc: u32) -> u64 {
@@ -207,7 +220,14 @@ mod tests {
     fn pops_in_time_then_ord_order() {
         let mut cal = Calendar::with_profile(Time(1000), 16);
         // Same instant, all three phases, pushed out of order.
-        cal.push(Time(10), ord_check(0), Event::PreemptCheck { proc: 0 });
+        cal.push(
+            Time(10),
+            ord_check(0),
+            Event::PreemptCheck {
+                proc: 0,
+                trigger: NO_TRIGGER,
+            },
+        );
         cal.push(Time(10), ord_release(3), release(3));
         cal.push(
             Time(10),
@@ -232,7 +252,13 @@ mod tests {
                 (Time(10), Event::HopComplete { proc: 1, gen: 0 }),
                 (Time(10), release(2)),
                 (Time(10), release(3)),
-                (Time(10), Event::PreemptCheck { proc: 0 }),
+                (
+                    Time(10),
+                    Event::PreemptCheck {
+                        proc: 0,
+                        trigger: NO_TRIGGER,
+                    }
+                ),
             ]
         );
     }
@@ -271,11 +297,24 @@ mod tests {
         let (t, _) = cal.pop_min().unwrap();
         // A chain release created while handling the completion at t=10.
         cal.push(t, ord_release(0), release(0));
-        cal.push(t, ord_check(0), Event::PreemptCheck { proc: 0 });
+        cal.push(
+            t,
+            ord_check(0),
+            Event::PreemptCheck {
+                proc: 0,
+                trigger: 0,
+            },
+        );
         assert_eq!(cal.pop_min(), Some((Time(10), release(0))));
         assert_eq!(
             cal.pop_min(),
-            Some((Time(10), Event::PreemptCheck { proc: 0 }))
+            Some((
+                Time(10),
+                Event::PreemptCheck {
+                    proc: 0,
+                    trigger: 0,
+                }
+            ))
         );
         assert_eq!(cal.pop_min(), None);
     }

@@ -60,6 +60,14 @@ if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
             cargo run -p rta-bench --release --bin bench_gate -- "$basedir/$f" "$f" 25
         fi
     done
+
+    # Layout parity: the SoA kernel rows must not fall behind their
+    # retained AoS oracles (15% grace for run-to-run noise).
+    echo "==> bench gate: SoA-vs-AoS kernel pairs"
+    cargo run -p rta-bench --release --bin bench_gate -- \
+        --pair BENCH_curves.json soa/linear_combine/256 aos/linear_combine/256 15
+    cargo run -p rta-bench --release --bin bench_gate -- \
+        --pair BENCH_curves.json soa/pointwise_min/256 aos/pointwise_min/256 15
 fi
 
 echo "OK"
