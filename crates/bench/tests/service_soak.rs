@@ -1,0 +1,161 @@
+//! Eviction soak: churn 10× the session cap of tenants through the
+//! admission service and prove its memory is bounded by the cap, not by
+//! tenant count — plus correct re-warm behaviour after eviction.
+//!
+//! Run with `cargo test -p rta-bench --features alloc_stats --release
+//! --test service_soak`. Alone in its binary: the counting allocator is
+//! process-global, so the live-byte window must not see unrelated
+//! allocations.
+
+#![cfg(feature = "alloc_stats")]
+
+use rta_bench::alloc_stats::live_bytes;
+use rta_core::analyze_exact_spp;
+use rta_core::service::{AdmissionService, ServiceConfig, Verdict};
+use rta_curves::Time;
+use rta_model::priority::{assign_priorities, PriorityPolicy};
+use rta_model::{
+    ArrivalPattern, Job, ProcessorId, SchedulerKind, Subjob, SystemBuilder, TaskSystem,
+};
+
+const CAP: usize = 8;
+const TENANTS: usize = 80; // 10× the session cap
+
+/// A small two-stage SPP shop, varied per seed so tenants differ.
+fn tenant_system(seed: usize) -> TaskSystem {
+    let mut b = SystemBuilder::new();
+    let p1 = b.add_processor("P1", SchedulerKind::Spp);
+    let p2 = b.add_processor("P2", SchedulerKind::Spp);
+    for k in 0..3 {
+        let period = 40 + ((seed * 7 + k * 13) % 50) as i64;
+        b.add_job(
+            format!("T{k}"),
+            Time(4 * period),
+            ArrivalPattern::Periodic {
+                period: Time(period),
+                offset: Time(0),
+            },
+            vec![
+                (p1, Time(2 + ((seed + k) % 4) as i64)),
+                (p2, Time(2 + ((seed * 3 + k) % 4) as i64)),
+            ],
+        );
+    }
+    let mut sys = b.build().unwrap();
+    assign_priorities(&mut sys, PriorityPolicy::RelativeDeadlineMonotonic).unwrap();
+    sys
+}
+
+/// A light probe with the lowest priority slot on each processor.
+fn probe(sys: &TaskSystem, name: &str) -> Job {
+    let subjobs = (0..2)
+        .map(|i| {
+            let pid = ProcessorId(i);
+            let lowest = sys
+                .subjobs_on(pid)
+                .into_iter()
+                .filter_map(|r| sys.subjob(r).priority)
+                .max()
+                .unwrap_or(0);
+            Subjob {
+                processor: pid,
+                exec: Time(1),
+                priority: Some(lowest + 1),
+                weight: None,
+            }
+        })
+        .collect();
+    Job {
+        name: name.to_string(),
+        deadline: Time(400),
+        arrival: ArrivalPattern::Periodic {
+            period: Time(100),
+            offset: Time(0),
+        },
+        subjobs,
+    }
+}
+
+/// One tenant visit: load, probe, roll the probe back if admitted.
+fn visit(svc: &mut AdmissionService, seed: usize) -> u64 {
+    let tenant = format!("tenant{seed}");
+    let out = svc.load(&tenant, tenant_system(seed)).unwrap();
+    assert!(out.schedulable, "{tenant}: baseline must be schedulable");
+    let admit = svc
+        .admit(&tenant, probe(svc.tenant_system(&tenant).unwrap(), "probe"))
+        .unwrap();
+    if admit.verdict == Verdict::Admitted {
+        svc.remove(&tenant, "probe").unwrap();
+    }
+    assert!(svc.tenant_count() <= CAP, "tenant map exceeded the cap");
+    admit.generation
+}
+
+#[test]
+fn eviction_bounds_memory_and_rewarms_correctly() {
+    let mut svc = AdmissionService::new(ServiceConfig {
+        max_tenants: CAP,
+        ..ServiceConfig::default()
+    });
+
+    // Fill to the cap and let every warm structure materialize.
+    let mut last_gen = 0;
+    for seed in 0..2 * CAP {
+        last_gen = visit(&mut svc, seed);
+    }
+    let plateau = live_bytes();
+    assert!(plateau > 0, "counting allocator must be active");
+
+    // Churn the remaining 10×-cap tenants. Live bytes may wiggle with the
+    // resident mix but must stay in the plateau's neighbourhood — leaked
+    // sessions would grow it linearly in (TENANTS − CAP) · session size.
+    let budget = plateau + plateau / 2 + (1 << 20);
+    let mut peak = plateau;
+    for seed in 2 * CAP..TENANTS {
+        let generation = visit(&mut svc, seed);
+        assert!(generation > last_gen, "generations must stay monotone");
+        last_gen = generation;
+        peak = peak.max(live_bytes());
+        assert!(
+            live_bytes() <= budget,
+            "live bytes {} exceeded budget {budget} (plateau {plateau}) at tenant {seed}",
+            live_bytes(),
+        );
+    }
+    assert!(
+        svc.evictions() >= (TENANTS - CAP) as u64,
+        "churning 10× the cap must evict continuously (got {})",
+        svc.evictions()
+    );
+    println!(
+        "plateau {plateau} B, peak {peak} B, evictions {}",
+        svc.evictions()
+    );
+
+    // Re-warm after eviction: tenant0 was evicted long ago; a fresh load
+    // must serve verdicts identical to a cold analysis, at a generation
+    // above everything seen so far.
+    assert!(!svc.contains("tenant0"), "tenant0 should have been evicted");
+    let out = svc.load("tenant0", tenant_system(0)).unwrap();
+    assert!(
+        out.generation > last_gen,
+        "re-warmed generation must advance"
+    );
+    let sys = svc.tenant_system("tenant0").unwrap().clone();
+    let mut cold_sys = sys.clone();
+    cold_sys.push_job(probe(&sys, "probe"));
+    let cfg = svc.tenant_config("tenant0").unwrap();
+    let cold = analyze_exact_spp(&cold_sys, &cfg)
+        .unwrap()
+        .all_schedulable();
+    let warm = svc
+        .admit("tenant0", probe(&sys, "probe"))
+        .unwrap()
+        .verdict
+        .admitted();
+    assert_eq!(warm, cold, "re-warmed verdict must match cold analysis");
+
+    // The pinned config must be byte-stable across evict/re-load cycles.
+    let cfg2 = svc.tenant_config("tenant0").unwrap();
+    assert_eq!(format!("{cfg:?}"), format!("{cfg2:?}"));
+}

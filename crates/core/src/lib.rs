@@ -101,6 +101,7 @@ pub mod policy;
 mod report;
 pub mod sensitivity;
 pub mod server;
+pub mod service;
 pub mod session;
 pub mod spnp;
 pub mod spp;
@@ -111,4 +112,5 @@ pub use config::{AnalysisConfig, SpnpAvailability};
 pub use error::AnalysisError;
 pub use exact::analyze_exact_spp;
 pub use report::{BoundsReport, ExactReport, JobBound, JobReport, SubjobCurves};
+pub use service::{AdmissionService, ServiceConfig, ServiceError, Verdict};
 pub use session::{AnalysisSession, SessionStats};

@@ -293,9 +293,14 @@ impl AnalysisSession {
     }
 
     /// Append a job. Existing jobs keep their ids; subjobs sharing a
-    /// processor with the new job are dirtied.
+    /// processor with the new job are dirtied. The job also joins the
+    /// *scaling base* at its given execution times (even if the session is
+    /// currently scaled), so later [`AnalysisSession::scale_exec`] calls
+    /// treat it like any resident job: `scale_exec(1.0)` restores the exec
+    /// it was admitted with.
     pub fn add_job(&mut self, job: Job) -> JobId {
         let procs: Vec<_> = job.subjobs.iter().map(|s| s.processor).collect();
+        self.base.push_job(job.clone());
         let id = self.current.push_job(job);
         let hops = self.current.job(id).subjobs.len();
         self.curves.push(vec![None; hops]);
@@ -310,8 +315,11 @@ impl AnalysisSession {
     }
 
     /// Remove a job; later job ids shift down by one. Subjobs sharing a
-    /// processor with the removed job are dirtied.
+    /// processor with the removed job are dirtied. The job leaves the
+    /// scaling base too, keeping base and current shape-aligned for
+    /// [`AnalysisSession::scale_exec`].
     pub fn remove_job(&mut self, id: JobId) -> Job {
+        self.base.remove_job(id);
         let removed = self.current.remove_job(id);
         self.curves.remove(id.0);
         self.dirty.remove(id.0);

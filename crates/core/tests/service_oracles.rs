@@ -1,0 +1,256 @@
+//! Service-layer oracle tests: every verdict the warm
+//! [`AdmissionService`] serves (`ADMIT` probes, `SCALE` what-ifs) must
+//! equal a **cold** analysis of the equivalent system under the tenant's
+//! pinned configuration — for randomized request streams, across all four
+//! scheduling policies. This extends `incremental_oracles.rs` (session ==
+//! cold) one layer up: service == cold, through the tenant map, rollbacks,
+//! and generation plumbing.
+
+use proptest::prelude::*;
+use rta_core::fixpoint::analyze_with_loops;
+use rta_core::sensitivity::Oracle;
+use rta_core::service::{AdmissionService, ServiceConfig, ServiceError};
+use rta_core::{analyze_bounds, analyze_exact_spp, AnalysisConfig, AnalysisError};
+use rta_curves::Time;
+use rta_model::priority::{assign_priorities, PriorityPolicy};
+use rta_model::{
+    ArrivalPattern, Job, ProcessorId, SchedulerKind, Subjob, SystemBuilder, TaskSystem,
+};
+
+const POLICIES: [SchedulerKind; 4] = [
+    SchedulerKind::Spp,
+    SchedulerKind::Spnp,
+    SchedulerKind::Fcfs,
+    SchedulerKind::Iwrr,
+];
+
+/// A two-processor base system of `kind` with `specs` acyclic jobs
+/// (two-hop jobs always route P0→P1).
+fn base_system(kind: SchedulerKind, specs: &[(i64, Vec<i64>, bool)]) -> TaskSystem {
+    let mut b = SystemBuilder::new();
+    let p0 = b.add_processor("P0", kind);
+    let p1 = b.add_processor("P1", kind);
+    for (k, (period, execs, forward)) in specs.iter().enumerate() {
+        let hops: Vec<(ProcessorId, Time)> = if execs.len() == 2 {
+            vec![(p0, Time(execs[0])), (p1, Time(execs[1]))]
+        } else {
+            vec![(if *forward { p0 } else { p1 }, Time(execs[0]))]
+        };
+        b.add_job(
+            format!("T{k}"),
+            Time(4 * period),
+            ArrivalPattern::Periodic {
+                period: Time(*period),
+                offset: Time(0),
+            },
+            hops,
+        );
+    }
+    let mut sys = b.build().unwrap();
+    if kind.uses_priorities() {
+        assign_priorities(&mut sys, PriorityPolicy::RelativeDeadlineMonotonic).unwrap();
+    }
+    if kind == SchedulerKind::Iwrr {
+        for r in sys.all_subjobs().collect::<Vec<_>>() {
+            sys.set_weight(r, Some(1 + (r.job.0 as u32 % 3)));
+        }
+    }
+    sys
+}
+
+/// Resolve a candidate like the daemon does: lowest-priority slot per
+/// processor for priority policies, a fixed weight for IWRR.
+fn candidate(sys: &TaskSystem, name: &str, execs: &[i64], period: i64) -> Job {
+    let subjobs = execs
+        .iter()
+        .enumerate()
+        .map(|(i, &exec)| {
+            let pid = ProcessorId(i % sys.processors().len());
+            let kind = sys.processor(pid).scheduler;
+            let priority = kind.uses_priorities().then(|| {
+                1 + sys
+                    .subjobs_on(pid)
+                    .into_iter()
+                    .filter_map(|r| sys.subjob(r).priority)
+                    .max()
+                    .unwrap_or(0)
+            });
+            Subjob {
+                processor: pid,
+                exec: Time(exec),
+                priority,
+                weight: (kind == SchedulerKind::Iwrr).then_some(2),
+            }
+        })
+        .collect();
+    Job {
+        name: name.to_string(),
+        deadline: Time(4 * period),
+        arrival: ArrivalPattern::Periodic {
+            period: Time(period),
+            offset: Time(0),
+        },
+        subjobs,
+    }
+}
+
+/// The cold reference: one fresh analysis under the tenant's pinned
+/// configuration, using the tenant's own oracle.
+fn cold_verdict(
+    sys: &TaskSystem,
+    cfg: &AnalysisConfig,
+    oracle: Oracle,
+) -> Result<bool, AnalysisError> {
+    match oracle {
+        Oracle::Exact => Ok(analyze_exact_spp(sys, cfg)?.all_schedulable()),
+        Oracle::Bounds => Ok(analyze_bounds(sys, cfg)?.all_schedulable()),
+        Oracle::Loops { max_rounds } => {
+            Ok(analyze_with_loops(sys, cfg, max_rounds)?.all_schedulable())
+        }
+    }
+}
+
+/// One randomized op against a warm tenant.
+#[derive(Clone, Debug)]
+enum Op {
+    Admit { execs: Vec<i64>, period: i64 },
+    RemoveOldest,
+    Scale { percent: u64 },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (prop::collection::vec(1i64..9, 1..3), 20i64..81)
+                .prop_map(|(execs, period)| Op::Admit { execs, period }),
+            Just(Op::RemoveOldest),
+            (50u64..200).prop_map(|percent| Op::Scale { percent }),
+        ],
+        1..8,
+    )
+}
+
+fn run_stream(kind: SchedulerKind, specs: &[(i64, Vec<i64>, bool)], ops: &[Op]) {
+    let mut svc = AdmissionService::new(ServiceConfig::default());
+    let tenant = "t";
+    svc.load(tenant, base_system(kind, specs)).unwrap();
+    let cfg = svc.tenant_config(tenant).unwrap();
+    let oracle = svc.tenant_oracle(tenant).unwrap();
+    match kind {
+        SchedulerKind::Spp => assert_eq!(oracle, Oracle::Exact),
+        _ => assert!(matches!(oracle, Oracle::Loops { .. })),
+    }
+
+    let mut admitted: Vec<String> = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Admit { execs, period } => {
+                let name = format!("C{i}");
+                let sys = svc.tenant_system(tenant).unwrap();
+                let jobs_before = sys.jobs().len();
+                let job = candidate(sys, &name, execs, *period);
+                let mut cold_sys = sys.clone();
+                cold_sys.push_job(job.clone());
+                let cold = cold_verdict(&cold_sys, &cfg, oracle);
+                match (svc.admit(tenant, job), cold) {
+                    (Ok(out), Ok(cold_ok)) => {
+                        assert_eq!(
+                            out.verdict.admitted(),
+                            cold_ok,
+                            "{kind:?} warm ADMIT verdict diverged from cold analysis at op {i}"
+                        );
+                        if out.verdict.admitted() {
+                            admitted.push(name);
+                        } else {
+                            assert_eq!(
+                                svc.tenant_system(tenant).unwrap().jobs().len(),
+                                jobs_before,
+                                "rejected candidate must be rolled back"
+                            );
+                        }
+                    }
+                    (Err(ServiceError::Analysis(_)), Err(_)) => {
+                        assert_eq!(
+                            svc.tenant_system(tenant).unwrap().jobs().len(),
+                            jobs_before,
+                            "failed candidate must be rolled back"
+                        );
+                    }
+                    (warm, cold) => {
+                        panic!("{kind:?} warm/cold disagree at op {i}: {warm:?} vs {cold:?}")
+                    }
+                }
+            }
+            Op::RemoveOldest => {
+                if let Some(name) = admitted.first().cloned() {
+                    svc.remove(tenant, &name).unwrap();
+                    admitted.remove(0);
+                }
+            }
+            Op::Scale { percent } => {
+                let factor = *percent as f64 / 100.0;
+                match svc.scale(tenant, factor) {
+                    Ok(out) => {
+                        let cold = cold_verdict(svc.tenant_system(tenant).unwrap(), &cfg, oracle)
+                            .expect("warm scale succeeded, cold must too");
+                        assert_eq!(
+                            out.schedulable,
+                            Some(cold),
+                            "{kind:?} warm SCALE verdict diverged from cold analysis at op {i}"
+                        );
+                    }
+                    Err(ServiceError::Analysis(_)) => {
+                        cold_verdict(svc.tenant_system(tenant).unwrap(), &cfg, oracle)
+                            .expect_err("warm scale failed, cold must too");
+                    }
+                    Err(e) => panic!("unexpected scale error: {e}"),
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random request streams against every policy: warm verdicts are the
+    /// cold verdicts, bit for bit, and rejections leave no residue.
+    #[test]
+    fn warm_verdicts_match_cold_analysis(
+        specs in prop::collection::vec(
+            (20i64..81, prop::collection::vec(1i64..9, 1..3), any::<bool>()),
+            2..5,
+        ),
+        ops in arb_ops(),
+    ) {
+        for kind in POLICIES {
+            run_stream(kind, &specs, &ops);
+        }
+    }
+}
+
+/// Deterministic spot check: an obviously hopeless candidate is rejected
+/// and an obviously light one admitted, matching cold analysis, for every
+/// policy.
+#[test]
+fn admit_extremes_match_cold() {
+    for kind in POLICIES {
+        let specs = vec![(40i64, vec![4, 4], true), (60i64, vec![5], false)];
+        let ops = vec![
+            Op::Admit {
+                execs: vec![1],
+                period: 50,
+            },
+            Op::Admit {
+                execs: vec![8, 8],
+                period: 20,
+            },
+            Op::Scale { percent: 160 },
+            Op::Admit {
+                execs: vec![2, 2],
+                period: 40,
+            },
+        ];
+        run_stream(kind, &specs, &ops);
+    }
+}

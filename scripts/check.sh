@@ -39,12 +39,19 @@ cargo test -p rta-sim -q
 echo "==> sim gates: legacy-oracle equivalence + replay determinism (trace on)"
 cargo test -p rta-sim --features trace --test oracle --test determinism --test agreement -q
 
+echo "==> admission daemon smoke: canned stream vs golden responses"
+scripts/service_smoke.sh
+
+echo "==> service soak + alloc budget gates (alloc_stats, release)"
+cargo test -p rta-bench --features alloc_stats --release --test service_soak -q
+cargo test -p rta-bench --features alloc_stats --release --test alloc_budget -q
+
 if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
     # Stash the committed baselines before perf_snapshot overwrites them,
     # then gate: fail if any benchmark regressed by more than 25%.
     basedir="$(mktemp -d)"
     trap 'rm -rf "$basedir"' EXIT
-    for f in BENCH_curves.json BENCH_incremental.json BENCH_sim.json; do
+    for f in BENCH_curves.json BENCH_incremental.json BENCH_sim.json BENCH_service.json; do
         [[ -f "$f" ]] && cp "$f" "$basedir/$f"
     done
 
@@ -54,7 +61,10 @@ if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
     echo "==> sim snapshot (writes BENCH_sim.json)"
     cargo run -p rta-bench --release --bin sim_snapshot
 
-    for f in BENCH_curves.json BENCH_incremental.json BENCH_sim.json; do
+    echo "==> service load generator (writes BENCH_service.json; floor 10k req/s)"
+    cargo run --release --bin load_gen
+
+    for f in BENCH_curves.json BENCH_incremental.json BENCH_sim.json BENCH_service.json; do
         if [[ -f "$basedir/$f" ]]; then
             echo "==> bench gate: $f vs committed baseline (max +25%)"
             cargo run -p rta-bench --release --bin bench_gate -- "$basedir/$f" "$f" 25

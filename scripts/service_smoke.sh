@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Daemon smoke test: replay a canned request stream through the resident
+# admission service (`rta-admit --serve`) and diff the responses against
+# the committed golden. Everything in the stream is algorithmic —
+# generations, verdicts, region frontiers, stats counters — so the output
+# is byte-stable; any drift is a protocol or analysis change that must be
+# reviewed (and the golden regenerated deliberately):
+#
+#   target/release/rta-admit --serve \
+#       < tests/data/service_stream.txt > tests/data/service_stream.golden
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bin=target/release/rta-admit
+if [[ ! -x "$bin" ]]; then
+    cargo build --release --bin rta-admit
+fi
+
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+"$bin" --serve < tests/data/service_stream.txt > "$out"
+diff -u tests/data/service_stream.golden "$out"
+echo "service smoke OK ($(wc -l < "$out") responses matched)"

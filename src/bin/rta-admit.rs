@@ -1,337 +1,210 @@
-//! `rta-admit` — command-line admission analysis for distributed job-chain
-//! systems.
-//!
-//! Reads a plain-text system description, assigns priorities (relative
-//! deadline monotonic, Eq. 24 of the paper), picks the right analysis
-//! (exact for all-SPP systems, Theorem 4 bounds otherwise, the Section 6
-//! fixed point for cyclic topologies), and prints the per-job verdicts.
+//! `rta-admit` — admission control for distributed job-chain systems, as a
+//! one-shot analyzer or a resident daemon.
 //!
 //! ```text
-//! Usage: rta-admit <file> [<file> …]   analyze system descriptions
-//!        rta-admit --example           print an annotated example file
+//! Usage: rta-admit <file> [<file> …]     analyze system descriptions
+//!        rta-admit --serve               serve the line protocol on stdin/stdout
+//!        rta-admit --serve-unix <path>   serve the line protocol on a unix socket
+//!        rta-admit --example             print an annotated example file
 //! ```
 //!
-//! With several files the systems are analyzed as one batch over the
-//! persistent worker pool ([`bursty_rta::analysis::BatchAnalyzer`]);
-//! reports print in argument order and the exit status is 0 iff **every**
-//! system is schedulable.
-//!
-//! File format (one directive per line, `#` comments):
-//!
-//! ```text
-//! processor <name> <spp|spnp|fcfs>
-//! job <name> deadline <ticks> periodic <period> <offset>
-//! job <name> deadline <ticks> jitter <period> <jitter> <offset>
-//! job <name> deadline <ticks> bursty <x-thousandths> <ticks-per-unit>
-//! job <name> deadline <ticks> trace <t1> <t2> …
-//! hop <processor> <exec-ticks>          # belongs to the preceding job
-//! ```
+//! Both modes run the same service core
+//! ([`bursty_rta::analysis::service::AdmissionService`] behind
+//! [`bursty_rta::daemon::ShardedService`]): a one-shot run loads each file
+//! as a throwaway tenant and prints its report; the daemon keeps tenants'
+//! `AnalysisSession`s warm between requests and answers `ADMIT` probes via
+//! the delta API. The file format and the protocol grammar are documented
+//! in [`bursty_rta::textfmt`] and [`bursty_rta::proto`]; exit status is 0
+//! iff every analyzed system is schedulable, 1 if any is not, 2 on
+//! usage/IO/parse errors.
 
-use bursty_rta::analysis::fixpoint::analyze_with_loops;
-use bursty_rta::analysis::{analyze_bounds, analyze_exact_spp, AnalysisConfig, AnalysisError};
-use bursty_rta::curves::Time;
-use bursty_rta::model::priority::{assign_priorities, PriorityPolicy};
-use bursty_rta::model::{ArrivalPattern, ProcessorId, SchedulerKind, SystemBuilder, TaskSystem};
+use std::sync::Arc;
 
-const EXAMPLE: &str = "\
-# Two-stage pipeline with a cross-traffic job.
-processor P1 spp
-processor P2 fcfs
+use bursty_rta::analysis::par::pool_map;
+use bursty_rta::analysis::service::{LoadOutcome, ServiceConfig};
+use bursty_rta::daemon::{serve, serve_unix, ShardedService};
+use bursty_rta::model::TaskSystem;
+use bursty_rta::textfmt::{parse_system, ParseError, EXAMPLE};
 
-job video deadline 3000 periodic 2000 0
-hop P1 500
-hop P2 600
+const USAGE: &str =
+    "usage: rta-admit <file> [<file> …] | --serve | --serve-unix <path> | --example";
 
-job alarms deadline 4000 bursty 600 1000
-hop P2 400
-
-job batch deadline 8000 trace 0 100 4000
-hop P1 900
-";
-
-/// Parse the text format into a validated system.
-/// A job mid-parse: name, deadline, arrival pattern, hops.
-type JobSpec = (String, Time, ArrivalPattern, Vec<(ProcessorId, Time)>);
-
-fn parse_system(input: &str) -> Result<TaskSystem, String> {
-    let mut b = SystemBuilder::new();
-    let mut procs: Vec<(String, ProcessorId)> = Vec::new();
-    let mut pending: Option<JobSpec> = None;
-    let mut jobs: Vec<JobSpec> = Vec::new();
-
-    let lookup = |procs: &[(String, ProcessorId)], name: &str| -> Result<ProcessorId, String> {
-        procs
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, id)| *id)
-            .ok_or_else(|| format!("unknown processor '{name}'"))
-    };
-    let int = |tok: Option<&str>, what: &str| -> Result<i64, String> {
-        tok.ok_or_else(|| format!("missing {what}"))?
-            .parse::<i64>()
-            .map_err(|e| format!("bad {what}: {e}"))
-    };
-
-    for (lineno, raw) in input.lines().enumerate() {
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        let mut it = line.split_whitespace();
-        let ctx = |msg: String| format!("line {}: {msg}", lineno + 1);
-        match it.next().unwrap() {
-            "processor" => {
-                let name = it
-                    .next()
-                    .ok_or_else(|| ctx("missing processor name".into()))?;
-                let kind = match it.next() {
-                    Some("spp") => SchedulerKind::Spp,
-                    Some("spnp") => SchedulerKind::Spnp,
-                    Some("fcfs") => SchedulerKind::Fcfs,
-                    Some("iwrr") => SchedulerKind::Iwrr,
-                    other => return Err(ctx(format!("bad scheduler {other:?}"))),
-                };
-                let id = b.add_processor(name, kind);
-                procs.push((name.to_string(), id));
-            }
-            "job" => {
-                if let Some(j) = pending.take() {
-                    jobs.push(j);
-                }
-                let name = it
-                    .next()
-                    .ok_or_else(|| ctx("missing job name".into()))?
-                    .to_string();
-                match it.next() {
-                    Some("deadline") => {}
-                    other => return Err(ctx(format!("expected 'deadline', got {other:?}"))),
-                }
-                let deadline = Time(int(it.next(), "deadline").map_err(&ctx)?);
-                let pattern = match it.next() {
-                    Some("periodic") => ArrivalPattern::Periodic {
-                        period: Time(int(it.next(), "period").map_err(&ctx)?),
-                        offset: Time(int(it.next(), "offset").map_err(&ctx)?),
-                    },
-                    Some("jitter") => ArrivalPattern::PeriodicJitter {
-                        period: Time(int(it.next(), "period").map_err(&ctx)?),
-                        jitter: Time(int(it.next(), "jitter").map_err(&ctx)?),
-                        offset: Time(int(it.next(), "offset").map_err(&ctx)?),
-                    },
-                    Some("bursty") => {
-                        let x_thousandths = int(it.next(), "x-thousandths").map_err(&ctx)?;
-                        if !(1..1000).contains(&x_thousandths) {
-                            return Err(ctx("bursty x must be in 1..999 (thousandths)".into()));
-                        }
-                        ArrivalPattern::Hyperbolic {
-                            x: x_thousandths as f64 / 1000.0,
-                            ticks_per_unit: int(it.next(), "ticks-per-unit").map_err(&ctx)?,
-                        }
-                    }
-                    Some("trace") => {
-                        let mut ts = Vec::new();
-                        for tok in it.by_ref() {
-                            ts.push(Time(
-                                tok.parse::<i64>()
-                                    .map_err(|e| ctx(format!("bad trace time: {e}")))?,
-                            ));
-                        }
-                        ts.sort();
-                        ArrivalPattern::Trace(ts)
-                    }
-                    other => return Err(ctx(format!("bad arrival kind {other:?}"))),
-                };
-                pending = Some((name, deadline, pattern, Vec::new()));
-            }
-            "hop" => {
-                let Some(job) = pending.as_mut() else {
-                    return Err(ctx("'hop' before any 'job'".into()));
-                };
-                let pname = it
-                    .next()
-                    .ok_or_else(|| ctx("missing hop processor".into()))?;
-                let p = lookup(&procs, pname).map_err(&ctx)?;
-                let exec = Time(int(it.next(), "hop exec").map_err(&ctx)?);
-                job.3.push((p, exec));
-            }
-            other => return Err(ctx(format!("unknown directive '{other}'"))),
-        }
-    }
-    if let Some(j) = pending.take() {
-        jobs.push(j);
-    }
-    for (name, deadline, pattern, hops) in jobs {
-        b.add_job(name, deadline, pattern, hops);
-    }
-    let mut sys = b.build().map_err(|e| e.to_string())?;
-    assign_priorities(&mut sys, PriorityPolicy::RelativeDeadlineMonotonic)
-        .map_err(|e| e.to_string())?;
-    Ok(sys)
-}
-
-/// Run the right analysis for `sys`: exact for all-SPP, Theorem 4 bounds
-/// otherwise, falling back to the Section 6 fixed point on cyclic
-/// topologies. Returns the verdict and the rendered report.
-fn analyze_system(sys: &TaskSystem) -> Result<(bool, String), String> {
-    let cfg = AnalysisConfig::default();
-    let all_spp = sys
-        .processors()
-        .iter()
-        .all(|p| p.scheduler == SchedulerKind::Spp);
-    let first = if all_spp {
-        analyze_exact_spp(sys, &cfg).map(|r| (r.all_schedulable(), r.to_string()))
+/// Print a located parse diagnostic: `path:line: message` plus the
+/// offending line, so editors can jump straight to it.
+fn report_parse_error(path: &str, e: &ParseError) {
+    if e.line > 0 {
+        eprintln!("rta-admit: {path}:{}: {}", e.line, e.msg);
+        eprintln!("    | {}", e.text);
     } else {
-        analyze_bounds(sys, &cfg).map(|r| (r.all_schedulable(), r.to_string()))
+        eprintln!("rta-admit: {path}: {}", e.msg);
+    }
+}
+
+/// Load every named system into the service over the worker pool; results
+/// come back in argument order.
+fn load_all(
+    svc: &Arc<ShardedService>,
+    items: Vec<(String, TaskSystem)>,
+) -> Vec<Result<LoadOutcome, String>> {
+    let items = Arc::new(items);
+    let (svc2, items2) = (Arc::clone(svc), Arc::clone(&items));
+    pool_map(items.len(), move |i| {
+        let (name, sys) = &items2[i];
+        svc2.load_full(name, sys.clone()).map_err(|e| e.to_string())
+    })
+}
+
+fn run_files(paths: &[String]) -> i32 {
+    let mut items = Vec::with_capacity(paths.len());
+    for path in paths {
+        let input = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("rta-admit: cannot read {path}: {e}");
+                return 2;
+            }
+        };
+        match parse_system(&input) {
+            Ok(sys) => items.push((path.clone(), sys)),
+            Err(e) => {
+                report_parse_error(path, &e);
+                return 2;
+            }
+        }
+    }
+    let cfg = ServiceConfig {
+        max_tenants: items.len().max(1),
+        ..ServiceConfig::default()
     };
-    match first {
-        Ok(out) => return Ok(out),
-        Err(AnalysisError::CyclicDependency { .. }) => {
-            eprintln!("(cyclic topology — falling back to the fixed-point analysis)");
-        }
-        Err(e) => return Err(e.to_string()),
-    }
-    analyze_with_loops(sys, &cfg, 8)
-        .map(|r| (r.all_schedulable(), r.to_string()))
-        .map_err(|e| e.to_string())
-}
-
-fn analyze_and_print(sys: &TaskSystem) -> bool {
-    match analyze_system(sys) {
-        Ok((ok, report)) => {
-            print!("{report}");
-            ok
-        }
-        Err(e) => {
-            eprintln!("analysis failed: {e}");
-            false
-        }
-    }
-}
-
-/// Analyze all systems as one batch over the worker pool and print the
-/// reports in argument order. Returns `true` iff every system is
-/// schedulable and no analysis failed.
-fn analyze_batch(names: &[String], systems: Vec<TaskSystem>) -> bool {
-    use bursty_rta::analysis::BatchAnalyzer;
-    let systems = std::sync::Arc::new(systems);
-    let scenarios = std::sync::Arc::clone(&systems);
-    let results = BatchAnalyzer::new(AnalysisConfig::default()).run(
-        systems.len(),
-        |_| (),
-        move |(), i| analyze_system(&scenarios[i]),
-    );
+    let svc = Arc::new(ShardedService::with_pool_shards(cfg));
+    let batch = paths.len() > 1;
     let mut all_ok = true;
-    for (name, result) in names.iter().zip(results) {
-        println!("== {name} ==");
-        match result {
-            Ok((ok, report)) => {
-                print!("{report}");
-                println!("{name}: {}", if ok { "admitted" } else { "REJECTED" });
-                all_ok &= ok;
+    for (path, out) in paths.iter().zip(load_all(&svc, items)) {
+        if batch {
+            println!("== {path} ==");
+        }
+        match out {
+            Ok(o) => {
+                if o.cyclic_fallback {
+                    eprintln!("(cyclic topology — falling back to the fixed-point analysis)");
+                }
+                print!("{}", o.report);
+                if batch {
+                    println!(
+                        "{path}: {}",
+                        if o.schedulable {
+                            "admitted"
+                        } else {
+                            "REJECTED"
+                        }
+                    );
+                }
+                all_ok &= o.schedulable;
             }
             Err(e) => {
-                eprintln!("{name}: analysis failed: {e}");
+                eprintln!("{path}: analysis failed: {e}");
                 all_ok = false;
             }
         }
     }
-    all_ok
+    i32::from(!all_ok)
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("--example") => print!("{EXAMPLE}"),
-        Some(_) => {
-            let mut systems = Vec::with_capacity(args.len());
-            for path in &args {
-                let input = std::fs::read_to_string(path).unwrap_or_else(|e| {
-                    eprintln!("cannot read {path}: {e}");
-                    std::process::exit(2);
-                });
-                let sys = parse_system(&input).unwrap_or_else(|e| {
-                    eprintln!("{path}: parse error: {e}");
-                    std::process::exit(2);
-                });
-                systems.push(sys);
+    let code = match args.first().map(String::as_str) {
+        Some("--example") => {
+            print!("{EXAMPLE}");
+            0
+        }
+        Some("--serve") => {
+            let svc = Arc::new(ShardedService::with_pool_shards(ServiceConfig::default()));
+            let stdin = std::io::stdin().lock();
+            let mut stdout = std::io::stdout().lock();
+            match serve(&svc, stdin, &mut stdout) {
+                Ok(()) => 0,
+                Err(e) => {
+                    eprintln!("rta-admit: serve failed: {e}");
+                    2
+                }
             }
-            let ok = if systems.len() == 1 {
-                analyze_and_print(&systems[0])
-            } else {
-                analyze_batch(&args, systems)
-            };
-            std::process::exit(if ok { 0 } else { 1 });
         }
+        Some("--serve-unix") => match args.get(1) {
+            Some(path) => {
+                let svc = Arc::new(ShardedService::with_pool_shards(ServiceConfig::default()));
+                match serve_unix(svc, std::path::Path::new(path)) {
+                    Ok(()) => 0,
+                    Err(e) => {
+                        eprintln!("rta-admit: cannot serve on {path}: {e}");
+                        2
+                    }
+                }
+            }
+            None => {
+                eprintln!("{USAGE}");
+                2
+            }
+        },
+        Some(flag) if flag.starts_with("--") => {
+            eprintln!("rta-admit: unknown flag {flag}");
+            eprintln!("{USAGE}");
+            2
+        }
+        Some(_) => run_files(&args),
         None => {
-            eprintln!("usage: rta-admit <file> [<file> …] | rta-admit --example");
-            std::process::exit(2);
+            eprintln!("{USAGE}");
+            2
         }
-    }
+    };
+    std::process::exit(code);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bursty_rta::analysis::AnalysisConfig;
+    use bursty_rta::textfmt::analyze_cold;
+
+    fn service_for(n: usize) -> Arc<ShardedService> {
+        let cfg = ServiceConfig {
+            max_tenants: n.max(1),
+            ..ServiceConfig::default()
+        };
+        Arc::new(ShardedService::with_pool_shards(cfg))
+    }
 
     #[test]
-    fn example_parses_and_analyzes() {
+    fn one_shot_report_matches_cold_oracle() {
+        // The one-shot path is a thin client of the warm service; its
+        // report must be byte-identical to the historical cold analysis.
         let sys = parse_system(EXAMPLE).unwrap();
-        assert_eq!(sys.processors().len(), 2);
-        assert_eq!(sys.jobs().len(), 3);
-        assert_eq!(sys.jobs()[0].subjobs.len(), 2);
-        // Heterogeneous: the bounds path runs.
-        let _ = analyze_and_print(&sys);
+        let (cold_ok, cold_report) = analyze_cold(&sys, &AnalysisConfig::default()).unwrap();
+        let svc = service_for(1);
+        let out = svc.load_full("example", sys).unwrap();
+        assert_eq!(out.schedulable, cold_ok);
+        assert_eq!(out.report, cold_report);
     }
 
     #[test]
-    fn parse_errors_are_located() {
-        let err = parse_system("processor P1 spp\njob T1 deadline x periodic 5 0").unwrap_err();
-        assert!(err.contains("line 2"), "{err}");
-        let err = parse_system("hop P1 5").unwrap_err();
-        assert!(err.contains("before any 'job'"), "{err}");
-        let err = parse_system("processor P1 meow").unwrap_err();
-        assert!(err.contains("bad scheduler"), "{err}");
-        let err = parse_system("processor P1 spp\njob T1 deadline 10 periodic 5 0\nhop P9 2")
-            .unwrap_err();
-        assert!(err.contains("unknown processor"), "{err}");
-    }
-
-    #[test]
-    fn comments_and_blank_lines_ignored() {
-        let sys = parse_system(
-            "# header\nprocessor P1 spp\n\njob T1 deadline 50 periodic 20 0 # inline\nhop P1 5\n",
-        )
-        .unwrap();
-        assert_eq!(sys.jobs().len(), 1);
-    }
-
-    #[test]
-    fn batch_mode_reports_every_file() {
-        // One admissible system, the heterogeneous example, and one
-        // hopeless system: the batch verdict must be the conjunction.
+    fn batch_verdict_is_the_conjunction() {
         let light =
             parse_system("processor P1 spp\njob T1 deadline 50 periodic 20 0\nhop P1 5\n").unwrap();
         let example = parse_system(EXAMPLE).unwrap();
         let doomed =
             parse_system("processor P1 spp\njob T1 deadline 5 periodic 20 0\nhop P1 9\n").unwrap();
-        let names: Vec<String> = ["light", "example", "doomed"]
+        let svc = service_for(3);
+        let outs = load_all(
+            &svc,
+            vec![
+                ("light".into(), light),
+                ("example".into(), example),
+                ("doomed".into(), doomed),
+            ],
+        );
+        let verdicts: Vec<bool> = outs
             .iter()
-            .map(|s| s.to_string())
+            .map(|o| o.as_ref().unwrap().schedulable)
             .collect();
-        assert!(!analyze_batch(&names, vec![light.clone(), example, doomed]));
-        assert!(analyze_batch(&names[..1], vec![light]));
-    }
-
-    #[test]
-    fn trace_jobs_sorted_and_analyzable() {
-        let sys =
-            parse_system("processor P1 spp\njob T1 deadline 50 trace 9 1 4\nhop P1 5\n").unwrap();
-        match &sys.jobs()[0].arrival {
-            ArrivalPattern::Trace(ts) => {
-                assert_eq!(ts, &vec![Time(1), Time(4), Time(9)]);
-            }
-            other => panic!("expected trace, got {other:?}"),
-        }
-        let r = analyze_exact_spp(&sys, &AnalysisConfig::default()).unwrap();
-        assert!(r.all_schedulable());
+        assert_eq!(verdicts, vec![true, true, false]);
     }
 }

@@ -1,0 +1,322 @@
+//! The resident admission daemon: tenant sharding over the analysis worker
+//! pool plus the serve loops (stdin/stdout and unix socket).
+//!
+//! A [`ShardedService`] splits the tenant key space across `S` independent
+//! [`AdmissionService`] shards by FNV-1a hash, one mutex per shard. All
+//! requests for one tenant land on one shard — they serialize, which the
+//! warm-session model requires — while requests for distinct tenants
+//! proceed concurrently. Batches (requests between blank-line flushes on a
+//! stream, or an explicit [`ShardedService::apply_batch`] call) are grouped
+//! by shard and fanned across the same `pool_map` worker pool the analyses
+//! use; responses always come back in request order.
+//!
+//! The serve loop never dies on bad input: any unparsable line or failed
+//! request becomes an `ERR` response in-order, and the tenant sessions
+//! stay intact ([`rta_core::service::AdmissionService`] rolls back rejected
+//! or failed deltas).
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::os::unix::net::UnixListener;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use rta_core::par::{pool_map, pool_threads};
+use rta_core::service::{AdmissionService, LoadOutcome, ServiceConfig, ServiceError};
+
+use crate::proto::{Request, Response};
+use crate::textfmt::{parse_system, resolve_job, ParseError};
+
+/// A fixed set of [`AdmissionService`] shards with stable tenant routing.
+pub struct ShardedService {
+    shards: Vec<Mutex<AdmissionService>>,
+}
+
+/// Render a [`ParseError`] on one line (protocol responses are line-oriented;
+/// the CLI uses the multi-line `Display` form instead).
+fn parse_err_line(e: &ParseError) -> String {
+    if e.line == 0 {
+        e.msg.clone()
+    } else {
+        format!("line {}: {} | {}", e.line, e.msg, e.text)
+    }
+}
+
+impl ShardedService {
+    /// Create a service with `shards` independent shards (≥ 1 enforced),
+    /// each with its own tenant cap as given by `cfg`.
+    pub fn new(cfg: ServiceConfig, shards: usize) -> ShardedService {
+        let shards = shards.max(1);
+        ShardedService {
+            shards: (0..shards)
+                .map(|_| Mutex::new(AdmissionService::new(cfg.clone())))
+                .collect(),
+        }
+    }
+
+    /// Create a service with one shard per worker-pool participant.
+    pub fn with_pool_shards(cfg: ServiceConfig) -> ShardedService {
+        ShardedService::new(cfg, pool_threads())
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Stable shard index of a tenant key (FNV-1a over the key bytes).
+    pub fn shard_of(&self, tenant: &str) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in tenant.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        (h % self.shards.len() as u64) as usize
+    }
+
+    /// Tenants resident across all shards.
+    pub fn tenant_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().tenant_count())
+            .sum()
+    }
+
+    /// Load (or replace) a tenant and return the full outcome, including
+    /// the rendered report the wire protocol elides. This is the one-shot
+    /// CLI's code path, so batch mode and the daemon share one
+    /// parse→verdict→report pipeline.
+    pub fn load_full(
+        &self,
+        tenant: &str,
+        sys: rta_model::TaskSystem,
+    ) -> Result<LoadOutcome, ServiceError> {
+        self.shards[self.shard_of(tenant)]
+            .lock()
+            .unwrap()
+            .load(tenant, sys)
+    }
+
+    /// Apply one request against its tenant's shard.
+    pub fn apply(&self, req: &Request) -> Response {
+        let Some(tenant) = req.tenant() else {
+            return Response::Pong;
+        };
+        let shard = &self.shards[self.shard_of(tenant)];
+        let mut svc = shard.lock().unwrap();
+        match self.dispatch(&mut svc, req) {
+            Ok(resp) => resp,
+            Err(message) => Response::Err { message },
+        }
+    }
+
+    fn dispatch(&self, svc: &mut AdmissionService, req: &Request) -> Result<Response, String> {
+        let fail = |e: ServiceError| e.to_string();
+        match req {
+            Request::Ping => Ok(Response::Pong),
+            Request::Load { tenant, system } => {
+                let sys = parse_system(system).map_err(|e| parse_err_line(&e))?;
+                let out = svc.load(tenant, sys).map_err(fail)?;
+                Ok(Response::Loaded {
+                    tenant: tenant.clone(),
+                    generation: out.generation,
+                    jobs: out.jobs,
+                    schedulable: out.schedulable,
+                    evicted: out.evicted,
+                })
+            }
+            Request::Admit { tenant, job } => {
+                let sys = svc
+                    .tenant_system(tenant)
+                    .ok_or_else(|| format!("unknown tenant '{tenant}'"))?;
+                let resolved = resolve_job(sys, job)?;
+                let out = svc.admit(tenant, resolved).map_err(fail)?;
+                Ok(Response::Admitted {
+                    tenant: tenant.clone(),
+                    generation: out.generation,
+                    job: job.name.clone(),
+                    admitted: out.verdict.admitted(),
+                    jobs: out.jobs,
+                })
+            }
+            Request::Remove { tenant, job } => {
+                let out = svc.remove(tenant, job).map_err(fail)?;
+                Ok(Response::Removed {
+                    tenant: tenant.clone(),
+                    generation: out.generation,
+                    job: job.clone(),
+                    jobs: out.jobs,
+                })
+            }
+            Request::Scale { tenant, factor } => {
+                let out = svc.scale(tenant, *factor).map_err(fail)?;
+                Ok(Response::Scaled {
+                    tenant: tenant.clone(),
+                    generation: out.generation,
+                    factor: *factor,
+                    schedulable: out.schedulable.unwrap_or(false),
+                })
+            }
+            Request::Region {
+                tenant,
+                scale_lo,
+                scale_hi,
+                scale_steps,
+                burst_lo,
+                burst_hi,
+                burst_steps,
+            } => {
+                let report = svc
+                    .region(
+                        tenant,
+                        (*scale_lo, *scale_hi, *scale_steps),
+                        (*burst_lo, *burst_hi, *burst_steps),
+                    )
+                    .map_err(fail)?;
+                Ok(Response::RegionMap {
+                    tenant: tenant.clone(),
+                    scales: report.scales.clone(),
+                    rows: report
+                        .rows
+                        .iter()
+                        .map(|r| (r.burst_len, r.frontier))
+                        .collect(),
+                })
+            }
+            Request::Stats { tenant } => {
+                let stats = svc.stats(tenant).map_err(fail)?;
+                Ok(Response::Stats {
+                    tenant: tenant.clone(),
+                    generation: stats.generation,
+                    jobs: stats.jobs,
+                    analyses: stats.session.analyses,
+                    recomputed: stats.session.subjobs_recomputed,
+                    reused: stats.session.subjobs_reused,
+                    verdict_hits: stats.session.verdict_hits,
+                    verdict_misses: stats.session.verdict_misses,
+                    warm_starts: stats.session.warm_starts,
+                    interned: stats.interned_curves,
+                    tenants: svc.tenant_count(),
+                })
+            }
+            Request::Evict { tenant } => Ok(Response::Evicted {
+                tenant: tenant.clone(),
+                existed: svc.evict(tenant),
+            }),
+        }
+    }
+
+    /// Apply a batch, fanning shard groups across the worker pool. Requests
+    /// for one tenant keep their relative order (they live in one shard
+    /// group, applied sequentially); the response vector is in request
+    /// order.
+    pub fn apply_batch(self: &Arc<Self>, reqs: Vec<Request>) -> Vec<Response> {
+        let n = reqs.len();
+        if n <= 1 || self.shards.len() == 1 {
+            return reqs.iter().map(|r| self.apply(r)).collect();
+        }
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, r) in reqs.iter().enumerate() {
+            groups[r.tenant().map_or(0, |t| self.shard_of(t))].push(i);
+        }
+        let groups: Arc<Vec<Vec<usize>>> =
+            Arc::new(groups.into_iter().filter(|g| !g.is_empty()).collect());
+        let svc = Arc::clone(self);
+        let reqs = Arc::new(reqs);
+        let (g, r) = (Arc::clone(&groups), Arc::clone(&reqs));
+        let grouped: Vec<Vec<(usize, Response)>> = pool_map(groups.len(), move |gi| {
+            g[gi].iter().map(|&i| (i, svc.apply(&r[i]))).collect()
+        });
+        let mut out: Vec<Option<Response>> = (0..n).map(|_| None).collect();
+        for group in grouped {
+            for (i, resp) in group {
+                out[i] = Some(resp);
+            }
+        }
+        out.into_iter().flatten().collect()
+    }
+}
+
+/// One pending slot of the serve loop's current batch: either a parsed
+/// request or the error its line produced (answered in order as `ERR`).
+type Slot = Result<Request, String>;
+
+fn flush_batch<W: Write>(
+    svc: &Arc<ShardedService>,
+    batch: &mut Vec<Slot>,
+    out: &mut W,
+) -> io::Result<()> {
+    if batch.is_empty() {
+        return Ok(());
+    }
+    let reqs: Vec<Request> = batch
+        .iter()
+        .filter_map(|s| s.as_ref().ok().cloned())
+        .collect();
+    let mut responses = svc.apply_batch(reqs).into_iter();
+    for slot in batch.drain(..) {
+        match slot {
+            Ok(_) => match responses.next() {
+                Some(resp) => writeln!(out, "{resp}")?,
+                None => writeln!(out, "ERR internal: missing response")?,
+            },
+            Err(message) => writeln!(out, "ERR {message}")?,
+        }
+    }
+    out.flush()
+}
+
+/// Serve the line protocol on an arbitrary reader/writer pair until EOF or
+/// `QUIT`. Blank lines flush the current batch through the worker pool;
+/// malformed lines answer `ERR` in order and never tear the loop down.
+pub fn serve<R: BufRead, W: Write>(
+    svc: &Arc<ShardedService>,
+    mut input: R,
+    output: &mut W,
+) -> io::Result<()> {
+    let mut batch: Vec<Slot> = Vec::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if input.read_line(&mut line)? == 0 {
+            break;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            flush_batch(svc, &mut batch, output)?;
+            continue;
+        }
+        if trimmed == "QUIT" {
+            break;
+        }
+        let head = trimmed.to_string();
+        let req = Request::parse(&head, || {
+            let mut payload = String::new();
+            match input.read_line(&mut payload) {
+                Ok(0) | Err(_) => None,
+                Ok(_) => Some(payload.trim_end_matches(['\n', '\r']).to_string()),
+            }
+        });
+        batch.push(req);
+    }
+    flush_batch(svc, &mut batch, output)
+}
+
+/// Serve on a unix socket, one thread per connection (connections share the
+/// shard set, so cross-connection tenant routing stays consistent). Removes
+/// any stale socket file first. Runs until the process is killed.
+pub fn serve_unix(svc: Arc<ShardedService>, path: &Path) -> io::Result<()> {
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    for conn in listener.incoming() {
+        let Ok(stream) = conn else { continue };
+        let svc = Arc::clone(&svc);
+        std::thread::spawn(move || {
+            let Ok(read_half) = stream.try_clone() else {
+                return;
+            };
+            let mut writer = BufWriter::new(stream);
+            let _ = serve(&svc, BufReader::new(read_half), &mut writer);
+        });
+    }
+    Ok(())
+}

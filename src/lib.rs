@@ -21,3 +21,7 @@ pub use rta_core as analysis;
 pub use rta_curves as curves;
 pub use rta_model as model;
 pub use rta_sim as sim;
+
+pub mod daemon;
+pub mod proto;
+pub mod textfmt;

@@ -1,0 +1,337 @@
+//! Protocol properties: every request/response line form round-trips
+//! through its grammar (`Display` ∘ `parse` = id), and the serve loop
+//! answers junk with `ERR` — in order, without dying, and without wedging
+//! the tenant sessions it serves.
+
+use std::sync::Arc;
+
+use bursty_rta::analysis::service::ServiceConfig;
+use bursty_rta::curves::Time;
+use bursty_rta::daemon::{serve, ShardedService};
+use bursty_rta::model::ArrivalPattern;
+use bursty_rta::proto::{Request, Response};
+use bursty_rta::textfmt::{HopSpec, JobDraft};
+use proptest::prelude::*;
+
+// ---- generators --------------------------------------------------------
+
+fn arb_name() -> impl Strategy<Value = String> {
+    (0u64..1_000_000).prop_map(|mut n| {
+        let mut s = String::new();
+        for _ in 0..4 {
+            s.push((b'a' + (n % 26) as u8) as char);
+            n /= 26;
+        }
+        s
+    })
+}
+
+fn arb_arrival() -> impl Strategy<Value = ArrivalPattern> {
+    prop_oneof![
+        (1i64..100_000, 0i64..1000).prop_map(|(p, o)| ArrivalPattern::Periodic {
+            period: Time(p),
+            offset: Time(o),
+        }),
+        (1i64..100_000, 0i64..500, 0i64..500).prop_map(|(p, j, o)| {
+            ArrivalPattern::PeriodicJitter {
+                period: Time(p),
+                jitter: Time(j),
+                offset: Time(o),
+            }
+        }),
+        (1u64..1000, 1i64..10_000).prop_map(|(x, tpu)| ArrivalPattern::Hyperbolic {
+            x: x as f64 / 1000.0,
+            ticks_per_unit: tpu,
+        }),
+        (1u64..20, 0i64..50, 1i64..10_000, 0i64..100).prop_map(|(len, gap, period, off)| {
+            ArrivalPattern::BurstTrain {
+                burst_len: len as u32,
+                intra_gap: Time(gap),
+                train_period: Time(period),
+                offset: Time(off),
+            }
+        }),
+        (1i64..10_000).prop_map(|g| ArrivalPattern::SporadicEnvelope { min_gap: Time(g) }),
+        prop::collection::vec(0i64..10_000, 1..5).prop_map(|mut ts| {
+            ts.sort_unstable();
+            ArrivalPattern::Trace(ts.into_iter().map(Time).collect())
+        }),
+    ]
+}
+
+fn arb_hop() -> impl Strategy<Value = HopSpec> {
+    (arb_name(), 1i64..1000, 0u64..3, 1u64..9).prop_map(|(processor, exec, tag, v)| HopSpec {
+        processor,
+        exec,
+        priority: (tag == 1).then_some(v as u32),
+        weight: (tag == 2).then_some(v as u32),
+    })
+}
+
+fn arb_draft() -> impl Strategy<Value = JobDraft> {
+    (
+        arb_name(),
+        1i64..1_000_000,
+        arb_arrival(),
+        prop::collection::vec(arb_hop(), 0..3),
+    )
+        .prop_map(|(name, deadline, arrival, hops)| JobDraft {
+            name,
+            deadline,
+            arrival,
+            hops,
+        })
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (arb_name(), prop::collection::vec(arb_name(), 0..4)).prop_map(|(tenant, lines)| {
+            Request::Load {
+                tenant,
+                system: lines
+                    .iter()
+                    .map(|n| format!("processor {n} spp"))
+                    .collect::<Vec<_>>()
+                    .join("\n"),
+            }
+        }),
+        (arb_name(), arb_draft()).prop_map(|(tenant, job)| Request::Admit { tenant, job }),
+        (arb_name(), arb_name()).prop_map(|(tenant, job)| Request::Remove { tenant, job }),
+        (arb_name(), 0.001f64..1000.0)
+            .prop_map(|(tenant, factor)| Request::Scale { tenant, factor }),
+        (
+            arb_name(),
+            0.01f64..2.0,
+            2.0f64..64.0,
+            1u64..40,
+            (1u64..10, 1u64..20, 1u64..12),
+        )
+            .prop_map(
+                |(tenant, scale_lo, scale_hi, scale_steps, (blo, bspan, bsteps))| {
+                    Request::Region {
+                        tenant,
+                        scale_lo,
+                        scale_hi,
+                        scale_steps: scale_steps as usize,
+                        burst_lo: blo as u32,
+                        burst_hi: (blo + bspan) as u32,
+                        burst_steps: bsteps as usize,
+                    }
+                }
+            ),
+        arb_name().prop_map(|tenant| Request::Stats { tenant }),
+        arb_name().prop_map(|tenant| Request::Evict { tenant }),
+        Just(Request::Ping),
+    ]
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        (arb_name(), 0u64..9999, 0u64..50, any::<bool>(), 0u64..3).prop_map(
+            |(tenant, generation, jobs, schedulable, ev)| Response::Loaded {
+                tenant: tenant.clone(),
+                generation,
+                jobs: jobs as usize,
+                schedulable,
+                evicted: (ev == 1).then(|| format!("old{tenant}")),
+            }
+        ),
+        (arb_name(), 0u64..9999, arb_name(), any::<bool>(), 0u64..50).prop_map(
+            |(tenant, generation, job, admitted, jobs)| Response::Admitted {
+                tenant,
+                generation,
+                job,
+                admitted,
+                jobs: jobs as usize,
+            }
+        ),
+        (arb_name(), 0u64..9999, arb_name(), 0u64..50).prop_map(
+            |(tenant, generation, job, jobs)| Response::Removed {
+                tenant,
+                generation,
+                job,
+                jobs: jobs as usize,
+            }
+        ),
+        (arb_name(), 0u64..9999, 0.001f64..100.0, any::<bool>()).prop_map(
+            |(tenant, generation, factor, schedulable)| Response::Scaled {
+                tenant,
+                generation,
+                factor,
+                schedulable,
+            }
+        ),
+        (
+            arb_name(),
+            prop::collection::vec(0.01f64..64.0, 0..5),
+            prop::collection::vec((1u64..30, 0u64..2, 0.01f64..64.0), 0..5),
+        )
+            .prop_map(|(tenant, scales, raw_rows)| Response::RegionMap {
+                tenant,
+                scales,
+                rows: raw_rows
+                    .into_iter()
+                    .map(|(b, has, f)| (b as u32, (has == 1).then_some(f)))
+                    .collect(),
+            }),
+        (
+            (arb_name(), 0u64..9999, 0u64..50),
+            (0u64..999, 0u64..999, 0u64..999),
+            (0u64..999, 0u64..999, 0u64..999),
+            (0u64..9999, 0u64..64),
+        )
+            .prop_map(
+                |(
+                    (tenant, generation, jobs),
+                    (analyses, recomputed, reused),
+                    (verdict_hits, verdict_misses, warm_starts),
+                    (interned, tenants),
+                )| Response::Stats {
+                    tenant,
+                    generation,
+                    jobs: jobs as usize,
+                    analyses,
+                    recomputed,
+                    reused,
+                    verdict_hits,
+                    verdict_misses,
+                    warm_starts,
+                    interned: interned as usize,
+                    tenants: tenants as usize,
+                }
+            ),
+        (arb_name(), any::<bool>())
+            .prop_map(|(tenant, existed)| Response::Evicted { tenant, existed }),
+        Just(Response::Pong),
+        arb_name().prop_map(|w| Response::Err {
+            message: format!("something {w} failed"),
+        }),
+    ]
+}
+
+fn roundtrip_request(req: &Request) -> Request {
+    let text = req.to_string();
+    let mut lines = text.lines();
+    let first = lines.next().expect("rendered request has a first line");
+    let rest: Vec<String> = lines.map(str::to_string).collect();
+    let mut idx = 0;
+    Request::parse(first, || {
+        let line = rest.get(idx).cloned();
+        idx += 1;
+        line
+    })
+    .unwrap_or_else(|e| panic!("re-parse failed for {text:?}: {e}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `parse(render(request)) == request` for every request form.
+    #[test]
+    fn request_lines_round_trip(req in arb_request()) {
+        prop_assert_eq!(roundtrip_request(&req), req);
+    }
+
+    /// `parse(render(response)) == response` for every response form,
+    /// floats included (shortest-repr `Display` inverts exactly).
+    #[test]
+    fn response_lines_round_trip(resp in arb_response()) {
+        let line = resp.to_string();
+        let back = Response::parse(&line)
+            .unwrap_or_else(|e| panic!("re-parse failed for {line:?}: {e}"));
+        prop_assert_eq!(back, resp);
+    }
+}
+
+// ---- junk-input behaviour of the serve loop ----------------------------
+
+fn serve_lines(input: &str) -> Vec<String> {
+    let svc = Arc::new(ShardedService::new(ServiceConfig::default(), 2));
+    let mut out = Vec::new();
+    serve(&svc, input.as_bytes(), &mut out).expect("in-memory serve cannot fail");
+    String::from_utf8(out)
+        .unwrap()
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+#[test]
+fn junk_gets_err_in_order_and_sessions_survive() {
+    let input = "\
+!!! garbage
+PING
+LOAD t 2
+processor P1 spp
+job A deadline 50 periodic 20 0 hop P1 5
+FROB t
+ADMIT t job B deadline 100 periodic 50 0 hop P1 3
+ADMIT t job X deadline 100 periodic 50 0 hop P9 3
+ADMIT t job C deadline 200 periodic 100 0 hop P1 1
+";
+    let lines = serve_lines(input);
+    assert_eq!(lines.len(), 7, "one response per request: {lines:#?}");
+    assert!(lines[0].starts_with("ERR "), "{}", lines[0]);
+    assert_eq!(lines[1], "PONG");
+    assert_eq!(lines[2], "OK LOAD t gen=1 jobs=1 verdict=schedulable");
+    assert!(lines[3].starts_with("ERR "), "{}", lines[3]);
+    assert_eq!(lines[4], "OK ADMIT t gen=2 job=B verdict=admitted jobs=2");
+    assert!(
+        lines[5].starts_with("ERR ") && lines[5].contains("P9"),
+        "bad hop must name the unknown processor: {}",
+        lines[5]
+    );
+    // The tenant session took more work after two failures — not wedged.
+    assert_eq!(lines[6], "OK ADMIT t gen=3 job=C verdict=admitted jobs=3");
+}
+
+#[test]
+fn truncated_load_payload_is_an_err_not_a_hang() {
+    let lines = serve_lines("LOAD t 5\nprocessor P1 spp\n");
+    assert_eq!(lines.len(), 1);
+    assert!(
+        lines[0].starts_with("ERR ") && lines[0].contains("truncated"),
+        "{}",
+        lines[0]
+    );
+}
+
+#[test]
+fn quit_flushes_pending_batch_and_stops() {
+    let lines = serve_lines("PING\nQUIT\nPING\n");
+    assert_eq!(lines, vec!["PONG".to_string()]);
+}
+
+#[test]
+fn blank_lines_flush_batches_between_responses() {
+    let lines = serve_lines("PING\n\nPING\nPING\n\n");
+    assert_eq!(lines, vec!["PONG".to_string(); 3]);
+}
+
+#[test]
+fn errors_never_leak_across_tenants() {
+    // Tenant `a` takes junk and failing requests; tenant `b` must keep
+    // serving correct verdicts from its warm session throughout.
+    let input = "\
+LOAD a 2
+processor P1 spp
+job A deadline 50 periodic 20 0 hop P1 5
+LOAD b 2
+processor Q1 spp
+job B deadline 60 periodic 30 0 hop Q1 6
+SCALE a nonsense
+REMOVE a ghost
+ADMIT b job C deadline 120 periodic 60 0 hop Q1 2
+";
+    let lines = serve_lines(input);
+    assert_eq!(lines.len(), 5, "{lines:#?}");
+    assert!(lines[0].starts_with("OK LOAD a "), "{}", lines[0]);
+    assert!(lines[1].starts_with("OK LOAD b "), "{}", lines[1]);
+    assert!(lines[2].starts_with("ERR "), "{}", lines[2]);
+    assert!(lines[3].starts_with("ERR "), "{}", lines[3]);
+    assert!(
+        lines[4].starts_with("OK ADMIT b ") && lines[4].contains("verdict=admitted"),
+        "{}",
+        lines[4]
+    );
+}
