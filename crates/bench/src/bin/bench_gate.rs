@@ -1,8 +1,9 @@
 //! Bench-regression gate for `scripts/check.sh`.
 //!
 //! ```text
-//! bench_gate <baseline.json> <current.json> [max_regression_pct]
+//! bench_gate <baseline.json> <current.json> [max_regression_pct] [--skip <row>]…
 //! bench_gate --pair <current.json> <row> <reference_row> [grace_pct]
+//! bench_gate --ratio <baseline.json> <current.json> <row> <sibling_row> [grace_pct]
 //! ```
 //!
 //! The two-file form compares two harness JSON dumps (see
@@ -18,6 +19,19 @@
 //! 10, covering run-to-run noise). It gates the SoA kernel rows against
 //! their retained AoS counterparts — layout parity is a standing claim of
 //! the analysis pipeline, not just a point-in-time measurement.
+//!
+//! The `--ratio` form gates a noisy row by its **ratio to a stable sibling
+//! row** across baseline → current: fail when
+//! `cur[row]/cur[sibling] > base[row]/base[sibling] × (1 + grace/100)`
+//! (default grace 25). Dividing by a sibling measured in the same dump
+//! cancels machine-wide speed shifts (thermal state, contention), leaving
+//! only the row's *relative* movement — the right gate for rows whose
+//! absolute nanoseconds swing more than the regression budget. Rows gated
+//! this way should be excluded from the absolute comparison with `--skip`.
+//!
+//! `--skip <row>` (repeatable, two-file form only) removes a row from the
+//! absolute comparison on both sides; skipped rows are listed so the gate
+//! output still accounts for every row in the dumps.
 
 use std::process::ExitCode;
 
@@ -103,16 +117,103 @@ fn pair_gate(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `--ratio <baseline.json> <current.json> <row> <sibling_row> [grace_pct]`:
+/// fail when `row`'s ratio to `sibling_row` grew by more than `grace_pct`
+/// percent between the dumps.
+fn ratio_gate(args: &[String]) -> ExitCode {
+    if args.len() < 4 {
+        eprintln!(
+            "usage: bench_gate --ratio <baseline.json> <current.json> <row> <sibling_row> \
+             [grace_pct]"
+        );
+        return ExitCode::from(2);
+    }
+    let grace: f64 = match args.get(4) {
+        None => 25.0,
+        Some(s) => match s.parse() {
+            Ok(p) => p,
+            Err(_) => {
+                eprintln!("bench_gate: grace_pct must be a number, got {s:?}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(text) => Some(parse(&text)),
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(baseline), Some(current)) = (read(&args[0]), read(&args[1])) else {
+        return ExitCode::from(2);
+    };
+    let (row, sibling) = (&args[2], &args[3]);
+    let find = |rows: &[(String, f64)], name: &str| {
+        rows.iter().find(|(n, _)| n == name).map(|&(_, ns)| ns)
+    };
+    let (Some(b_row), Some(b_sib), Some(c_row), Some(c_sib)) = (
+        find(&baseline, row),
+        find(&baseline, sibling),
+        find(&current, row),
+        find(&current, sibling),
+    ) else {
+        eprintln!(
+            "bench_gate: rows {row:?} / {sibling:?} not present in both {} and {}",
+            args[0], args[1]
+        );
+        return ExitCode::from(2);
+    };
+    let (base_ratio, cur_ratio) = (b_row / b_sib, c_row / c_sib);
+    let pct = 100.0 * (cur_ratio - base_ratio) / base_ratio;
+    if cur_ratio > base_ratio * (1.0 + grace / 100.0) {
+        eprintln!(
+            "bench_gate: {row} / {sibling} ratio regressed: {base_ratio:.3} -> {cur_ratio:.3} \
+             ({pct:+.1}%, grace {grace}%)"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "  ratio ok  {row} / {sibling}: {base_ratio:.3} -> {cur_ratio:.3} \
+         ({pct:+.1}%, grace {grace}%)"
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     if args.get(1).map(String::as_str) == Some("--pair") {
         return pair_gate(&args[2..]);
     }
-    if args.len() < 3 {
-        eprintln!("usage: bench_gate <baseline.json> <current.json> [max_regression_pct]");
+    if args.get(1).map(String::as_str) == Some("--ratio") {
+        return ratio_gate(&args[2..]);
+    }
+    // Two-file form: positionals [baseline, current, max_pct?] plus any
+    // number of `--skip <row>` flags, in any order.
+    let mut positional: Vec<&String> = Vec::new();
+    let mut skipped: Vec<&String> = Vec::new();
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        if a == "--skip" {
+            match it.next() {
+                Some(row) => skipped.push(row),
+                None => {
+                    eprintln!("bench_gate: --skip needs a row name");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            positional.push(a);
+        }
+    }
+    if positional.len() < 2 {
+        eprintln!(
+            "usage: bench_gate <baseline.json> <current.json> [max_regression_pct] \
+             [--skip <row>]…"
+        );
         return ExitCode::from(2);
     }
-    let max_pct: f64 = match args.get(3) {
+    let max_pct: f64 = match positional.get(2) {
         None => 25.0,
         Some(s) => match s.parse() {
             Ok(p) => p,
@@ -129,7 +230,7 @@ fn main() -> ExitCode {
             None
         }
     };
-    let (Some(baseline), Some(current)) = (read(&args[1]), read(&args[2])) else {
+    let (Some(baseline), Some(current)) = (read(positional[0]), read(positional[1])) else {
         return ExitCode::from(2);
     };
 
@@ -137,6 +238,10 @@ fn main() -> ExitCode {
     // (name, base_ns, cur_ns, pct) for every row present on both sides.
     let mut rows: Vec<(&str, f64, f64, f64)> = Vec::new();
     for (name, base_ns) in &baseline {
+        if skipped.contains(&name) {
+            println!("  (skip)    {name}");
+            continue;
+        }
         let Some((_, cur_ns)) = current.iter().find(|(n, _)| n == name) else {
             println!("  (gone)    {name}");
             continue;
@@ -151,7 +256,7 @@ fn main() -> ExitCode {
         }
     }
     for (name, _) in &current {
-        if !baseline.iter().any(|(n, _)| n == name) {
+        if !baseline.iter().any(|(n, _)| n == name) && !skipped.contains(&name) {
             println!("  (new)     {name}");
         }
     }

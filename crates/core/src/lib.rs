@@ -105,6 +105,7 @@ pub mod service;
 pub mod session;
 pub mod spnp;
 pub mod spp;
+pub mod wcdfp;
 
 pub use batch::BatchAnalyzer;
 pub use bounds::analyze_bounds;

@@ -252,6 +252,98 @@ where
         .collect()
 }
 
+/// Evaluate `f(state, 0), …, f(state, n-1)` across the pool and return the
+/// **per-thread states** after all indices are processed.
+///
+/// Where [`pool_map_stateful`] returns per-index results and discards the
+/// states, this returns the states and discards per-index results — the
+/// shape wanted by streaming accumulation (Monte-Carlo counters, sketches):
+/// each participating thread folds the indices it claims into its own `S`,
+/// and the caller merges the returned states. No per-draw values ever cross
+/// a thread boundary.
+///
+/// The returned vector holds one state per thread that actually claimed at
+/// least one chunk (at most [`pool_threads`], at least one for `n > 0`), in
+/// **unspecified order** — which indices landed in which state is scheduling
+/// -dependent, so the caller's merge must be commutative and associative for
+/// the final fold to be partition-independent. `S` crosses back to the
+/// caller once at the end and therefore must be `Send`.
+pub fn pool_fold_states<S, I, F>(n: usize, init: I, f: F) -> Vec<S>
+where
+    S: Send + 'static,
+    I: Fn() -> S + Send + Sync + 'static,
+    F: Fn(&mut S, usize) + Send + Sync + 'static,
+{
+    let pool = WorkerPool::global();
+    if pool.workers == 0 || n < 8 {
+        let mut state = init();
+        for i in 0..n {
+            f(&mut state, i);
+        }
+        return vec![state];
+    }
+
+    let shared = Arc::new((init, f));
+    let next = Arc::new(AtomicUsize::new(0));
+    let participants = (pool.workers + 1).min(n);
+    let chunk = n.div_ceil(participants * 4).max(1);
+    let tickets = participants.min(n.div_ceil(chunk)).saturating_sub(1);
+
+    // One message per ticket: its final state (None when the ticket never
+    // claimed a chunk), or `Failed` from the drop-guard on panic.
+    let (tx, rx) = channel::<Msg<Option<S>>>();
+    for _ in 0..tickets {
+        let shared = Arc::clone(&shared);
+        let next = Arc::clone(&next);
+        let tx = tx.clone();
+        pool.submit(Box::new(move || {
+            let mut guard = TicketGuard { tx, armed: true };
+            let (init, f) = &*shared;
+            // Built lazily on the first claimed chunk so losing tickets
+            // (all chunks already taken) cost nothing.
+            let mut state: Option<S> = None;
+            loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let s = state.get_or_insert_with(init);
+                let end = (start + chunk).min(n);
+                for i in start..end {
+                    f(s, i);
+                }
+            }
+            let _ = guard.tx.send(Msg::Chunk(0, vec![state]));
+            guard.armed = false;
+        }));
+    }
+    drop(tx);
+
+    let (init, f) = &*shared;
+    let mut state = init();
+    loop {
+        let start = next.fetch_add(chunk, Ordering::Relaxed);
+        if start >= n {
+            break;
+        }
+        let end = (start + chunk).min(n);
+        for i in start..end {
+            f(&mut state, i);
+        }
+    }
+    let mut states = vec![state];
+    // Every ticket either delivers its (possibly None) state or a `Failed`
+    // marker via the guard, so exactly `tickets` messages arrive.
+    for _ in 0..tickets {
+        match rx.recv() {
+            Ok(Msg::Chunk(_, vals)) => states.extend(vals.into_iter().flatten()),
+            Ok(Msg::Failed) => panic!("pool_fold_states: a worker task panicked"),
+            Err(_) => panic!("pool_fold_states: workers disconnected early"),
+        }
+    }
+    states
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -324,6 +416,45 @@ mod tests {
         // At most one state per participating thread (workers may not all
         // win a ticket, but none builds two states).
         assert!(INITS.load(Ordering::Relaxed) <= pool_threads());
+    }
+
+    #[test]
+    fn fold_states_cover_every_index_exactly_once() {
+        for n in [0, 1, 7, 8, 100, 1000] {
+            let states = pool_fold_states(
+                n,
+                || (0u64, 0u64), // (count, index sum)
+                |s, i| {
+                    s.0 += 1;
+                    s.1 += i as u64;
+                },
+            );
+            assert!(!states.is_empty());
+            assert!(states.len() <= pool_threads());
+            let count: u64 = states.iter().map(|s| s.0).sum();
+            let sum: u64 = states.iter().map(|s| s.1).sum();
+            assert_eq!(count, n as u64, "n={n}");
+            assert_eq!(sum, (0..n as u64).sum::<u64>(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn fold_states_merge_matches_sequential_fold() {
+        // Integer accumulators merged across threads must equal the
+        // sequential fold bit-for-bit — the property the WCDFP engine
+        // builds on.
+        let mut seq = [0u64; 16];
+        for i in 0..5000usize {
+            seq[i % 16] += (i * i) as u64;
+        }
+        let states = pool_fold_states(5000, || [0u64; 16], |s, i| s[i % 16] += (i * i) as u64);
+        let mut merged = [0u64; 16];
+        for s in states {
+            for (m, v) in merged.iter_mut().zip(s) {
+                *m += v;
+            }
+        }
+        assert_eq!(merged, seq);
     }
 
     #[test]

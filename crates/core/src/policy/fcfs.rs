@@ -6,7 +6,9 @@
 //! Theorem 8/9 bounds delegate to
 //! [`crate::fcfs::FcfsProcessor::service_bounds`].
 
-use super::{BoundsInputs, PeerInputs, PolicyContext, ReadySet, ServicePolicy, SimScheduler};
+use super::{
+    BoundsInputs, FastPath, PeerInputs, PolicyContext, ReadySet, ServicePolicy, SimScheduler,
+};
 use crate::error::AnalysisError;
 use crate::fcfs::FcfsProcessor;
 use crate::spnp::ServiceBounds;
@@ -62,6 +64,14 @@ impl SimScheduler for FcfsSim {
             let inst = &ready[i];
             (inst.hop_release.ticks(), inst.subjob.job.0 as i64, inst.seq)
         })
+    }
+
+    fn reset(&mut self, _sys: &TaskSystem, _p: ProcessorId) -> bool {
+        true // stateless
+    }
+
+    fn fast_path(&self) -> FastPath {
+        FastPath::FifoMin
     }
 }
 

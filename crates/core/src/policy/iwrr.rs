@@ -340,6 +340,7 @@ mod tests {
             subjob,
             hop_release: Time::ZERO,
             seq,
+            prio: u32::MAX,
         };
         // Both flows deeply backlogged: a full round serves f1, f2 (cycle
         // 1), then f1 again (cycle 2, f2's weight exhausted), repeating.
@@ -372,6 +373,7 @@ mod tests {
             subjob: f2,
             hop_release: Time(5),
             seq: 9,
+            prio: u32::MAX,
         }];
         let ready = ReadySet::new(&views);
         for _ in 0..4 {

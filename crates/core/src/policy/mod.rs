@@ -347,6 +347,11 @@ pub struct ReadyInstance {
     pub hop_release: Time,
     /// Global release sequence number (unique).
     pub seq: u64,
+    /// The subjob's static priority rank, cached by the engine when the
+    /// view is built (`u32::MAX` when the processor's policy assigns no
+    /// priorities), so priority policies never chase `sys` pointers inside
+    /// their selection loops.
+    pub prio: u32,
 }
 
 /// One processor's ready queue as the event engine presents it for a
@@ -394,6 +399,32 @@ impl std::ops::Index<usize> for ReadySet<'_> {
     }
 }
 
+/// A scheduler's static decision shape, when it has one.
+///
+/// Disciplines whose dispatch is a pure argmin over the fields of
+/// [`ReadyInstance`] — no internal state, no `sys` consultation — can
+/// advertise that shape here, and the event engine runs the scan inline
+/// instead of making two virtual calls per scheduling decision. The
+/// declared shape **must** be observably identical to the scheduler's
+/// `pick_idx`/`preempts` (the simulator's oracle suite pins this); when in
+/// doubt, stay [`FastPath::Dynamic`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum FastPath {
+    /// Dispatch the minimum of `(prio, hop_release, seq)`; when
+    /// `preemptive`, an arrival preempts iff its `prio` is strictly below
+    /// the running instance's (SPP/SPNP).
+    PrioMin {
+        /// Whether a strictly higher-priority arrival preempts.
+        preemptive: bool,
+    },
+    /// Dispatch the minimum of `(hop_release, job, seq)`; never preempts
+    /// (FCFS).
+    FifoMin,
+    /// No static shape — the engine calls `pick_idx`/`preempts` (IWRR's
+    /// round cursor).
+    Dynamic,
+}
+
 /// The dispatch side of a policy: which ready instance runs next, and
 /// whether an arrival preempts the running one. Stateful schedulers (IWRR's
 /// round cursor) advance on each successful `pick_idx`. Both hooks operate
@@ -410,6 +441,22 @@ pub trait SimScheduler: Send {
     /// state change since the last decision).
     fn preempts(&self, _sys: &TaskSystem, _running: &ReadyInstance, _ready: &ReadySet<'_>) -> bool {
         false
+    }
+
+    /// Restore the scheduler to its start-of-run state for a new run on
+    /// (possibly) a different system, returning `true` on success. A
+    /// `false` return means the scheduler holds system-derived state it
+    /// cannot cheaply re-derive; the caller must construct a fresh one.
+    /// Stateless dispatchers return `true` and Monte-Carlo drivers then
+    /// recycle the allocation across draws.
+    fn reset(&mut self, _sys: &TaskSystem, _p: ProcessorId) -> bool {
+        false
+    }
+
+    /// The scheduler's static decision shape (see [`FastPath`]). Must
+    /// match `pick_idx`/`preempts` exactly; defaults to dynamic dispatch.
+    fn fast_path(&self) -> FastPath {
+        FastPath::Dynamic
     }
 }
 

@@ -6,7 +6,8 @@
 //! module docs).
 
 use super::{
-    BoundsInputs, PeerInputs, ReadyInstance, ReadySet, ServicePolicy, SimScheduler, SoaBoundsInputs,
+    BoundsInputs, FastPath, PeerInputs, ReadyInstance, ReadySet, ServicePolicy, SimScheduler,
+    SoaBoundsInputs,
 };
 use crate::error::AnalysisError;
 use crate::spnp::SoaServiceBounds;
@@ -96,24 +97,29 @@ pub(super) struct PrioritySim {
     pub(super) preemptive: bool,
 }
 
-fn phi(sys: &TaskSystem, inst: &ReadyInstance) -> i64 {
-    sys.subjob(inst.subjob).priority.expect("validated") as i64
-}
-
 impl SimScheduler for PrioritySim {
-    fn pick_idx(&mut self, sys: &TaskSystem, ready: &ReadySet<'_>) -> Option<usize> {
+    fn pick_idx(&mut self, _sys: &TaskSystem, ready: &ReadySet<'_>) -> Option<usize> {
         (0..ready.len()).min_by_key(|&i| {
             let inst = &ready[i];
-            (phi(sys, inst), inst.hop_release.ticks(), inst.seq)
+            (inst.prio, inst.hop_release.ticks(), inst.seq)
         })
     }
 
-    fn preempts(&self, sys: &TaskSystem, running: &ReadyInstance, ready: &ReadySet<'_>) -> bool {
+    fn preempts(&self, _sys: &TaskSystem, running: &ReadyInstance, ready: &ReadySet<'_>) -> bool {
         if !self.preemptive {
             return false;
         }
-        let run_phi = phi(sys, running);
-        ready.iter().any(|c| phi(sys, c) < run_phi)
+        ready.iter().any(|c| c.prio < running.prio)
+    }
+
+    fn reset(&mut self, _sys: &TaskSystem, _p: ProcessorId) -> bool {
+        true // stateless
+    }
+
+    fn fast_path(&self) -> FastPath {
+        FastPath::PrioMin {
+            preemptive: self.preemptive,
+        }
     }
 }
 

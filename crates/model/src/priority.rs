@@ -29,54 +29,91 @@ pub enum PriorityPolicy {
     RateMonotonic,
 }
 
-/// Sortable key: priorities are assigned by ascending key.
-fn key(sys: &TaskSystem, policy: PriorityPolicy, r: SubjobRef) -> Result<i128, ModelError> {
-    let job = sys.job(r.job);
-    let s = sys.subjob(r);
-    Ok(match policy {
-        PriorityPolicy::RelativeDeadlineMonotonic => {
-            // D_{i,j} = τ_{i,j}·D_i / Στ. The denominator differs per job,
-            // so exact cross-multiplied comparison is unavailable pairwise;
-            // compare the scaled integer τ_{i,j}·D_i·10⁶ / Στ instead, whose
-            // resolution (one millionth of a tick) exceeds any realistic
-            // sub-deadline gap.
-            let total = job.total_exec().ticks() as i128;
-            debug_assert!(total > 0);
-            (s.exec.ticks() as i128) * (job.deadline.ticks() as i128) * 1_000_000 / total
-        }
-        PriorityPolicy::DeadlineMonotonic => job.deadline.ticks() as i128,
-        PriorityPolicy::RateMonotonic => {
-            let period: Time = job
-                .arrival
-                .nominal_period(sys.ticks_per_unit())
-                .ok_or(ModelError::NoNominalPeriod { job: r.job })?;
-            period.ticks() as i128
-        }
-    })
-}
-
 /// Assign priorities on every static-priority processor of the system
 /// according to `policy`, then validate the result.
 ///
 /// FCFS processors are skipped. Existing priorities are overwritten.
 pub fn assign_priorities(sys: &mut TaskSystem, policy: PriorityPolicy) -> Result<(), ModelError> {
-    let nprocs = sys.processors().len();
-    for p in 0..nprocs {
-        let pid = crate::ids::ProcessorId(p);
-        if !sys.processor(pid).scheduler.uses_priorities() {
-            continue;
-        }
-        let mut entries: Vec<(i128, SubjobRef)> = Vec::new();
-        for r in sys.subjobs_on(pid) {
-            entries.push((key(sys, policy, r)?, r));
-        }
-        // Ascending key, deterministic tie-break.
-        entries.sort_by_key(|(k, r)| (*k, r.job.0, r.index));
-        for (rank, (_, r)) in entries.into_iter().enumerate() {
-            sys.jobs_mut()[r.job.0].subjobs[r.index].priority = Some(rank as u32 + 1);
+    rank_priorities(sys, policy)?;
+    sys.validate(true)
+}
+
+/// [`assign_priorities`] without the closing structural re-validation —
+/// for hot Monte-Carlo loops that re-rank a system already validated once
+/// (a sampler redraw changes deadlines and arrival parameters, never the
+/// topology the validation checks).
+pub fn rank_priorities(sys: &mut TaskSystem, policy: PriorityPolicy) -> Result<(), ModelError> {
+    // One pass over the subjobs (not one per processor — this runs per
+    // Monte-Carlo draw): collect every subjob on a priority-scheduled
+    // processor, sort once with the processor leading the key, and assign
+    // ranks within each processor run. Equivalent to the per-processor
+    // sorts: grouping by processor first leaves the per-processor order
+    // `(key, job, index)` unchanged.
+    let mut entries: Vec<(u32, i128, SubjobRef)> = Vec::new();
+    for (ji, job) in sys.jobs().iter().enumerate() {
+        // Hoist the per-job parts of the key out of the subjob loop, and
+        // defer fallible ones (rate-monotonic needs a nominal period) until
+        // a subjob actually lands on a priority-scheduled processor.
+        let mut per_job: Option<(i128, i128)> = None; // RDM: (D·10⁶, Στ)
+        for (si, s) in job.subjobs.iter().enumerate() {
+            if !sys.processor(s.processor).scheduler.uses_priorities() {
+                continue;
+            }
+            let r = SubjobRef {
+                job: JobId(ji),
+                index: si,
+            };
+            let k = match policy {
+                PriorityPolicy::RelativeDeadlineMonotonic => {
+                    // D_{i,j} = τ_{i,j}·D_i / Στ. The denominator differs
+                    // per job, so exact cross-multiplied comparison is
+                    // unavailable pairwise; compare the scaled integer
+                    // τ_{i,j}·D_i·10⁶ / Στ instead, whose resolution (one
+                    // millionth of a tick) exceeds any realistic
+                    // sub-deadline gap.
+                    let (num_d, total) = *per_job.get_or_insert_with(|| {
+                        let total = job.total_exec().ticks() as i128;
+                        debug_assert!(total > 0);
+                        ((job.deadline.ticks() as i128) * 1_000_000, total)
+                    });
+                    let num = (s.exec.ticks() as i128) * num_d;
+                    // Same quotient either way; the i64 path uses the
+                    // hardware divider instead of the 128-bit soft-div
+                    // libcall, which dominates this function's cost in the
+                    // Monte-Carlo re-ranking loop.
+                    match i64::try_from(num) {
+                        Ok(n) => (n / total as i64) as i128,
+                        Err(_) => num / total,
+                    }
+                }
+                PriorityPolicy::DeadlineMonotonic => job.deadline.ticks() as i128,
+                PriorityPolicy::RateMonotonic => match per_job {
+                    Some((p, _)) => p,
+                    None => {
+                        let period: Time = job
+                            .arrival
+                            .nominal_period(sys.ticks_per_unit())
+                            .ok_or(ModelError::NoNominalPeriod { job: JobId(ji) })?;
+                        per_job = Some((period.ticks() as i128, 0));
+                        period.ticks() as i128
+                    }
+                },
+            };
+            entries.push((s.processor.0 as u32, k, r));
         }
     }
-    sys.validate(true)
+    entries.sort_unstable_by_key(|&(p, k, r)| (p, k, r.job.0, r.index));
+    let mut proc = u32::MAX;
+    let mut rank = 0u32;
+    for &(p, _, r) in &entries {
+        if p != proc {
+            proc = p;
+            rank = 0;
+        }
+        rank += 1;
+        sys.jobs_mut()[r.job.0].subjobs[r.index].priority = Some(rank);
+    }
+    Ok(())
 }
 
 /// The Equation 24 sub-deadline of a subjob, in ticks (rounded down).

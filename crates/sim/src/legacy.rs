@@ -29,14 +29,16 @@ struct Instance {
 }
 
 /// The policy-facing view of an [`Instance`].
-fn view(inst: &Instance) -> ReadyInstance {
+fn view(sys: &TaskSystem, inst: &Instance) -> ReadyInstance {
+    let subjob = SubjobRef {
+        job: inst.job,
+        index: inst.hop,
+    };
     ReadyInstance {
-        subjob: SubjobRef {
-            job: inst.job,
-            index: inst.hop,
-        },
+        subjob,
         hop_release: inst.hop_release,
         seq: inst.seq,
+        prio: sys.subjob(subjob).priority.unwrap_or(u32::MAX),
     }
 }
 
@@ -50,9 +52,9 @@ struct Proc {
 }
 
 impl Proc {
-    fn fill_views(&mut self) {
+    fn fill_views(&mut self, sys: &TaskSystem) {
         self.views.clear();
-        self.views.extend(self.ready.iter().map(view));
+        self.views.extend(self.ready.iter().map(|i| view(sys, i)));
     }
 
     /// Pick the index of the next ready instance per policy.
@@ -60,7 +62,7 @@ impl Proc {
         if self.ready.is_empty() {
             return None;
         }
-        self.fill_views();
+        self.fill_views(sys);
         self.scheduler.pick_idx(sys, &ReadySet::new(&self.views))
     }
 
@@ -69,9 +71,9 @@ impl Proc {
         if self.ready.is_empty() {
             return false;
         }
-        self.fill_views();
+        self.fill_views(sys);
         self.scheduler
-            .preempts(sys, &view(running), &ReadySet::new(&self.views))
+            .preempts(sys, &view(sys, running), &ReadySet::new(&self.views))
     }
 }
 

@@ -15,9 +15,10 @@
 //!   functions, which must be bracketed by the analytic bounds at the first
 //!   hop (exact arrivals) and must match the exact Theorem 3 curves on SPP.
 //!
-//! The engine is an indexed discrete-event core (see DESIGN.md §4f): typed
-//! events in a calendar queue, instances in a flat arena, per-processor
-//! ready queues feeding zero-allocation policy decisions. It is exact on
+//! The engine is an indexed discrete-event core (see DESIGN.md §4f): a
+//! sorted primary-release table and one pending-completion slot per
+//! processor, instances in a flat arena, per-processor ready queues
+//! feeding zero-allocation policy decisions. It is exact on
 //! the integer tick lattice — no quantum loop, no floating point.
 //!
 //! ## Features
@@ -32,6 +33,10 @@
 //! [`batch`] replicates bursty arrival draws across the worker pool with
 //! per-thread engine workspaces, producing per-job empirical response-time
 //! distributions and the observed-vs-analytic tightness gap per policy.
+//! [`wcdfp`] is its verdict-only sibling: the same event loop behind a
+//! counters-only observer, streaming per-job deadline-failure probability
+//! estimates (confidence intervals, P² sketches, adaptive stopping)
+//! without materializing a result per draw.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,9 +44,9 @@
 mod arena;
 mod engine;
 mod result;
-mod schedule;
 
 pub mod batch;
+pub mod wcdfp;
 
 #[doc(hidden)]
 pub mod legacy;

@@ -1,0 +1,183 @@
+//! Integration gates for the streaming WCDFP estimator.
+//!
+//! Three standing claims are pinned here rather than in unit tests because
+//! they cross the public API boundary exactly as callers do:
+//!
+//! 1. **Merge determinism** — the worker-pool fold of [`estimate_fixed`]
+//!    produces an accumulator *bit-identical* to the single-threaded
+//!    reference fold [`accumulate_range`], in every sampling mode
+//!    (property-tested over draw counts and seeds). This is what makes
+//!    `BENCH_wcdfp.json` numbers and daemon responses reproducible
+//!    regardless of pool size.
+//! 2. **Adaptive soundness** — an adaptive run's interval never excludes
+//!    the point estimate of a much larger fixed-budget run on the same
+//!    draw sequence.
+//! 3. **Golden smoke** — a 2 000-draw run on a pinned two-job jitter
+//!    system produces pinned miss counts and intervals (the same
+//!    invocation `scripts/check.sh` replays).
+
+use proptest::prelude::*;
+use rta_core::wcdfp::{Mode, Stopping, WcdfpAccum};
+use rta_curves::Time;
+use rta_model::{ArrivalPattern, SchedulerKind, SystemBuilder, TaskSystem};
+use rta_sim::wcdfp::{accumulate_range, estimate_adaptive, estimate_fixed, DrawModel, WcdfpConfig};
+
+/// Two jobs on one FCFS processor; J1's jitter window makes its verdict
+/// genuinely random draw to draw, J2 is comfortable. Identical to the
+/// system the unit tests use, rebuilt here through the public API.
+fn jitter_system() -> TaskSystem {
+    let mut b = SystemBuilder::new();
+    let p = b.add_processor("P1", SchedulerKind::Fcfs);
+    b.add_job(
+        "J1",
+        Time(11),
+        ArrivalPattern::PeriodicJitter {
+            period: Time(20),
+            jitter: Time(8),
+            offset: Time(8),
+        },
+        vec![(p, Time(6))],
+    );
+    b.add_job(
+        "J2",
+        Time(40),
+        ArrivalPattern::Periodic {
+            period: Time(25),
+            offset: Time::ZERO,
+        },
+        vec![(p, Time(7))],
+    );
+    b.build().unwrap()
+}
+
+/// Units folded for a given draw budget — mirrors the library's private
+/// rounding (antithetic draws come in pairs).
+fn units_for(mode: Mode, draws: u64) -> u64 {
+    match mode {
+        Mode::Antithetic => draws.div_ceil(2),
+        _ => draws,
+    }
+}
+
+/// The sequential reference: fold every unit in one workspace, in order.
+fn sequential_accum(model: &DrawModel, cfg: &WcdfpConfig, draws: u64) -> WcdfpAccum {
+    let n_jobs = match model {
+        DrawModel::Arrivals(sys) => sys.jobs().len(),
+        DrawModel::Shop(shop) => shop.n_jobs,
+    };
+    let mut accum = WcdfpAccum::new(cfg.mode, n_jobs);
+    accumulate_range(model, cfg, 0, units_for(cfg.mode, draws), &mut accum);
+    accum
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Pool-folded accumulators are indistinguishable from the sequential
+    /// fold: every counter, every sketch marker, bit for bit. `PartialEq`
+    /// on `WcdfpAccum` compares all of them (P² state included).
+    #[test]
+    fn pool_fold_is_bit_identical_to_sequential_fold(
+        draws in 1u64..40,
+        seed in 0u64..1000,
+        mode_ix in 0usize..3,
+        sketches in any::<bool>(),
+    ) {
+        let mode = [Mode::Plain, Mode::Antithetic, Mode::Stratified(4)][mode_ix];
+        let cfg = WcdfpConfig {
+            mode,
+            base_seed: seed,
+            sketches,
+            ..WcdfpConfig::default()
+        };
+        let model = DrawModel::Arrivals(jitter_system());
+        let pooled = estimate_fixed(&model, &cfg, draws);
+        let sequential = sequential_accum(&model, &cfg, draws);
+        prop_assert_eq!(&pooled.accum, &sequential);
+        // The derived intervals are a pure function of the accumulator,
+        // but pin them too — they are what callers actually consume.
+        let seq_estimates = sequential.estimates(cfg.confidence, cfg.ci);
+        for (a, b) in pooled.estimates.iter().zip(&seq_estimates) {
+            prop_assert_eq!(a.misses, b.misses);
+            prop_assert_eq!(a.p.to_bits(), b.p.to_bits());
+            prop_assert_eq!(a.lo.to_bits(), b.lo.to_bits());
+            prop_assert_eq!(a.hi.to_bits(), b.hi.to_bits());
+        }
+    }
+}
+
+/// An adaptive run that stops early must still be *consistent* with the
+/// estimate a large fixed budget converges to: its interval may be wider,
+/// but it must contain the fixed run's point estimate for every job.
+/// Deterministic seeding makes this a pinned regression test, not a
+/// statistical coin flip.
+#[test]
+fn adaptive_interval_never_excludes_fixed_estimate() {
+    let model = DrawModel::Arrivals(jitter_system());
+    let cfg = WcdfpConfig::default();
+    let stop = Stopping {
+        tolerance: 0.05,
+        confidence: 0.95,
+        threshold: None,
+    };
+    let fixed_budget: u64 = if cfg!(debug_assertions) {
+        4_000
+    } else {
+        100_000
+    };
+    let adaptive = estimate_adaptive(&model, &cfg, &stop, fixed_budget);
+    assert!(adaptive.converged, "tolerance 0.05 must be reachable");
+    assert!(
+        adaptive.draws < fixed_budget,
+        "early stop must actually stop early"
+    );
+    let fixed = estimate_fixed(&model, &cfg, fixed_budget);
+    for ((name, a), f) in adaptive
+        .names
+        .iter()
+        .zip(&adaptive.estimates)
+        .zip(&fixed.estimates)
+    {
+        assert!(
+            a.lo <= f.p && f.p <= a.hi,
+            "{name}: adaptive [{:.4}, {:.4}] excludes fixed point {:.4}",
+            a.lo,
+            a.hi,
+            f.p
+        );
+    }
+}
+
+/// 2 000-draw golden smoke, pinned end to end. The numbers are a plain
+/// Wilson readout of the pinned miss counters, so any drift means the
+/// draw sequence, the engine, or the interval math changed.
+#[test]
+fn golden_smoke_2000_draws() {
+    let model = DrawModel::Arrivals(jitter_system());
+    let rep = estimate_fixed(&model, &WcdfpConfig::default(), 2_000);
+    assert_eq!(rep.names, vec!["J1", "J2"]);
+    assert_eq!(rep.draws, 2_000);
+    let misses: Vec<u64> = rep.estimates.iter().map(|e| e.misses).collect();
+    assert_eq!(misses, vec![588, 0]);
+    let j1 = &rep.estimates[0];
+    assert_eq!(j1.p, 0.294);
+    assert!(
+        (j1.lo - 0.274_443_321_382_680_07).abs() < 1e-12,
+        "{}",
+        j1.lo
+    );
+    assert!((j1.hi - 0.314_346_502_098_467_3).abs() < 1e-12, "{}", j1.hi);
+    let j2 = &rep.estimates[1];
+    assert_eq!(j2.p, 0.0);
+    assert!(j2.hi < 0.002, "{}", j2.hi);
+    // Sketch side of the same run: every J1 instance completed (a missed
+    // deadline still finishes executing under FCFS), and the response
+    // sketches bracket the exec-time floor and the observed maximum.
+    let j1a = &rep.accum.jobs[0];
+    assert_eq!(j1a.completed, 12_000);
+    assert_eq!(j1a.max_response, 12.0);
+    let p50 = j1a.p50.value().unwrap();
+    let p99 = j1a.p99.value().unwrap();
+    assert!((6.0..=7.0).contains(&p50), "{p50}");
+    assert!((11.0..=12.0).contains(&p99), "{p99}");
+}

@@ -7,10 +7,14 @@
 //! same dispatch path the daemon's serve loop uses. Writes
 //! `BENCH_service.json` with the gate-tracked `service/requests_per_sec`
 //! row (as ns/request, the harness's lower-is-better unit; the req/s
-//! figure is printed) and hard-fails below the 10k req/s floor from
-//! ROADMAP item 1.
+//! figure is printed) plus `service/latency_p50` and
+//! `service/latency_p99` — per-request latency quantiles streamed
+//! through the same P² sketches the WCDFP engine uses, so tail latency
+//! is gated alongside throughput — and hard-fails below the 10k req/s
+//! floor from ROADMAP item 1.
 //!
-//! Usage: `cargo run --release --bin load_gen [-- --seconds S]`
+//! Usage: `cargo run --release --bin load_gen [-- --duration S]`
+//! (`--seconds` is accepted as an alias.)
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -22,6 +26,7 @@ use bursty_rta::textfmt::{HopSpec, JobDraft};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rta_bench::harness::Bench;
+use rta_core::wcdfp::P2Sketch;
 use rta_curves::Time;
 use rta_model::jobshop::{generate, ShopArrivals, ShopConfig};
 use rta_model::priority::{assign_priorities, PriorityPolicy};
@@ -99,9 +104,11 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let seconds: f64 = match args.as_slice() {
         [] => 1.0,
-        [flag, s] if flag == "--seconds" => s.parse().expect("bad --seconds value"),
+        [flag, s] if flag == "--duration" || flag == "--seconds" => {
+            s.parse().expect("bad duration value")
+        }
         _ => {
-            eprintln!("usage: load_gen [--seconds S]");
+            eprintln!("usage: load_gen [--duration S]");
             std::process::exit(2);
         }
     };
@@ -130,11 +137,25 @@ fn main() {
     let mut admitted: u64 = 0;
     let mut errors: u64 = 0;
     let mut round: u64 = 100;
+    // Per-request latency, streamed through the same P² quantile sketches
+    // the WCDFP engine uses — no sample buffer, O(1) per observation. A
+    // batch is timed as one dispatch (that is the daemon's unit of work)
+    // and each request in it is charged the batch mean.
+    let mut p50 = P2Sketch::new(0.5);
+    let mut p99 = P2Sketch::new(0.99);
     let start = Instant::now();
     while start.elapsed().as_secs_f64() < seconds {
         let reqs = batch_for(round, &tenants);
-        total += reqs.len() as u64;
-        for resp in svc.apply_batch(reqs) {
+        let len = reqs.len() as u64;
+        total += len;
+        let t0 = Instant::now();
+        let resps = svc.apply_batch(reqs);
+        let per_req_ns = t0.elapsed().as_nanos() as f64 / len as f64;
+        for _ in 0..len {
+            p50.observe(per_req_ns);
+            p99.observe(per_req_ns);
+        }
+        for resp in resps {
             match resp {
                 Response::Admitted { admitted: true, .. } => admitted += 1,
                 Response::Err { .. } => errors += 1,
@@ -156,8 +177,16 @@ fn main() {
         "stream sanity: no probe was ever admitted — candidate shape is wrong"
     );
 
+    let (lat50, lat99) = (
+        p50.value().expect("latency sketch is non-empty"),
+        p99.value().expect("latency sketch is non-empty"),
+    );
+    println!("request latency: p50 {lat50:.0} ns, p99 {lat99:.0} ns");
+
     let mut b = Bench::new();
     b.record("service/requests_per_sec", total, ns_per_req);
+    b.record("service/latency_p50", total, lat50);
+    b.record("service/latency_p99", total, lat99);
     let json = b.to_json(&[
         ("suite", "BENCH_service"),
         ("package", "bursty-rta"),

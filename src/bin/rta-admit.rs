@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! Usage: rta-admit <file> [<file> …]     analyze system descriptions
+//!        rta-admit --wcdfp <file> […]    Monte-Carlo deadline-failure probability
 //!        rta-admit --serve               serve the line protocol on stdin/stdout
 //!        rta-admit --serve-unix <path>   serve the line protocol on a unix socket
 //!        rta-admit --example             print an annotated example file
@@ -25,9 +26,11 @@ use bursty_rta::analysis::service::{LoadOutcome, ServiceConfig};
 use bursty_rta::daemon::{serve, serve_unix, ShardedService};
 use bursty_rta::model::TaskSystem;
 use bursty_rta::textfmt::{parse_system, ParseError, EXAMPLE};
+use rta_core::wcdfp::Stopping;
+use rta_sim::wcdfp::{estimate_adaptive, DrawModel, WcdfpConfig};
 
-const USAGE: &str =
-    "usage: rta-admit <file> [<file> …] | --serve | --serve-unix <path> | --example";
+const USAGE: &str = "usage: rta-admit <file> [<file> …] | --wcdfp <file> [<file> …] | \
+     --serve | --serve-unix <path> | --example";
 
 /// Print a located parse diagnostic: `path:line: message` plus the
 /// offending line, so editors can jump straight to it.
@@ -110,6 +113,61 @@ fn run_files(paths: &[String]) -> i32 {
     i32::from(!all_ok)
 }
 
+/// Monte-Carlo deadline-failure probability per file: adaptive run to a
+/// 0.01 CI half-width at 95%, verdict-only configuration. Exit 1 if any
+/// job of any file was observed missing its deadline.
+fn run_wcdfp(paths: &[String]) -> i32 {
+    if paths.is_empty() {
+        eprintln!("{USAGE}");
+        return 2;
+    }
+    let stop = Stopping {
+        tolerance: 0.01,
+        confidence: 0.95,
+        threshold: None,
+    };
+    let cfg = WcdfpConfig {
+        sketches: false,
+        ..WcdfpConfig::default()
+    };
+    const MAX_DRAWS: u64 = 100_000;
+    let mut any_miss = false;
+    for path in paths {
+        let input = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("rta-admit: cannot read {path}: {e}");
+                return 2;
+            }
+        };
+        let sys = match parse_system(&input) {
+            Ok(sys) => sys,
+            Err(e) => {
+                report_parse_error(path, &e);
+                return 2;
+            }
+        };
+        let rep = estimate_adaptive(&DrawModel::Arrivals(sys), &cfg, &stop, MAX_DRAWS);
+        println!(
+            "{path}: {} draws{}",
+            rep.draws,
+            if rep.converged {
+                ""
+            } else {
+                " (budget exhausted before convergence)"
+            }
+        );
+        for (name, e) in rep.names.iter().zip(&rep.estimates) {
+            println!(
+                "  {name}: P(miss) ∈ [{:.4}, {:.4}] @ 95% (point {:.4}, misses {})",
+                e.lo, e.hi, e.p, e.misses
+            );
+            any_miss |= e.misses > 0;
+        }
+    }
+    i32::from(any_miss)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
@@ -117,6 +175,7 @@ fn main() {
             print!("{EXAMPLE}");
             0
         }
+        Some("--wcdfp") => run_wcdfp(&args[1..]),
         Some("--serve") => {
             let svc = Arc::new(ShardedService::with_pool_shards(ServiceConfig::default()));
             let stdin = std::io::stdin().lock();

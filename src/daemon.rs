@@ -22,8 +22,10 @@ use std::sync::{Arc, Mutex};
 
 use rta_core::par::{pool_map, pool_threads};
 use rta_core::service::{AdmissionService, LoadOutcome, ServiceConfig, ServiceError};
+use rta_core::wcdfp::Stopping;
+use rta_sim::wcdfp::{estimate_adaptive, estimate_fixed, DrawModel, WcdfpConfig};
 
-use crate::proto::{Request, Response};
+use crate::proto::{Request, Response, WcdfpJobLine, WcdfpSpec};
 use crate::textfmt::{parse_system, resolve_job, ParseError};
 
 /// A fixed set of [`AdmissionService`] shards with stable tenant routing.
@@ -196,6 +198,61 @@ impl ShardedService {
                     warm_starts: stats.session.warm_starts,
                     interned: stats.interned_curves,
                     tenants: svc.tenant_count(),
+                })
+            }
+            Request::Wcdfp { tenant, spec } => {
+                let sys = svc
+                    .tenant_system(tenant)
+                    .ok_or_else(|| format!("unknown tenant '{tenant}'"))?;
+                // The verdict-only configuration: the admission path wants
+                // miss probabilities and intervals, not response sketches.
+                let model = DrawModel::Arrivals(sys.clone());
+                let base = |seed: u64| WcdfpConfig {
+                    base_seed: seed,
+                    sketches: false,
+                    ..WcdfpConfig::default()
+                };
+                let rep = match *spec {
+                    WcdfpSpec::Fixed { draws, seed } => {
+                        if draws == 0 {
+                            return Err("WCDFP needs at least one draw".into());
+                        }
+                        estimate_fixed(&model, &base(seed), draws)
+                    }
+                    WcdfpSpec::Adaptive {
+                        tolerance,
+                        max_draws,
+                        seed,
+                    } => {
+                        if !tolerance.is_finite() || tolerance <= 0.0 {
+                            return Err("WCDFP tolerance must be positive".into());
+                        }
+                        if max_draws == 0 {
+                            return Err("WCDFP needs at least one draw".into());
+                        }
+                        let stop = Stopping {
+                            tolerance,
+                            confidence: 0.95,
+                            threshold: None,
+                        };
+                        estimate_adaptive(&model, &base(seed), &stop, max_draws)
+                    }
+                };
+                Ok(Response::Wcdfp {
+                    tenant: tenant.clone(),
+                    draws: rep.draws,
+                    converged: rep.converged,
+                    jobs: rep
+                        .names
+                        .iter()
+                        .zip(&rep.estimates)
+                        .map(|(name, e)| WcdfpJobLine {
+                            name: name.clone(),
+                            p: e.p,
+                            lo: e.lo,
+                            hi: e.hi,
+                        })
+                        .collect(),
                 })
             }
             Request::Evict { tenant } => Ok(Response::Evicted {

@@ -10,6 +10,8 @@
 //! SCALE <tenant> <factor>
 //! REGION <tenant> <scale-lo> <scale-hi> <scale-steps> <burst-lo> <burst-hi> <burst-steps>
 //! STATS <tenant>
+//! WCDFP <tenant> fixed <draws> <seed>
+//! WCDFP <tenant> adaptive <tolerance> <max-draws> <seed>
 //! EVICT <tenant>
 //! PING
 //! QUIT
@@ -25,6 +27,7 @@
 //! OK REGION <tenant> scales=<s1,s2,…> rows=<burst>:<frontier|->;…
 //! OK STATS <tenant> gen=<g> jobs=<n> analyses=<a> recomputed=<r> reused=<u> \
 //!          verdict_hits=<h> verdict_misses=<m> warm_starts=<w> interned=<c> tenants=<t>
+//! OK WCDFP <tenant> draws=<n> converged=<true|false> jobs=<name>:<p>:<lo>:<hi>;…
 //! OK EVICT <tenant> existed=<true|false>
 //! PONG
 //! ERR <message>
@@ -92,6 +95,13 @@ pub enum Request {
         /// Tenant key.
         tenant: String,
     },
+    /// Estimate per-job deadline-failure probability by Monte-Carlo.
+    Wcdfp {
+        /// Tenant key.
+        tenant: String,
+        /// Draw-budget shape (fixed-N or adaptive-to-tolerance).
+        spec: WcdfpSpec,
+    },
     /// Drop a tenant's warm session.
     Evict {
         /// Tenant key.
@@ -99,6 +109,42 @@ pub enum Request {
     },
     /// Liveness probe.
     Ping,
+}
+
+/// How a `WCDFP` request sizes its draw budget.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WcdfpSpec {
+    /// Exactly `draws` draws.
+    Fixed {
+        /// Draw count.
+        draws: u64,
+        /// Base seed (draw `i` derives from `seed + i`).
+        seed: u64,
+    },
+    /// Rounds of draws until every job's CI half-width is ≤ `tolerance`,
+    /// capped at `max_draws`.
+    Adaptive {
+        /// Target half-width of the per-job confidence intervals.
+        tolerance: f64,
+        /// Hard draw budget.
+        max_draws: u64,
+        /// Base seed (draw `i` derives from `seed + i`).
+        seed: u64,
+    },
+}
+
+/// One job's estimate in an `OK WCDFP` response: name, point estimate,
+/// and confidence bounds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WcdfpJobLine {
+    /// Job name.
+    pub name: String,
+    /// Point estimate of the miss probability.
+    pub p: f64,
+    /// Lower confidence bound.
+    pub lo: f64,
+    /// Upper confidence bound.
+    pub hi: f64,
 }
 
 /// A response line.
@@ -185,6 +231,17 @@ pub enum Response {
         interned: usize,
         /// Tenants resident on this tenant's shard.
         tenants: usize,
+    },
+    /// `OK WCDFP …`
+    Wcdfp {
+        /// Tenant key.
+        tenant: String,
+        /// Draws actually simulated.
+        draws: u64,
+        /// Whether the adaptive stopping rule was met (`true` for fixed runs).
+        converged: bool,
+        /// Per-job estimates, in job order.
+        jobs: Vec<WcdfpJobLine>,
     },
     /// `OK EVICT …`
     Evicted {
@@ -273,6 +330,22 @@ impl Request {
             Some("STATS") => Ok(Request::Stats {
                 tenant: word(&mut it, "tenant")?,
             }),
+            Some("WCDFP") => {
+                let tenant = word(&mut it, "tenant")?;
+                let spec = match word(&mut it, "mode")?.as_str() {
+                    "fixed" => WcdfpSpec::Fixed {
+                        draws: num(&mut it, "draws")?,
+                        seed: num(&mut it, "seed")?,
+                    },
+                    "adaptive" => WcdfpSpec::Adaptive {
+                        tolerance: num(&mut it, "tolerance")?,
+                        max_draws: num(&mut it, "max-draws")?,
+                        seed: num(&mut it, "seed")?,
+                    },
+                    other => return Err(format!("bad WCDFP mode '{other}'")),
+                };
+                Ok(Request::Wcdfp { tenant, spec })
+            }
             Some("EVICT") => Ok(Request::Evict {
                 tenant: word(&mut it, "tenant")?,
             }),
@@ -291,6 +364,7 @@ impl Request {
             | Request::Scale { tenant, .. }
             | Request::Region { tenant, .. }
             | Request::Stats { tenant }
+            | Request::Wcdfp { tenant, .. }
             | Request::Evict { tenant } => Some(tenant),
             Request::Ping => None,
         }
@@ -330,6 +404,16 @@ impl fmt::Display for Request {
                 "REGION {tenant} {scale_lo} {scale_hi} {scale_steps} {burst_lo} {burst_hi} {burst_steps}"
             ),
             Request::Stats { tenant } => write!(f, "STATS {tenant}"),
+            Request::Wcdfp { tenant, spec } => match spec {
+                WcdfpSpec::Fixed { draws, seed } => {
+                    write!(f, "WCDFP {tenant} fixed {draws} {seed}")
+                }
+                WcdfpSpec::Adaptive {
+                    tolerance,
+                    max_draws,
+                    seed,
+                } => write!(f, "WCDFP {tenant} adaptive {tolerance} {max_draws} {seed}"),
+            },
             Request::Evict { tenant } => write!(f, "EVICT {tenant}"),
             Request::Ping => write!(f, "PING"),
         }
@@ -473,6 +557,42 @@ impl Response {
                 interned: kv_num(it, "interned")?,
                 tenants: kv_num(it, "tenants")?,
             }),
+            "WCDFP" => {
+                let draws = kv_num(it, "draws")?;
+                let converged = kv_num(it, "converged")?;
+                let jobs_str = kv(it.next().ok_or("missing jobs=")?, "jobs")?;
+                let mut jobs = Vec::new();
+                if !jobs_str.is_empty() {
+                    for j in jobs_str.split(';') {
+                        let mut parts = j.split(':');
+                        let name = parts
+                            .next()
+                            .filter(|s| !s.is_empty())
+                            .ok_or_else(|| format!("bad wcdfp job '{j}'"))?
+                            .to_string();
+                        let mut f64_part = |what: &str| -> Result<f64, String> {
+                            parts
+                                .next()
+                                .ok_or_else(|| format!("missing {what} in '{j}'"))?
+                                .parse()
+                                .map_err(|e| format!("bad {what}: {e}"))
+                        };
+                        let p = f64_part("p")?;
+                        let lo = f64_part("lo")?;
+                        let hi = f64_part("hi")?;
+                        if parts.next().is_some() {
+                            return Err(format!("trailing fields in wcdfp job '{j}'"));
+                        }
+                        jobs.push(WcdfpJobLine { name, p, lo, hi });
+                    }
+                }
+                Ok(Response::Wcdfp {
+                    tenant,
+                    draws,
+                    converged,
+                    jobs,
+                })
+            }
             "EVICT" => Ok(Response::Evicted {
                 tenant,
                 existed: kv_num(it, "existed")?,
@@ -575,6 +695,24 @@ impl fmt::Display for Response {
                  verdict_misses={verdict_misses} warm_starts={warm_starts} \
                  interned={interned} tenants={tenants}"
             ),
+            Response::Wcdfp {
+                tenant,
+                draws,
+                converged,
+                jobs,
+            } => {
+                write!(
+                    f,
+                    "OK WCDFP {tenant} draws={draws} converged={converged} jobs="
+                )?;
+                for (i, j) in jobs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ";")?;
+                    }
+                    write!(f, "{}:{}:{}:{}", j.name, j.p, j.lo, j.hi)?;
+                }
+                Ok(())
+            }
             Response::Evicted { tenant, existed } => {
                 write!(f, "OK EVICT {tenant} existed={existed}")
             }

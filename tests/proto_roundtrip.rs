@@ -9,7 +9,7 @@ use bursty_rta::analysis::service::ServiceConfig;
 use bursty_rta::curves::Time;
 use bursty_rta::daemon::{serve, ShardedService};
 use bursty_rta::model::ArrivalPattern;
-use bursty_rta::proto::{Request, Response};
+use bursty_rta::proto::{Request, Response, WcdfpJobLine, WcdfpSpec};
 use bursty_rta::textfmt::{HopSpec, JobDraft};
 use proptest::prelude::*;
 
@@ -120,8 +120,22 @@ fn arb_request() -> impl Strategy<Value = Request> {
                 }
             ),
         arb_name().prop_map(|tenant| Request::Stats { tenant }),
+        (arb_name(), arb_wcdfp_spec()).prop_map(|(tenant, spec)| Request::Wcdfp { tenant, spec }),
         arb_name().prop_map(|tenant| Request::Evict { tenant }),
         Just(Request::Ping),
+    ]
+}
+
+fn arb_wcdfp_spec() -> impl Strategy<Value = WcdfpSpec> {
+    prop_oneof![
+        (1u64..1_000_000, 0u64..9999).prop_map(|(draws, seed)| WcdfpSpec::Fixed { draws, seed }),
+        (0.0001f64..0.5, 1u64..1_000_000, 0u64..9999).prop_map(|(tolerance, max_draws, seed)| {
+            WcdfpSpec::Adaptive {
+                tolerance,
+                max_draws,
+                seed,
+            }
+        }),
     ]
 }
 
@@ -200,6 +214,21 @@ fn arb_response() -> impl Strategy<Value = Response> {
                     tenants: tenants as usize,
                 }
             ),
+        (
+            arb_name(),
+            0u64..1_000_000,
+            any::<bool>(),
+            prop::collection::vec((arb_name(), 0.0f64..1.0, 0.0f64..0.5, 0.5f64..1.0), 0..5),
+        )
+            .prop_map(|(tenant, draws, converged, raw)| Response::Wcdfp {
+                tenant,
+                draws,
+                converged,
+                jobs: raw
+                    .into_iter()
+                    .map(|(name, p, lo, hi)| WcdfpJobLine { name, p, lo, hi })
+                    .collect(),
+            }),
         (arb_name(), any::<bool>())
             .prop_map(|(tenant, existed)| Response::Evicted { tenant, existed }),
         Just(Response::Pong),
